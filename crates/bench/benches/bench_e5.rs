@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Fig 3.1 location tables (E5).
+//! Short (Effort::Quick) runs so the whole suite stays tractable; the
+//! `experiments` binary produces the full-length recorded tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtnet_bench::experiments;
+#[allow(unused_imports)]
+use mtnet_bench::Effort;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5");
+    group.sample_size(10);
+    group.bench_function("e5_regenerate", |b| {
+        b.iter(|| std::hint::black_box(experiments::e5_location(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates every experiment table recorded in `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run -p mtnet-bench --bin experiments --release           # full runs
+//! cargo run -p mtnet-bench --bin experiments --release -- quick  # smoke runs
+//! cargo run -p mtnet-bench --bin experiments --release -- full E4 E9
+//! ```
+
+use mtnet_bench::{run_all, Effort};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = if args.iter().any(|a| a == "quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    let filter: Vec<&String> = args
+        .iter()
+        .filter(|a| a.starts_with('E') || a.starts_with('e'))
+        .collect();
+    let seed = 42;
+    println!("mtnet experiment suite — effort: {effort:?}, seed: {seed}\n");
+    for result in run_all(effort, seed) {
+        if !filter.is_empty() && !filter.iter().any(|f| f.eq_ignore_ascii_case(result.id)) {
+            continue;
+        }
+        println!("{}", result.render());
+    }
+}

@@ -1,0 +1,115 @@
+//! # mtnet-bench — the experiment harness
+//!
+//! One runner per paper artifact (every figure of the evaluation-relevant
+//! sections plus the two headline claims), shared by the `experiments`
+//! binary (full-length runs, printed tables recorded in `EXPERIMENTS.md`)
+//! and the Criterion benches (short smoke-length runs).
+//!
+//! | id  | paper artifact | runner |
+//! |-----|----------------|--------|
+//! | E1  | Fig 2.1 multi-tier architecture      | [`experiments::e1_multitier_coverage`] |
+//! | E2  | Fig 2.2 Mobile IP procedures         | [`experiments::e2_mobileip`] |
+//! | E3  | Fig 2.3 Cellular IP access network   | [`experiments::e3_cip_routing`] |
+//! | E4  | Fig 2.4 Cellular IP handoff          | [`experiments::e4_cip_handoff`] |
+//! | E5  | Fig 3.1 hierarchical location tables | [`experiments::e5_location`] |
+//! | E6  | Fig 3.2 inter-domain same upper      | [`experiments::e6_interdomain_same`] |
+//! | E7  | Fig 3.3 inter-domain different upper | [`experiments::e7_interdomain_diff`] |
+//! | E8  | Fig 3.4 intra-domain handoffs        | [`experiments::e8_intradomain`] |
+//! | E9  | Fig 4.1 RSMC architecture            | [`experiments::e9_rsmc`] |
+//! | E10 | claim: improved QoS                  | [`experiments::e10_qos`] |
+//! | E11 | claim: reduced packet loss           | [`experiments::e11_loss`] |
+//! | E12 | §3.2 factor ablation                 | [`experiments::e12_ablation`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use mtnet_metrics::Table;
+
+/// How long the simulated runs should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Short runs for Criterion benches and CI smoke tests.
+    Quick,
+    /// Full-length runs for the recorded experiment tables.
+    Full,
+}
+
+impl Effort {
+    /// Scales a full-length duration (seconds) to this effort level.
+    pub fn secs(self, full: f64) -> f64 {
+        match self {
+            Effort::Quick => (full / 10.0).max(10.0),
+            Effort::Full => full,
+        }
+    }
+}
+
+/// One experiment's rendered output.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Experiment id ("E4").
+    pub id: &'static str,
+    /// What the experiment reproduces.
+    pub title: &'static str,
+    /// One or more captioned tables.
+    pub tables: Vec<(String, Table)>,
+    /// Interpretation notes (expected shape, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Renders the whole experiment as text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for (caption, table) in &self.tables {
+            let _ = writeln!(out, "\n{caption}");
+            let _ = write!(out, "{table}");
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+}
+
+/// Runs every experiment in order.
+pub fn run_all(effort: Effort, seed: u64) -> Vec<ExperimentResult> {
+    vec![
+        experiments::e1_multitier_coverage(effort, seed),
+        experiments::e2_mobileip(effort, seed),
+        experiments::e3_cip_routing(effort, seed),
+        experiments::e4_cip_handoff(effort, seed),
+        experiments::e5_location(seed),
+        experiments::e6_interdomain_same(effort, seed),
+        experiments::e7_interdomain_diff(effort, seed),
+        experiments::e8_intradomain(effort, seed),
+        experiments::e9_rsmc(effort, seed),
+        experiments::e10_qos(effort, seed),
+        experiments::e11_loss(effort, seed),
+        experiments::e12_ablation(effort, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_scaling() {
+        assert_eq!(Effort::Full.secs(300.0), 300.0);
+        assert_eq!(Effort::Quick.secs(300.0), 30.0);
+        assert_eq!(Effort::Quick.secs(50.0), 10.0, "floors at 10 s");
+    }
+
+    #[test]
+    fn render_contains_id_and_tables() {
+        let r = experiments::e1_multitier_coverage(Effort::Quick, 1);
+        let text = r.render();
+        assert!(text.contains("E1"));
+        assert!(text.contains("macro"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-mobile-node Cellular IP state: active vs idle, and the three
+//! protocol timers.
+
+use mtnet_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The three Cellular IP timers (paper §2.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CipTimers {
+    /// How often an **active** node transmits route-update packets
+    /// ("route-update-time"). Must be shorter than the routing-cache
+    /// lifetime or mappings flap.
+    pub route_update: SimDuration,
+    /// How often an **idle** node transmits paging-update packets
+    /// ("paging-update-time"). Much longer than `route_update` — that gap
+    /// is the protocol's whole energy/overhead win.
+    pub paging_update: SimDuration,
+    /// How long after the last data packet a node stays active
+    /// ("active-state-timeout").
+    pub active_timeout: SimDuration,
+}
+
+impl Default for CipTimers {
+    /// Values in the range the Cellular IP papers use: 1 s route updates,
+    /// 60 s paging updates, 5 s active timeout.
+    fn default() -> Self {
+        CipTimers {
+            route_update: SimDuration::from_secs(1),
+            paging_update: SimDuration::from_secs(60),
+            active_timeout: SimDuration::from_secs(5),
+        }
+    }
+}
+
+impl CipTimers {
+    /// Routing-cache lifetime consistent with these timers (a small
+    /// multiple of the refresh period, as the protocol requires).
+    pub fn route_cache_lifetime(&self) -> SimDuration {
+        self.route_update.saturating_mul(3)
+    }
+
+    /// Paging-cache lifetime consistent with these timers.
+    pub fn paging_cache_lifetime(&self) -> SimDuration {
+        self.paging_update.saturating_mul(3)
+    }
+}
+
+/// Whether a node currently maintains routing-cache state (active) or only
+/// paging-cache state (idle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MnMode {
+    /// Sending/receiving recently: routing caches are kept fresh.
+    Active,
+    /// No data for `active_timeout`: only coarse paging state remains.
+    Idle,
+}
+
+/// Tracks one mobile node's CIP mode transitions.
+///
+/// ```
+/// use mtnet_cellularip::{MnCipState, CipTimers, MnMode};
+/// use mtnet_sim::SimTime;
+///
+/// let timers = CipTimers::default();
+/// let mut s = MnCipState::new(timers, SimTime::ZERO);
+/// assert_eq!(s.mode(SimTime::from_secs(1)), MnMode::Active);
+/// // 5 s of silence → idle
+/// assert_eq!(s.mode(SimTime::from_secs(6)), MnMode::Idle);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MnCipState {
+    timers: CipTimers,
+    last_data: SimTime,
+    /// Transition counters.
+    activations: u64,
+    was_active: bool,
+}
+
+impl MnCipState {
+    /// Creates a node considered active as of `now` (it just attached).
+    pub fn new(timers: CipTimers, now: SimTime) -> Self {
+        MnCipState { timers, last_data: now, activations: 1, was_active: true }
+    }
+
+    /// The configured timers.
+    pub fn timers(&self) -> CipTimers {
+        self.timers
+    }
+
+    /// Records data activity (sent or received) at `now`.
+    pub fn touch(&mut self, now: SimTime) {
+        if !self.is_active(now) {
+            self.activations += 1;
+        }
+        self.was_active = true;
+        self.last_data = self.last_data.max(now);
+    }
+
+    /// True while within `active_timeout` of the last data packet.
+    pub fn is_active(&self, now: SimTime) -> bool {
+        now.saturating_since(self.last_data) < self.timers.active_timeout
+    }
+
+    /// Current mode.
+    pub fn mode(&self, now: SimTime) -> MnMode {
+        if self.is_active(now) {
+            MnMode::Active
+        } else {
+            MnMode::Idle
+        }
+    }
+
+    /// The update period the node should currently use: route-update-time
+    /// while active, paging-update-time while idle.
+    pub fn update_period(&self, now: SimTime) -> SimDuration {
+        match self.mode(now) {
+            MnMode::Active => self.timers.route_update,
+            MnMode::Idle => self.timers.paging_update,
+        }
+    }
+
+    /// How many idle→active transitions have occurred (paging load proxy).
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn default_timers_sane() {
+        let t = CipTimers::default();
+        assert!(t.route_update < t.active_timeout);
+        assert!(t.active_timeout < t.paging_update);
+        assert!(t.route_cache_lifetime() > t.route_update);
+        assert!(t.paging_cache_lifetime() > t.paging_update);
+    }
+
+    #[test]
+    fn active_until_timeout() {
+        let s = MnCipState::new(CipTimers::default(), secs(0));
+        assert!(s.is_active(secs(4)));
+        assert!(!s.is_active(secs(5)));
+        assert_eq!(s.mode(secs(10)), MnMode::Idle);
+    }
+
+    #[test]
+    fn touch_extends_activity() {
+        let mut s = MnCipState::new(CipTimers::default(), secs(0));
+        s.touch(secs(4));
+        assert!(s.is_active(secs(8)));
+        assert!(!s.is_active(secs(9)));
+    }
+
+    #[test]
+    fn reactivation_counted() {
+        let mut s = MnCipState::new(CipTimers::default(), secs(0));
+        assert_eq!(s.activations(), 1);
+        s.touch(secs(2)); // still active, no new activation
+        assert_eq!(s.activations(), 1);
+        s.touch(secs(100)); // was idle → reactivates
+        assert_eq!(s.activations(), 2);
+    }
+
+    #[test]
+    fn update_period_switches_with_mode() {
+        let t = CipTimers::default();
+        let s = MnCipState::new(t, secs(0));
+        assert_eq!(s.update_period(secs(1)), t.route_update);
+        assert_eq!(s.update_period(secs(100)), t.paging_update);
+    }
+
+    #[test]
+    fn touch_never_moves_backwards() {
+        let mut s = MnCipState::new(CipTimers::default(), secs(10));
+        s.touch(secs(5)); // out-of-order event
+        assert!(s.is_active(secs(14)), "later activity must not be erased");
+    }
+}

@@ -1,0 +1,204 @@
+//! The base-station tree of a Cellular IP access network.
+
+use mtnet_net::NodeId;
+use std::collections::HashMap;
+
+/// The wired tree of base stations rooted at the gateway router
+/// (paper Fig 2.3). All routing in Cellular IP is along this tree:
+/// uplink packets climb to the gateway; downlink packets follow
+/// routing-cache mappings from the gateway down.
+#[derive(Debug, Clone)]
+pub struct CipTree {
+    gateway: NodeId,
+    /// child → parent (gateway has no entry).
+    parents: HashMap<NodeId, NodeId>,
+}
+
+impl CipTree {
+    /// Creates a tree containing only the gateway.
+    pub fn new(gateway: NodeId) -> Self {
+        CipTree { gateway, parents: HashMap::new() }
+    }
+
+    /// The gateway (root).
+    pub fn gateway(&self) -> NodeId {
+        self.gateway
+    }
+
+    /// Adds a base station under `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bs` already exists, equals the gateway, or `parent` is
+    /// not in the tree.
+    pub fn add_bs(&mut self, bs: NodeId, parent: NodeId) {
+        assert_ne!(bs, self.gateway, "gateway cannot be re-added");
+        assert!(!self.parents.contains_key(&bs), "duplicate base station {bs}");
+        assert!(
+            parent == self.gateway || self.parents.contains_key(&parent),
+            "parent {parent} not in tree"
+        );
+        self.parents.insert(bs, parent);
+    }
+
+    /// True if `node` is the gateway or a registered BS.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node == self.gateway || self.parents.contains_key(&node)
+    }
+
+    /// Number of base stations (excluding the gateway).
+    pub fn bs_count(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// The parent of `bs` (`None` for the gateway or unknown nodes).
+    pub fn parent(&self, bs: NodeId) -> Option<NodeId> {
+        self.parents.get(&bs).copied()
+    }
+
+    /// Path from `bs` up to and including the gateway: `[bs, …, gateway]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bs` is not in the tree.
+    pub fn uplink_path(&self, bs: NodeId) -> Vec<NodeId> {
+        assert!(self.contains(bs), "unknown base station {bs}");
+        let mut path = vec![bs];
+        let mut cur = bs;
+        while let Some(p) = self.parents.get(&cur) {
+            path.push(*p);
+            cur = *p;
+        }
+        path
+    }
+
+    /// Depth of `bs` (gateway = 0).
+    pub fn depth(&self, bs: NodeId) -> usize {
+        self.uplink_path(bs).len() - 1
+    }
+
+    /// The **crossover base station** between the paths of `old` and `new`:
+    /// the deepest node common to both uplink paths (paper Fig 2.4 —
+    /// "the common branch node between the old and new base stations").
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is not in the tree.
+    pub fn crossover(&self, old: NodeId, new: NodeId) -> NodeId {
+        let old_path = self.uplink_path(old);
+        let new_path = self.uplink_path(new);
+        // Walk the old path bottom-up; the first node also on the new path
+        // is the deepest common node.
+        let new_set: std::collections::HashSet<NodeId> = new_path.into_iter().collect();
+        *old_path
+            .iter()
+            .find(|n| new_set.contains(n))
+            .expect("gateway is always common")
+    }
+
+    /// Hops from `bs` up to `ancestor` (0 if equal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ancestor` is not on the uplink path of `bs`.
+    pub fn hops_to_ancestor(&self, bs: NodeId, ancestor: NodeId) -> usize {
+        self.uplink_path(bs)
+            .iter()
+            .position(|&n| n == ancestor)
+            .expect("not an ancestor")
+    }
+
+    /// All base stations, in deterministic (id) order.
+    pub fn base_stations(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.parents.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// gateway(0) ── 1 ── 3
+    ///           │      └ 4
+    ///           └ 2 ── 5
+    fn tree() -> CipTree {
+        let mut t = CipTree::new(NodeId(0));
+        t.add_bs(NodeId(1), NodeId(0));
+        t.add_bs(NodeId(2), NodeId(0));
+        t.add_bs(NodeId(3), NodeId(1));
+        t.add_bs(NodeId(4), NodeId(1));
+        t.add_bs(NodeId(5), NodeId(2));
+        t
+    }
+
+    #[test]
+    fn uplink_paths() {
+        let t = tree();
+        assert_eq!(t.uplink_path(NodeId(3)), vec![NodeId(3), NodeId(1), NodeId(0)]);
+        assert_eq!(t.uplink_path(NodeId(0)), vec![NodeId(0)]);
+        assert_eq!(t.depth(NodeId(3)), 2);
+        assert_eq!(t.depth(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn crossover_siblings_is_parent() {
+        let t = tree();
+        // 3 and 4 share parent 1 — the textbook Fig 2.4 case.
+        assert_eq!(t.crossover(NodeId(3), NodeId(4)), NodeId(1));
+    }
+
+    #[test]
+    fn crossover_distant_is_gateway() {
+        let t = tree();
+        assert_eq!(t.crossover(NodeId(3), NodeId(5)), NodeId(0));
+    }
+
+    #[test]
+    fn crossover_with_self_or_ancestor() {
+        let t = tree();
+        assert_eq!(t.crossover(NodeId(3), NodeId(3)), NodeId(3));
+        assert_eq!(t.crossover(NodeId(3), NodeId(1)), NodeId(1));
+    }
+
+    #[test]
+    fn hops_to_ancestor() {
+        let t = tree();
+        assert_eq!(t.hops_to_ancestor(NodeId(3), NodeId(1)), 1);
+        assert_eq!(t.hops_to_ancestor(NodeId(3), NodeId(0)), 2);
+        assert_eq!(t.hops_to_ancestor(NodeId(3), NodeId(3)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an ancestor")]
+    fn hops_to_non_ancestor_panics() {
+        tree().hops_to_ancestor(NodeId(3), NodeId(2));
+    }
+
+    #[test]
+    fn contains_and_counts() {
+        let t = tree();
+        assert!(t.contains(NodeId(0)));
+        assert!(t.contains(NodeId(5)));
+        assert!(!t.contains(NodeId(99)));
+        assert_eq!(t.bs_count(), 5);
+        assert_eq!(t.base_stations().len(), 5);
+        assert_eq!(t.parent(NodeId(5)), Some(NodeId(2)));
+        assert_eq!(t.parent(NodeId(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_bs_rejected() {
+        let mut t = tree();
+        t.add_bs(NodeId(3), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in tree")]
+    fn orphan_parent_rejected() {
+        let mut t = tree();
+        t.add_bs(NodeId(9), NodeId(42));
+    }
+}

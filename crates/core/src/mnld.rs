@@ -1,0 +1,139 @@
+//! The Mobile Node Location Database (Fig 4.1's MNLD): the home network's
+//! coarse, domain-granularity view of where every subscriber is.
+//!
+//! The MNLD complements the HA's binding cache: bindings are per care-of
+//! address and expire quickly; the MNLD keeps the last-known domain and
+//! RSMC for each node plus movement history, which the home network uses
+//! to answer "which domain should this location query go to" and which the
+//! experiments use to count inter-domain movements.
+
+use crate::hierarchy::DomainId;
+use mtnet_net::Addr;
+use mtnet_sim::SimTime;
+use std::collections::HashMap;
+
+/// One MNLD record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MnldEntry {
+    /// The domain last reported for the node.
+    pub domain: DomainId,
+    /// The RSMC serving that domain.
+    pub rsmc: Addr,
+    /// When the record was last updated.
+    pub updated_at: SimTime,
+}
+
+/// The location database.
+#[derive(Debug, Default)]
+pub struct Mnld {
+    entries: HashMap<Addr, MnldEntry>,
+    updates: u64,
+    domain_changes: u64,
+    queries: u64,
+    query_hits: u64,
+}
+
+impl Mnld {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Mnld::default()
+    }
+
+    /// Records that `mn` is now in `domain` behind `rsmc`. Returns `true`
+    /// if this was a *domain change* (an inter-domain movement).
+    pub fn update(&mut self, mn: Addr, domain: DomainId, rsmc: Addr, now: SimTime) -> bool {
+        self.updates += 1;
+        let changed = self
+            .entries
+            .get(&mn)
+            .is_none_or(|e| e.domain != domain);
+        if changed {
+            self.domain_changes += 1;
+        }
+        self.entries.insert(mn, MnldEntry { domain, rsmc, updated_at: now });
+        changed
+    }
+
+    /// Looks up the last-known location of `mn`.
+    pub fn query(&mut self, mn: Addr) -> Option<MnldEntry> {
+        self.queries += 1;
+        let hit = self.entries.get(&mn).copied();
+        if hit.is_some() {
+            self.query_hits += 1;
+        }
+        hit
+    }
+
+    /// Read-only peek without statistics (internal checks).
+    pub fn peek(&self, mn: Addr) -> Option<&MnldEntry> {
+        self.entries.get(&mn)
+    }
+
+    /// Number of tracked nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(updates, domain_changes, queries, query_hits)` counters.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.updates, self.domain_changes, self.queries, self.query_hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn first_update_is_a_domain_change() {
+        let mut m = Mnld::new();
+        assert!(m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::ZERO));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn same_domain_refresh_is_not_a_change() {
+        let mut m = Mnld::new();
+        m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::ZERO);
+        assert!(!m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::from_secs(5)));
+        assert!(m.update(addr("10.0.2.1"), DomainId(1), addr("20.1.0.1"), SimTime::from_secs(9)));
+        assert_eq!(m.counters().1, 2, "two domain changes");
+    }
+
+    #[test]
+    fn query_statistics() {
+        let mut m = Mnld::new();
+        m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::ZERO);
+        let e = m.query(addr("10.0.2.1")).unwrap();
+        assert_eq!(e.domain, DomainId(0));
+        assert_eq!(e.rsmc, addr("20.0.0.1"));
+        assert!(m.query(addr("10.0.9.9")).is_none());
+        assert_eq!(m.counters(), (1, 1, 2, 1));
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut m = Mnld::new();
+        m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::ZERO);
+        assert!(m.peek(addr("10.0.2.1")).is_some());
+        assert_eq!(m.counters().2, 0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn updated_at_tracks_latest() {
+        let mut m = Mnld::new();
+        m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::ZERO);
+        m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::from_secs(7));
+        assert_eq!(m.peek(addr("10.0.2.1")).unwrap().updated_at, SimTime::from_secs(7));
+    }
+}

@@ -1,0 +1,240 @@
+//! Aggregated experiment results: QoS, handoff and signaling statistics.
+
+use crate::handoff::HandoffType;
+use mtnet_metrics::Summary;
+use mtnet_net::FlowId;
+use mtnet_sim::SimDuration;
+use mtnet_traffic::{FlowQos, QosReport};
+use std::collections::BTreeMap;
+
+/// Why a data packet was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DropCause {
+    /// No downlink routing state (caches expired / never installed).
+    NoRoute,
+    /// Delivered over the air to a cell the node had already left.
+    WirelessDetached,
+    /// Drop-tail queue overflow on a wired link.
+    QueueOverflow,
+    /// The Home Agent had no binding for the destination.
+    NoBinding,
+    /// The packet arrived while the node was being paged (idle, no route).
+    Paging,
+    /// The node was in a coverage hole.
+    Outage,
+}
+
+impl std::fmt::Display for DropCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DropCause::NoRoute => "no-route",
+            DropCause::WirelessDetached => "wireless-detached",
+            DropCause::QueueOverflow => "queue-overflow",
+            DropCause::NoBinding => "no-binding",
+            DropCause::Paging => "paging",
+            DropCause::Outage => "outage",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Signaling-overhead counters (control messages, not data).
+#[derive(Debug, Clone, Default)]
+pub struct SignalingStats {
+    /// Periodic Location Messages (§3.1).
+    pub location_messages: u64,
+    /// Update Location Messages (post-handoff).
+    pub update_messages: u64,
+    /// Delete Location Messages.
+    pub delete_messages: u64,
+    /// Cellular IP route-update packets.
+    pub route_updates: u64,
+    /// Cellular IP paging-update packets.
+    pub paging_updates: u64,
+    /// Pages transmitted (directed hops + flood fan-out).
+    pub page_messages: u64,
+    /// Mobile IP registration requests sent by nodes.
+    pub mip_requests: u64,
+    /// Mobile IP replies delivered.
+    pub mip_replies: u64,
+    /// RSMC → HA/CN movement notifications (§4).
+    pub rsmc_notifications: u64,
+    /// Handoff request/accept/reject messages.
+    pub handoff_messages: u64,
+    /// Total control bytes on the wire.
+    pub control_bytes: u64,
+}
+
+impl SignalingStats {
+    /// Total control messages of all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.location_messages
+            + self.update_messages
+            + self.delete_messages
+            + self.route_updates
+            + self.paging_updates
+            + self.page_messages
+            + self.mip_requests
+            + self.mip_replies
+            + self.rsmc_notifications
+            + self.handoff_messages
+    }
+}
+
+/// Handoff statistics.
+#[derive(Debug, Clone, Default)]
+pub struct HandoffStats {
+    /// Completed handoffs by procedure type.
+    pub completed: BTreeMap<HandoffType, u64>,
+    /// Handoff latency (decision → route/binding restored), per type, ms.
+    pub latency_ms: BTreeMap<HandoffType, Summary>,
+    /// Attempts rejected by admission control (primary target full).
+    pub rejected: u64,
+    /// Rejections recovered by the other-tier fallback (§3.2).
+    pub fallback_used: u64,
+    /// Handoffs back to the just-left cell within the ping-pong window.
+    pub ping_pong: u64,
+    /// Measurement rounds with no usable cell at all.
+    pub outage_samples: u64,
+}
+
+impl HandoffStats {
+    /// Total completed handoffs.
+    pub fn total(&self) -> u64 {
+        self.completed.values().sum()
+    }
+
+    /// Latency summary across every type.
+    pub fn latency_all(&self) -> Summary {
+        let mut all = Summary::new();
+        for s in self.latency_ms.values() {
+            all.merge(s);
+        }
+        all
+    }
+}
+
+/// Everything one simulation run produces.
+#[derive(Debug, Default)]
+pub struct SimReport {
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Per-flow QoS trackers (finalized by [`SimReport::flow_reports`]).
+    pub flows: Vec<(FlowId, FlowQos)>,
+    /// Handoff statistics.
+    pub handoffs: HandoffStats,
+    /// Signaling overhead.
+    pub signaling: SignalingStats,
+    /// Data-packet drops by cause.
+    pub drops: BTreeMap<DropCause, u64>,
+    /// New-call admissions blocked (channel pools).
+    pub calls_blocked: u64,
+    /// New-call admissions accepted.
+    pub calls_accepted: u64,
+    /// Events executed by the simulator (run-cost metric).
+    pub events_processed: u64,
+}
+
+impl SimReport {
+    /// Per-flow QoS reports.
+    pub fn flow_reports(&self) -> Vec<(FlowId, QosReport)> {
+        self.flows
+            .iter()
+            .map(|(id, q)| (*id, q.report(self.duration)))
+            .collect()
+    }
+
+    /// All flows merged into one QoS report.
+    pub fn aggregate_qos(&self) -> QosReport {
+        let mut merged = FlowQos::new();
+        for (_, q) in &self.flows {
+            merged.merge(q);
+        }
+        merged.report(self.duration)
+    }
+
+    /// Total data drops of all causes.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+
+    /// Records a drop.
+    pub fn count_drop(&mut self, cause: DropCause) {
+        *self.drops.entry(cause).or_insert(0) += 1;
+    }
+
+    /// Control messages per completed handoff (signaling efficiency).
+    pub fn signaling_per_handoff(&self) -> f64 {
+        let h = self.handoffs.total();
+        if h == 0 {
+            0.0
+        } else {
+            self.signaling.total_messages() as f64 / h as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtnet_sim::SimTime;
+
+    #[test]
+    fn aggregate_merges_flows() {
+        let mut r = SimReport { duration: SimDuration::from_secs(10), ..Default::default() };
+        let mut q1 = FlowQos::new();
+        q1.record_sent(0, SimTime::ZERO, 100);
+        q1.record_received(0, SimTime::ZERO, SimTime::from_millis(5), 100);
+        let mut q2 = FlowQos::new();
+        q2.record_sent(0, SimTime::ZERO, 100);
+        r.flows.push((FlowId(1), q1));
+        r.flows.push((FlowId(2), q2));
+        let agg = r.aggregate_qos();
+        assert_eq!(agg.sent, 2);
+        assert_eq!(agg.received, 1);
+        assert_eq!(agg.loss_rate, 0.5);
+        assert_eq!(r.flow_reports().len(), 2);
+    }
+
+    #[test]
+    fn drop_accounting() {
+        let mut r = SimReport::default();
+        r.count_drop(DropCause::NoRoute);
+        r.count_drop(DropCause::NoRoute);
+        r.count_drop(DropCause::WirelessDetached);
+        assert_eq!(r.total_drops(), 3);
+        assert_eq!(r.drops[&DropCause::NoRoute], 2);
+        assert_eq!(DropCause::NoRoute.to_string(), "no-route");
+    }
+
+    #[test]
+    fn handoff_totals_and_latency() {
+        let mut h = HandoffStats::default();
+        *h.completed.entry(HandoffType::IntraMicroToMicro).or_insert(0) += 3;
+        *h.completed.entry(HandoffType::InterDomainSameUpper).or_insert(0) += 1;
+        h.latency_ms
+            .entry(HandoffType::IntraMicroToMicro)
+            .or_insert_with(Summary::new)
+            .extend([10.0, 20.0]);
+        h.latency_ms
+            .entry(HandoffType::InterDomainSameUpper)
+            .or_insert_with(Summary::new)
+            .extend([100.0]);
+        assert_eq!(h.total(), 4);
+        let all = h.latency_all();
+        assert_eq!(all.count(), 3);
+        assert!((all.mean() - (10.0 + 20.0 + 100.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signaling_totals() {
+        let s = SignalingStats { location_messages: 5, route_updates: 10, ..Default::default() };
+        assert_eq!(s.total_messages(), 15);
+    }
+
+    #[test]
+    fn signaling_per_handoff_guard() {
+        let r = SimReport::default();
+        assert_eq!(r.signaling_per_handoff(), 0.0);
+    }
+}

@@ -1,0 +1,503 @@
+//! Scenario presets: the proposed architecture and its baselines over
+//! shared geographies and populations.
+
+use crate::handoff::{DecisionConfig, HandoffFactors};
+use crate::report::SimReport;
+use crate::world::{DomainSpec, FlowKind, World, WorldBuilder, WorldConfig};
+use mtnet_cellularip::HandoffKind;
+use mtnet_mobility::{LinearCommute, Point, RandomWaypoint, Rect, SpeedClass};
+use mtnet_sim::SimDuration;
+
+/// Width of one domain strip, meters.
+const DOMAIN_WIDTH: f64 = 3_000.0;
+/// The street row's y coordinate.
+const STREET_Y: f64 = 1_500.0;
+
+/// Which architecture an experiment arm runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchKind {
+    /// The paper's proposal: Mobile IP macro-tier + Cellular IP micro-tier
+    /// with per-domain RSMCs (§4).
+    MultiTier {
+        /// RSMC active (location cache + HA/CN notification). `false`
+        /// gives the "hierarchy without RSMC" ablation.
+        rsmc: bool,
+        /// Semisoft micro-tier handoff; `false` = hard handoff.
+        semisoft: bool,
+    },
+    /// Baseline: Mobile IP only, macro cells, every BS an FA, full
+    /// registration on every handoff (§2.2.1).
+    PureMobileIp,
+    /// Baseline: flat Cellular IP micro-tier only, one gateway per domain,
+    /// no macro umbrella (§2.2.2).
+    FlatCellularIp,
+}
+
+impl ArchKind {
+    /// The paper's full architecture.
+    pub fn multi_tier() -> ArchKind {
+        ArchKind::MultiTier { rsmc: true, semisoft: true }
+    }
+
+    /// The paper's architecture with hard handoff (Fig 2.4 comparison).
+    pub fn multi_tier_hard() -> ArchKind {
+        ArchKind::MultiTier { rsmc: true, semisoft: false }
+    }
+
+    /// Hierarchy without the RSMC (E9 ablation).
+    pub fn multi_tier_no_rsmc() -> ArchKind {
+        ArchKind::MultiTier { rsmc: false, semisoft: true }
+    }
+
+    /// Short display label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArchKind::MultiTier { rsmc: true, semisoft: true } => "multi-tier+rsmc",
+            ArchKind::MultiTier { rsmc: true, semisoft: false } => "multi-tier(hard)",
+            ArchKind::MultiTier { rsmc: false, .. } => "multi-tier-no-rsmc",
+            ArchKind::PureMobileIp => "pure-mobile-ip",
+            ArchKind::FlatCellularIp => "flat-cellular-ip",
+        }
+    }
+
+    fn apply(self, cfg: &mut WorldConfig) {
+        match self {
+            ArchKind::MultiTier { rsmc, semisoft } => {
+                cfg.has_macro = true;
+                cfg.has_micro = true;
+                cfg.mip_only = false;
+                cfg.rsmc_enabled = rsmc;
+                cfg.notify_cn = rsmc;
+                cfg.handoff_kind = if semisoft {
+                    HandoffKind::default_semisoft()
+                } else {
+                    HandoffKind::Hard
+                };
+            }
+            ArchKind::PureMobileIp => {
+                cfg.has_macro = true;
+                cfg.has_micro = false;
+                cfg.mip_only = true;
+                cfg.rsmc_enabled = false;
+                cfg.notify_cn = false;
+                cfg.handoff_kind = HandoffKind::Hard;
+            }
+            ArchKind::FlatCellularIp => {
+                cfg.has_macro = false;
+                cfg.has_micro = true;
+                cfg.mip_only = false;
+                cfg.rsmc_enabled = false;
+                cfg.notify_cn = false;
+                cfg.handoff_kind = HandoffKind::Hard;
+            }
+        }
+    }
+}
+
+/// The population mix of a scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Population {
+    /// Walking users on the street row (micro-tier customers).
+    pub pedestrians: usize,
+    /// Highway vehicles shuttling across all domains (macro-tier
+    /// customers, the inter-domain handoff drivers).
+    pub vehicles: usize,
+    /// Cyclists commuting along one domain's street row at ~6 m/s —
+    /// below the tier speed threshold, so they stay in the micro tier and
+    /// generate frequent micro→micro handoffs (the Fig 2.4 / Fig 3.4c
+    /// workload).
+    pub cyclists: usize,
+}
+
+impl Population {
+    /// Total node count.
+    pub fn total(&self) -> usize {
+        self.pedestrians + self.vehicles + self.cyclists
+    }
+}
+
+/// A complete experiment scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Master seed.
+    pub seed: u64,
+    /// Architecture under test.
+    pub arch: ArchKind,
+    /// Domains laid out left to right; consecutive pairs share an upper
+    /// BS (Fig 3.2's region), odd tail domains stand alone (Fig 3.3).
+    pub n_domains: usize,
+    /// Micro cells per domain.
+    pub micro_per_domain: usize,
+    /// Population mix.
+    pub population: Population,
+    /// Give every node a voice flow.
+    pub voice: bool,
+    /// Give every third node a video flow.
+    pub video: bool,
+    /// Give every fourth node a web flow.
+    pub web: bool,
+    /// §3.2 decision factors (ablations).
+    pub factors: HandoffFactors,
+    /// Consecutive domain pairs share an upper-layer BS (Fig 3.2). With
+    /// `false` every domain gets its own upper BS, so all inter-domain
+    /// handoffs are the Fig 3.3 different-upper case.
+    pub share_upper: bool,
+    /// Overrides the Cellular IP route-update period (E3 sweeps).
+    pub route_update_override: Option<SimDuration>,
+    /// Overrides the semisoft bicast delay (E4 sweeps).
+    pub semisoft_delay_override: Option<SimDuration>,
+    /// Overrides the cell-table record time-limitation (E5 sweeps).
+    pub table_lifetime_override: Option<SimDuration>,
+    /// Remove the middle domain's macro radio (rural coverage hole).
+    pub macro_hole: bool,
+    /// Add a satellite overlay domain covering the whole corridor
+    /// (Fig 2.1's outermost tier).
+    pub satellite: bool,
+}
+
+impl Scenario {
+    /// The standard three-domain city: domains 0 and 1 share an upper BS
+    /// (exercising Fig 3.2), domain 2 stands alone (Fig 3.3), mixed
+    /// pedestrian/vehicle population, voice + video traffic.
+    pub fn small_city(seed: u64) -> Scenario {
+        Scenario {
+            seed,
+            arch: ArchKind::multi_tier(),
+            n_domains: 3,
+            micro_per_domain: 4,
+            population: Population { pedestrians: 6, vehicles: 3, cyclists: 0 },
+            voice: true,
+            video: true,
+            web: false,
+            factors: HandoffFactors::all(),
+            share_upper: true,
+            route_update_override: None,
+            semisoft_delay_override: None,
+            table_lifetime_override: None,
+            macro_hole: false,
+            satellite: false,
+        }
+    }
+
+    /// A two-domain corridor with a single commuting vehicle — the
+    /// controlled inter-domain handoff scenario of Figs 3.2/3.3.
+    pub fn commute_corridor(seed: u64) -> Scenario {
+        Scenario {
+            seed,
+            arch: ArchKind::multi_tier(),
+            n_domains: 2,
+            micro_per_domain: 4,
+            population: Population { pedestrians: 2, vehicles: 1, cyclists: 0 },
+            voice: true,
+            video: false,
+            web: false,
+            factors: HandoffFactors::all(),
+            share_upper: true,
+            route_update_override: None,
+            semisoft_delay_override: None,
+            table_lifetime_override: None,
+            macro_hole: false,
+            satellite: false,
+        }
+    }
+
+    /// A single dense domain: intra-domain (Fig 3.4) handoffs only.
+    pub fn single_domain(seed: u64) -> Scenario {
+        Scenario {
+            seed,
+            arch: ArchKind::multi_tier(),
+            n_domains: 1,
+            micro_per_domain: 6,
+            population: Population { pedestrians: 4, vehicles: 0, cyclists: 4 },
+            voice: true,
+            video: true,
+            web: true,
+            factors: HandoffFactors::all(),
+            share_upper: true,
+            route_update_override: None,
+            semisoft_delay_override: None,
+            table_lifetime_override: None,
+            macro_hole: false,
+            satellite: false,
+        }
+    }
+
+    /// Replaces the architecture.
+    pub fn with_arch(mut self, arch: ArchKind) -> Scenario {
+        self.arch = arch;
+        self
+    }
+
+    /// Replaces the decision factors (E12 ablations).
+    pub fn with_factors(mut self, factors: HandoffFactors) -> Scenario {
+        self.factors = factors;
+        self
+    }
+
+    /// Replaces the population.
+    pub fn with_population(mut self, population: Population) -> Scenario {
+        self.population = population;
+        self
+    }
+
+    /// A rural corridor: three domains whose middle domain has **no macro
+    /// radio** — a coverage hole that fast nodes fall into — exercised
+    /// with and without the satellite overlay (Fig 2.1's outermost tier).
+    pub fn rural_corridor(seed: u64) -> Scenario {
+        Scenario {
+            macro_hole: true,
+            ..Scenario::small_city(seed)
+        }
+        .with_population(Population { pedestrians: 0, vehicles: 2, cyclists: 0 })
+    }
+
+    /// Adds the satellite overlay.
+    pub fn with_satellite(mut self) -> Scenario {
+        self.satellite = true;
+        self
+    }
+
+    /// Gives every domain its own upper BS (all inter-domain handoffs
+    /// become the Fig 3.3 different-upper case).
+    pub fn without_shared_upper(mut self) -> Scenario {
+        self.share_upper = false;
+        self
+    }
+
+    /// Overrides the route-update period (E3).
+    pub fn with_route_update(mut self, period: SimDuration) -> Scenario {
+        self.route_update_override = Some(period);
+        self
+    }
+
+    /// Overrides the semisoft bicast delay (E4).
+    pub fn with_semisoft_delay(mut self, delay: SimDuration) -> Scenario {
+        self.semisoft_delay_override = Some(delay);
+        self
+    }
+
+    /// Overrides the cell-table record time-limitation (E5).
+    pub fn with_table_lifetime(mut self, lifetime: SimDuration) -> Scenario {
+        self.table_lifetime_override = Some(lifetime);
+        self
+    }
+
+    /// Total width of the deployed corridor, meters.
+    pub fn corridor_width(&self) -> f64 {
+        self.n_domains as f64 * DOMAIN_WIDTH
+    }
+
+    /// Builds the world.
+    pub fn build(&self) -> World {
+        let mut cfg = WorldConfig {
+            seed: self.seed,
+            factors: self.factors,
+            decision: DecisionConfig::default(),
+            ..WorldConfig::default()
+        };
+        self.arch.apply(&mut cfg);
+        if let Some(p) = self.route_update_override {
+            cfg.route_update_period = Some(p);
+        }
+        if let Some(d) = self.semisoft_delay_override {
+            if matches!(cfg.handoff_kind, HandoffKind::Semisoft { .. }) {
+                cfg.handoff_kind = HandoffKind::Semisoft { delay: d };
+            }
+        }
+        if let Some(l) = self.table_lifetime_override {
+            cfg.table_lifetime = l;
+        }
+        let mut b = WorldBuilder::new(cfg);
+        for d in 0..self.n_domains {
+            // Consecutive pairs share a region/upper BS: (0,1), (2,3), …
+            // unless sharing is disabled (every domain its own upper).
+            let region = if self.share_upper { (d / 2) as u32 } else { d as u32 };
+            let paired = if self.share_upper {
+                d + 1 < self.n_domains || d % 2 == 1
+            } else {
+                true
+            };
+            b.add_domain(DomainSpec {
+                center: Point::new(DOMAIN_WIDTH / 2.0 + d as f64 * DOMAIN_WIDTH, STREET_Y),
+                n_micro: self.micro_per_domain,
+                micro_spacing: 400.0,
+                region: paired.then_some(region),
+                macro_radio: !(self.macro_hole && d == self.n_domains / 2),
+                satellite: false,
+            });
+        }
+        if self.satellite {
+            // One LEO footprint over the whole corridor, its own domain.
+            b.add_domain(DomainSpec {
+                center: Point::new(self.corridor_width() / 2.0, STREET_Y),
+                n_micro: 0,
+                micro_spacing: 400.0,
+                region: None,
+                macro_radio: true,
+                satellite: true,
+            });
+        }
+        let flow_plan = |i: usize| {
+            let mut flows = Vec::new();
+            if self.voice {
+                flows.push(FlowKind::Voice);
+            }
+            if self.video && i.is_multiple_of(3) {
+                flows.push(FlowKind::Video);
+            }
+            if self.web && i.is_multiple_of(4) {
+                flows.push(FlowKind::Web);
+            }
+            flows
+        };
+        let mut idx = 0usize;
+        for p in 0..self.population.pedestrians {
+            // Pedestrians wander the street row of one domain.
+            let d = p % self.n_domains;
+            let cx = DOMAIN_WIDTH / 2.0 + d as f64 * DOMAIN_WIDTH;
+            let area = Rect::new(
+                Point::new(cx - 800.0, STREET_Y - 250.0),
+                Point::new(cx + 800.0, STREET_Y + 250.0),
+            );
+            let start = Point::new(cx - 600.0 + (p as f64 * 163.0) % 1200.0, STREET_Y);
+            let model = RandomWaypoint::new(area, SpeedClass::Pedestrian)
+                .with_pause(SimDuration::from_secs(10))
+                .with_start(start);
+            b.add_mn(Box::new(model), &flow_plan(idx));
+            idx += 1;
+        }
+        for c in 0..self.population.cyclists {
+            // Cyclists shuttle along the micro row of one domain.
+            let d = c % self.n_domains;
+            let cx = DOMAIN_WIDTH / 2.0 + d as f64 * DOMAIN_WIDTH;
+            let span = 400.0 * (self.micro_per_domain.saturating_sub(1)) as f64;
+            let y = STREET_Y + 20.0 * (c as f64);
+            let model = LinearCommute::new(
+                Point::new(cx - span / 2.0, y),
+                Point::new(cx + span / 2.0, y),
+                6.0,
+            )
+            .round_trip();
+            b.add_mn(Box::new(model), &flow_plan(idx));
+            idx += 1;
+        }
+        for v in 0..self.population.vehicles {
+            // Vehicles shuttle the whole corridor at highway speed.
+            let y = STREET_Y + 50.0 * (v as f64 - 1.0);
+            let model = LinearCommute::new(
+                Point::new(400.0, y),
+                Point::new(self.corridor_width() - 400.0, y),
+                25.0,
+            )
+            .round_trip();
+            b.add_mn(Box::new(model), &flow_plan(idx));
+            idx += 1;
+        }
+        b.build()
+    }
+
+    /// Builds and runs for `secs` simulated seconds.
+    pub fn run_secs(&self, secs: f64) -> SimReport {
+        self.build().run(SimDuration::from_secs_f64(secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build() {
+        for s in [
+            Scenario::small_city(1),
+            Scenario::commute_corridor(2),
+            Scenario::single_domain(3),
+        ] {
+            let w = s.build();
+            let dbg = format!("{w:?}");
+            assert!(dbg.contains("World"), "{dbg}");
+        }
+    }
+
+    #[test]
+    fn arch_labels_distinct() {
+        let labels: std::collections::HashSet<&str> = [
+            ArchKind::multi_tier(),
+            ArchKind::multi_tier_hard(),
+            ArchKind::multi_tier_no_rsmc(),
+            ArchKind::PureMobileIp,
+            ArchKind::FlatCellularIp,
+        ]
+        .iter()
+        .map(|a| a.label())
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn corridor_width_scales() {
+        assert_eq!(Scenario::small_city(1).corridor_width(), 9_000.0);
+        assert_eq!(Scenario::commute_corridor(1).corridor_width(), 6_000.0);
+    }
+
+    #[test]
+    fn smoke_run_multi_tier() {
+        let report = Scenario::commute_corridor(7).run_secs(20.0);
+        let qos = report.aggregate_qos();
+        assert!(qos.sent > 100, "traffic flowed: {} sent", qos.sent);
+        assert!(
+            qos.received > 0,
+            "packets delivered; drops: {:?}",
+            report.drops
+        );
+        assert!(qos.loss_rate < 0.9, "loss {:.3} suspiciously total", qos.loss_rate);
+    }
+
+    #[test]
+    fn smoke_run_baselines() {
+        for arch in [ArchKind::PureMobileIp, ArchKind::FlatCellularIp] {
+            let report = Scenario::commute_corridor(7).with_arch(arch).run_secs(15.0);
+            let qos = report.aggregate_qos();
+            assert!(qos.sent > 50, "{}: no traffic", arch.label());
+            assert!(qos.received > 0, "{}: nothing delivered, drops {:?}", arch.label(), report.drops);
+        }
+    }
+
+    #[test]
+    fn vehicles_cause_handoffs() {
+        // The corridor is 6 km; at 25 m/s the shuttle crosses the domain
+        // boundary around t = 104 s and returns around t = 344 s.
+        let report = Scenario::commute_corridor(11).run_secs(250.0);
+        assert!(
+            report.handoffs.total() >= 2,
+            "a 25 m/s shuttle must hand off: {:?}",
+            report.handoffs.completed
+        );
+        assert!(
+            report
+                .handoffs
+                .completed
+                .keys()
+                .any(|t| t.is_inter_domain()),
+            "domain boundary crossing must register: {:?}",
+            report.handoffs.completed
+        );
+    }
+
+    #[test]
+    fn cyclists_generate_micro_micro_handoffs() {
+        let s = Scenario::single_domain(5);
+        let report = s.run_secs(200.0);
+        let micro_micro = report
+            .handoffs
+            .completed
+            .get(&crate::handoff::HandoffType::IntraMicroToMicro)
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            micro_micro >= 4,
+            "cyclists crossing the street row must hand off micro-to-micro: {:?}",
+            report.handoffs.completed
+        );
+    }
+}

@@ -1,0 +1,365 @@
+//! Construction of a [`World`] from a declarative specification.
+//!
+//! The builder materializes, consistently with each other:
+//! the wired topology (Fig 4.1), the radio cell map (Fig 2.1), the
+//! multi-tier hierarchy with its cell tables (Fig 3.1), per-domain
+//! Cellular IP trees and RSMCs, Mobile IP entities, and the mobile-node
+//! population with its multimedia flows.
+
+use super::{DomainState, MnSim, World, WorldConfig};
+use crate::hierarchy::Hierarchy;
+use crate::location::LocationDirectory;
+use crate::messages::MnId;
+use crate::mnld::Mnld;
+use crate::report::SimReport;
+use crate::rsmc::Rsmc;
+use mtnet_cellularip::{CipConfig, CipNetwork, MnCipState};
+use mtnet_mobileip::{ForeignAgent, HomeAgent, MobileNode};
+use mtnet_mobility::{MobilityModel, Point, Trajectory};
+use mtnet_net::{Addr, FlowId, LinkConfig, NodeId, Prefix, Topology};
+use mtnet_radio::{Cell, CellId, CellKind, CellMap};
+use mtnet_sim::{RngStream, SimDuration, SimTime};
+use mtnet_traffic::{Cbr, OnOffVbr, ParetoWeb};
+use std::collections::HashMap;
+
+/// The kind of multimedia flow to attach to a mobile node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// 64 kbit/s CBR voice.
+    Voice,
+    /// On/off VBR video (384 kbit/s peak).
+    Video,
+    /// Heavy-tailed web browsing.
+    Web,
+}
+
+/// One domain to deploy.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainSpec {
+    /// Center of the domain's macro cell.
+    pub center: Point,
+    /// Number of micro cells in the domain's street row.
+    pub n_micro: usize,
+    /// Spacing between adjacent micro BSs, meters.
+    pub micro_spacing: f64,
+    /// Domains sharing a region id share an upper-layer macro BS
+    /// (`R3` in Fig 3.1) — required for the Fig 3.2 same-upper case.
+    pub region: Option<u32>,
+    /// Deploy this domain's macro radio cell (set `false` to model rural
+    /// macro coverage holes; the hierarchy slot still exists).
+    pub macro_radio: bool,
+    /// Make this domain a satellite overlay: one satellite-tier cell
+    /// (Fig 2.1's outermost ring) instead of a terrestrial macro, no
+    /// micro row. Satellite coverage is macro-tier-managed (Mobile IP).
+    pub satellite: bool,
+}
+
+impl Default for DomainSpec {
+    fn default() -> Self {
+        DomainSpec {
+            center: Point::new(1500.0, 1500.0),
+            n_micro: 4,
+            micro_spacing: 400.0,
+            region: None,
+            macro_radio: true,
+            satellite: false,
+        }
+    }
+}
+
+/// Builds [`World`]s. See the [`crate::scenario`] module for presets.
+pub struct WorldBuilder {
+    cfg: WorldConfig,
+    topo: Topology,
+    cells: CellMap,
+    hierarchy: Hierarchy,
+    domains: Vec<DomainState>,
+    cell_node: HashMap<CellId, NodeId>,
+    node_cell: HashMap<NodeId, CellId>,
+    cell_domain: HashMap<CellId, usize>,
+    node_domain: HashMap<NodeId, usize>,
+    region_upper: HashMap<u32, (CellId, NodeId)>,
+    prefixes: Vec<(Prefix, NodeId)>,
+    internet_node: NodeId,
+    ha_node: NodeId,
+    cn_node: NodeId,
+    ha: HomeAgent,
+    cn_addr: Addr,
+    bs_fas: HashMap<CellId, ForeignAgent>,
+    mns: Vec<MnSim>,
+    addr_to_mn: HashMap<Addr, MnId>,
+    flows: Vec<super::FlowSim>,
+    next_cell: u32,
+    master_rng: RngStream,
+}
+
+impl std::fmt::Debug for WorldBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldBuilder")
+            .field("domains", &self.domains.len())
+            .field("mns", &self.mns.len())
+            .finish()
+    }
+}
+
+impl WorldBuilder {
+    /// Starts a world: Internet core, home network (HA), correspondent
+    /// node.
+    pub fn new(cfg: WorldConfig) -> Self {
+        let mut topo = Topology::new();
+        let internet_node = topo.add_node("1.0.0.1".parse().expect("static addr"));
+        let ha_addr: Addr = "10.0.0.1".parse().expect("static addr");
+        let ha_node = topo.add_node(ha_addr);
+        let cn_addr: Addr = "30.0.0.2".parse().expect("static addr");
+        let cn_node = topo.add_node(cn_addr);
+        // Home network sits a realistic WAN distance away; the CN is a
+        // well-connected server.
+        topo.connect(
+            internet_node,
+            ha_node,
+            LinkConfig {
+                propagation: SimDuration::from_millis(15),
+                ..LinkConfig::wide_area()
+            },
+        );
+        topo.connect(
+            internet_node,
+            cn_node,
+            LinkConfig {
+                propagation: SimDuration::from_millis(5),
+                ..LinkConfig::backbone()
+            },
+        );
+        let home_prefix: Prefix = "10.0.0.0/16".parse().expect("static prefix");
+        let ha = HomeAgent::new(ha_addr, home_prefix);
+        let cells = if cfg.seed == 0 {
+            CellMap::without_shadowing()
+        } else {
+            // Controlled experiments disable shadowing for exact geometry;
+            // population experiments keep it.
+            CellMap::without_shadowing()
+        };
+        WorldBuilder {
+            master_rng: RngStream::from_seed(cfg.seed),
+            cfg,
+            topo,
+            cells,
+            hierarchy: Hierarchy::new(),
+            domains: Vec::new(),
+            cell_node: HashMap::new(),
+            node_cell: HashMap::new(),
+            cell_domain: HashMap::new(),
+            node_domain: HashMap::new(),
+            region_upper: HashMap::new(),
+            prefixes: vec![(home_prefix, ha_node)],
+            internet_node,
+            ha_node,
+            cn_node,
+            ha,
+            cn_addr,
+            bs_fas: HashMap::new(),
+            mns: Vec::new(),
+            addr_to_mn: HashMap::new(),
+            flows: Vec::new(),
+            next_cell: 0,
+        }
+    }
+
+    fn alloc_cell(&mut self) -> CellId {
+        let id = CellId(self.next_cell);
+        self.next_cell += 1;
+        id
+    }
+
+    /// Deploys one domain: RSMC/gateway, macro cell (if the architecture
+    /// has a macro tier), a row of micro cells (if it has a micro tier),
+    /// wired per Fig 4.1: RSMC under the Internet, BS tree under the RSMC.
+    pub fn add_domain(&mut self, spec: DomainSpec) -> usize {
+        let didx = self.domains.len();
+        let d = didx as u8;
+        let prefix: Prefix = Prefix::new(Addr::from_octets(20, d, 0, 0), 16);
+        let rsmc_addr = Addr::from_octets(20, d, 0, 1);
+        let rsmc_node = self.topo.add_node(rsmc_addr);
+        self.topo.connect(self.internet_node, rsmc_node, LinkConfig::wide_area());
+        self.prefixes.push((prefix, rsmc_node));
+        self.node_domain.insert(rsmc_node, didx);
+
+        let mut cip = CipNetwork::new(rsmc_node, CipConfig { timers: self.cfg.cip_timers });
+
+        // Upper-layer BS shared by the region (Fig 3.2's common R3).
+        let upper_cell = spec.region.map(|r| {
+            if let Some(&(cell, node)) = self.region_upper.get(&r) {
+                // Wire this domain's RSMC to the existing upper BS.
+                self.topo.connect(node, rsmc_node, LinkConfig::backbone());
+                cell
+            } else {
+                let cell = self.alloc_cell();
+                let node = self.topo.add_node(Addr::from_octets(21, r as u8, 0, 1));
+                self.topo.connect(node, rsmc_node, LinkConfig::backbone());
+                self.hierarchy.add_upper_macro(cell);
+                self.region_upper.insert(r, (cell, node));
+                cell
+            }
+        });
+
+        // Top macro cell of the domain (always present in the hierarchy;
+        // present as a radio cell only when the macro tier is deployed).
+        let macro_cell = self.alloc_cell();
+        let domain_id = self.hierarchy.add_domain(macro_cell, upper_cell);
+        self.cell_domain.insert(macro_cell, didx);
+        let kind = if spec.satellite { CellKind::Satellite } else { CellKind::Macro };
+        let bs_parent_node = if self.cfg.has_macro && spec.macro_radio {
+            let macro_node = self.topo.add_node(Addr::from_octets(20, d, 0, 10));
+            self.topo.connect(rsmc_node, macro_node, LinkConfig::backbone());
+            cip.add_bs(macro_node, rsmc_node);
+            self.cells.add(Cell::new(macro_cell, kind, spec.center, macro_node));
+            self.cell_node.insert(macro_cell, macro_node);
+            self.node_cell.insert(macro_node, macro_cell);
+            self.node_domain.insert(macro_node, didx);
+            if self.cfg.mip_only {
+                self.bs_fas
+                    .insert(macro_cell, ForeignAgent::new(self.topo.addr_of(macro_node)));
+            }
+            macro_node
+        } else {
+            rsmc_node
+        };
+
+        // Micro cells: a street row; even cells attach to the macro (or
+        // gateway), odd cells chain under their left neighbour — giving
+        // the two-level micro tiers of Fig 3.1 and non-trivial crossover
+        // base stations. Satellite overlays carry no micro row.
+        if self.cfg.has_micro && !spec.satellite {
+            let span = spec.micro_spacing * (spec.n_micro.saturating_sub(1)) as f64;
+            let x0 = spec.center.x - span / 2.0;
+            let mut prev: Option<(CellId, NodeId)> = None;
+            for i in 0..spec.n_micro {
+                let cell = self.alloc_cell();
+                let pos = Point::new(x0 + i as f64 * spec.micro_spacing, spec.center.y);
+                let node = self.topo.add_node(Addr::from_octets(20, d, 1, i as u8 + 1));
+                let (parent_cell, parent_node) = match (i % 2, prev) {
+                    (1, Some(p)) => p,
+                    _ => (macro_cell, bs_parent_node),
+                };
+                self.topo.connect(parent_node, node, LinkConfig::access());
+                cip.add_bs(node, parent_node);
+                let hierarchy_parent = if self.hierarchy.contains(parent_cell)
+                    && self.hierarchy.domain_of(parent_cell).is_some()
+                {
+                    parent_cell
+                } else {
+                    macro_cell
+                };
+                self.hierarchy.add_micro(cell, hierarchy_parent);
+                self.cells.add(Cell::new(cell, CellKind::Micro, pos, node));
+                self.cell_node.insert(cell, node);
+                self.node_cell.insert(node, cell);
+                self.node_domain.insert(node, didx);
+                self.cell_domain.insert(cell, didx);
+                prev = Some((cell, node));
+            }
+        }
+
+        self.domains.push(DomainState {
+            id: domain_id,
+            rsmc: Rsmc::new(rsmc_addr),
+            fa: ForeignAgent::new(rsmc_addr),
+            cip,
+            semisoft: mtnet_cellularip::SemisoftController::new(),
+            rsmc_node,
+        });
+        didx
+    }
+
+    /// Adds a mobile node with the given mobility model and flows.
+    pub fn add_mn(
+        &mut self,
+        model: Box<dyn MobilityModel + Send>,
+        flows: &[FlowKind],
+    ) -> MnId {
+        let idx = self.mns.len() as u32;
+        let id = MnId(idx);
+        let home = Addr::from_octets(10, 0, 2, (idx % 250) as u8 + 1);
+        assert!(
+            !self.addr_to_mn.contains_key(&home),
+            "more than 250 mobile nodes need a wider home subnet"
+        );
+        self.addr_to_mn.insert(home, id);
+        let ha_addr = self.ha.addr();
+        let mn = MnSim {
+            id,
+            home,
+            traj: Trajectory::new(model),
+            rng: self.master_rng.child(&format!("mn{idx}/mobility")),
+            mip: MobileNode::new(home, ha_addr),
+            cip: MnCipState::new(self.cfg.cip_timers, SimTime::ZERO),
+            attached: None,
+            pending: None,
+            prev_cell: None,
+            channel_cell: None,
+            last_paging_update: SimTime::ZERO,
+        };
+        self.mns.push(mn);
+        for kind in flows {
+            let fidx = self.flows.len() as u64;
+            let gen = match kind {
+                FlowKind::Voice => super::FlowGen::Cbr(Cbr::voice()),
+                FlowKind::Video => super::FlowGen::Vbr(OnOffVbr::video()),
+                FlowKind::Web => super::FlowGen::Web(ParetoWeb::browsing()),
+            };
+            self.flows.push(super::FlowSim {
+                flow: FlowId(fidx + 1),
+                mn: id,
+                gen,
+                qos: mtnet_traffic::FlowQos::new(),
+                seq: 0,
+                rng: self.master_rng.child(&format!("flow{fidx}/traffic")),
+            });
+        }
+        id
+    }
+
+    /// Number of domains added so far.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The radio cell map built so far (for geometry checks in tests).
+    pub fn cells(&self) -> &CellMap {
+        &self.cells
+    }
+
+    /// Finalizes routing tables and produces the world.
+    pub fn build(self) -> World {
+        let tables = self.topo.build_all_routing_tables(&self.prefixes);
+        let locdir = LocationDirectory::new(&self.hierarchy, self.cfg.table_lifetime);
+        let engine = crate::handoff::HandoffEngine::new(self.cfg.decision, self.cfg.factors);
+        World {
+            cfg: self.cfg,
+            topo: self.topo,
+            tables,
+            cells: self.cells,
+            cell_node: self.cell_node,
+            node_cell: self.node_cell,
+            hierarchy: self.hierarchy,
+            locdir,
+            domains: self.domains,
+            cell_domain: self.cell_domain,
+            node_domain: self.node_domain,
+            ha: self.ha,
+            ha_node: self.ha_node,
+            cn_node: self.cn_node,
+            cn_addr: self.cn_addr,
+            mnld: Mnld::new(),
+            bs_fas: self.bs_fas,
+            mns: self.mns,
+            addr_to_mn: self.addr_to_mn,
+            flows: self.flows,
+            cn_route_cache: HashMap::new(),
+            engine,
+            pending_latency: HashMap::new(),
+            next_packet_id: 0,
+            report: SimReport::default(),
+        }
+    }
+}

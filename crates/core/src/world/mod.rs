@@ -1,0 +1,1533 @@
+//! The packet-level simulation world tying every subsystem together.
+//!
+//! One [`World`] is one experiment arm: a wired topology (Internet, home
+//! network with HA and CN, per-domain access networks), a radio cell map,
+//! the multi-tier hierarchy with its cell tables, Mobile IP entities,
+//! per-domain Cellular IP trees with (optional) RSMCs, and a population of
+//! mobile nodes with multimedia flows.
+//!
+//! The same world type runs the paper's architecture **and** the baselines
+//! (pure Mobile IP, flat Cellular IP) — the [`WorldConfig`] flags select
+//! which machinery is active, so comparisons differ only in the mechanism
+//! under test.
+
+mod build;
+
+pub use build::{DomainSpec, FlowKind, WorldBuilder};
+
+use crate::handoff::{
+    classify, Candidate, CurrentAttachment, HandoffDecision, HandoffEngine, HandoffType,
+};
+use crate::hierarchy::{DomainId, Hierarchy};
+use crate::location::LocationDirectory;
+use crate::messages::{CipControl, MnId, MtMessage, Payload};
+use crate::mnld::Mnld;
+use crate::report::{DropCause, SimReport};
+use crate::rsmc::Rsmc;
+use crate::tier::Tier;
+use mtnet_cellularip::{CipNetwork, CipTimers, HandoffKind, MnCipState, MnMode, SemisoftController};
+use mtnet_mobileip::{
+    AgentAdvertisement, ForeignAgent, HomeAgent, MipMessage, MnAction, MobileNode,
+    RegistrationReply, RegistrationRequest,
+};
+use mtnet_mobility::Trajectory;
+use mtnet_net::{
+    Addr, FlowId, NodeId, Packet, PacketId, RoutingTable, Topology, TransmitOutcome, TunnelKind,
+};
+use mtnet_radio::{CallKind, CellId, CellMap};
+use mtnet_sim::{Context, Model, RngStream, SimDuration, SimTime, Simulator};
+use mtnet_traffic::{ArrivalProcess, Cbr, FlowQos, OnOffVbr, ParetoWeb};
+use std::collections::HashMap;
+
+/// Architecture and protocol switches for one experiment arm.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Master seed for every random stream.
+    pub seed: u64,
+    /// Deploy macro cells (macro-tier present).
+    pub has_macro: bool,
+    /// Deploy micro cells (micro-tier present).
+    pub has_micro: bool,
+    /// RSMCs active (location cache + HA/CN notification, §4).
+    pub rsmc_enabled: bool,
+    /// RSMC notifies the CN as well as the HA (route optimization).
+    pub notify_cn: bool,
+    /// Pure Mobile IP mode: no Cellular IP at all, every BS is its own FA.
+    pub mip_only: bool,
+    /// Micro-tier handoff scheme (hard vs semisoft).
+    pub handoff_kind: HandoffKind,
+    /// Which §3.2 factors the decision engine uses.
+    pub factors: crate::handoff::HandoffFactors,
+    /// Decision thresholds.
+    pub decision: crate::handoff::DecisionConfig,
+    /// Cellular IP timers.
+    pub cip_timers: CipTimers,
+    /// Overrides the mobile node's route-update transmit period without
+    /// touching the network's cache lifetimes — the paper's
+    /// "route-update-time" is an MN knob, the cache timeout a network one.
+    pub route_update_period: Option<SimDuration>,
+    /// Mobility measurement period.
+    pub move_sample: SimDuration,
+    /// Location Message period (§3.1).
+    pub location_period: SimDuration,
+    /// Cell-table record time-limitation.
+    pub table_lifetime: SimDuration,
+    /// One-way air-interface latency (excluding serialization).
+    pub air_delay: SimDuration,
+    /// Radio retune time for a hard handoff.
+    pub retune_delay: SimDuration,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 1,
+            has_macro: true,
+            has_micro: true,
+            rsmc_enabled: true,
+            notify_cn: true,
+            mip_only: false,
+            handoff_kind: HandoffKind::default_semisoft(),
+            factors: crate::handoff::HandoffFactors::all(),
+            decision: crate::handoff::DecisionConfig::default(),
+            cip_timers: CipTimers::default(),
+            route_update_period: None,
+            move_sample: SimDuration::from_millis(200),
+            location_period: SimDuration::from_secs(2),
+            table_lifetime: SimDuration::from_secs(6),
+            air_delay: SimDuration::from_millis(2),
+            retune_delay: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Per-domain protocol state.
+#[derive(Debug)]
+pub(crate) struct DomainState {
+    pub(crate) id: DomainId,
+    pub(crate) rsmc: Rsmc,
+    pub(crate) fa: ForeignAgent,
+    pub(crate) cip: CipNetwork,
+    pub(crate) semisoft: SemisoftController,
+    pub(crate) rsmc_node: NodeId,
+}
+
+/// An in-flight handoff (decided, radio not yet retuned).
+#[derive(Debug, Clone, Copy)]
+struct PendingAttach {
+    target: CellId,
+    old: Option<CellId>,
+    htype: Option<HandoffType>,
+    decided_at: SimTime,
+}
+
+/// Latency measurement awaiting its completion signal.
+#[derive(Debug, Clone, Copy)]
+struct PendingLatency {
+    htype: HandoffType,
+    decided_at: SimTime,
+}
+
+/// One mobile node in the world.
+pub(crate) struct MnSim {
+    pub(crate) id: MnId,
+    pub(crate) home: Addr,
+    pub(crate) traj: Trajectory,
+    pub(crate) rng: RngStream,
+    pub(crate) mip: MobileNode,
+    pub(crate) cip: MnCipState,
+    pub(crate) attached: Option<CellId>,
+    pending: Option<PendingAttach>,
+    /// Cell the node most recently left, for ping-pong detection.
+    prev_cell: Option<(CellId, SimTime)>,
+    /// Cell whose channel pool this node currently occupies.
+    channel_cell: Option<CellId>,
+    last_paging_update: SimTime,
+}
+
+impl std::fmt::Debug for MnSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MnSim")
+            .field("id", &self.id)
+            .field("home", &self.home)
+            .field("attached", &self.attached)
+            .finish()
+    }
+}
+
+enum FlowGen {
+    Cbr(Cbr),
+    Vbr(OnOffVbr),
+    Web(ParetoWeb),
+}
+
+impl FlowGen {
+    fn next(&mut self, rng: &mut RngStream) -> mtnet_traffic::Arrival {
+        match self {
+            FlowGen::Cbr(g) => g.next_arrival(rng),
+            FlowGen::Vbr(g) => g.next_arrival(rng),
+            FlowGen::Web(g) => g.next_arrival(rng),
+        }
+    }
+}
+
+struct FlowSim {
+    flow: FlowId,
+    mn: MnId,
+    gen: FlowGen,
+    qos: FlowQos,
+    seq: u64,
+    rng: RngStream,
+}
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Ev {
+    /// A packet arrives at a wired node (`from` is the upstream node;
+    /// `None` marks packets entering from the air interface or originated
+    /// locally).
+    Pkt {
+        /// Node the packet arrived at.
+        node: NodeId,
+        /// Upstream node, if any.
+        from: Option<NodeId>,
+        /// The packet.
+        pkt: Packet<Payload>,
+    },
+    /// A downlink air transmission reaches a mobile node.
+    AirDown {
+        /// Destination node.
+        mn: MnId,
+        /// Transmitting cell.
+        cell: CellId,
+        /// The packet.
+        pkt: Packet<Payload>,
+    },
+    /// Periodic mobility measurement for one node.
+    MoveSample(MnId),
+    /// Periodic uplink maintenance (route/paging updates, MIP upkeep).
+    Uplink(MnId),
+    /// Periodic Location Message (§3.1).
+    LocationTick(MnId),
+    /// Next packet of a flow.
+    FlowNext(usize),
+    /// Radio retune completes; the node attaches to its pending target.
+    Attach(MnId),
+    /// Periodic cache sweep.
+    Sweep,
+}
+
+/// The simulation world (see module docs).
+pub struct World {
+    pub(crate) cfg: WorldConfig,
+    pub(crate) topo: Topology,
+    pub(crate) tables: HashMap<NodeId, RoutingTable>,
+    pub(crate) cells: CellMap,
+    pub(crate) cell_node: HashMap<CellId, NodeId>,
+    pub(crate) node_cell: HashMap<NodeId, CellId>,
+    pub(crate) hierarchy: Hierarchy,
+    pub(crate) locdir: LocationDirectory,
+    pub(crate) domains: Vec<DomainState>,
+    pub(crate) cell_domain: HashMap<CellId, usize>,
+    pub(crate) node_domain: HashMap<NodeId, usize>,
+    pub(crate) ha: HomeAgent,
+    pub(crate) ha_node: NodeId,
+    pub(crate) cn_node: NodeId,
+    pub(crate) cn_addr: Addr,
+    pub(crate) mnld: Mnld,
+    /// Pure-Mobile-IP mode: one FA per BS.
+    pub(crate) bs_fas: HashMap<CellId, ForeignAgent>,
+    pub(crate) mns: Vec<MnSim>,
+    pub(crate) addr_to_mn: HashMap<Addr, MnId>,
+    flows: Vec<FlowSim>,
+    /// CN's route-optimization cache: mn → RSMC to tunnel to.
+    cn_route_cache: HashMap<Addr, Addr>,
+    engine: HandoffEngine,
+    pending_latency: HashMap<MnId, PendingLatency>,
+    next_packet_id: u64,
+    pub(crate) report: SimReport,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("domains", &self.domains.len())
+            .field("cells", &self.cells.len())
+            .field("mns", &self.mns.len())
+            .field("flows", &self.flows.len())
+            .finish()
+    }
+}
+
+impl World {
+    /// Wireless transmission time of `bytes` in `cell`: base air latency,
+    /// serialization at the tier's rate, plus orbital propagation for the
+    /// satellite tier (altitude / c).
+    fn air_time(&self, cell: CellId, bytes: u32) -> SimDuration {
+        let (rate, altitude) = self
+            .cells
+            .cell(cell)
+            .map_or((768_000, 0.0), |c| (c.kind().data_rate_bps(), c.kind().altitude_m()));
+        self.cfg.air_delay
+            + SimDuration::from_secs_f64(f64::from(bytes) * 8.0 / rate as f64)
+            + SimDuration::from_secs_f64(altitude / 299_792_458.0)
+    }
+
+    fn alloc_packet(
+        &mut self,
+        flow: FlowId,
+        seq: u64,
+        src: Addr,
+        dst: Addr,
+        bytes: u32,
+        now: SimTime,
+        payload: Payload,
+    ) -> Packet<Payload> {
+        self.next_packet_id += 1;
+        Packet::new(PacketId(self.next_packet_id), flow, seq, src, dst, bytes, now, payload)
+    }
+
+    /// Sends a control packet from a wired node.
+    fn send_control(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        from_node: NodeId,
+        src: Addr,
+        dst: Addr,
+        payload: Payload,
+    ) {
+        let bytes = payload.control_size_bytes();
+        let pkt = self.alloc_packet(FlowId(0), 0, src, dst, bytes, ctx.now(), payload);
+        self.report.signaling.control_bytes += u64::from(pkt.wire_bytes());
+        self.forward_wired(ctx, from_node, pkt);
+    }
+
+    /// Forwards a packet out of `node` toward its routing destination over
+    /// the wired topology.
+    fn forward_wired(&mut self, ctx: &mut Context<'_, Ev>, node: NodeId, mut pkt: Packet<Payload>) {
+        let dst = pkt.routing_dst();
+        let Some(next) = self.tables.get(&node).and_then(|t| t.lookup(dst)) else {
+            if pkt.payload.is_data() {
+                self.report.count_drop(DropCause::NoRoute);
+            }
+            return;
+        };
+        let Some(link) = self.topo.link_between(node, next) else {
+            if pkt.payload.is_data() {
+                self.report.count_drop(DropCause::NoRoute);
+            }
+            return;
+        };
+        let bytes = pkt.wire_bytes();
+        match self.topo.link_mut(link).expect("link exists").transmit(ctx.now(), bytes) {
+            TransmitOutcome::Delivered { at } => {
+                pkt.record_hop();
+                ctx.schedule_at(at, Ev::Pkt { node: next, from: Some(node), pkt });
+            }
+            TransmitOutcome::Dropped => {
+                if pkt.payload.is_data() {
+                    self.report.count_drop(DropCause::QueueOverflow);
+                }
+            }
+        }
+    }
+
+    /// Transmits a packet over the air from `cell` toward `mn`.
+    fn air_down(&mut self, ctx: &mut Context<'_, Ev>, cell: CellId, mn: MnId, pkt: Packet<Payload>) {
+        let delay = self.air_time(cell, pkt.wire_bytes());
+        ctx.schedule_at(ctx.now() + delay, Ev::AirDown { mn, cell, pkt });
+    }
+
+    /// Transmits an uplink packet from `mn` via its serving BS; the packet
+    /// enters the wired world at the BS node with `from: None`.
+    fn air_up(&mut self, ctx: &mut Context<'_, Ev>, mn: MnId, payload: Payload, dst: Addr) {
+        let Some(cell) = self.mns[mn.0 as usize].attached else {
+            return;
+        };
+        let src = self.mns[mn.0 as usize].home;
+        let bytes = payload.control_size_bytes();
+        let pkt = self.alloc_packet(FlowId(0), 0, src, dst, bytes, ctx.now(), payload);
+        self.report.signaling.control_bytes += u64::from(pkt.wire_bytes());
+        let delay = self.air_time(cell, pkt.wire_bytes());
+        let bs = self.cell_node[&cell];
+        ctx.schedule_at(ctx.now() + delay, Ev::Pkt { node: bs, from: None, pkt });
+    }
+
+    fn domain_idx_of_cell(&self, cell: CellId) -> Option<usize> {
+        self.cell_domain.get(&cell).copied()
+    }
+
+    /// The MN id owning a (home) address.
+    fn mn_of(&self, addr: Addr) -> Option<MnId> {
+        self.addr_to_mn.get(&addr).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Packet handling
+    // ------------------------------------------------------------------
+
+    fn handle_pkt(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        from: Option<NodeId>,
+        mut pkt: Packet<Payload>,
+    ) {
+        let node_addr = self.topo.addr_of(node);
+
+        // 1. Tunnel exit?
+        while pkt
+            .encap
+            .last()
+            .is_some_and(|h| h.outer_dst == node_addr)
+        {
+            pkt.decapsulate();
+        }
+
+        // 2. Cellular IP uplink control climbing the tree refreshes caches
+        //    at every node it passes — including the gateway it is
+        //    addressed to, so this check precedes local consumption.
+        if let Some(didx) = self.node_domain.get(&node).copied() {
+            if !self.cfg.mip_only {
+                if let Payload::Cip(c) = pkt.payload {
+                    self.handle_cip_climb(ctx, didx, node, from, c, pkt);
+                    return;
+                }
+            }
+        }
+
+        // 3. Packet addressed to this node itself: protocol processing.
+        if pkt.dst == node_addr {
+            self.consume_at_node(ctx, node, pkt);
+            return;
+        }
+
+        // 4. Packet for a mobile node inside an access network this node
+        //    belongs to: Cellular IP downlink / uplink handling.
+        if let Some(didx) = self.node_domain.get(&node).copied() {
+            if !self.cfg.mip_only {
+                if self.mn_of(pkt.dst).is_some() {
+                    self.forward_downlink(ctx, didx, node, pkt);
+                    return;
+                }
+            } else if let Some(mn) = self.mn_of(pkt.dst) {
+                // Pure Mobile IP: the BS delivers only to its own radio.
+                let Some(cell) = self.node_cell.get(&node).copied() else {
+                    self.forward_wired(ctx, node, pkt);
+                    return;
+                };
+                if self.mns[mn.0 as usize].attached == Some(cell) {
+                    self.air_down(ctx, cell, mn, pkt);
+                } else if pkt.payload.is_data() {
+                    self.report.count_drop(DropCause::NoRoute);
+                }
+                return;
+            }
+        }
+
+        // 5. Plain wired forwarding.
+        self.forward_wired(ctx, node, pkt);
+    }
+
+    /// Control processing for packets addressed to an infrastructure node.
+    fn consume_at_node(&mut self, ctx: &mut Context<'_, Ev>, node: NodeId, pkt: Packet<Payload>) {
+        let now = ctx.now();
+        if node == self.ha_node {
+            match pkt.payload {
+                Payload::Mip(MipMessage::Request(req)) => {
+                    let reply = self.ha.process_registration(&req, now);
+                    self.report.signaling.mip_requests += 1;
+                    let ha_addr = self.ha.addr();
+                    self.send_control(
+                        ctx,
+                        node,
+                        ha_addr,
+                        req.coa,
+                        Payload::Mip(MipMessage::Reply(reply)),
+                    );
+                }
+                Payload::Mt(MtMessage::RsmcNotify { mn, rsmc }) => {
+                    // §4: the notification refreshes the HA's view without
+                    // waiting for the full Mobile IP registration.
+                    let synthetic = RegistrationRequest {
+                        mn_home: mn,
+                        coa: rsmc,
+                        ha: self.ha.addr(),
+                        lifetime: SimDuration::from_secs(300),
+                        id: 0,
+                    };
+                    let _ = self.ha.process_registration(&synthetic, now);
+                    if let Some(didx) =
+                        self.domains.iter().position(|d| d.rsmc.addr() == rsmc)
+                    {
+                        let dom = self.domains[didx].id;
+                        self.mnld.update(mn, dom, rsmc, now);
+                    }
+                }
+                Payload::Mt(MtMessage::UpdateLocation { mn, new_cell }) => {
+                    // Fig 3.3: the inter-domain (different upper) update
+                    // travels via the home network, which records the move
+                    // and "replies new location information to the
+                    // original domain".
+                    let prev_rsmc = self.mnld.peek(mn).map(|e| e.rsmc);
+                    if let Some(didx) = self.domain_idx_of_cell(new_cell) {
+                        let new_rsmc = self.domains[didx].rsmc.addr();
+                        let dom = self.domains[didx].id;
+                        self.mnld.update(mn, dom, new_rsmc, now);
+                        let synthetic = RegistrationRequest {
+                            mn_home: mn,
+                            coa: new_rsmc,
+                            ha: self.ha.addr(),
+                            lifetime: SimDuration::from_secs(300),
+                            id: 0,
+                        };
+                        let _ = self.ha.process_registration(&synthetic, now);
+                        if let Some(prev) = prev_rsmc.filter(|&p| p != new_rsmc) {
+                            let ha_addr = self.ha.addr();
+                            self.report.signaling.update_messages += 1;
+                            self.send_control(
+                                ctx,
+                                node,
+                                ha_addr,
+                                prev,
+                                Payload::Mt(MtMessage::UpdateLocation { mn, new_cell }),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+            return;
+        }
+        if node == self.cn_node {
+            if let Payload::Mt(MtMessage::RsmcNotify { mn, rsmc }) = pkt.payload {
+                self.cn_route_cache.insert(mn, rsmc);
+            }
+            return;
+        }
+        // RSMC / gateway processing.
+        if let Some(didx) = self.domains.iter().position(|d| d.rsmc_node == node) {
+            match pkt.payload {
+                Payload::Mip(MipMessage::Request(req)) => {
+                    // FA leg: relay to the HA or deny locally.
+                    let result = self.domains[didx].fa.relay_registration(&req, now);
+                    let fa_addr = self.domains[didx].fa.addr();
+                    match result {
+                        Ok(relayed) => {
+                            self.send_control(
+                                ctx,
+                                node,
+                                fa_addr,
+                                relayed.ha,
+                                Payload::Mip(MipMessage::Request(relayed)),
+                            );
+                        }
+                        Err(denial) => {
+                            self.deliver_control_to_mn(
+                                ctx,
+                                didx,
+                                denial.mn_home,
+                                Payload::Mip(MipMessage::Reply(denial)),
+                            );
+                        }
+                    }
+                }
+                Payload::Mip(MipMessage::Reply(reply)) => {
+                    self.report.signaling.mip_replies += 1;
+                    let reply = self.domains[didx].fa.process_reply(&reply, now);
+                    self.deliver_control_to_mn(
+                        ctx,
+                        didx,
+                        reply.mn_home,
+                        Payload::Mip(MipMessage::Reply(reply)),
+                    );
+                }
+                Payload::Mt(MtMessage::UpdateLocation { mn, new_cell }) => {
+                    // This RSMC is the *old* domain of an inter-domain
+                    // handoff: install a forwarding entry so in-flight
+                    // packets chase the node to its new domain, and keep
+                    // the record "a while until MN has completed handoff"
+                    // (Fig 3.3).
+                    if let Some(new_didx) = self.domain_idx_of_cell(new_cell) {
+                        let new_rsmc = self.domains[new_didx].rsmc.addr();
+                        if new_rsmc != self.domains[didx].rsmc.addr() {
+                            self.domains[didx].fa.install_forward(mn, new_rsmc, now);
+                        }
+                    }
+                    if let Some(mnid) = self.mn_of(mn) {
+                        self.complete_latency_if(mnid, now, |t| t.is_inter_domain());
+                    }
+                }
+                _ => {}
+            }
+            return;
+        }
+        // Pure Mobile IP: a BS acting as FA.
+        if self.cfg.mip_only {
+            if let Some(cell) = self.node_cell.get(&node).copied() {
+                match pkt.payload {
+                    Payload::Mip(MipMessage::Request(req)) => {
+                        let result = self
+                            .bs_fas
+                            .get_mut(&cell)
+                            .expect("FA exists per BS in mip-only mode")
+                            .relay_registration(&req, now);
+                        let fa_addr = self.topo.addr_of(node);
+                        match result {
+                            Ok(relayed) => self.send_control(
+                                ctx,
+                                node,
+                                fa_addr,
+                                relayed.ha,
+                                Payload::Mip(MipMessage::Request(relayed)),
+                            ),
+                            Err(denial) => {
+                                if let Some(mn) = self.mn_of(denial.mn_home) {
+                                    let p = self.alloc_packet(
+                                        FlowId(0),
+                                        0,
+                                        fa_addr,
+                                        denial.mn_home,
+                                        RegistrationReply::SIZE_BYTES,
+                                        now,
+                                        Payload::Mip(MipMessage::Reply(denial)),
+                                    );
+                                    self.air_down(ctx, cell, mn, p);
+                                }
+                            }
+                        }
+                    }
+                    Payload::Mip(MipMessage::Reply(reply)) => {
+                        self.report.signaling.mip_replies += 1;
+                        let reply = self
+                            .bs_fas
+                            .get_mut(&cell)
+                            .expect("FA exists")
+                            .process_reply(&reply, now);
+                        if let Some(mn) = self.mn_of(reply.mn_home) {
+                            let src = self.topo.addr_of(node);
+                            let p = self.alloc_packet(
+                                FlowId(0),
+                                0,
+                                src,
+                                reply.mn_home,
+                                RegistrationReply::SIZE_BYTES,
+                                now,
+                                Payload::Mip(MipMessage::Reply(reply)),
+                            );
+                            self.air_down(ctx, cell, mn, p);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Sends a control message down a domain's access network to an MN.
+    fn deliver_control_to_mn(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        didx: usize,
+        mn_addr: Addr,
+        payload: Payload,
+    ) {
+        let node = self.domains[didx].rsmc_node;
+        let src = self.topo.addr_of(node);
+        let bytes = payload.control_size_bytes();
+        let pkt = self.alloc_packet(FlowId(0), 0, src, mn_addr, bytes, ctx.now(), payload);
+        self.forward_downlink(ctx, didx, node, pkt);
+    }
+
+    /// Cellular IP uplink control (route/paging/semisoft updates) climbing
+    /// from `node` toward the gateway, refreshing caches hop by hop.
+    fn handle_cip_climb(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        didx: usize,
+        node: NodeId,
+        from: Option<NodeId>,
+        control: CipControl,
+        pkt: Packet<Payload>,
+    ) {
+        let now = ctx.now();
+        let came_from = from.unwrap_or(node);
+        let gateway = self.domains[didx].cip.tree().gateway();
+        match control {
+            CipControl::RouteUpdate { mn, .. } | CipControl::Semisoft { mn } => {
+                self.domains[didx].cip.refresh_route_at(node, mn, came_from, now);
+                // Semisoft: opening the bicast window when the update
+                // passes the crossover between old and new attachments.
+                if let CipControl::Semisoft { mn } = control {
+                    if let Some(mnid) = self.mn_of(mn) {
+                        let (old, target) = {
+                            let m = &self.mns[mnid.0 as usize];
+                            (m.attached, m.pending.map(|p| p.target))
+                        };
+                        if let (Some(old), Some(target)) = (old, target) {
+                            let old_node = self.cell_node[&old];
+                            let new_node = self.cell_node[&target];
+                            let tree = self.domains[didx].cip.tree();
+                            if tree.contains(old_node)
+                                && tree.contains(new_node)
+                                && tree.crossover(old_node, new_node) == node
+                            {
+                                if let HandoffKind::Semisoft { delay } = self.cfg.handoff_kind {
+                                    self.domains[didx]
+                                        .semisoft
+                                        .begin(mn, old_node, new_node, now, delay);
+                                }
+                            }
+                        }
+                    }
+                }
+                if node == gateway {
+                    self.on_gateway_route_update(ctx, didx, mn, now);
+                    // Intra-domain handoff completes when the repair
+                    // reaches the gateway.
+                    if let Some(mnid) = self.mn_of(mn) {
+                        self.complete_latency_if(mnid, now, |t| !t.is_inter_domain());
+                    }
+                    return;
+                }
+            }
+            CipControl::PagingUpdate { mn } => {
+                self.domains[didx].cip.refresh_paging_at(node, mn, came_from, now);
+                if node == gateway {
+                    return;
+                }
+            }
+        }
+        // Climb to the parent.
+        let Some(parent) = self.domains[didx].cip.tree().parent(node) else {
+            return;
+        };
+        let Some(link) = self.topo.link_between(node, parent) else {
+            return;
+        };
+        let bytes = pkt.wire_bytes();
+        match self.topo.link_mut(link).expect("link exists").transmit(now, bytes) {
+            TransmitOutcome::Delivered { at } => {
+                ctx.schedule_at(at, Ev::Pkt { node: parent, from: Some(node), pkt });
+            }
+            TransmitOutcome::Dropped => {}
+        }
+    }
+
+    /// Gateway-level route-update processing: RSMC location refresh and
+    /// HA/CN notifications.
+    fn on_gateway_route_update(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        didx: usize,
+        mn: Addr,
+        now: SimTime,
+    ) {
+        if !self.cfg.rsmc_enabled {
+            return;
+        }
+        let Some(cell) = self
+            .domains[didx]
+            .cip
+            .locate(mn, now)
+            .and_then(|n| self.node_cell.get(&n).copied())
+        else {
+            return;
+        };
+        let targets = if self.cfg.notify_cn { 2 } else { 1 };
+        let notifications = self.domains[didx].rsmc.on_route_update(mn, cell, now, targets);
+        if notifications.is_empty() {
+            return;
+        }
+        self.report.signaling.rsmc_notifications += notifications.len() as u64;
+        let rsmc_node = self.domains[didx].rsmc_node;
+        let rsmc_addr = self.domains[didx].rsmc.addr();
+        let ha_addr = self.ha.addr();
+        self.send_control(
+            ctx,
+            rsmc_node,
+            rsmc_addr,
+            ha_addr,
+            Payload::Mt(MtMessage::RsmcNotify { mn, rsmc: rsmc_addr }),
+        );
+        if self.cfg.notify_cn {
+            let cn = self.cn_addr;
+            self.send_control(
+                ctx,
+                rsmc_node,
+                rsmc_addr,
+                cn,
+                Payload::Mt(MtMessage::RsmcNotify { mn, rsmc: rsmc_addr }),
+            );
+        }
+    }
+
+    /// Downlink forwarding inside an access network (gateway or BS).
+    fn forward_downlink(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        didx: usize,
+        node: NodeId,
+        pkt: Packet<Payload>,
+    ) {
+        let now = ctx.now();
+        let mn_addr = pkt.dst;
+        let gateway = self.domains[didx].cip.tree().gateway();
+        // A departed visitor with a forwarding entry: re-tunnel toward the
+        // new domain instead of descending a dead branch (Fig 3.3's "keep
+        // the record a while until MN has completed handoff").
+        if node == gateway {
+            if let Some(coa) = self.domains[didx].fa.forward_endpoint(mn_addr, now) {
+                if coa != self.domains[didx].rsmc.addr() {
+                    let mut pkt = pkt;
+                    let own = self.domains[didx].rsmc.addr();
+                    pkt.encapsulate(own, coa, TunnelKind::SmoothHandoff);
+                    self.forward_wired(ctx, node, pkt);
+                    return;
+                }
+            }
+        }
+        let next = self.domains[didx].cip.next_hop(node, mn_addr, now);
+        match next {
+            Some(n) if n == node => {
+                // Attach BS: deliver over the air (plus semisoft bicast
+                // handled at the crossover below).
+                if let Some(cell) = self.node_cell.get(&node).copied() {
+                    if let Some(mn) = self.mn_of(mn_addr) {
+                        self.air_down(ctx, cell, mn, pkt);
+                        return;
+                    }
+                }
+                if pkt.payload.is_data() {
+                    self.report.count_drop(DropCause::NoRoute);
+                }
+            }
+            Some(child) => {
+                // Semisoft bicast: if this node is the crossover of an open
+                // window, duplicate toward the old branch too.
+                if let Some((old_bs, new_bs)) =
+                    self.domains[didx].semisoft.bicast_targets(mn_addr, now)
+                {
+                    let tree = self.domains[didx].cip.tree();
+                    if tree.contains(old_bs)
+                        && tree.contains(new_bs)
+                        && tree.crossover(old_bs, new_bs) == node
+                    {
+                        if old_bs == node {
+                            // The crossover *is* the old attach BS (the new
+                            // cell chains under the old one): the "old
+                            // branch" is this BS's own air interface.
+                            if let (Some(cell), Some(mnid)) = (
+                                self.node_cell.get(&node).copied(),
+                                self.mn_of(mn_addr),
+                            ) {
+                                self.air_down(ctx, cell, mnid, pkt.clone());
+                            }
+                        } else {
+                            // The cache points to the new branch; the
+                            // duplicate follows the tree toward the old BS.
+                            let old_path = tree.uplink_path(old_bs);
+                            if let Some(pos) = old_path.iter().position(|&n| n == node) {
+                                if pos > 0 {
+                                    let toward_old = old_path[pos - 1];
+                                    if toward_old != child {
+                                        self.transmit_to_child(
+                                            ctx,
+                                            node,
+                                            toward_old,
+                                            pkt.clone(),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                self.transmit_to_child(ctx, node, child, pkt);
+            }
+            None => {
+                // No routing state at this node.
+                if node == gateway {
+                    self.gateway_rescue(ctx, didx, node, pkt);
+                } else if pkt.payload.is_data() {
+                    self.report.count_drop(DropCause::NoRoute);
+                }
+            }
+        }
+    }
+
+    fn transmit_to_child(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        child: NodeId,
+        mut pkt: Packet<Payload>,
+    ) {
+        let Some(link) = self.topo.link_between(node, child) else {
+            if pkt.payload.is_data() {
+                self.report.count_drop(DropCause::NoRoute);
+            }
+            return;
+        };
+        let bytes = pkt.wire_bytes();
+        match self.topo.link_mut(link).expect("link exists").transmit(ctx.now(), bytes) {
+            TransmitOutcome::Delivered { at } => {
+                pkt.record_hop();
+                ctx.schedule_at(at, Ev::Pkt { node: child, from: Some(node), pkt });
+            }
+            TransmitOutcome::Dropped => {
+                if pkt.payload.is_data() {
+                    self.report.count_drop(DropCause::QueueOverflow);
+                }
+            }
+        }
+    }
+
+    /// Gateway fallback when routing caches miss: the RSMC's combined
+    /// location cache (if enabled), then paging.
+    fn gateway_rescue(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        didx: usize,
+        node: NodeId,
+        pkt: Packet<Payload>,
+    ) {
+        let now = ctx.now();
+        let mn_addr = pkt.dst;
+        if self.cfg.rsmc_enabled {
+            if let Some(cell) = self.domains[didx].rsmc.locate(mn_addr, now) {
+                // Source-routed forward down the tree, delivered straight
+                // over the located BS's air interface (the BS's own
+                // routing cache lapsed along with the gateway's).
+                if let Some(&bs_node) = self.cell_node.get(&cell) {
+                    if self.domains[didx].cip.tree().contains(bs_node) {
+                        self.domains[didx].rsmc.count_forwarded();
+                        let hops = self.domains[didx].cip.tree().depth(bs_node) as u64;
+                        let delay = SimDuration::from_millis(2).saturating_mul(hops.max(1))
+                            + self.air_time(cell, pkt.wire_bytes());
+                        if let Some(mn) = self.mn_of(mn_addr) {
+                            ctx.schedule_at(now + delay, Ev::AirDown { mn, cell, pkt });
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        // Paging (idle nodes).
+        let outcome = self.domains[didx].cip.page(mn_addr, now);
+        self.report.signaling.page_messages += outcome.messages() as u64;
+        match outcome {
+            mtnet_cellularip::PageOutcome::Directed { bs, .. } => {
+                let hops = self.domains[didx].cip.tree().depth(bs) as u64;
+                let cell = self.node_cell.get(&bs).copied();
+                if let (Some(cell), Some(mn)) = (cell, self.mn_of(mn_addr)) {
+                    let delay = SimDuration::from_millis(2).saturating_mul(hops.max(1))
+                        + self.air_time(cell, pkt.wire_bytes());
+                    ctx.schedule_at(now + delay, Ev::AirDown { mn, cell, pkt });
+                } else if pkt.payload.is_data() {
+                    self.report.count_drop(DropCause::NoRoute);
+                }
+            }
+            mtnet_cellularip::PageOutcome::Flooded { .. } => {
+                if pkt.payload.is_data() {
+                    self.report.count_drop(DropCause::Paging);
+                }
+                // A flooded page wakes the node: it answers with a route
+                // update so subsequent packets flow.
+                if let Some(mnid) = self.mn_of(mn_addr) {
+                    if self.mns[mnid.0 as usize].attached.is_some() {
+                        let dst = self.topo.addr_of(node);
+                        self.report.signaling.route_updates += 1;
+                        self.air_up(
+                            ctx,
+                            mnid,
+                            Payload::Cip(CipControl::RouteUpdate { mn: mn_addr, came_from_bs: true }),
+                            dst,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Air interface
+    // ------------------------------------------------------------------
+
+    fn handle_air_down(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        mn: MnId,
+        cell: CellId,
+        pkt: Packet<Payload>,
+    ) {
+        let now = ctx.now();
+        let pos = {
+            let m = &mut self.mns[mn.0 as usize];
+            m.traj.position(now, &mut m.rng)
+        };
+        let m = &self.mns[mn.0 as usize];
+        // Semisoft: the node effectively listens to both the old cell and
+        // the pending target; FlowQos de-duplicates.
+        let attached_ok = m.attached == Some(cell)
+            || m.pending.map(|p| p.target) == Some(cell) && !self.cfg.mip_only;
+        // Radio truth: the transmission only lands if the node is actually
+        // inside the cell's radio range right now.
+        let radio_ok = self
+            .cells
+            .cell(cell)
+            .is_some_and(|c| c.covers(pos))
+            && self.cells.rssi_dbm(cell, pos) >= mtnet_radio::SENSITIVITY_DBM;
+        let reachable = attached_ok && radio_ok;
+        if !reachable {
+            if pkt.payload.is_data() {
+                self.report.count_drop(DropCause::WirelessDetached);
+            }
+            return;
+        }
+        match pkt.payload {
+            Payload::Data => {
+                let fidx = self.flows.iter().position(|f| f.flow == pkt.flow);
+                if let Some(fidx) = fidx {
+                    self.flows[fidx].qos.record_received(
+                        pkt.seq,
+                        pkt.created_at,
+                        now,
+                        pkt.payload_bytes,
+                    );
+                }
+                self.mns[mn.0 as usize].cip.touch(now);
+            }
+            Payload::Mip(MipMessage::Reply(reply)) => {
+                let action = self.mns[mn.0 as usize].mip.on_reply(&reply, now);
+                debug_assert!(matches!(action, MnAction::None));
+                if reply.accepted() {
+                    self.complete_latency_if(mn, now, |t| t.is_inter_domain());
+                }
+            }
+            Payload::Mip(MipMessage::Advertisement(adv)) => {
+                let action = self.mns[mn.0 as usize].mip.on_advertisement(&adv, now);
+                self.perform_mn_action(ctx, mn, action);
+            }
+            _ => {}
+        }
+    }
+
+    fn perform_mn_action(&mut self, ctx: &mut Context<'_, Ev>, mn: MnId, action: MnAction) {
+        if let MnAction::SendRequest(req) = action {
+            self.report.signaling.mip_requests += 1;
+            // In pure Mobile IP the FA is the serving BS itself; in the
+            // multi-tier architecture it is the domain's RSMC. Either way
+            // the request is addressed to the care-of address.
+            self.air_up(ctx, mn, Payload::Mip(MipMessage::Request(req)), req.coa);
+        }
+    }
+
+    fn complete_latency_if(
+        &mut self,
+        mn: MnId,
+        now: SimTime,
+        pred: impl Fn(HandoffType) -> bool,
+    ) {
+        let Some(pending) = self.pending_latency.get(&mn).copied() else {
+            return;
+        };
+        if !pred(pending.htype) {
+            return;
+        }
+        self.pending_latency.remove(&mn);
+        let latency_ms = now.saturating_since(pending.decided_at).as_millis_f64();
+        self.report
+            .handoffs
+            .latency_ms
+            .entry(pending.htype)
+            .or_default()
+            .record(latency_ms);
+    }
+
+    // ------------------------------------------------------------------
+    // Mobility and handoff
+    // ------------------------------------------------------------------
+
+    fn handle_move_sample(&mut self, ctx: &mut Context<'_, Ev>, mn: MnId) {
+        let now = ctx.now();
+        ctx.schedule_in(self.cfg.move_sample, Ev::MoveSample(mn));
+        // A handoff already in flight: wait for it to complete.
+        if self.mns[mn.0 as usize].pending.is_some() {
+            return;
+        }
+        let (pos, speed) = {
+            let m = &mut self.mns[mn.0 as usize];
+            let pos = m.traj.position(now, &mut m.rng);
+            let speed = m.traj.speed(now, &mut m.rng);
+            (pos, speed)
+        };
+        // Candidate set restricted by the deployed tiers.
+        let mut candidates = Vec::new();
+        for meas in self.cells.measure(pos, None) {
+            let tier = Tier::of_cell(meas.kind);
+            let allowed = match tier {
+                Tier::Micro => self.cfg.has_micro,
+                Tier::Macro => self.cfg.has_macro,
+            };
+            if allowed {
+                candidates.push(Candidate {
+                    cell: meas.cell,
+                    tier,
+                    rssi_dbm: meas.rssi_dbm,
+                    free_ratio: meas.free_ratio,
+                });
+            }
+        }
+        let current = self.mns[mn.0 as usize].attached.map(|cell| {
+            let tier = Tier::of_cell(self.cells.cell(cell).expect("known cell").kind());
+            let rssi = candidates
+                .iter()
+                .find(|c| c.cell == cell)
+                .map(|c| c.rssi_dbm);
+            CurrentAttachment { cell, tier, rssi_dbm: rssi }
+        });
+        match self.engine.decide(speed, current, &candidates) {
+            HandoffDecision::Stay => {}
+            HandoffDecision::Outage => {
+                self.report.handoffs.outage_samples += 1;
+                // Coverage hole: the radio link is gone. Detach, release
+                // the channel, and let Mobile IP know the link dropped.
+                if self.mns[mn.0 as usize].attached.take().is_some() {
+                    if let Some(held) = self.mns[mn.0 as usize].channel_cell.take() {
+                        if let Some(c) = self.cells.cell_mut(held) {
+                            c.channels_mut().release();
+                        }
+                    }
+                    self.mns[mn.0 as usize].mip.on_link_lost();
+                }
+            }
+            HandoffDecision::Handoff { target, fallback, .. } => {
+                self.start_handoff(ctx, mn, target, fallback);
+            }
+        }
+    }
+
+    fn start_handoff(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        mn: MnId,
+        target: CellId,
+        fallback: Option<CellId>,
+    ) {
+        let now = ctx.now();
+        let old = self.mns[mn.0 as usize].attached;
+        let kind = if old.is_some() { CallKind::Handoff } else { CallKind::New };
+        // Admission at the target; §3.2 fallback to the other tier.
+        let mut admitted = None;
+        for cand in [Some(target), fallback].into_iter().flatten() {
+            let ok = self
+                .cells
+                .cell_mut(cand)
+                .expect("known cell")
+                .channels_mut()
+                .admit(kind)
+                .is_ok();
+            if ok {
+                if admitted.is_none() && cand != target {
+                    self.report.handoffs.fallback_used += 1;
+                }
+                admitted = Some(cand);
+                break;
+            } else if cand == target {
+                self.report.handoffs.rejected += 1;
+            }
+        }
+        let Some(granted) = admitted else {
+            if kind == CallKind::New {
+                self.report.calls_blocked += 1;
+            }
+            return;
+        };
+        if kind == CallKind::New {
+            self.report.calls_accepted += 1;
+        }
+        // Handoff request + accept over the air.
+        self.report.signaling.handoff_messages += 2;
+        self.report.signaling.control_bytes += 48;
+
+        let htype = old.map(|o| classify(&self.hierarchy, o, granted));
+        self.mns[mn.0 as usize].pending =
+            Some(PendingAttach { target: granted, old, htype, decided_at: now });
+
+        // Semisoft (micro-tier targets in CIP architectures): notify the
+        // new path before retuning.
+        let semisoft_capable = !self.cfg.mip_only
+            && old.is_some()
+            && matches!(self.cfg.handoff_kind, HandoffKind::Semisoft { .. })
+            && self.domain_idx_of_cell(granted).is_some()
+            && old.and_then(|o| self.domain_idx_of_cell(o)) == self.domain_idx_of_cell(granted);
+        let attach_delay = if semisoft_capable {
+            let HandoffKind::Semisoft { delay } = self.cfg.handoff_kind else {
+                unreachable!()
+            };
+            // The semisoft packet climbs from the new BS immediately.
+            let mn_addr = self.mns[mn.0 as usize].home;
+            let didx = self.domain_idx_of_cell(granted).expect("checked");
+            let gw_addr = self.topo.addr_of(self.domains[didx].rsmc_node);
+            let new_bs = self.cell_node[&granted];
+            let bytes = Payload::Cip(CipControl::Semisoft { mn: mn_addr }).control_size_bytes();
+            let pkt = self.alloc_packet(
+                FlowId(0),
+                0,
+                mn_addr,
+                gw_addr,
+                bytes,
+                now,
+                Payload::Cip(CipControl::Semisoft { mn: mn_addr }),
+            );
+            self.report.signaling.route_updates += 1;
+            let air = self.air_time(granted, pkt.wire_bytes());
+            ctx.schedule_at(now + air, Ev::Pkt { node: new_bs, from: None, pkt });
+            delay
+        } else {
+            self.cfg.air_delay.saturating_mul(2) + self.cfg.retune_delay
+        };
+        ctx.schedule_at(now + attach_delay, Ev::Attach(mn));
+    }
+
+    fn handle_attach(&mut self, ctx: &mut Context<'_, Ev>, mn: MnId) {
+        let now = ctx.now();
+        let Some(pending) = self.mns[mn.0 as usize].pending.take() else {
+            return;
+        };
+        let target = pending.target;
+        let old = pending.old;
+
+        // Ping-pong accounting.
+        if let Some((prev, left_at)) = self.mns[mn.0 as usize].prev_cell {
+            if prev == target && now.saturating_since(left_at) < SimDuration::from_secs(5) {
+                self.report.handoffs.ping_pong += 1;
+            }
+        }
+        // Release the old channel.
+        if let Some(held) = self.mns[mn.0 as usize].channel_cell.take() {
+            if let Some(c) = self.cells.cell_mut(held) {
+                c.channels_mut().release();
+            }
+        }
+        self.mns[mn.0 as usize].channel_cell = Some(target);
+        if let Some(o) = old {
+            self.mns[mn.0 as usize].prev_cell = Some((o, now));
+        }
+        self.mns[mn.0 as usize].attached = Some(target);
+        self.mns[mn.0 as usize].cip.touch(now);
+
+        if let Some(htype) = pending.htype {
+            *self.report.handoffs.completed.entry(htype).or_insert(0) += 1;
+            self.pending_latency
+                .insert(mn, PendingLatency { htype, decided_at: pending.decided_at });
+        }
+
+        let mn_addr = self.mns[mn.0 as usize].home;
+        let new_didx = self.domain_idx_of_cell(target);
+        let old_didx = old.and_then(|o| self.domain_idx_of_cell(o));
+
+        // Multi-tier location management (§3.1/§3.2 messages).
+        if !self.cfg.mip_only {
+            if old.is_some() {
+                self.report.signaling.update_messages += 1;
+                self.report.signaling.control_bytes += 32;
+                self.locdir.on_update_location(&self.hierarchy, mn_addr, target, now);
+                // Macro→micro sends the delete "in the same time" (§3.2a);
+                // we issue it for every tier change and micro→micro too,
+                // matching Fig 3.4's message lists.
+                if let Some(o) = old {
+                    self.report.signaling.delete_messages += 1;
+                    self.report.signaling.control_bytes += 32;
+                    self.locdir.on_delete_location(mn_addr, o);
+                }
+            } else {
+                self.locdir.on_location_message(&self.hierarchy, mn_addr, target, now);
+                self.report.signaling.location_messages += 1;
+            }
+            // Route repair from the new BS (this is where the hard-handoff
+            // loss window starts closing).
+            if let Some(didx) = new_didx {
+                let gw_addr = self.topo.addr_of(self.domains[didx].rsmc_node);
+                self.report.signaling.route_updates += 1;
+                self.air_up(
+                    ctx,
+                    mn,
+                    Payload::Cip(CipControl::RouteUpdate { mn: mn_addr, came_from_bs: true }),
+                    gw_addr,
+                );
+                // RSMC authentication on first entry to the domain.
+                if self.cfg.rsmc_enabled {
+                    let _auth_delay = self.domains[didx].rsmc.authenticate(mn_addr);
+                }
+            }
+        }
+
+        // Mobile IP: (re-)registration when the care-of address changes —
+        // inter-domain movement, initial attach, or every handoff in pure
+        // Mobile IP mode.
+        let coa_changed = self.cfg.mip_only
+            && old != Some(target)
+            || (!self.cfg.mip_only && new_didx != old_didx);
+        if coa_changed {
+            let adv = if self.cfg.mip_only {
+                let bs_addr = self.topo.addr_of(self.cell_node[&target]);
+                AgentAdvertisement {
+                    agent: bs_addr,
+                    coa: bs_addr,
+                    max_lifetime: SimDuration::from_secs(300),
+                    seq: 0,
+                }
+            } else {
+                let didx = new_didx.expect("multi-tier cells always have a domain");
+                let fa = self.domains[didx].fa.addr();
+                AgentAdvertisement {
+                    agent: fa,
+                    coa: fa,
+                    max_lifetime: SimDuration::from_secs(300),
+                    seq: 0,
+                }
+            };
+            let action = self.mns[mn.0 as usize].mip.on_advertisement(&adv, now);
+            self.perform_mn_action(ctx, mn, action);
+        }
+
+        // Inter-domain update messages (Figs 3.2/3.3): same-upper travels
+        // over the shared upper BS link (cheap); different-upper detours
+        // via the home network.
+        if let (Some(ht), Some(new_didx), Some(old_didx)) = (pending.htype, new_didx, old_didx) {
+            if ht.is_inter_domain() && !self.cfg.mip_only {
+                let new_rsmc_node = self.domains[new_didx].rsmc_node;
+                let new_rsmc_addr = self.domains[new_didx].rsmc.addr();
+                let old_rsmc_addr = self.domains[old_didx].rsmc.addr();
+                let msg = Payload::Mt(MtMessage::UpdateLocation { mn: mn_addr, new_cell: target });
+                self.report.signaling.update_messages += 1;
+                let dst = if ht == HandoffType::InterDomainSameUpper {
+                    // Fig 3.2: direct to the old domain; the min-delay path
+                    // runs through the shared upper-layer BS.
+                    old_rsmc_addr
+                } else {
+                    // Fig 3.3: "the most upper layer BS needs to deliver
+                    // this message to home network of MN".
+                    self.ha.addr()
+                };
+                self.send_control(ctx, new_rsmc_node, new_rsmc_addr, dst, msg);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Periodic maintenance
+    // ------------------------------------------------------------------
+
+    fn handle_uplink(&mut self, ctx: &mut Context<'_, Ev>, mn: MnId) {
+        let now = ctx.now();
+        let period = self
+            .cfg
+            .route_update_period
+            .unwrap_or(self.cfg.cip_timers.route_update);
+        ctx.schedule_in(period, Ev::Uplink(mn));
+        let Some(cell) = self.mns[mn.0 as usize].attached else {
+            return;
+        };
+        let mn_addr = self.mns[mn.0 as usize].home;
+        // MIP retransmissions.
+        let action = self.mns[mn.0 as usize].mip.poll_retransmit(now);
+        self.perform_mn_action(ctx, mn, action);
+        // Periodic agent advertisements drive binding refresh: we fold the
+        // advertisement into the maintenance tick (the MN state machine
+        // only re-registers once the binding passes its half-life).
+        if let mtnet_mobileip::MnState::Registered { .. } = self.mns[mn.0 as usize].mip.state() {
+            let fa_addr = if self.cfg.mip_only {
+                self.node_cell
+                    .iter()
+                    .find(|(_, &c)| c == cell)
+                    .map(|(&n, _)| self.topo.addr_of(n))
+            } else {
+                self.domain_idx_of_cell(cell)
+                    .map(|didx| self.domains[didx].fa.addr())
+            };
+            if let Some(fa) = fa_addr {
+                let adv = AgentAdvertisement {
+                    agent: fa,
+                    coa: fa,
+                    max_lifetime: SimDuration::from_secs(300),
+                    seq: 0,
+                };
+                let action = self.mns[mn.0 as usize].mip.on_advertisement(&adv, now);
+                self.perform_mn_action(ctx, mn, action);
+            }
+        }
+
+        if self.cfg.mip_only {
+            return;
+        }
+        let Some(didx) = self.domain_idx_of_cell(cell) else {
+            return;
+        };
+        let gw_addr = self.topo.addr_of(self.domains[didx].rsmc_node);
+        match self.mns[mn.0 as usize].cip.mode(now) {
+            MnMode::Active => {
+                self.report.signaling.route_updates += 1;
+                self.air_up(
+                    ctx,
+                    mn,
+                    Payload::Cip(CipControl::RouteUpdate { mn: mn_addr, came_from_bs: true }),
+                    gw_addr,
+                );
+            }
+            MnMode::Idle => {
+                let since = now.saturating_since(self.mns[mn.0 as usize].last_paging_update);
+                if since >= self.cfg.cip_timers.paging_update {
+                    self.mns[mn.0 as usize].last_paging_update = now;
+                    self.report.signaling.paging_updates += 1;
+                    self.air_up(
+                        ctx,
+                        mn,
+                        Payload::Cip(CipControl::PagingUpdate { mn: mn_addr }),
+                        gw_addr,
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_location_tick(&mut self, ctx: &mut Context<'_, Ev>, mn: MnId) {
+        let now = ctx.now();
+        ctx.schedule_in(self.cfg.location_period, Ev::LocationTick(mn));
+        if self.cfg.mip_only {
+            return;
+        }
+        let Some(cell) = self.mns[mn.0 as usize].attached else {
+            return;
+        };
+        let mn_addr = self.mns[mn.0 as usize].home;
+        self.report.signaling.location_messages += 1;
+        self.report.signaling.control_bytes += 32;
+        self.locdir.on_location_message(&self.hierarchy, mn_addr, cell, now);
+    }
+
+    fn handle_flow_next(&mut self, ctx: &mut Context<'_, Ev>, fidx: usize) {
+        let now = ctx.now();
+        let (mn, flow_id, arrival) = {
+            let f = &mut self.flows[fidx];
+            let arrival = f.gen.next(&mut f.rng);
+            (f.mn, f.flow, arrival)
+        };
+        ctx.schedule_in(arrival.gap, Ev::FlowNext(fidx));
+        let mn_addr = self.mns[mn.0 as usize].home;
+        let seq = {
+            let f = &mut self.flows[fidx];
+            let s = f.seq;
+            f.seq += 1;
+            f.qos.record_sent(s, now, arrival.bytes);
+            s
+        };
+        let cn = self.cn_addr;
+        let mut pkt =
+            self.alloc_packet(flow_id, seq, cn, mn_addr, arrival.bytes, now, Payload::Data);
+        // CN route optimization: tunnel straight to the last notified RSMC.
+        if let Some(&rsmc) = self.cn_route_cache.get(&mn_addr) {
+            pkt.encapsulate(cn, rsmc, TunnelKind::Rsmc);
+        }
+        ctx.schedule_now(Ev::Pkt { node: self.cn_node, from: None, pkt });
+    }
+
+    fn handle_sweep(&mut self, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        ctx.schedule_in(SimDuration::from_secs(5), Ev::Sweep);
+        self.locdir.sweep(now);
+        self.ha.expire(now);
+        for d in &mut self.domains {
+            d.cip.sweep(now);
+            d.rsmc.sweep(now);
+            d.semisoft.sweep(now);
+            d.fa.expire(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Packet entry from the CN / HA path (special-cased nodes)
+    // ------------------------------------------------------------------
+
+    /// Pre-routing at the home agent: intercept + tunnel packets for
+    /// registered mobile nodes (Fig 2.2 step 2a).
+    fn ha_intercept(&mut self, pkt: &mut Packet<Payload>, now: SimTime) {
+        if pkt.is_encapsulated() {
+            return;
+        }
+        if let Some(coa) = self.ha.tunnel_endpoint_counted(pkt.dst, now) {
+            let ha = self.ha.addr();
+            pkt.encapsulate(ha, coa, TunnelKind::HomeAgent);
+        }
+    }
+}
+
+impl Model for World {
+    type Event = Ev;
+
+    fn handle_event(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+        match event {
+            Ev::Pkt { node, from, mut pkt } => {
+                // Home-agent interception happens as the packet transits
+                // the HA router.
+                if node == self.ha_node && self.mn_of(pkt.dst).is_some() {
+                    self.ha_intercept(&mut pkt, ctx.now());
+                    // If no binding exists the packet has nowhere to go.
+                    if !pkt.is_encapsulated() {
+                        if pkt.payload.is_data() {
+                            self.report.count_drop(DropCause::NoBinding);
+                        }
+                        return;
+                    }
+                    self.forward_wired(ctx, node, pkt);
+                    return;
+                }
+                self.handle_pkt(ctx, node, from, pkt);
+            }
+            Ev::AirDown { mn, cell, pkt } => self.handle_air_down(ctx, mn, cell, pkt),
+            Ev::MoveSample(mn) => self.handle_move_sample(ctx, mn),
+            Ev::Uplink(mn) => self.handle_uplink(ctx, mn),
+            Ev::LocationTick(mn) => self.handle_location_tick(ctx, mn),
+            Ev::FlowNext(fidx) => self.handle_flow_next(ctx, fidx),
+            Ev::Attach(mn) => self.handle_attach(ctx, mn),
+            Ev::Sweep => self.handle_sweep(ctx),
+        }
+    }
+}
+
+impl World {
+    /// Runs the world for `duration` and extracts the report.
+    pub fn run(self, duration: SimDuration) -> SimReport {
+        let mut sim = Simulator::new(self);
+        // Kick off periodic machinery.
+        let n_mns = sim.model().mns.len();
+        let n_flows = sim.model().flows.len();
+        for i in 0..n_mns {
+            let mn = MnId(i as u32);
+            // Stagger start times so nodes do not move in lockstep.
+            sim.schedule_at(SimTime::from_millis(i as u64 * 7), Ev::MoveSample(mn));
+            sim.schedule_at(SimTime::from_millis(100 + i as u64 * 13), Ev::Uplink(mn));
+            sim.schedule_at(SimTime::from_millis(200 + i as u64 * 17), Ev::LocationTick(mn));
+        }
+        for f in 0..n_flows {
+            sim.schedule_at(SimTime::from_millis(500 + f as u64 * 11), Ev::FlowNext(f));
+        }
+        sim.schedule_at(SimTime::from_secs(5), Ev::Sweep);
+        sim.run_until(SimTime::ZERO + duration);
+        let events = sim.events_processed();
+        let mut world = sim.into_model();
+        world.report.duration = duration;
+        world.report.events_processed = events;
+        world.report.flows = world
+            .flows
+            .iter()
+            .map(|f| (f.flow, f.qos.clone()))
+            .collect();
+        world.report
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,388 @@
+//! World-level unit tests: protocol interactions on small, controlled
+//! deployments.
+
+use super::*;
+use crate::scenario::{ArchKind, Population, Scenario};
+use mtnet_mobility::{LinearCommute, Point, Stationary};
+
+fn commute_world(arch: ArchKind, secs: f64, seed: u64) -> SimReport {
+    Scenario::commute_corridor(seed)
+        .with_arch(arch)
+        .run_secs(secs)
+}
+
+#[test]
+fn stationary_node_registers_and_receives() {
+    // A parked pedestrian population: no handoffs, near-zero loss.
+    let mut b = WorldBuilder::new(WorldConfig::default());
+    b.add_domain(DomainSpec::default());
+    b.add_mn(
+        Box::new(Stationary::new(Point::new(1500.0, 1500.0))),
+        &[FlowKind::Voice],
+    );
+    let report = b.build().run(SimDuration::from_secs(30));
+    let q = report.aggregate_qos();
+    assert!(q.sent > 1000, "voice flow ran: {}", q.sent);
+    assert!(
+        q.loss_rate < 0.02,
+        "stationary node loses ~nothing, got {:.4} (drops {:?})",
+        q.loss_rate,
+        report.drops
+    );
+    assert_eq!(report.handoffs.total(), 0, "nothing to hand off");
+    // Exactly one registration (initial attach), refreshed rarely.
+    assert!(report.signaling.mip_requests >= 1);
+}
+
+#[test]
+fn voice_delay_reflects_topology() {
+    let mut b = WorldBuilder::new(WorldConfig::default());
+    b.add_domain(DomainSpec::default());
+    b.add_mn(
+        Box::new(Stationary::new(Point::new(1500.0, 1500.0))),
+        &[FlowKind::Voice],
+    );
+    let report = b.build().run(SimDuration::from_secs(20));
+    let q = report.aggregate_qos();
+    // CN→internet(5ms)→RSMC(25ms)→tree(2ms×n)→air(2ms+ser):
+    // one-way delay lands in the tens of milliseconds.
+    assert!(
+        (20.0..80.0).contains(&q.mean_delay_ms),
+        "delay {} outside plausible topology range",
+        q.mean_delay_ms
+    );
+}
+
+#[test]
+fn cn_route_optimization_reduces_delay() {
+    let run = |notify_cn: bool| {
+        let mut cfg = WorldConfig::default();
+        cfg.notify_cn = notify_cn;
+        let mut b = WorldBuilder::new(cfg);
+        b.add_domain(DomainSpec::default());
+        b.add_mn(
+            Box::new(Stationary::new(Point::new(1500.0, 1500.0))),
+            &[FlowKind::Voice],
+        );
+        b.build().run(SimDuration::from_secs(30)).aggregate_qos().mean_delay_ms
+    };
+    let optimized = run(true);
+    let triangle = run(false);
+    assert!(
+        optimized + 5.0 < triangle,
+        "CN notify should cut the HA detour: {optimized} !<< {triangle}"
+    );
+}
+
+#[test]
+fn semisoft_duplicates_only_with_semisoft() {
+    let report_semi = Scenario::single_domain(3).run_secs(150.0);
+    let report_hard = Scenario::single_domain(3)
+        .with_arch(ArchKind::multi_tier_hard())
+        .run_secs(150.0);
+    assert_eq!(report_hard.aggregate_qos().duplicates, 0, "hard never bicasts");
+    if report_semi.handoffs.total() > 0 {
+        assert!(
+            report_semi.aggregate_qos().duplicates > 0,
+            "semisoft handoffs should bicast: {:?}",
+            report_semi.handoffs.completed
+        );
+    }
+}
+
+#[test]
+fn hard_handoff_loses_at_least_semisoft() {
+    let semi = Scenario::single_domain(11).run_secs(300.0);
+    let hard = Scenario::single_domain(11)
+        .with_arch(ArchKind::multi_tier_hard())
+        .run_secs(300.0);
+    let (ls, lh) = (semi.aggregate_qos().loss_rate, hard.aggregate_qos().loss_rate);
+    assert!(
+        ls <= lh + 1e-4,
+        "semisoft loss {ls} must not exceed hard loss {lh}"
+    );
+}
+
+#[test]
+fn inter_domain_same_upper_faster_than_different() {
+    let same = commute_world(ArchKind::multi_tier(), 400.0, 21);
+    let diff = Scenario::commute_corridor(21)
+        .without_shared_upper()
+        .run_secs(400.0);
+    let same_lat = same
+        .handoffs
+        .latency_ms
+        .get(&HandoffType::InterDomainSameUpper)
+        .map(|s| s.mean());
+    let diff_lat = diff
+        .handoffs
+        .latency_ms
+        .get(&HandoffType::InterDomainDifferentUpper)
+        .map(|s| s.mean());
+    let (Some(same_lat), Some(diff_lat)) = (same_lat, diff_lat) else {
+        panic!(
+            "both corridors must produce inter-domain handoffs: {:?} / {:?}",
+            same.handoffs.completed, diff.handoffs.completed
+        );
+    };
+    assert!(
+        same_lat * 2.0 < diff_lat,
+        "Fig 3.2 ({same_lat} ms) must be far cheaper than Fig 3.3 ({diff_lat} ms)"
+    );
+}
+
+#[test]
+fn pure_mobile_ip_registers_on_every_handoff() {
+    let report = commute_world(ArchKind::PureMobileIp, 400.0, 5);
+    assert!(
+        report.handoffs.total() > 0,
+        "the shuttle crosses macro cells"
+    );
+    // Every handoff triggers a fresh registration, plus initial attaches.
+    assert!(
+        report.signaling.mip_requests as i64
+            >= report.handoffs.total() as i64,
+        "registrations {} < handoffs {}",
+        report.signaling.mip_requests,
+        report.handoffs.total()
+    );
+}
+
+#[test]
+fn flat_cip_fast_nodes_suffer_outage() {
+    let report = Scenario::commute_corridor(9)
+        .with_arch(ArchKind::FlatCellularIp)
+        .with_population(Population { pedestrians: 0, vehicles: 1, cyclists: 0 })
+        .run_secs(300.0);
+    assert!(
+        report.handoffs.outage_samples > 0,
+        "a 25 m/s vehicle must outrun the micro strip"
+    );
+    let multi = Scenario::commute_corridor(9)
+        .with_population(Population { pedestrians: 0, vehicles: 1, cyclists: 0 })
+        .run_secs(300.0);
+    assert!(
+        multi.handoffs.outage_samples < report.handoffs.outage_samples,
+        "the macro umbrella must cover the gaps"
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = || {
+        let r = Scenario::small_city(77).run_secs(60.0);
+        let q = r.aggregate_qos();
+        (q.sent, q.received, r.handoffs.total(), r.signaling.total_messages(), r.events_processed)
+    };
+    assert_eq!(run(), run(), "same seed must reproduce exactly");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let run = |seed| {
+        let r = Scenario::small_city(seed).run_secs(60.0);
+        r.events_processed
+    };
+    assert_ne!(run(1), run(2), "seeds must actually matter");
+}
+
+#[test]
+fn location_tables_track_attached_nodes() {
+    let mut b = WorldBuilder::new(WorldConfig::default());
+    b.add_domain(DomainSpec::default());
+    b.add_mn(
+        Box::new(Stationary::new(Point::new(1500.0, 1500.0))),
+        &[FlowKind::Voice],
+    );
+    let world = b.build();
+    let report = world.run(SimDuration::from_secs(20));
+    // Location messages flowed and populated tables.
+    assert!(report.signaling.location_messages > 5);
+}
+
+#[test]
+fn channel_accounting_balances() {
+    // After a run, every attached node holds exactly one channel; total
+    // in-use equals the attached population.
+    let scenario = Scenario::small_city(13);
+    let world = scenario.build();
+    let mut sim = mtnet_sim::Simulator::new(world);
+    for i in 0..scenario.population.total() {
+        sim.schedule_at(
+            SimTime::from_millis(i as u64 * 7),
+            Ev::MoveSample(MnId(i as u32)),
+        );
+    }
+    sim.run_until(SimTime::from_secs(30));
+    let world = sim.into_model();
+    let attached = world.mns.iter().filter(|m| m.attached.is_some()).count();
+    let in_use: u32 = world
+        .cells
+        .cells()
+        .map(|c| c.channels().in_use())
+        .sum();
+    assert_eq!(
+        in_use as usize, attached,
+        "channels in use must equal attached nodes"
+    );
+}
+
+#[test]
+fn ha_intercepts_and_tunnels() {
+    // After the run, the HA must have tunneled most CN traffic (unless the
+    // CN route cache bypassed it — so disable notify_cn).
+    let mut cfg = WorldConfig::default();
+    cfg.notify_cn = false;
+    let mut b = WorldBuilder::new(cfg);
+    b.add_domain(DomainSpec::default());
+    b.add_mn(
+        Box::new(Stationary::new(Point::new(1500.0, 1500.0))),
+        &[FlowKind::Voice],
+    );
+    let world = b.build();
+    let mut sim = mtnet_sim::Simulator::new(world);
+    sim.schedule_at(SimTime::ZERO, Ev::MoveSample(MnId(0)));
+    sim.schedule_at(SimTime::from_millis(50), Ev::Uplink(MnId(0)));
+    sim.schedule_at(SimTime::from_millis(500), Ev::FlowNext(0));
+    sim.run_until(SimTime::from_secs(10));
+    let world = sim.into_model();
+    let (_, _, tunneled) = world.ha.counters();
+    assert!(tunneled > 100, "HA tunneled CN traffic: {tunneled}");
+}
+
+#[test]
+fn vehicle_prefers_macro_pedestrian_prefers_micro() {
+    let scenario = Scenario::commute_corridor(17);
+    let world = scenario.build();
+    let mut sim = mtnet_sim::Simulator::new(world);
+    for i in 0..scenario.population.total() {
+        sim.schedule_at(
+            SimTime::from_millis(i as u64),
+            Ev::MoveSample(MnId(i as u32)),
+        );
+    }
+    sim.run_until(SimTime::from_secs(20));
+    let world = sim.into_model();
+    // Population layout: pedestrians first, then cyclists, then vehicles.
+    let ped = &world.mns[0];
+    let veh = &world.mns[scenario.population.total() - 1];
+    let tier_of = |m: &MnSim| {
+        m.attached
+            .map(|c| Tier::of_cell(world.cells.cell(c).expect("cell").kind()))
+    };
+    assert_eq!(tier_of(ped), Some(Tier::Micro), "pedestrian in micro tier");
+    assert_eq!(tier_of(veh), Some(Tier::Macro), "vehicle in macro tier");
+}
+
+#[test]
+fn mnld_learns_domain_crossings() {
+    let scenario = Scenario::commute_corridor(23);
+    let world = scenario.build();
+    let duration = SimDuration::from_secs(400);
+    // Run manually to inspect final MNLD state.
+    let mut sim = mtnet_sim::Simulator::new(world);
+    let n = scenario.population.total();
+    for i in 0..n {
+        sim.schedule_at(SimTime::from_millis(i as u64 * 7), Ev::MoveSample(MnId(i as u32)));
+        sim.schedule_at(SimTime::from_millis(100 + i as u64 * 13), Ev::Uplink(MnId(i as u32)));
+    }
+    sim.schedule_at(SimTime::from_secs(5), Ev::Sweep);
+    sim.run_until(SimTime::ZERO + duration);
+    let world = sim.into_model();
+    let (updates, changes, ..) = world.mnld.counters();
+    assert!(updates > 0, "MNLD must see RSMC notifications");
+    assert!(changes >= 2, "the shuttle crossed domains: {changes}");
+}
+
+#[test]
+fn signaling_scales_with_population() {
+    let small = Scenario::small_city(31)
+        .with_population(Population { pedestrians: 2, vehicles: 0, cyclists: 0 })
+        .run_secs(60.0);
+    let large = Scenario::small_city(31)
+        .with_population(Population { pedestrians: 8, vehicles: 0, cyclists: 0 })
+        .run_secs(60.0);
+    assert!(
+        large.signaling.route_updates > small.signaling.route_updates * 2,
+        "route updates scale with nodes: {} vs {}",
+        large.signaling.route_updates,
+        small.signaling.route_updates
+    );
+}
+
+#[test]
+fn queue_overflow_counted_under_congestion() {
+    // Squeeze many video flows through one domain's access links.
+    let mut cfg = WorldConfig::default();
+    cfg.notify_cn = true;
+    let mut b = WorldBuilder::new(cfg);
+    b.add_domain(DomainSpec { n_micro: 2, ..DomainSpec::default() });
+    for i in 0..20 {
+        b.add_mn(
+            Box::new(LinearCommute::new(
+                Point::new(1300.0 + i as f64, 1500.0),
+                Point::new(1700.0 + i as f64, 1500.0),
+                1.0,
+            )),
+            &[FlowKind::Video],
+        );
+    }
+    let report = b.build().run(SimDuration::from_secs(30));
+    // 20 video flows ≈ 5 Mbit/s mean through one RSMC: some links and air
+    // interfaces will hurt; at minimum traffic flowed and the report is
+    // consistent.
+    let q = report.aggregate_qos();
+    assert!(q.sent > 10_000);
+    assert!(
+        q.sent as i64 - q.received as i64 >= 0,
+        "received cannot exceed sent (dups filtered)"
+    );
+}
+
+#[test]
+fn outage_detaches_and_releases_channel() {
+    // One vehicle on a flat-CIP corridor: it will leave micro coverage.
+    let scenario = Scenario::commute_corridor(37)
+        .with_arch(ArchKind::FlatCellularIp)
+        .with_population(Population { pedestrians: 0, vehicles: 1, cyclists: 0 });
+    let world = scenario.build();
+    let mut sim = mtnet_sim::Simulator::new(world);
+    sim.schedule_at(SimTime::ZERO, Ev::MoveSample(MnId(0)));
+    // Long enough to attach and then drive out of the strip.
+    sim.run_until(SimTime::from_secs(120));
+    let world = sim.into_model();
+    let m = &world.mns[0];
+    if m.attached.is_none() {
+        let in_use: u32 = world.cells.cells().map(|c| c.channels().in_use()).sum();
+        assert_eq!(in_use, 0, "detached node must not hold a channel");
+    }
+}
+
+#[test]
+fn satellite_overlay_rescues_macro_hole() {
+    // Fig 2.1's outermost tier: the rural corridor's middle domain has no
+    // macro radio, so terrestrial-only vehicles hit a coverage hole; the
+    // satellite overlay absorbs it.
+    let terrestrial = Scenario::rural_corridor(42).run_secs(300.0);
+    let with_sat = Scenario::rural_corridor(42).with_satellite().run_secs(300.0);
+    assert!(
+        terrestrial.handoffs.outage_samples > 10,
+        "the macro hole must produce outages: {}",
+        terrestrial.handoffs.outage_samples
+    );
+    assert!(
+        with_sat.handoffs.outage_samples < terrestrial.handoffs.outage_samples / 5,
+        "satellite must absorb the hole: {} vs {}",
+        with_sat.handoffs.outage_samples,
+        terrestrial.handoffs.outage_samples
+    );
+    assert!(
+        with_sat.aggregate_qos().loss_rate < terrestrial.aggregate_qos().loss_rate,
+        "satellite coverage must cut loss"
+    );
+    assert!(
+        with_sat.handoffs.completed.keys().any(|t| t.is_inter_domain()),
+        "moving onto/off the satellite is an inter-domain handoff: {:?}",
+        with_sat.handoffs.completed
+    );
+}

@@ -1,0 +1,1 @@
+//! Examples anchor crate (binaries live in /examples).

@@ -1,0 +1,1 @@
+//! Integration test anchor crate (tests live in /tests).

@@ -1,0 +1,130 @@
+//! Monotone counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// use mtnet_metrics::Counter;
+/// let mut c = Counter::new();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.value(), 5);
+/// assert_eq!(c.rate_per_sec(10.0), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Events per second over an observation window of `secs` seconds.
+    /// Returns 0 for a non-positive window.
+    pub fn rate_per_sec(&self, secs: f64) -> f64 {
+        if secs > 0.0 {
+            self.value as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of this counter relative to `total` (e.g. losses / sent);
+    /// 0 when `total` is zero.
+    pub fn fraction_of(&self, total: &Counter) -> f64 {
+        if total.value == 0 {
+            0.0
+        } else {
+            self.value as f64 / total.value as f64
+        }
+    }
+
+    /// Folds another counter into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        self.add(other.value);
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(value: u64) -> Self {
+        Counter { value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_and_add() {
+        let mut c = Counter::new();
+        c.inc();
+        c.inc();
+        c.add(3);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let mut c = Counter::from(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
+    fn rate_handles_zero_window() {
+        let c = Counter::from(100);
+        assert_eq!(c.rate_per_sec(0.0), 0.0);
+        assert_eq!(c.rate_per_sec(-1.0), 0.0);
+        assert_eq!(c.rate_per_sec(50.0), 2.0);
+    }
+
+    #[test]
+    fn fraction_of_total() {
+        let lost = Counter::from(25);
+        let sent = Counter::from(100);
+        assert_eq!(lost.fraction_of(&sent), 0.25);
+        assert_eq!(lost.fraction_of(&Counter::new()), 0.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Counter::from(3);
+        a.merge(&Counter::from(4));
+        assert_eq!(a.value(), 7);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Counter::from(42).to_string(), "42");
+    }
+}

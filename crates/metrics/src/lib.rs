@@ -1,0 +1,39 @@
+//! # mtnet-metrics — statistics primitives for simulation experiments
+//!
+//! Self-contained, allocation-light statistics used by every experiment in
+//! the multi-tier mobility reproduction:
+//!
+//! * [`Counter`] — monotone event counters with rate helpers.
+//! * [`Summary`] — streaming mean/variance/min/max (Welford) with merge and
+//!   normal-approximation confidence intervals.
+//! * [`Histogram`] — log-scale bucketed histogram with percentile queries
+//!   (HdrHistogram-style, base-2 with linear sub-buckets).
+//! * [`TimeWeighted`] — integrates a piecewise-constant value over simulated
+//!   time (queue occupancy, channel usage, …).
+//! * [`TimeSeries`] — (t, value) samples with downsampling.
+//! * [`Table`] — fixed-width text tables for experiment output.
+//!
+//! ```
+//! use mtnet_metrics::Summary;
+//! let mut s = Summary::new();
+//! for x in [1.0, 2.0, 3.0, 4.0] { s.record(x); }
+//! assert_eq!(s.mean(), 2.5);
+//! assert_eq!(s.count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod histogram;
+mod series;
+mod summary;
+mod table;
+mod timeweighted;
+
+pub use counter::Counter;
+pub use histogram::Histogram;
+pub use series::{SeriesPoint, TimeSeries};
+pub use summary::Summary;
+pub use table::{fmt_f64, Table};
+pub use timeweighted::TimeWeighted;

@@ -1,0 +1,165 @@
+//! Time-series collection for plotting experiment curves.
+
+use serde::{Deserialize, Serialize};
+
+/// One `(time, value)` sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Sample time, in seconds.
+    pub t: f64,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// An append-only series of timestamped samples, with helpers for the
+/// report generator (downsampling, extrema, last value).
+///
+/// ```
+/// use mtnet_metrics::TimeSeries;
+/// let mut s = TimeSeries::new("loss_rate");
+/// s.push(0.0, 0.01);
+/// s.push(1.0, 0.02);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.last().unwrap().value, 0.02);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<SeriesPoint>,
+}
+
+impl TimeSeries {
+    /// Creates an empty, named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries { name: name.into(), points: Vec::new() }
+    }
+
+    /// The series name (used as a column header in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample. Samples should be pushed in non-decreasing time
+    /// order; this is asserted in debug builds.
+    pub fn push(&mut self, t: f64, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|p| p.t <= t),
+            "series must be pushed in time order"
+        );
+        self.points.push(SeriesPoint { t, value });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All samples, in time order.
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<SeriesPoint> {
+        self.points.last().copied()
+    }
+
+    /// Largest sample value.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.value).fold(None, |acc, v| {
+            Some(acc.map_or(v, |m: f64| m.max(v)))
+        })
+    }
+
+    /// Mean of sample values (unweighted).
+    pub fn mean_value(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.value).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Downsamples to at most `max_points` by averaging fixed-size chunks;
+    /// returns a new series. Used to keep report files small.
+    pub fn downsample(&self, max_points: usize) -> TimeSeries {
+        assert!(max_points > 0, "max_points must be positive");
+        if self.points.len() <= max_points {
+            return self.clone();
+        }
+        let chunk = self.points.len().div_ceil(max_points);
+        let mut out = TimeSeries::new(self.name.clone());
+        for c in self.points.chunks(chunk) {
+            let t = c.iter().map(|p| p.t).sum::<f64>() / c.len() as f64;
+            let v = c.iter().map(|p| p.value).sum::<f64>() / c.len() as f64;
+            out.points.push(SeriesPoint { t, value: v });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new("x");
+        assert!(s.is_empty());
+        s.push(0.0, 1.0);
+        s.push(1.0, 3.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.name(), "x");
+        assert_eq!(s.last(), Some(SeriesPoint { t: 1.0, value: 3.0 }));
+        assert_eq!(s.max_value(), Some(3.0));
+        assert_eq!(s.mean_value(), 2.0);
+    }
+
+    #[test]
+    fn empty_queries() {
+        let s = TimeSeries::new("e");
+        assert_eq!(s.last(), None);
+        assert_eq!(s.max_value(), None);
+        assert_eq!(s.mean_value(), 0.0);
+    }
+
+    #[test]
+    fn downsample_preserves_short_series() {
+        let mut s = TimeSeries::new("x");
+        s.push(0.0, 1.0);
+        let d = s.downsample(10);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn downsample_reduces_and_averages() {
+        let mut s = TimeSeries::new("x");
+        for i in 0..100 {
+            s.push(i as f64, 10.0);
+        }
+        let d = s.downsample(10);
+        assert!(d.len() <= 10);
+        assert!(d.points().iter().all(|p| (p.value - 10.0).abs() < 1e-12));
+        // Overall mean is preserved for a constant signal.
+        assert_eq!(d.mean_value(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn downsample_zero_rejected() {
+        TimeSeries::new("x").downsample(0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_push_asserts() {
+        let mut s = TimeSeries::new("x");
+        s.push(5.0, 0.0);
+        s.push(1.0, 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Time-weighted averaging of piecewise-constant signals.
+
+use serde::{Deserialize, Serialize};
+
+/// Integrates a piecewise-constant value over (simulated) time, yielding the
+/// time-weighted average — e.g. mean queue depth, mean channels busy.
+///
+/// Time is passed as `f64` seconds so the crate stays independent of the
+/// simulator's clock type; callers convert with `SimTime::as_secs_f64`.
+///
+/// ```
+/// use mtnet_metrics::TimeWeighted;
+/// let mut g = TimeWeighted::new(0.0, 0.0);
+/// g.set(10.0, 2.0);  // value 2 from t=10
+/// g.set(20.0, 4.0);  // value 4 from t=20
+/// assert_eq!(g.average(30.0), (10.0*0.0 + 10.0*2.0 + 10.0*4.0) / 30.0);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: f64,
+    last_t: f64,
+    value: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Creates a gauge starting at `start_time` with `initial` value.
+    pub fn new(start_time: f64, initial: f64) -> Self {
+        TimeWeighted {
+            start: start_time,
+            last_t: start_time,
+            value: initial,
+            integral: 0.0,
+            peak: initial,
+        }
+    }
+
+    /// Advances the clock to `t`, accruing the current value, then switches
+    /// to `new_value`. Out-of-order timestamps are clamped (no negative
+    /// spans) so a stray event cannot corrupt the integral.
+    pub fn set(&mut self, t: f64, new_value: f64) {
+        let t = t.max(self.last_t);
+        self.integral += self.value * (t - self.last_t);
+        self.last_t = t;
+        self.value = new_value;
+        self.peak = self.peak.max(new_value);
+    }
+
+    /// Adds `delta` to the current value at time `t` (queue push/pop style).
+    pub fn add(&mut self, t: f64, delta: f64) {
+        let v = self.value + delta;
+        self.set(t, v);
+    }
+
+    /// Current (instantaneous) value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Largest value ever held.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted average over `[start, end_time]`. Returns the current
+    /// value when the window is empty.
+    pub fn average(&self, end_time: f64) -> f64 {
+        let end = end_time.max(self.last_t);
+        let total = end - self.start;
+        if total <= 0.0 {
+            return self.value;
+        }
+        let integral = self.integral + self.value * (end - self.last_t);
+        integral / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_average_is_value() {
+        let g = TimeWeighted::new(0.0, 3.0);
+        assert_eq!(g.average(10.0), 3.0);
+    }
+
+    #[test]
+    fn step_signal() {
+        let mut g = TimeWeighted::new(0.0, 0.0);
+        g.set(5.0, 10.0);
+        // [0,5): 0, [5,10): 10 => avg 5
+        assert_eq!(g.average(10.0), 5.0);
+    }
+
+    #[test]
+    fn add_delta_tracks_queue() {
+        let mut g = TimeWeighted::new(0.0, 0.0);
+        g.add(1.0, 1.0); // depth 1 at t=1
+        g.add(2.0, 1.0); // depth 2 at t=2
+        g.add(3.0, -2.0); // empty at t=3
+        assert_eq!(g.current(), 0.0);
+        assert_eq!(g.peak(), 2.0);
+        // integral = 0*1 + 1*1 + 2*1 + 0*1 = 3 over 4s
+        assert_eq!(g.average(4.0), 0.75);
+    }
+
+    #[test]
+    fn empty_window_returns_current() {
+        let g = TimeWeighted::new(5.0, 7.0);
+        assert_eq!(g.average(5.0), 7.0);
+        assert_eq!(g.average(4.0), 7.0);
+    }
+
+    #[test]
+    fn out_of_order_updates_clamped() {
+        let mut g = TimeWeighted::new(0.0, 1.0);
+        g.set(10.0, 2.0);
+        g.set(5.0, 3.0); // clamped to t=10
+        assert_eq!(g.current(), 3.0);
+        // [0,10): 1 => integral 10; value 3 onwards
+        assert_eq!(g.average(20.0), (10.0 + 30.0) / 20.0);
+    }
+
+    #[test]
+    fn nonzero_start_time() {
+        let mut g = TimeWeighted::new(100.0, 2.0);
+        g.set(110.0, 4.0);
+        assert_eq!(g.average(120.0), 3.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Mobile IP control messages.
+
+use mtnet_net::Addr;
+use mtnet_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Agent advertisement, periodically broadcast by a foreign (or home)
+/// agent on its link (RFC 3344 §2.1; paper step 1(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentAdvertisement {
+    /// The advertising agent's address.
+    pub agent: Addr,
+    /// The care-of address offered (FA-CoA mode: the FA's own address).
+    pub coa: Addr,
+    /// Maximum registration lifetime the agent will grant.
+    pub max_lifetime: SimDuration,
+    /// Advertisement sequence number (movement detection).
+    pub seq: u64,
+}
+
+impl AgentAdvertisement {
+    /// Wire size in bytes (ICMP router advertisement + mobility extension).
+    pub const SIZE_BYTES: u32 = 48;
+}
+
+/// Registration request MN → (FA) → HA (paper step 1(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistrationRequest {
+    /// The mobile node's permanent home address.
+    pub mn_home: Addr,
+    /// Requested care-of address.
+    pub coa: Addr,
+    /// The home agent the request is for.
+    pub ha: Addr,
+    /// Requested lifetime.
+    pub lifetime: SimDuration,
+    /// Identification field matching replies to requests (and replay
+    /// protection in the RFC).
+    pub id: u64,
+}
+
+impl RegistrationRequest {
+    /// Wire size in bytes (UDP registration request).
+    pub const SIZE_BYTES: u32 = 60;
+
+    /// A deregistration (lifetime zero) request for returning home.
+    pub fn deregistration(mn_home: Addr, ha: Addr, id: u64) -> Self {
+        RegistrationRequest {
+            mn_home,
+            coa: mn_home,
+            ha,
+            lifetime: SimDuration::ZERO,
+            id,
+        }
+    }
+
+    /// True if this request tears the binding down.
+    pub fn is_deregistration(&self) -> bool {
+        self.lifetime.is_zero()
+    }
+}
+
+/// Reply codes (subset of RFC 3344 §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplyCode {
+    /// Registration accepted.
+    Accepted,
+    /// Denied by the home agent: unknown mobile node.
+    DeniedUnknownHome,
+    /// Denied: requested lifetime too long (granted lifetime returned).
+    DeniedLifetimeTooLong,
+    /// Denied by the foreign agent: visitor table full.
+    DeniedFaBusy,
+}
+
+/// Registration reply HA → (FA) → MN (paper step 1(c)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistrationReply {
+    /// The mobile node this reply concerns.
+    pub mn_home: Addr,
+    /// Result code.
+    pub code: ReplyCode,
+    /// Granted lifetime (zero on denial or deregistration).
+    pub lifetime: SimDuration,
+    /// Echoed identification field.
+    pub id: u64,
+}
+
+impl RegistrationReply {
+    /// Wire size in bytes.
+    pub const SIZE_BYTES: u32 = 44;
+
+    /// True if the registration was accepted.
+    pub fn accepted(&self) -> bool {
+        self.code == ReplyCode::Accepted
+    }
+}
+
+/// All Mobile IP control messages, as carried in simulation packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MipMessage {
+    /// Periodic agent advertisement.
+    Advertisement(AgentAdvertisement),
+    /// Registration request (MN→FA or FA→HA leg).
+    Request(RegistrationRequest),
+    /// Registration reply (HA→FA or FA→MN leg).
+    Reply(RegistrationReply),
+    /// Binding update to a previous FA: forward in-flight packets to the
+    /// new care-of address (smooth handoff, paper ref [5]).
+    BindingUpdate {
+        /// The mobile node that moved.
+        mn_home: Addr,
+        /// Its new care-of address.
+        new_coa: Addr,
+    },
+}
+
+impl MipMessage {
+    /// Wire size of the message payload in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            MipMessage::Advertisement(_) => AgentAdvertisement::SIZE_BYTES,
+            MipMessage::Request(_) => RegistrationRequest::SIZE_BYTES,
+            MipMessage::Reply(_) => RegistrationReply::SIZE_BYTES,
+            MipMessage::BindingUpdate { .. } => 40,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn deregistration_has_zero_lifetime() {
+        let r = RegistrationRequest::deregistration(addr("10.0.0.5"), addr("10.0.0.1"), 7);
+        assert!(r.is_deregistration());
+        assert_eq!(r.coa, r.mn_home, "CoA collapses to home address");
+        assert_eq!(r.id, 7);
+    }
+
+    #[test]
+    fn reply_accepted_flag() {
+        let ok = RegistrationReply {
+            mn_home: addr("1.1.1.1"),
+            code: ReplyCode::Accepted,
+            lifetime: SimDuration::from_secs(10),
+            id: 1,
+        };
+        assert!(ok.accepted());
+        let denied = RegistrationReply { code: ReplyCode::DeniedUnknownHome, ..ok };
+        assert!(!denied.accepted());
+    }
+
+    #[test]
+    fn sizes_are_positive_and_distinct_enough() {
+        let adv = MipMessage::Advertisement(AgentAdvertisement {
+            agent: addr("1.1.1.1"),
+            coa: addr("1.1.1.1"),
+            max_lifetime: SimDuration::from_secs(300),
+            seq: 0,
+        });
+        let req = MipMessage::Request(RegistrationRequest::deregistration(
+            addr("1.1.1.2"),
+            addr("1.1.1.1"),
+            0,
+        ));
+        assert!(adv.size_bytes() > 0);
+        assert!(req.size_bytes() > adv.size_bytes() - 48);
+        assert_eq!(
+            MipMessage::BindingUpdate { mn_home: addr("1.1.1.2"), new_coa: addr("2.2.2.2") }
+                .size_bytes(),
+            40
+        );
+    }
+}

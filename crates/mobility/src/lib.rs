@@ -1,0 +1,45 @@
+//! # mtnet-mobility — mobility models for mobile nodes
+//!
+//! Generates piecewise-linear trajectories for mobile nodes. The multi-tier
+//! handoff strategy of the paper keys on **speed** (pedestrians should live
+//! in micro/pico cells, vehicles in macro cells), so trajectories expose
+//! instantaneous speed as a first-class quantity.
+//!
+//! * [`Point`] / [`Vec2`] — 2-D geometry in meters.
+//! * [`SpeedClass`] — pedestrian / urban-vehicle / highway speed ranges.
+//! * [`MobilityModel`] — the leg-generator trait.
+//! * [`RandomWaypoint`] — the classic random-waypoint model.
+//! * [`ManhattanGrid`] — street-grid movement with turn probabilities.
+//! * [`LinearCommute`] — a straight constant-speed path (domain-crossing
+//!   experiments, Figs 3.2–3.3).
+//! * [`Stationary`] — a node that never moves.
+//! * [`Trajectory`] — lazily materialized legs with O(log n) position
+//!   queries at arbitrary times.
+//!
+//! ```
+//! use mtnet_mobility::{LinearCommute, Point, Trajectory};
+//! use mtnet_sim::{RngStream, SimTime};
+//!
+//! let model = LinearCommute::new(Point::new(0.0, 0.0), Point::new(1000.0, 0.0), 10.0);
+//! let mut traj = Trajectory::new(Box::new(model));
+//! let mut rng = RngStream::derive(1, "demo");
+//! let p = traj.position(SimTime::from_secs(50), &mut rng);
+//! assert!((p.x - 500.0).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod commute;
+mod geometry;
+mod manhattan;
+mod model;
+mod speed;
+mod waypoint;
+
+pub use commute::LinearCommute;
+pub use geometry::{Point, Rect, Vec2};
+pub use manhattan::ManhattanGrid;
+pub use model::{Leg, MobilityModel, Stationary, Trajectory};
+pub use speed::SpeedClass;
+pub use waypoint::RandomWaypoint;

@@ -1,0 +1,222 @@
+//! Manhattan-grid mobility: movement constrained to a street grid.
+
+use crate::geometry::{Point, Rect};
+use crate::model::{Leg, MobilityModel};
+use crate::speed::SpeedClass;
+use mtnet_sim::RngStream;
+
+/// Movement along a regular street grid: at every intersection the node
+/// continues straight, turns left, or turns right with configurable
+/// probabilities; it u-turns only at the area boundary. Models urban
+/// vehicle traffic where micro-cells sit on street corners.
+///
+/// ```
+/// use mtnet_mobility::{ManhattanGrid, SpeedClass, Trajectory};
+/// use mtnet_sim::{RngStream, SimTime};
+/// let model = ManhattanGrid::new(2000.0, 200.0, SpeedClass::UrbanVehicle);
+/// let mut traj = Trajectory::new(Box::new(model));
+/// let mut rng = RngStream::derive(11, "car");
+/// let p = traj.position(SimTime::from_secs(120), &mut rng);
+/// assert!(p.x >= 0.0 && p.x <= 2000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ManhattanGrid {
+    area: Rect,
+    block: f64,
+    speed_range: (f64, f64),
+    p_turn: f64,
+    /// Current heading as a unit grid direction (±1, 0) or (0, ±1).
+    heading: (i8, i8),
+}
+
+impl ManhattanGrid {
+    /// Creates a grid of `side × side` meters with the given block size and
+    /// speed class. Starts at the center intersection heading east.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not positive or exceeds `side`.
+    pub fn new(side: f64, block: f64, class: SpeedClass) -> Self {
+        assert!(block > 0.0 && block <= side, "invalid block size");
+        ManhattanGrid {
+            area: Rect::square(side),
+            block,
+            speed_range: class.range(),
+            p_turn: 0.25,
+            heading: (1, 0),
+        }
+    }
+
+    /// Sets the probability of turning (split evenly left/right) at each
+    /// intersection; the remainder continues straight.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn with_turn_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.p_turn = p;
+        self
+    }
+
+    /// Snaps a coordinate onto the nearest grid line.
+    fn snap(&self, v: f64) -> f64 {
+        (v / self.block).round() * self.block
+    }
+
+    fn turn_left(h: (i8, i8)) -> (i8, i8) {
+        (-h.1, h.0)
+    }
+
+    fn turn_right(h: (i8, i8)) -> (i8, i8) {
+        (h.1, -h.0)
+    }
+}
+
+impl MobilityModel for ManhattanGrid {
+    fn next_leg(&mut self, current: Point, rng: &mut RngStream) -> Leg {
+        // Keep the node on grid lines (start positions may be off-grid).
+        let here = self.area.clamp(Point::new(self.snap(current.x), self.snap(current.y)));
+
+        // Choose heading: straight with prob 1-p_turn, else left/right.
+        let u = rng.next_f64();
+        let mut heading = if u < self.p_turn / 2.0 {
+            Self::turn_left(self.heading)
+        } else if u < self.p_turn {
+            Self::turn_right(self.heading)
+        } else {
+            self.heading
+        };
+
+        // If the chosen heading would leave the area, rotate until it
+        // doesn't (guaranteed possible in a rectangle).
+        for _ in 0..4 {
+            let next = Point::new(
+                here.x + f64::from(heading.0) * self.block,
+                here.y + f64::from(heading.1) * self.block,
+            );
+            if self.area.contains(next) {
+                break;
+            }
+            heading = Self::turn_left(heading);
+        }
+        self.heading = heading;
+
+        let dest = self.area.clamp(Point::new(
+            here.x + f64::from(heading.0) * self.block,
+            here.y + f64::from(heading.1) * self.block,
+        ));
+        if dest.distance(here) < 1.0 {
+            // Degenerate corner: pause briefly rather than emit a zero leg.
+            return Leg::pause(here, mtnet_sim::SimDuration::from_secs(1));
+        }
+        let speed = rng.uniform(self.speed_range.0, self.speed_range.1);
+        Leg::travel(here, dest, speed)
+    }
+
+    fn start(&self) -> Point {
+        let c = self.area.center();
+        Point::new(self.snap(c.x), self.snap(c.y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Trajectory;
+    use mtnet_sim::SimTime;
+
+    #[test]
+    fn stays_in_area_and_on_grid_at_leg_ends() {
+        let mut model = ManhattanGrid::new(1000.0, 100.0, SpeedClass::UrbanVehicle);
+        let mut r = RngStream::derive(2, "mh");
+        let mut pos = model.start();
+        for _ in 0..200 {
+            let leg = model.next_leg(pos, &mut r);
+            pos = leg.to;
+            assert!(model.area.contains(pos), "left area: {pos}");
+            let on_x = (pos.x / 100.0).fract().abs() < 1e-9;
+            let on_y = (pos.y / 100.0).fract().abs() < 1e-9;
+            assert!(on_x && on_y, "off grid: {pos}");
+        }
+    }
+
+    #[test]
+    fn legs_are_axis_aligned() {
+        let mut model = ManhattanGrid::new(1000.0, 100.0, SpeedClass::UrbanVehicle);
+        let mut r = RngStream::derive(4, "mh2");
+        let mut pos = model.start();
+        for _ in 0..100 {
+            let leg = model.next_leg(pos, &mut r);
+            let dx = (leg.to.x - leg.from.x).abs();
+            let dy = (leg.to.y - leg.from.y).abs();
+            assert!(dx < 1e-9 || dy < 1e-9, "diagonal leg {leg:?}");
+            pos = leg.to;
+        }
+    }
+
+    #[test]
+    fn turns_occur_with_nonzero_probability() {
+        let mut model =
+            ManhattanGrid::new(5000.0, 100.0, SpeedClass::UrbanVehicle).with_turn_probability(0.8);
+        let mut r = RngStream::derive(6, "mh3");
+        let mut pos = model.start();
+        let mut horizontal = 0;
+        let mut vertical = 0;
+        for _ in 0..100 {
+            let leg = model.next_leg(pos, &mut r);
+            if (leg.to.x - leg.from.x).abs() > 1e-9 {
+                horizontal += 1;
+            } else {
+                vertical += 1;
+            }
+            pos = leg.to;
+        }
+        assert!(horizontal > 10 && vertical > 10, "h={horizontal} v={vertical}");
+    }
+
+    #[test]
+    fn straight_only_when_turn_probability_zero() {
+        let mut model =
+            ManhattanGrid::new(10_000.0, 100.0, SpeedClass::UrbanVehicle).with_turn_probability(0.0);
+        let mut r = RngStream::derive(8, "mh4");
+        let mut pos = model.start();
+        for _ in 0..20 {
+            let leg = model.next_leg(pos, &mut r);
+            assert!((leg.to.y - leg.from.y).abs() < 1e-9, "turned without p_turn");
+            pos = leg.to;
+        }
+    }
+
+    #[test]
+    fn trajectory_integration() {
+        let model = ManhattanGrid::new(1000.0, 200.0, SpeedClass::UrbanVehicle);
+        let area = Rect::square(1000.0);
+        let mut traj = Trajectory::new(Box::new(model));
+        let mut r = RngStream::derive(10, "mh5");
+        for secs in (0..600).step_by(13) {
+            assert!(area.contains(traj.position(SimTime::from_secs(secs), &mut r)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid block")]
+    fn block_validation() {
+        ManhattanGrid::new(100.0, 0.0, SpeedClass::Pedestrian);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn turn_probability_validation() {
+        ManhattanGrid::new(100.0, 10.0, SpeedClass::Pedestrian).with_turn_probability(1.5);
+    }
+
+    #[test]
+    fn rotations_are_inverse() {
+        let h = (1i8, 0i8);
+        assert_eq!(
+            ManhattanGrid::turn_right(ManhattanGrid::turn_left(h)),
+            h
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! The mobility-model trait and lazily materialized trajectories.
+
+use crate::geometry::Point;
+use mtnet_sim::{RngStream, SimDuration, SimTime};
+
+/// One straight constant-speed segment of a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Leg {
+    /// Start position.
+    pub from: Point,
+    /// End position.
+    pub to: Point,
+    /// Leg duration (movement plus any trailing pause).
+    pub duration: SimDuration,
+    /// Movement speed during the leg in m/s (0 for pauses).
+    pub speed: f64,
+}
+
+impl Leg {
+    /// A stationary leg at `at` for `duration`.
+    pub fn pause(at: Point, duration: SimDuration) -> Leg {
+        Leg { from: at, to: at, duration, speed: 0.0 }
+    }
+
+    /// A movement leg between two points at `speed` m/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not positive and finite.
+    pub fn travel(from: Point, to: Point, speed: f64) -> Leg {
+        assert!(speed.is_finite() && speed > 0.0, "speed must be positive");
+        let duration = SimDuration::from_secs_f64(from.distance(to) / speed);
+        Leg { from, to, duration, speed }
+    }
+
+    /// Position `elapsed` into the leg.
+    pub fn position_at(&self, elapsed: SimDuration) -> Point {
+        if self.duration.is_zero() {
+            return self.to;
+        }
+        let t = elapsed.as_secs_f64() / self.duration.as_secs_f64();
+        self.from.lerp(self.to, t)
+    }
+}
+
+/// A generator of consecutive trajectory legs.
+///
+/// Implementations must be deterministic given the `RngStream` handed in:
+/// all randomness comes from that stream.
+pub trait MobilityModel {
+    /// Produces the next leg, starting wherever the previous leg ended.
+    ///
+    /// The first call receives the model's configured start point via its
+    /// own state; subsequent calls continue from `current`.
+    fn next_leg(&mut self, current: Point, rng: &mut RngStream) -> Leg;
+
+    /// The initial position of the node.
+    fn start(&self) -> Point;
+}
+
+/// A node that never moves — the degenerate mobility model.
+#[derive(Debug, Clone, Copy)]
+pub struct Stationary {
+    at: Point,
+}
+
+impl Stationary {
+    /// Creates a stationary node at `at`.
+    pub fn new(at: Point) -> Self {
+        Stationary { at }
+    }
+}
+
+impl MobilityModel for Stationary {
+    fn next_leg(&mut self, _current: Point, _rng: &mut RngStream) -> Leg {
+        Leg::pause(self.at, SimDuration::from_secs(3600))
+    }
+
+    fn start(&self) -> Point {
+        self.at
+    }
+}
+
+/// A trajectory: legs materialized on demand from a [`MobilityModel`],
+/// with position and speed queries at arbitrary (non-decreasing-friendly)
+/// times.
+///
+/// Legs are cached, so queries may go backwards in time as well; memory is
+/// proportional to the trajectory horizon actually queried.
+pub struct Trajectory {
+    model: Box<dyn MobilityModel + Send>,
+    /// Cumulative end time of each cached leg.
+    ends: Vec<SimTime>,
+    legs: Vec<Leg>,
+}
+
+impl std::fmt::Debug for Trajectory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trajectory")
+            .field("cached_legs", &self.legs.len())
+            .field(
+                "horizon",
+                &self.ends.last().copied().unwrap_or(SimTime::ZERO),
+            )
+            .finish()
+    }
+}
+
+impl Trajectory {
+    /// Wraps a model into an empty trajectory.
+    pub fn new(model: Box<dyn MobilityModel + Send>) -> Self {
+        Trajectory { model, ends: Vec::new(), legs: Vec::new() }
+    }
+
+    /// Extends the cached legs to cover time `t`.
+    fn materialize_to(&mut self, t: SimTime, rng: &mut RngStream) {
+        let mut horizon = self.ends.last().copied().unwrap_or(SimTime::ZERO);
+        while horizon <= t {
+            let current = self
+                .legs
+                .last()
+                .map(|l| l.to)
+                .unwrap_or_else(|| self.model.start());
+            let leg = self.model.next_leg(current, rng);
+            // Zero-length legs would stall materialization forever.
+            let duration = leg.duration.max(SimDuration::from_millis(1));
+            horizon += duration;
+            self.ends.push(horizon);
+            self.legs.push(leg);
+        }
+    }
+
+    fn leg_index_at(&self, t: SimTime) -> usize {
+        // First leg whose end is strictly after t.
+        match self.ends.binary_search(&t) {
+            Ok(i) => (i + 1).min(self.legs.len() - 1),
+            Err(i) => i.min(self.legs.len() - 1),
+        }
+    }
+
+    /// Position at time `t` (materializing legs as needed).
+    pub fn position(&mut self, t: SimTime, rng: &mut RngStream) -> Point {
+        self.materialize_to(t, rng);
+        let i = self.leg_index_at(t);
+        let leg_start = if i == 0 { SimTime::ZERO } else { self.ends[i - 1] };
+        self.legs[i].position_at(t.saturating_since(leg_start))
+    }
+
+    /// Instantaneous speed (m/s) at time `t`.
+    pub fn speed(&mut self, t: SimTime, rng: &mut RngStream) -> f64 {
+        self.materialize_to(t, rng);
+        self.legs[self.leg_index_at(t)].speed
+    }
+
+    /// Number of legs currently cached.
+    pub fn cached_legs(&self) -> usize {
+        self.legs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> RngStream {
+        RngStream::derive(1, "trajectory-test")
+    }
+
+    #[test]
+    fn leg_travel_duration() {
+        let l = Leg::travel(Point::new(0.0, 0.0), Point::new(100.0, 0.0), 10.0);
+        assert_eq!(l.duration, SimDuration::from_secs(10));
+        assert_eq!(l.position_at(SimDuration::from_secs(5)), Point::new(50.0, 0.0));
+        assert_eq!(l.position_at(SimDuration::from_secs(20)), Point::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn leg_pause_stays_put() {
+        let l = Leg::pause(Point::new(7.0, 7.0), SimDuration::from_secs(3));
+        assert_eq!(l.speed, 0.0);
+        assert_eq!(l.position_at(SimDuration::from_secs(1)), Point::new(7.0, 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn leg_zero_speed_rejected() {
+        Leg::travel(Point::ORIGIN, Point::new(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut traj = Trajectory::new(Box::new(Stationary::new(Point::new(5.0, 5.0))));
+        let mut r = rng();
+        for secs in [0u64, 100, 10_000] {
+            assert_eq!(traj.position(SimTime::from_secs(secs), &mut r), Point::new(5.0, 5.0));
+            assert_eq!(traj.speed(SimTime::from_secs(secs), &mut r), 0.0);
+        }
+    }
+
+    /// A scripted model emitting fixed legs, for deterministic tests.
+    struct Scripted {
+        legs: Vec<Leg>,
+        i: usize,
+    }
+
+    impl MobilityModel for Scripted {
+        fn next_leg(&mut self, _c: Point, _r: &mut RngStream) -> Leg {
+            let leg = self.legs[self.i % self.legs.len()];
+            self.i += 1;
+            leg
+        }
+        fn start(&self) -> Point {
+            self.legs[0].from
+        }
+    }
+
+    #[test]
+    fn trajectory_interpolates_across_legs() {
+        let legs = vec![
+            Leg::travel(Point::new(0.0, 0.0), Point::new(100.0, 0.0), 10.0), // 10 s
+            Leg::pause(Point::new(100.0, 0.0), SimDuration::from_secs(5)),   // 5 s
+            Leg::travel(Point::new(100.0, 0.0), Point::new(100.0, 50.0), 5.0), // 10 s
+        ];
+        let mut traj = Trajectory::new(Box::new(Scripted { legs, i: 0 }));
+        let mut r = rng();
+        assert_eq!(traj.position(SimTime::from_secs(5), &mut r), Point::new(50.0, 0.0));
+        assert_eq!(traj.position(SimTime::from_secs(12), &mut r), Point::new(100.0, 0.0));
+        assert_eq!(traj.position(SimTime::from_secs(20), &mut r), Point::new(100.0, 25.0));
+        // Speeds per segment.
+        assert_eq!(traj.speed(SimTime::from_secs(5), &mut r), 10.0);
+        assert_eq!(traj.speed(SimTime::from_secs(12), &mut r), 0.0);
+        assert_eq!(traj.speed(SimTime::from_secs(20), &mut r), 5.0);
+    }
+
+    #[test]
+    fn backwards_queries_use_cache() {
+        let legs =
+            vec![Leg::travel(Point::new(0.0, 0.0), Point::new(100.0, 0.0), 1.0)];
+        let mut traj = Trajectory::new(Box::new(Scripted { legs, i: 0 }));
+        let mut r = rng();
+        let late = traj.position(SimTime::from_secs(90), &mut r);
+        let early = traj.position(SimTime::from_secs(10), &mut r);
+        assert!((late.x - 90.0).abs() < 1e-9);
+        assert!((early.x - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn debug_reports_cache() {
+        let mut traj = Trajectory::new(Box::new(Stationary::new(Point::ORIGIN)));
+        let mut r = rng();
+        traj.position(SimTime::from_secs(1), &mut r);
+        assert!(format!("{traj:?}").contains("cached_legs"));
+        assert!(traj.cached_legs() >= 1);
+    }
+}

@@ -1,0 +1,455 @@
+//! Network topology: a directed graph of nodes and links, with shortest
+//! paths for auto-populating routing tables.
+
+use crate::addr::{Addr, Prefix};
+use crate::link::{Link, LinkConfig};
+use crate::routing::RoutingTable;
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+/// Identifier of a node (router, host, base station…) in a [`Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a unidirectional link in a [`Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Errors returned by [`Topology`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Referenced a node id that was never added.
+    UnknownNode(NodeId),
+    /// Referenced a link id that was never added.
+    UnknownLink(LinkId),
+    /// No link connects the two nodes in the requested direction.
+    NoLink(NodeId, NodeId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TopologyError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            TopologyError::NoLink(a, b) => write!(f, "no link from {a} to {b}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[derive(Debug, Clone)]
+struct NodeEntry {
+    addr: Addr,
+    /// Outgoing adjacency: (neighbor, link id).
+    out: Vec<(NodeId, LinkId)>,
+}
+
+#[derive(Debug)]
+struct LinkEntry {
+    from: NodeId,
+    to: NodeId,
+    link: Link,
+}
+
+/// A directed graph of nodes and [`Link`]s.
+///
+/// The topology owns the mutable link state (queues, statistics); the
+/// simulation asks it to transmit packets hop by hop. Shortest paths (by
+/// propagation delay) can be computed to fill [`RoutingTable`]s.
+///
+/// ```
+/// use mtnet_net::{Topology, LinkConfig, Addr};
+/// let mut topo = Topology::new();
+/// let a = topo.add_node("10.0.0.1".parse().unwrap());
+/// let b = topo.add_node("10.0.0.2".parse().unwrap());
+/// topo.connect(a, b, LinkConfig::backbone());
+/// assert_eq!(topo.next_hop_on_path(a, b), Some(b));
+/// ```
+#[derive(Debug, Default)]
+pub struct Topology {
+    nodes: Vec<NodeEntry>,
+    links: Vec<LinkEntry>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Adds a node with the given address; returns its id.
+    pub fn add_node(&mut self, addr: Addr) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeEntry { addr, out: Vec::new() });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of unidirectional links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The address assigned to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is unknown.
+    pub fn addr_of(&self, node: NodeId) -> Addr {
+        self.nodes[node.0 as usize].addr
+    }
+
+    /// Finds the node owning `addr`, if any (linear scan; topologies are
+    /// small).
+    pub fn node_by_addr(&self, addr: Addr) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.addr == addr)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Adds a unidirectional link `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is unknown.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, config: LinkConfig) -> LinkId {
+        assert!((from.0 as usize) < self.nodes.len(), "unknown node {from}");
+        assert!((to.0 as usize) < self.nodes.len(), "unknown node {to}");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkEntry { from, to, link: Link::new(config) });
+        self.nodes[from.0 as usize].out.push((to, id));
+        id
+    }
+
+    /// Adds a duplex connection (two unidirectional links with the same
+    /// config). Returns `(forward, reverse)` link ids.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, config: LinkConfig) -> (LinkId, LinkId) {
+        (self.add_link(a, b, config), self.add_link(b, a, config))
+    }
+
+    /// The link from `from` to `to`, if one exists.
+    pub fn link_between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.nodes
+            .get(from.0 as usize)?
+            .out
+            .iter()
+            .find(|(n, _)| *n == to)
+            .map(|&(_, l)| l)
+    }
+
+    /// Mutable access to a link's queue/statistics state.
+    pub fn link_mut(&mut self, id: LinkId) -> Result<&mut Link, TopologyError> {
+        self.links
+            .get_mut(id.0 as usize)
+            .map(|e| &mut e.link)
+            .ok_or(TopologyError::UnknownLink(id))
+    }
+
+    /// Shared access to a link.
+    pub fn link(&self, id: LinkId) -> Result<&Link, TopologyError> {
+        self.links
+            .get(id.0 as usize)
+            .map(|e| &e.link)
+            .ok_or(TopologyError::UnknownLink(id))
+    }
+
+    /// Endpoints of a link as `(from, to)`.
+    pub fn link_endpoints(&self, id: LinkId) -> Result<(NodeId, NodeId), TopologyError> {
+        self.links
+            .get(id.0 as usize)
+            .map(|e| (e.from, e.to))
+            .ok_or(TopologyError::UnknownLink(id))
+    }
+
+    /// Outgoing neighbors of a node.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .get(node.0 as usize)
+            .into_iter()
+            .flat_map(|n| n.out.iter().map(|&(to, _)| to))
+    }
+
+    /// Dijkstra from `src`, weighted by link propagation delay (nanos),
+    /// returning the predecessor map.
+    fn dijkstra(&self, src: NodeId) -> Vec<Option<(u64, NodeId)>> {
+        // dist/pred indexed by node id; pred[src] = src.
+        let n = self.nodes.len();
+        let mut best: Vec<Option<(u64, NodeId)>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        best[src.0 as usize] = Some((0, src));
+        heap.push(std::cmp::Reverse((0u64, src)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            match best[u.0 as usize] {
+                Some((bd, _)) if bd < d => continue,
+                _ => {}
+            }
+            for &(v, lid) in &self.nodes[u.0 as usize].out {
+                let w = self.links[lid.0 as usize].link.config().propagation.as_nanos().max(1);
+                let nd = d.saturating_add(w);
+                let better = match best[v.0 as usize] {
+                    None => true,
+                    Some((bd, _)) => nd < bd,
+                };
+                if better {
+                    best[v.0 as usize] = Some((nd, u));
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        best
+    }
+
+    /// First hop on the min-delay path `src → dst`, or `None` if
+    /// unreachable (or `src == dst`).
+    pub fn next_hop_on_path(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        if src == dst {
+            return None;
+        }
+        let best = self.dijkstra(src);
+        // Walk predecessors back from dst to src.
+        let mut cur = dst;
+        loop {
+            let (_, pred) = best[cur.0 as usize]?;
+            if pred == src {
+                return Some(cur);
+            }
+            if pred == cur {
+                return None; // src unreachable marker
+            }
+            cur = pred;
+        }
+    }
+
+    /// Number of hops on the min-delay path, or `None` if unreachable.
+    pub fn hop_count(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        if src == dst {
+            return Some(0);
+        }
+        let best = self.dijkstra(src);
+        let mut cur = dst;
+        let mut hops = 0;
+        loop {
+            let (_, pred) = best[cur.0 as usize]?;
+            hops += 1;
+            if pred == src {
+                return Some(hops);
+            }
+            cur = pred;
+        }
+    }
+
+    /// Builds a complete host-route routing table for `node`: one `/32`
+    /// route per other node via the min-delay first hop, plus routes for
+    /// any `(prefix, owner)` pairs given in `prefixes`.
+    pub fn build_routing_table(
+        &self,
+        node: NodeId,
+        prefixes: &[(Prefix, NodeId)],
+    ) -> RoutingTable {
+        let mut table = RoutingTable::new();
+        let best = self.dijkstra(node);
+        let first_hop = |dst: NodeId| -> Option<NodeId> {
+            if dst == node {
+                return None;
+            }
+            let mut cur = dst;
+            loop {
+                let (_, pred) = best[cur.0 as usize]?;
+                if pred == node {
+                    return Some(cur);
+                }
+                cur = pred;
+            }
+        };
+        for (i, other) in self.nodes.iter().enumerate() {
+            let dst = NodeId(i as u32);
+            if let Some(hop) = first_hop(dst) {
+                table.insert(Prefix::host(other.addr), hop);
+            }
+        }
+        for &(prefix, owner) in prefixes {
+            if owner == node {
+                continue;
+            }
+            if let Some(hop) = first_hop(owner) {
+                table.insert(prefix, hop);
+            }
+        }
+        table
+    }
+
+    /// Builds routing tables for every node at once.
+    pub fn build_all_routing_tables(
+        &self,
+        prefixes: &[(Prefix, NodeId)],
+    ) -> HashMap<NodeId, RoutingTable> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .map(|n| (n, self.build_routing_table(n, prefixes)))
+            .collect()
+    }
+
+    /// Resets all link queues and statistics.
+    pub fn reset_links(&mut self) {
+        for e in &mut self.links {
+            e.link.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtnet_sim::SimDuration;
+
+    fn addr(i: u8) -> Addr {
+        Addr::from_octets(10, 0, 0, i)
+    }
+
+    /// a - b - c line plus a slow direct a-c path.
+    fn line_plus_slow_direct() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node(addr(1));
+        let b = t.add_node(addr(2));
+        let c = t.add_node(addr(3));
+        let fast = LinkConfig {
+            propagation: SimDuration::from_millis(1),
+            ..LinkConfig::backbone()
+        };
+        let slow = LinkConfig {
+            propagation: SimDuration::from_millis(50),
+            ..LinkConfig::backbone()
+        };
+        t.connect(a, b, fast);
+        t.connect(b, c, fast);
+        t.connect(a, c, slow);
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn add_and_query_nodes() {
+        let mut t = Topology::new();
+        let a = t.add_node(addr(1));
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.addr_of(a), addr(1));
+        assert_eq!(t.node_by_addr(addr(1)), Some(a));
+        assert_eq!(t.node_by_addr(addr(9)), None);
+    }
+
+    #[test]
+    fn connect_creates_duplex() {
+        let mut t = Topology::new();
+        let a = t.add_node(addr(1));
+        let b = t.add_node(addr(2));
+        let (f, r) = t.connect(a, b, LinkConfig::backbone());
+        assert_eq!(t.link_count(), 2);
+        assert_eq!(t.link_endpoints(f).unwrap(), (a, b));
+        assert_eq!(t.link_endpoints(r).unwrap(), (b, a));
+        assert_eq!(t.link_between(a, b), Some(f));
+        assert_eq!(t.link_between(b, a), Some(r));
+    }
+
+    #[test]
+    fn dijkstra_prefers_low_delay_multihop() {
+        let (t, a, b, c) = line_plus_slow_direct();
+        // 2 ms via b beats 50 ms direct.
+        assert_eq!(t.next_hop_on_path(a, c), Some(b));
+        assert_eq!(t.hop_count(a, c), Some(2));
+    }
+
+    #[test]
+    fn next_hop_self_is_none() {
+        let (t, a, _, _) = line_plus_slow_direct();
+        assert_eq!(t.next_hop_on_path(a, a), None);
+        assert_eq!(t.hop_count(a, a), Some(0));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_node(addr(1));
+        let b = t.add_node(addr(2));
+        // no links
+        assert_eq!(t.next_hop_on_path(a, b), None);
+        assert_eq!(t.hop_count(a, b), None);
+    }
+
+    #[test]
+    fn directed_link_is_one_way() {
+        let mut t = Topology::new();
+        let a = t.add_node(addr(1));
+        let b = t.add_node(addr(2));
+        t.add_link(a, b, LinkConfig::backbone());
+        assert_eq!(t.next_hop_on_path(a, b), Some(b));
+        assert_eq!(t.next_hop_on_path(b, a), None);
+    }
+
+    #[test]
+    fn routing_tables_route_everywhere() {
+        let (t, a, b, c) = line_plus_slow_direct();
+        let table = t.build_routing_table(a, &[]);
+        assert_eq!(table.lookup(addr(2)), Some(b));
+        assert_eq!(table.lookup(addr(3)), Some(b), "should prefer fast path");
+        // No route to self.
+        assert_eq!(table.lookup(addr(1)), None);
+        let all = t.build_all_routing_tables(&[]);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[&c].lookup(addr(1)), Some(b));
+    }
+
+    #[test]
+    fn routing_table_includes_prefix_owners() {
+        let (t, a, b, c) = line_plus_slow_direct();
+        let home: Prefix = "192.168.0.0/16".parse().unwrap();
+        let table = t.build_routing_table(a, &[(home, c)]);
+        assert_eq!(table.lookup("192.168.4.4".parse().unwrap()), Some(b));
+        // Owner's own table skips its own prefix.
+        let own = t.build_routing_table(c, &[(home, c)]);
+        assert_eq!(own.lookup("192.168.4.4".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn link_mut_and_errors() {
+        let (mut t, ..) = line_plus_slow_direct();
+        assert!(t.link_mut(LinkId(0)).is_ok());
+        assert_eq!(
+            t.link_mut(LinkId(999)).unwrap_err(),
+            TopologyError::UnknownLink(LinkId(999))
+        );
+        let e = TopologyError::NoLink(NodeId(1), NodeId(2));
+        assert!(e.to_string().contains("no link"));
+    }
+
+    #[test]
+    fn reset_links_clears_stats() {
+        let (mut t, a, b, _) = line_plus_slow_direct();
+        let lid = t.link_between(a, b).unwrap();
+        t.link_mut(lid).unwrap().transmit(mtnet_sim::SimTime::ZERO, 100);
+        assert_eq!(t.link(lid).unwrap().stats().tx_packets, 1);
+        t.reset_links();
+        assert_eq!(t.link(lid).unwrap().stats().tx_packets, 0);
+    }
+}

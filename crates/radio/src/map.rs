@@ -1,0 +1,284 @@
+//! Cell placement and best-server selection.
+
+use crate::cell::{Cell, CellId, CellKind};
+use crate::propagation::{PathLoss, SENSITIVITY_DBM};
+use mtnet_mobility::Point;
+use std::collections::HashMap;
+
+/// One signal measurement of a cell at a location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// The measured cell.
+    pub cell: CellId,
+    /// Its tier.
+    pub kind: CellKind,
+    /// Received power in dBm.
+    pub rssi_dbm: f64,
+    /// Fraction of free channels in `[0, 1]` at measurement time.
+    pub free_ratio: f64,
+}
+
+/// All cells of a deployment plus the propagation model: answers "which
+/// cells can a node at point P hear, and how loudly?".
+///
+/// This is the measurement substrate for the paper's handoff decision
+/// (§3.2): the decision engine combines these measurements with node speed.
+#[derive(Debug)]
+pub struct CellMap {
+    cells: HashMap<CellId, Cell>,
+    path_loss: PathLoss,
+    /// Extra seed decorrelating shadowing between experiment repetitions.
+    shadow_seed: u64,
+}
+
+impl CellMap {
+    /// Creates an empty map with default (shadowed urban) propagation.
+    pub fn new(shadow_seed: u64) -> Self {
+        CellMap { cells: HashMap::new(), path_loss: PathLoss::default(), shadow_seed }
+    }
+
+    /// Creates a map with shadowing disabled — controlled experiments where
+    /// handoff points must be exactly reproducible from geometry.
+    pub fn without_shadowing() -> Self {
+        CellMap { cells: HashMap::new(), path_loss: PathLoss::clean(3.5), shadow_seed: 0 }
+    }
+
+    /// Overrides the propagation model.
+    pub fn with_path_loss(mut self, pl: PathLoss) -> Self {
+        self.path_loss = pl;
+        self
+    }
+
+    /// Adds a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate cell ids.
+    pub fn add(&mut self, cell: Cell) -> CellId {
+        let id = cell.id();
+        let prev = self.cells.insert(id, cell);
+        assert!(prev.is_none(), "duplicate cell id {id}");
+        id
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no cells were added.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Shared access to a cell.
+    pub fn cell(&self, id: CellId) -> Option<&Cell> {
+        self.cells.get(&id)
+    }
+
+    /// Mutable access to a cell (channel pool updates).
+    pub fn cell_mut(&mut self, id: CellId) -> Option<&mut Cell> {
+        self.cells.get_mut(&id)
+    }
+
+    /// Iterates over all cells in id order (deterministic).
+    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
+        let mut v: Vec<&Cell> = self.cells.values().collect();
+        v.sort_by_key(|c| c.id());
+        v.into_iter()
+    }
+
+    /// Received power of `cell` at `at`, in dBm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell id is unknown.
+    pub fn rssi_dbm(&self, cell: CellId, at: Point) -> f64 {
+        let c = &self.cells[&cell];
+        // The configured model supplies reference loss and shadowing; the
+        // exponent is tier-specific so nominal footprints are radio-true.
+        let pl = crate::PathLoss {
+            exponent: c.kind().path_loss_exponent(),
+            ..self.path_loss
+        };
+        if c.kind().altitude_m() > 0.0 {
+            // Orbital transmitter: free-space over the slant range, no
+            // terrestrial shadowing model.
+            c.kind().tx_power_dbm() - pl.mean_loss_db(c.distance_to(at))
+        } else {
+            pl.rx_power_dbm(
+                c.kind().tx_power_dbm(),
+                c.center(),
+                at,
+                u64::from(cell.0) ^ self.shadow_seed,
+            )
+        }
+    }
+
+    /// Measures every audible cell at `at` (RSSI above the sensitivity
+    /// floor **and** inside the nominal footprint), sorted strongest first.
+    /// `tier` restricts the scan to one tier.
+    pub fn measure(&self, at: Point, tier: Option<CellKind>) -> Vec<Measurement> {
+        let mut out: Vec<Measurement> = self
+            .cells()
+            .filter(|c| tier.is_none_or(|t| c.kind() == t))
+            .filter(|c| c.covers(at))
+            .map(|c| Measurement {
+                cell: c.id(),
+                kind: c.kind(),
+                rssi_dbm: self.rssi_dbm(c.id(), at),
+                free_ratio: c.free_resource_ratio(),
+            })
+            .filter(|m| m.rssi_dbm >= SENSITIVITY_DBM)
+            .collect();
+        out.sort_by(|a, b| b.rssi_dbm.total_cmp(&a.rssi_dbm).then(a.cell.cmp(&b.cell)));
+        out
+    }
+
+    /// Strongest audible cell at `at`, optionally restricted to one tier.
+    pub fn best_cell(&self, at: Point, tier: Option<CellKind>) -> Option<CellId> {
+        self.measure(at, tier).first().map(|m| m.cell)
+    }
+
+    /// Strongest audible cell with hysteresis: switch away from `current`
+    /// only if a candidate beats it by at least `hysteresis_db`, or if
+    /// `current` no longer covers `at`. Hysteresis suppresses ping-pong
+    /// handoffs at cell boundaries.
+    pub fn best_cell_hysteresis(
+        &self,
+        at: Point,
+        current: CellId,
+        hysteresis_db: f64,
+        tier: Option<CellKind>,
+    ) -> Option<CellId> {
+        let measurements = self.measure(at, tier);
+        let current_m = measurements.iter().find(|m| m.cell == current);
+        match (measurements.first(), current_m) {
+            (None, _) => None,
+            (Some(best), None) => Some(best.cell), // lost current entirely
+            (Some(best), Some(cur)) => {
+                if best.cell != current && best.rssi_dbm >= cur.rssi_dbm + hysteresis_db {
+                    Some(best.cell)
+                } else {
+                    Some(current)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtnet_net::NodeId;
+
+    /// Two micro cells 400 m apart plus a macro umbrella.
+    fn two_micro_one_macro() -> CellMap {
+        let mut map = CellMap::without_shadowing();
+        map.add(Cell::new(CellId(0), CellKind::Micro, Point::new(0.0, 0.0), NodeId(0)));
+        map.add(Cell::new(CellId(1), CellKind::Micro, Point::new(400.0, 0.0), NodeId(1)));
+        map.add(Cell::new(CellId(2), CellKind::Macro, Point::new(200.0, 0.0), NodeId(2)));
+        map
+    }
+
+    #[test]
+    fn best_cell_follows_position() {
+        let map = two_micro_one_macro();
+        assert_eq!(map.best_cell(Point::new(10.0, 0.0), Some(CellKind::Micro)), Some(CellId(0)));
+        assert_eq!(map.best_cell(Point::new(390.0, 0.0), Some(CellKind::Micro)), Some(CellId(1)));
+    }
+
+    #[test]
+    fn tier_filter_restricts() {
+        let map = two_micro_one_macro();
+        assert_eq!(map.best_cell(Point::new(200.0, 0.0), Some(CellKind::Macro)), Some(CellId(2)));
+        // At the midpoint both micros are 200 m away — equidistant but both
+        // within footprint; macro is right there and louder.
+        let all = map.measure(Point::new(200.0, 0.0), None);
+        assert_eq!(all.first().unwrap().cell, CellId(2));
+    }
+
+    #[test]
+    fn out_of_coverage_is_empty() {
+        let map = two_micro_one_macro();
+        let far = Point::new(50_000.0, 0.0);
+        assert!(map.measure(far, None).is_empty());
+        assert_eq!(map.best_cell(far, None), None);
+    }
+
+    #[test]
+    fn footprint_limits_micro_but_not_macro() {
+        let map = two_micro_one_macro();
+        let p = Point::new(800.0, 0.0); // 400 m past micro-1, inside macro
+        let m = map.measure(p, None);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].cell, CellId(2));
+    }
+
+    #[test]
+    fn hysteresis_prevents_ping_pong() {
+        let map = two_micro_one_macro();
+        // Just past the midpoint toward cell 1: cell 1 is stronger, but not
+        // by a large margin — with high hysteresis we stay on cell 0.
+        let p = Point::new(210.0, 0.0);
+        let sticky =
+            map.best_cell_hysteresis(p, CellId(0), 20.0, Some(CellKind::Micro));
+        assert_eq!(sticky, Some(CellId(0)));
+        // With zero hysteresis we switch.
+        let eager = map.best_cell_hysteresis(p, CellId(0), 0.0, Some(CellKind::Micro));
+        assert_eq!(eager, Some(CellId(1)));
+    }
+
+    #[test]
+    fn hysteresis_switches_when_coverage_lost() {
+        let map = two_micro_one_macro();
+        // Outside cell 0's 300 m footprint entirely.
+        let p = Point::new(380.0, 0.0);
+        let next = map.best_cell_hysteresis(p, CellId(0), 20.0, Some(CellKind::Micro));
+        assert_eq!(next, Some(CellId(1)), "must leave a dead cell regardless of hysteresis");
+    }
+
+    #[test]
+    fn measurements_sorted_strongest_first() {
+        let map = two_micro_one_macro();
+        let m = map.measure(Point::new(100.0, 0.0), None);
+        assert!(m.windows(2).all(|w| w[0].rssi_dbm >= w[1].rssi_dbm));
+    }
+
+    #[test]
+    fn free_ratio_reflects_channel_pool() {
+        let mut map = two_micro_one_macro();
+        let c = map.cell_mut(CellId(0)).unwrap();
+        c.channels_mut().admit(crate::CallKind::New).unwrap();
+        let m = map.measure(Point::new(10.0, 0.0), Some(CellKind::Micro));
+        assert!(m[0].free_ratio < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell id")]
+    fn duplicate_id_rejected() {
+        let mut map = CellMap::new(0);
+        map.add(Cell::new(CellId(0), CellKind::Pico, Point::ORIGIN, NodeId(0)));
+        map.add(Cell::new(CellId(0), CellKind::Pico, Point::ORIGIN, NodeId(1)));
+    }
+
+    #[test]
+    fn len_and_iteration_order() {
+        let map = two_micro_one_macro();
+        assert_eq!(map.len(), 3);
+        assert!(!map.is_empty());
+        let ids: Vec<CellId> = map.cells().map(|c| c.id()).collect();
+        assert_eq!(ids, vec![CellId(0), CellId(1), CellId(2)]);
+    }
+
+    #[test]
+    fn shadowing_decorrelates_repetitions() {
+        let mk = |seed| {
+            let mut m = CellMap::new(seed);
+            m.add(Cell::new(CellId(0), CellKind::Macro, Point::ORIGIN, NodeId(0)));
+            m.rssi_dbm(CellId(0), Point::new(500.0, 500.0))
+        };
+        assert_ne!(mk(1), mk(2));
+        assert_eq!(mk(1), mk(1));
+    }
+}

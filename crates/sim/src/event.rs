@@ -1,0 +1,80 @@
+//! Internal event-queue entries and cancellation tokens.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// Opaque handle identifying a scheduled event, usable to cancel it before
+/// it fires.
+///
+/// Tokens are unique for the lifetime of a [`crate::Scheduler`]; cancelling a
+/// token that already fired (or was already cancelled) is a harmless no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventToken(pub(crate) u64);
+
+/// A scheduled event: payload plus its firing time and tie-break sequence.
+#[derive(Debug)]
+pub struct ScheduledEvent<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
+}
+
+impl<E> ScheduledEvent<E> {
+    /// The simulated instant at which the event fires.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Consumes the entry and returns the payload.
+    pub fn into_event(self) -> E {
+        self.event
+    }
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    /// Orders by `(time, seq)`. Used inside a max-heap via `Reverse`, so the
+    /// earliest-scheduled event at the earliest time pops first —
+    /// deterministic FIFO among simultaneous events.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, seq: u64) -> ScheduledEvent<()> {
+        ScheduledEvent { time: SimTime::from_nanos(t), seq, event: () }
+    }
+
+    #[test]
+    fn orders_by_time_then_seq() {
+        assert!(ev(1, 5) < ev(2, 0));
+        assert!(ev(1, 0) < ev(1, 1));
+        assert_eq!(ev(1, 1).cmp(&ev(1, 1)), Ordering::Equal);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = ScheduledEvent { time: SimTime::from_secs(1), seq: 3, event: 42u32 };
+        assert_eq!(e.time(), SimTime::from_secs(1));
+        assert_eq!(e.into_event(), 42);
+    }
+}

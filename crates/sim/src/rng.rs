@@ -1,0 +1,336 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic component of a simulation (mobility, traffic, shadowing,
+//! …) draws from its own [`RngStream`], derived from a single master seed and
+//! a stable stream label. Two benefits:
+//!
+//! * Changing how often one component draws does not perturb the numbers any
+//!   other component sees (variance reduction across experiment arms).
+//! * A run is reproducible from `(master_seed, labels)` alone.
+//!
+//! The generator is SplitMix64-seeded xoshiro256++, implemented locally so
+//! the statistical stream is stable regardless of `rand` version. The crate
+//! still implements [`rand::RngCore`] so the distribution adaptors from
+//! `rand` can be used on top.
+
+use rand::RngCore;
+
+/// SplitMix64 step; used for seeding and label hashing.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A named, independently seeded random stream.
+///
+/// ```
+/// use mtnet_sim::RngStream;
+/// use rand::RngCore;
+/// let mut a = RngStream::derive(42, "mobility/mn0");
+/// let mut b = RngStream::derive(42, "mobility/mn0");
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed+label => same stream
+/// let mut c = RngStream::derive(42, "traffic/mn0");
+/// assert_ne!(a.next_u64(), c.next_u64()); // different label => independent
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RngStream {
+    s: [u64; 4],
+}
+
+impl RngStream {
+    /// Creates a stream directly from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not be seeded with all zeros; splitmix output of any
+        // seed is never all-zero across four draws, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        RngStream { s }
+    }
+
+    /// Derives an independent stream from a master seed and a stable label.
+    ///
+    /// The label is hashed with an FNV-1a/SplitMix combination; any two
+    /// distinct labels yield (with overwhelming probability) uncorrelated
+    /// streams.
+    pub fn derive(master_seed: u64, label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut mix = master_seed ^ h;
+        let folded = splitmix64(&mut mix) ^ splitmix64(&mut mix);
+        Self::from_seed(folded)
+    }
+
+    /// Derives a child stream from this stream and a sub-label, without
+    /// advancing `self`.
+    pub fn child(&self, label: &str) -> Self {
+        let base = self.s[0] ^ self.s[1].rotate_left(17) ^ self.s[2].rotate_left(31) ^ self.s[3];
+        Self::derive(base, label)
+    }
+
+    /// Core xoshiro256++ step.
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> [0,1) with full double precision.
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire rejection (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "uniform_u64 range must be non-empty");
+        loop {
+            let x = self.next();
+            let (hi, lo) = {
+                let m = u128::from(x) * u128::from(n);
+                ((m >> 64) as u64, m as u64)
+            };
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform index in `[0, len)` for slice access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[inline]
+    pub fn index(&mut self, len: usize) -> usize {
+        self.uniform_u64(len as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        // Avoid ln(0).
+        let u = 1.0 - self.next_f64();
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller (single draw; the pair's partner is
+    /// discarded to keep the stream consumption per call fixed).
+    pub fn std_normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev.is_finite() && std_dev >= 0.0, "bad std_dev");
+        mean + std_dev * self.std_normal()
+    }
+
+    /// Pareto-distributed value with scale `x_min > 0` and shape `alpha > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive and finite.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min.is_finite() && x_min > 0.0, "bad x_min");
+        assert!(alpha.is_finite() && alpha > 0.0, "bad alpha");
+        let u = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        x_min / u.powf(1.0 / alpha)
+    }
+}
+
+impl RngCore for RngStream {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_label() {
+        let mut a = RngStream::derive(7, "x");
+        let mut b = RngStream::derive(7, "x");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn labels_decorrelate() {
+        let mut a = RngStream::derive(7, "x");
+        let mut b = RngStream::derive(7, "y");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = RngStream::derive(1, "x");
+        let mut b = RngStream::derive(2, "x");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn child_streams_are_stable_and_independent() {
+        let parent = RngStream::derive(9, "p");
+        let mut c1 = parent.child("a");
+        let mut c2 = parent.child("a");
+        let mut c3 = parent.child("b");
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = RngStream::derive(3, "u");
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = RngStream::derive(3, "u2");
+        for _ in 0..10_000 {
+            let x = r.uniform(-5.0, 5.0);
+            assert!((-5.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_u64_unbiased_small_range() {
+        let mut r = RngStream::derive(11, "lemire");
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[r.uniform_u64(3) as usize] += 1;
+        }
+        for c in counts {
+            // each bucket expects 10k; allow 5% deviation
+            assert!((9_500..10_500).contains(&c), "biased: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = RngStream::derive(5, "exp");
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = RngStream::derive(5, "norm");
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn pareto_lower_bound_holds() {
+        let mut r = RngStream::derive(5, "par");
+        for _ in 0..10_000 {
+            assert!(r.pareto(1.5, 2.0) >= 1.5);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = RngStream::derive(6, "chance");
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = RngStream::derive(6, "bytes");
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn uniform_u64_zero_panics() {
+        RngStream::derive(1, "z").uniform_u64(0);
+    }
+}

@@ -1,0 +1,235 @@
+//! The pending-event set: a binary heap keyed by `(time, seq)` with O(1)
+//! logical cancellation.
+
+use crate::event::{EventToken, ScheduledEvent};
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Priority queue of future events.
+///
+/// Cancellation is *logical*: cancelled tokens go into a tombstone set and
+/// the entry is discarded when popped. This keeps both `schedule` and
+/// `cancel` cheap; tombstones are purged as their entries surface.
+///
+/// ```
+/// use mtnet_sim::{Scheduler, SimTime};
+/// let mut q: Scheduler<&str> = Scheduler::new();
+/// q.schedule_at(SimTime::from_secs(2), "b");
+/// let tok = q.schedule_at(SimTime::from_secs(1), "a");
+/// q.cancel(tok);
+/// let next = q.pop().unwrap();
+/// assert_eq!(next.into_event(), "b");
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<(ScheduledEvent<E>, EventToken)>>,
+    cancelled: HashSet<EventToken>,
+    next_seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+    cancelled_total: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+            cancelled_total: 0,
+        }
+    }
+
+    /// Current simulated time (the firing time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever scheduled (monitoring/debugging aid).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total events ever cancelled.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// Schedules `event` at the absolute instant `time`.
+    ///
+    /// Scheduling in the past is clamped to `now` (the event fires next, in
+    /// scheduling order); this keeps zero-delay message chains simple.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventToken {
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        let token = EventToken(seq);
+        self.heap
+            .push(Reverse((ScheduledEvent { time, seq, event }, token)));
+        token
+    }
+
+    /// Schedules `event` after the given delay from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventToken {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a pending event. Returns `true` if the token was live.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        // A token could reference an event that already fired; inserting it
+        // anyway would leak a tombstone, so only count tokens still queued.
+        if token.0 >= self.next_seq {
+            return false;
+        }
+        let inserted = self.cancelled.insert(token);
+        if inserted {
+            self.cancelled_total += 1;
+        }
+        inserted
+    }
+
+    /// Pops the next live event, advancing `now` to its firing time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(Reverse((entry, token))) = self.heap.pop() {
+            if self.cancelled.remove(&token) {
+                continue;
+            }
+            self.now = entry.time;
+            return Some(entry);
+        }
+        // Heap drained; any remaining tombstones refer to fired events.
+        self.cancelled.clear();
+        None
+    }
+
+    /// Firing time of the next live event, if any, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Purge dead entries at the head so the peek is accurate.
+        while let Some(Reverse((entry, token))) = self.heap.peek() {
+            if self.cancelled.contains(token) {
+                let Reverse((_, token)) = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&token);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = Scheduler::new();
+        q.schedule_at(SimTime::from_secs(3), 3);
+        q.schedule_at(SimTime::from_secs(1), 1);
+        q.schedule_at(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.into_event())).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = Scheduler::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.into_event())).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pop() {
+        let mut q = Scheduler::new();
+        q.schedule_at(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn past_schedule_clamps_to_now() {
+        let mut q = Scheduler::new();
+        q.schedule_at(SimTime::from_secs(5), "first");
+        q.pop();
+        q.schedule_at(SimTime::from_secs(1), "late");
+        let e = q.pop().unwrap();
+        assert_eq!(e.time(), SimTime::from_secs(5));
+        assert_eq!(e.into_event(), "late");
+    }
+
+    #[test]
+    fn cancel_suppresses_event() {
+        let mut q = Scheduler::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().into_event(), "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_token_rejected() {
+        let mut q: Scheduler<()> = Scheduler::new();
+        assert!(!q.cancel(EventToken(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = Scheduler::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn len_counts_live_only() {
+        let mut q = Scheduler::new();
+        let a = q.schedule_in(SimDuration::from_secs(1), ());
+        q.schedule_in(SimDuration::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q = Scheduler::new();
+        let a = q.schedule_in(SimDuration::ZERO, ());
+        q.schedule_in(SimDuration::ZERO, ());
+        q.cancel(a);
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.cancelled_total(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! The run loop tying a [`Model`] to a [`Scheduler`].
+
+use crate::event::EventToken;
+use crate::model::{Context, Model};
+use crate::scheduler::Scheduler;
+use crate::time::{SimDuration, SimTime};
+
+/// Why a call to [`Simulator::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained — nothing left to simulate.
+    QueueEmpty,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The model called [`Context::request_stop`].
+    Stopped,
+    /// The configured event budget was exhausted (runaway-loop guard).
+    EventBudgetExhausted,
+}
+
+/// Sequential discrete-event simulator.
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Debug)]
+pub struct Simulator<M: Model> {
+    model: M,
+    scheduler: Scheduler<M::Event>,
+    events_processed: u64,
+    events_emitted: u64,
+    event_budget: u64,
+    stop_requested: bool,
+}
+
+impl<M: Model> Simulator<M> {
+    /// Creates a simulator around `model` with an empty queue at time zero.
+    pub fn new(model: M) -> Self {
+        Simulator {
+            model,
+            scheduler: Scheduler::new(),
+            events_processed: 0,
+            events_emitted: 0,
+            // Large default: protects against accidental infinite
+            // zero-delay loops without ever tripping in legitimate runs.
+            event_budget: u64::MAX,
+            stop_requested: false,
+        }
+    }
+
+    /// Caps the total number of events processed across all `run*` calls.
+    /// Useful as a runaway guard in property tests.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now()
+    }
+
+    /// Shared access to the model (for inspecting results).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model (for reconfiguring between phases).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulator and returns the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Number of events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events scheduled by the model so far.
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+
+    /// Number of live pending events.
+    pub fn pending_events(&self) -> usize {
+        self.scheduler.len()
+    }
+
+    /// Schedules an event from outside the model (initial conditions).
+    pub fn schedule_at(&mut self, time: SimTime, event: M::Event) -> EventToken {
+        self.scheduler.schedule_at(time, event)
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: M::Event) -> EventToken {
+        self.scheduler.schedule_in(delay, event)
+    }
+
+    /// Executes a single event, if one is pending. Returns its firing time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let entry = self.scheduler.pop()?;
+        let time = entry.time();
+        let event = entry.into_event();
+        self.events_processed += 1;
+        let mut ctx = Context::new(
+            &mut self.scheduler,
+            &mut self.events_emitted,
+            &mut self.stop_requested,
+        );
+        self.model.handle_event(&mut ctx, event);
+        Some(time)
+    }
+
+    /// Runs until the queue drains, the model requests a stop, or the event
+    /// budget is exhausted.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until `horizon` (inclusive: events **at** the horizon fire), the
+    /// queue drains, the model requests a stop, or the event budget is
+    /// exhausted. Time never advances past the last executed event.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.stop_requested = false;
+        loop {
+            if self.events_processed >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            match self.scheduler.peek_time() {
+                None => return RunOutcome::QueueEmpty,
+                Some(t) if t > horizon => return RunOutcome::HorizonReached,
+                Some(_) => {
+                    self.step();
+                    if self.stop_requested {
+                        return RunOutcome::Stopped;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that re-schedules itself forever at a fixed period.
+    struct Metronome {
+        ticks: u64,
+        period: SimDuration,
+    }
+
+    impl Model for Metronome {
+        type Event = ();
+        fn handle_event(&mut self, ctx: &mut Context<'_, ()>, _: ()) {
+            self.ticks += 1;
+            ctx.schedule_in(self.period, ());
+        }
+    }
+
+    fn metronome() -> Simulator<Metronome> {
+        let mut sim = Simulator::new(Metronome { ticks: 0, period: SimDuration::from_secs(1) });
+        sim.schedule_at(SimTime::ZERO, ());
+        sim
+    }
+
+    #[test]
+    fn run_until_horizon_inclusive() {
+        let mut sim = metronome();
+        let outcome = sim.run_until(SimTime::from_secs(10));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        // ticks at t=0..=10 inclusive
+        assert_eq!(sim.model().ticks, 11);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn run_until_resumable() {
+        let mut sim = metronome();
+        sim.run_until(SimTime::from_secs(5));
+        let ticks_mid = sim.model().ticks;
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.model().ticks, ticks_mid + 5);
+    }
+
+    #[test]
+    fn queue_empty_outcome() {
+        struct Once;
+        impl Model for Once {
+            type Event = ();
+            fn handle_event(&mut self, _: &mut Context<'_, ()>, _: ()) {}
+        }
+        let mut sim = Simulator::new(Once);
+        sim.schedule_at(SimTime::from_secs(1), ());
+        assert_eq!(sim.run(), RunOutcome::QueueEmpty);
+        assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn event_budget_guards_runaway() {
+        let mut sim = metronome().with_event_budget(100);
+        assert_eq!(sim.run(), RunOutcome::EventBudgetExhausted);
+        assert_eq!(sim.events_processed(), 100);
+    }
+
+    #[test]
+    fn step_returns_firing_time() {
+        let mut sim = metronome();
+        assert_eq!(sim.step(), Some(SimTime::ZERO));
+        assert_eq!(sim.step(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn emitted_counter_tracks_model_scheduling() {
+        let mut sim = metronome();
+        sim.run_until(SimTime::from_secs(3));
+        // Each handled tick emits exactly one follow-up.
+        assert_eq!(sim.events_emitted(), sim.events_processed());
+    }
+
+    #[test]
+    fn into_model_returns_state() {
+        let mut sim = metronome();
+        sim.run_until(SimTime::from_secs(2));
+        let m = sim.into_model();
+        assert_eq!(m.ticks, 3);
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        let run = || {
+            let mut sim = metronome();
+            sim.run_until(SimTime::from_secs(100));
+            (sim.model().ticks, sim.now(), sim.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,274 @@
+//! Property-based tests on core data structures and invariants
+//! (proptest). Each property encodes something the reproduction's
+//! correctness rests on.
+
+use mtnet_cellularip::{CipTree, HandoffKind, SoftStateCache};
+use mtnet_core::handoff::{
+    Candidate, CurrentAttachment, DecisionConfig, HandoffDecision, HandoffEngine, HandoffFactors,
+};
+use mtnet_core::tier::Tier;
+use mtnet_metrics::{Histogram, Summary};
+use mtnet_net::{Addr, NodeId, Prefix, RoutingTable};
+use mtnet_radio::{CallKind, ChannelPool, CellId};
+use mtnet_sim::{RngStream, Scheduler, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    // ---------------------------------------------------------------
+    // Scheduler: events fire in (time, insertion) order, never lost.
+    // ---------------------------------------------------------------
+    #[test]
+    fn scheduler_total_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut popped = Vec::new();
+        let mut last = (SimTime::ZERO, 0usize);
+        while let Some(e) = q.pop() {
+            let t = e.time();
+            let i = e.into_event();
+            // Non-decreasing time; FIFO among equal times.
+            prop_assert!(t > last.0 || (t == last.0 && (i > last.1 || popped.is_empty())));
+            last = (t, i);
+            popped.push(i);
+        }
+        prop_assert_eq!(popped.len(), times.len(), "no event lost");
+    }
+
+    // ---------------------------------------------------------------
+    // Addressing: prefixes contain exactly their subnet.
+    // ---------------------------------------------------------------
+    #[test]
+    fn prefix_membership(addr_bits in any::<u32>(), len in 0u8..=32) {
+        let a = Addr(addr_bits);
+        let p = Prefix::new(a, len);
+        prop_assert!(p.contains(a), "an address is inside its own prefix");
+        // Flipping any bit inside the mask leaves membership intact;
+        // flipping a masked bit breaks it.
+        if len > 0 {
+            let flipped = Addr(addr_bits ^ (1 << (32 - len)));
+            prop_assert!(!p.contains(flipped), "network-bit flip escapes /{}", len);
+        }
+        if len < 32 {
+            let flipped = Addr(addr_bits ^ 1u32.checked_shl(31 - u32::from(len)).unwrap_or(1) >> (31 - u32::from(len)));
+            let host_flipped = Addr(addr_bits ^ 1);
+            prop_assert!(p.contains(host_flipped) || len == 32);
+            let _ = flipped;
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Routing: LPM always returns the most specific matching prefix.
+    // ---------------------------------------------------------------
+    #[test]
+    fn lpm_most_specific_wins(
+        base in any::<u32>(),
+        lens in prop::collection::btree_set(1u8..=32, 1..6),
+    ) {
+        let mut table = RoutingTable::new();
+        let addr = Addr(base);
+        for (i, &len) in lens.iter().enumerate() {
+            table.insert(Prefix::new(addr, len), NodeId(i as u32));
+        }
+        let expect = lens.len() as u32 - 1; // longest inserted is last index
+        prop_assert_eq!(table.lookup(addr), Some(NodeId(expect)));
+    }
+
+    // ---------------------------------------------------------------
+    // Soft state: entries live exactly `lifetime` past the last refresh.
+    // ---------------------------------------------------------------
+    #[test]
+    fn soft_state_expiry(
+        lifetime_ms in 1u64..10_000,
+        probe_ms in 0u64..20_000,
+    ) {
+        let mut c: SoftStateCache<u8, u8> =
+            SoftStateCache::new(SimDuration::from_millis(lifetime_ms));
+        c.refresh(1, 7, SimTime::ZERO);
+        let alive = c.get(&1, SimTime::from_millis(probe_ms)).is_some();
+        prop_assert_eq!(alive, probe_ms < lifetime_ms);
+    }
+
+    // ---------------------------------------------------------------
+    // CIP tree: the crossover is a common ancestor of both nodes and the
+    // deepest such node.
+    // ---------------------------------------------------------------
+    #[test]
+    fn crossover_is_deepest_common_ancestor(
+        shape in prop::collection::vec(0usize..6, 1..24),
+        pick in any::<(prop::sample::Index, prop::sample::Index)>(),
+    ) {
+        // Build a random tree: node i+1 attaches under a previous node.
+        let mut tree = CipTree::new(NodeId(0));
+        let mut nodes = vec![NodeId(0)];
+        for (i, &p) in shape.iter().enumerate() {
+            let parent = nodes[p % nodes.len()];
+            let id = NodeId(i as u32 + 1);
+            tree.add_bs(id, parent);
+            nodes.push(id);
+        }
+        let a = nodes[pick.0.index(nodes.len())];
+        let b = nodes[pick.1.index(nodes.len())];
+        let x = tree.crossover(a, b);
+        let path_a = tree.uplink_path(a);
+        let path_b = tree.uplink_path(b);
+        prop_assert!(path_a.contains(&x) && path_b.contains(&x), "common ancestor");
+        // No strictly deeper common node exists.
+        for n in &path_a {
+            if path_b.contains(n) {
+                prop_assert!(tree.depth(*n) <= tree.depth(x));
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Handoff loss windows: semisoft never exceeds hard.
+    // ---------------------------------------------------------------
+    #[test]
+    fn semisoft_never_worse_than_hard(
+        shape in prop::collection::vec(0usize..4, 2..16),
+        pick in any::<(prop::sample::Index, prop::sample::Index)>(),
+        per_hop_ms in 1u64..50,
+        delay_ms in 0u64..500,
+    ) {
+        let mut tree = CipTree::new(NodeId(0));
+        let mut nodes = vec![NodeId(0)];
+        for (i, &p) in shape.iter().enumerate() {
+            let parent = nodes[p % nodes.len()];
+            let id = NodeId(i as u32 + 1);
+            tree.add_bs(id, parent);
+            nodes.push(id);
+        }
+        let a = nodes[pick.0.index(nodes.len())];
+        let b = nodes[pick.1.index(nodes.len())];
+        let hop = SimDuration::from_millis(per_hop_ms);
+        let hard = HandoffKind::Hard.loss_window(&tree, a, b, hop);
+        let semi = HandoffKind::Semisoft { delay: SimDuration::from_millis(delay_ms) }
+            .loss_window(&tree, a, b, hop);
+        prop_assert!(semi <= hard);
+    }
+
+    // ---------------------------------------------------------------
+    // Channel pools: occupancy never exceeds capacity; guard channels
+    // keep handoff admission at least as permissive as new-call admission.
+    // ---------------------------------------------------------------
+    #[test]
+    fn channel_pool_invariants(ops in prop::collection::vec(any::<(bool, bool)>(), 1..200)) {
+        let mut pool = ChannelPool::new(10, 3);
+        for (is_admit, is_handoff) in ops {
+            if is_admit {
+                let kind = if is_handoff { CallKind::Handoff } else { CallKind::New };
+                // Admission permissiveness: if a new call would be
+                // admitted, a handoff must be too.
+                if pool.can_admit(CallKind::New) {
+                    prop_assert!(pool.can_admit(CallKind::Handoff));
+                }
+                let _ = pool.admit(kind);
+            } else if pool.in_use() > 0 {
+                pool.release();
+            }
+            prop_assert!(pool.in_use() <= pool.total());
+            let ratio = pool.free_ratio();
+            prop_assert!((0.0..=1.0).contains(&ratio));
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Metrics: Summary merge is observation-order independent.
+    // ---------------------------------------------------------------
+    #[test]
+    fn summary_merge_associative(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..50),
+        ys in prop::collection::vec(-1e6f64..1e6, 0..50),
+    ) {
+        let mut ab = Summary::from_iter(xs.iter().copied());
+        ab.merge(&Summary::from_iter(ys.iter().copied()));
+        let all = Summary::from_iter(xs.iter().chain(ys.iter()).copied());
+        prop_assert_eq!(ab.count(), all.count());
+        if ab.count() > 0 {
+            prop_assert!((ab.mean() - all.mean()).abs() < 1e-6);
+            prop_assert!((ab.sample_variance() - all.sample_variance()).abs() < 1e-3);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Histogram: percentile is monotone and bounded by extrema.
+    // ---------------------------------------------------------------
+    #[test]
+    fn histogram_percentile_monotone(values in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0;
+        for pct in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let p = h.percentile(pct).unwrap();
+            prop_assert!(p >= last, "p{} = {} < previous {}", pct, p, last);
+            prop_assert!(p >= h.min().unwrap());
+            prop_assert!(p <= h.max().unwrap());
+            last = p;
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // RNG streams: derivation is deterministic and label-sensitive.
+    // ---------------------------------------------------------------
+    #[test]
+    fn rng_streams_deterministic(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        use rand::RngCore;
+        let mut a = RngStream::derive(seed, &label);
+        let mut b = RngStream::derive(seed, &label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Handoff decision: never proposes a cell below the sensitivity
+    // floor, and `Stay` only when currently attached.
+    // ---------------------------------------------------------------
+    #[test]
+    fn decision_sanity(
+        speed in 0.0f64..40.0,
+        rssis in prop::collection::vec(-120.0f64..-40.0, 0..8),
+        free in prop::collection::vec(0.0f64..=1.0, 0..8),
+    ) {
+        let n = rssis.len().min(free.len());
+        let candidates: Vec<Candidate> = (0..n)
+            .map(|i| Candidate {
+                cell: CellId(i as u32),
+                tier: if i % 2 == 0 { Tier::Micro } else { Tier::Macro },
+                rssi_dbm: rssis[i],
+                free_ratio: free[i],
+            })
+            .collect();
+        let engine = HandoffEngine::new(DecisionConfig::default(), HandoffFactors::all());
+        match engine.decide(speed, None, &candidates) {
+            HandoffDecision::Stay => prop_assert!(false, "cannot stay when unattached"),
+            HandoffDecision::Outage => {
+                prop_assert!(
+                    candidates.iter().all(|c| c.rssi_dbm < DecisionConfig::default().min_rssi_dbm),
+                    "outage only when nothing is audible"
+                );
+            }
+            HandoffDecision::Handoff { target, .. } => {
+                let cand = candidates.iter().find(|c| c.cell == target).unwrap();
+                prop_assert!(cand.rssi_dbm >= DecisionConfig::default().min_rssi_dbm);
+            }
+        }
+        // With a current attachment the engine never proposes the same cell.
+        if !candidates.is_empty() {
+            let cur = CurrentAttachment {
+                cell: candidates[0].cell,
+                tier: candidates[0].tier,
+                rssi_dbm: Some(candidates[0].rssi_dbm),
+            };
+            if let HandoffDecision::Handoff { target, .. } =
+                engine.decide(speed, Some(cur), &candidates)
+            {
+                prop_assert_ne!(target, cur.cell, "handoff to self is a Stay");
+            }
+        }
+    }
+}
