@@ -28,10 +28,20 @@ fn ms(x: f64) -> String {
 /// satellite overlay rescuing a rural macro coverage hole.
 pub fn e1_multitier_coverage(effort: Effort, seed: u64) -> ExperimentResult {
     let mut tiers = Table::new([
-        "tier", "radius m", "tx dBm", "rate bps", "channels", "guard", "exponent", "radio range m",
+        "tier",
+        "radius m",
+        "tx dBm",
+        "rate bps",
+        "channels",
+        "guard",
+        "exponent",
+        "radio range m",
     ]);
     for kind in CellKind::ALL {
-        let pl = PathLoss { exponent: kind.path_loss_exponent(), ..PathLoss::clean(3.5) };
+        let pl = PathLoss {
+            exponent: kind.path_loss_exponent(),
+            ..PathLoss::clean(3.5)
+        };
         let range = pl.range_for_threshold(kind.tx_power_dbm(), SENSITIVITY_DBM);
         tiers.row([
             kind.to_string(),
@@ -45,8 +55,17 @@ pub fn e1_multitier_coverage(effort: Effort, seed: u64) -> ExperimentResult {
         ]);
     }
     let mut speeds = Table::new(["population", "speed m/s", "preferred tier"]);
-    for (name, v) in [("pedestrian", 1.25), ("cyclist", 6.0), ("urban vehicle", 10.0), ("highway", 27.0)] {
-        speeds.row([name.to_string(), fmt_f64(v), Tier::preferred_for_speed(v).to_string()]);
+    for (name, v) in [
+        ("pedestrian", 1.25),
+        ("cyclist", 6.0),
+        ("urban vehicle", 10.0),
+        ("highway", 27.0),
+    ] {
+        speeds.row([
+            name.to_string(),
+            fmt_f64(v),
+            Tier::preferred_for_speed(v).to_string(),
+        ]);
     }
     // The outermost tier at work: a rural corridor whose middle domain
     // has no macro radio, with and without the satellite overlay.
@@ -54,7 +73,10 @@ pub fn e1_multitier_coverage(effort: Effort, seed: u64) -> ExperimentResult {
     let mut sat = Table::new(["overlay", "loss", "outage samples", "inter-domain handoffs"]);
     for (label, scenario) in [
         ("terrestrial only", Scenario::rural_corridor(seed)),
-        ("with satellite", Scenario::rural_corridor(seed).with_satellite()),
+        (
+            "with satellite",
+            Scenario::rural_corridor(seed).with_satellite(),
+        ),
     ] {
         let r = scenario.run_secs(secs);
         let inter: u64 = r
@@ -101,8 +123,16 @@ pub fn e2_mobileip(effort: Effort, seed: u64) -> ExperimentResult {
         "multi-tier+rsmc (optimized)",
     ]);
     let (pq, mq) = (pure.aggregate_qos(), multi.aggregate_qos());
-    t.row(["mean one-way delay".into(), ms(pq.mean_delay_ms), ms(mq.mean_delay_ms)]);
-    t.row(["p95 one-way delay".into(), ms(pq.p95_delay_ms), ms(mq.p95_delay_ms)]);
+    t.row([
+        "mean one-way delay".into(),
+        ms(pq.mean_delay_ms),
+        ms(mq.mean_delay_ms),
+    ]);
+    t.row([
+        "p95 one-way delay".into(),
+        ms(pq.p95_delay_ms),
+        ms(mq.p95_delay_ms),
+    ]);
     t.row(["loss".into(), pct(pq.loss_rate), pct(mq.loss_rate)]);
     t.row([
         "registrations sent".into(),
@@ -192,8 +222,10 @@ pub fn e4_cip_handoff(effort: Effort, seed: u64) -> ExperimentResult {
         let new = NodeId(106);
         let hard = HandoffKind::Hard.loss_window(&chain, old, new, per_hop);
         let semi100 = HandoffKind::default_semisoft().loss_window(&chain, old, new, per_hop);
-        let semi20 = HandoffKind::Semisoft { delay: SimDuration::from_millis(20) }
-            .loss_window(&chain, old, new, per_hop);
+        let semi20 = HandoffKind::Semisoft {
+            delay: SimDuration::from_millis(20),
+        }
+        .loss_window(&chain, old, new, per_hop);
         analytic.row([
             (up + 1).to_string(),
             ms(hard.as_millis_f64()),
@@ -204,7 +236,11 @@ pub fn e4_cip_handoff(effort: Effort, seed: u64) -> ExperimentResult {
     // Measured part: cyclists crossing micro cells.
     let secs = effort.secs(400.0);
     let mut measured = Table::new([
-        "scheme", "handoffs", "loss", "lost pkts", "duplicates (bicast cost)",
+        "scheme",
+        "handoffs",
+        "loss",
+        "lost pkts",
+        "duplicates (bicast cost)",
     ]);
     for (label, arch) in [
         ("hard", ArchKind::multi_tier_hard()),
@@ -266,8 +302,9 @@ pub fn e5_location(seed: u64) -> ExperimentResult {
         let mut dir = LocationDirectory::new(&h, lifetime);
         let mut rng = RngStream::derive(seed, &format!("e5/{period_s}"));
         let all_micros: Vec<CellId> = micros_d1.iter().chain(micros_d2.iter()).copied().collect();
-        let mut serving: Vec<CellId> =
-            (0..n_mns).map(|_| all_micros[rng.index(all_micros.len())]).collect();
+        let mut serving: Vec<CellId> = (0..n_mns)
+            .map(|_| all_micros[rng.index(all_micros.len())])
+            .collect();
         let mut messages = 0u64;
         let mut touched = 0usize;
         let mut found = 0u64;
@@ -291,7 +328,11 @@ pub fn e5_location(seed: u64) -> ExperimentResult {
                 let query_time = now + SimDuration::from_secs(offset);
                 for (i, cell) in serving.iter().enumerate() {
                     let mn = Addr::from_octets(10, 0, 2, i as u8 + 1);
-                    let from = if rng.chance(0.5) { CellId(101) } else { CellId(102) };
+                    let from = if rng.chance(0.5) {
+                        CellId(101)
+                    } else {
+                        CellId(102)
+                    };
                     queries += 1;
                     if let Some(loc) = dir.locate(&h, mn, from, query_time) {
                         found += 1;
@@ -325,14 +366,20 @@ pub fn e5_location(seed: u64) -> ExperimentResult {
         )],
         notes: vec![
             "expected shape: staleness ~0 while period < lifetime (6 s), then rises sharply".into(),
-            "micro-sourced records dominate hits: the paper's micro-first search order pays off".into(),
+            "micro-sourced records dominate hits: the paper's micro-first search order pays off"
+                .into(),
         ],
     }
 }
 
 fn handoff_table(r: &SimReport) -> Table {
     let mut t = Table::new([
-        "handoff type", "count", "latency mean", "latency min", "latency max", "nominal msgs",
+        "handoff type",
+        "count",
+        "latency mean",
+        "latency min",
+        "latency max",
+        "nominal msgs",
     ]);
     for ht in HandoffType::ALL {
         let Some(&count) = r.handoffs.completed.get(&ht) else {
@@ -370,7 +417,9 @@ pub fn e6_interdomain_same(effort: Effort, seed: u64) -> ExperimentResult {
 /// update detours via the home network.
 pub fn e7_interdomain_diff(effort: Effort, seed: u64) -> ExperimentResult {
     let secs = effort.secs(500.0);
-    let r = Scenario::commute_corridor(seed).without_shared_upper().run_secs(secs);
+    let r = Scenario::commute_corridor(seed)
+        .without_shared_upper()
+        .run_secs(secs);
     ExperimentResult {
         id: "E7",
         title: "Fig 3.3 — inter-domain handoff, different upper BS",
@@ -385,7 +434,11 @@ pub fn e7_interdomain_diff(effort: Effort, seed: u64) -> ExperimentResult {
 pub fn e8_intradomain(effort: Effort, seed: u64) -> ExperimentResult {
     let secs = effort.secs(600.0);
     let r = Scenario::small_city(seed)
-        .with_population(Population { pedestrians: 6, vehicles: 2, cyclists: 3 })
+        .with_population(Population {
+            pedestrians: 6,
+            vehicles: 2,
+            cyclists: 3,
+        })
         .run_secs(secs);
     ExperimentResult {
         id: "E8",
@@ -410,10 +463,7 @@ pub fn e9_rsmc(effort: Effort, seed: u64) -> ExperimentResult {
         "no-route drops",
         "paging drops",
     ]);
-    for arch in [
-        ArchKind::multi_tier(),
-        ArchKind::multi_tier_no_rsmc(),
-    ] {
+    for arch in [ArchKind::multi_tier(), ArchKind::multi_tier_no_rsmc()] {
         let r = Scenario::small_city(seed).with_arch(arch).run_secs(secs);
         let q = r.aggregate_qos();
         let drops = |c| r.drops.get(&c).copied().unwrap_or(0);
@@ -484,9 +534,30 @@ pub fn e10_qos(effort: Effort, seed: u64) -> ExperimentResult {
 pub fn e11_loss(effort: Effort, seed: u64) -> ExperimentResult {
     let secs = effort.secs(300.0);
     let populations = [
-        ("pedestrians", Population { pedestrians: 8, vehicles: 0, cyclists: 0 }),
-        ("cyclists", Population { pedestrians: 0, vehicles: 0, cyclists: 8 }),
-        ("vehicles", Population { pedestrians: 0, vehicles: 4, cyclists: 0 }),
+        (
+            "pedestrians",
+            Population {
+                pedestrians: 8,
+                vehicles: 0,
+                cyclists: 0,
+            },
+        ),
+        (
+            "cyclists",
+            Population {
+                pedestrians: 0,
+                vehicles: 0,
+                cyclists: 8,
+            },
+        ),
+        (
+            "vehicles",
+            Population {
+                pedestrians: 0,
+                vehicles: 4,
+                cyclists: 0,
+            },
+        ),
     ];
     let archs = [
         ArchKind::multi_tier(),
@@ -495,7 +566,12 @@ pub fn e11_loss(effort: Effort, seed: u64) -> ExperimentResult {
         ArchKind::FlatCellularIp,
     ];
     let mut t = Table::new([
-        "population", "architecture", "loss", "jitter", "handoffs", "outage samples",
+        "population",
+        "architecture",
+        "loss",
+        "jitter",
+        "handoffs",
+        "outage samples",
     ]);
     for (pname, pop) in populations {
         for arch in archs {
@@ -531,16 +607,47 @@ pub fn e12_ablation(effort: Effort, seed: u64) -> ExperimentResult {
     let arms: [(&str, HandoffFactors); 5] = [
         ("all three (paper)", HandoffFactors::all()),
         ("signal only", HandoffFactors::signal_only()),
-        ("no speed", HandoffFactors { speed: false, signal: true, resources: true }),
-        ("no signal", HandoffFactors { speed: true, signal: false, resources: true }),
-        ("no resources", HandoffFactors { speed: true, signal: true, resources: false }),
+        (
+            "no speed",
+            HandoffFactors {
+                speed: false,
+                signal: true,
+                resources: true,
+            },
+        ),
+        (
+            "no signal",
+            HandoffFactors {
+                speed: true,
+                signal: false,
+                resources: true,
+            },
+        ),
+        (
+            "no resources",
+            HandoffFactors {
+                speed: true,
+                signal: true,
+                resources: false,
+            },
+        ),
     ];
     let mut t = Table::new([
-        "factors", "handoffs", "ping-pong", "rejected", "fallback used", "outages", "loss",
+        "factors",
+        "handoffs",
+        "ping-pong",
+        "rejected",
+        "fallback used",
+        "outages",
+        "loss",
     ]);
     for (label, factors) in arms {
         let r = Scenario::small_city(seed)
-            .with_population(Population { pedestrians: 6, vehicles: 3, cyclists: 3 })
+            .with_population(Population {
+                pedestrians: 6,
+                vehicles: 3,
+                cyclists: 3,
+            })
             .with_factors(factors)
             .run_secs(secs);
         let q = r.aggregate_qos();

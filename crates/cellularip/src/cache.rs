@@ -39,7 +39,12 @@ impl<K: Eq + Hash + Clone, V> SoftStateCache<K, V> {
     /// Panics if `lifetime` is zero.
     pub fn new(lifetime: SimDuration) -> Self {
         assert!(!lifetime.is_zero(), "soft state needs a positive lifetime");
-        SoftStateCache { lifetime, entries: HashMap::new(), refreshes: 0, expirations: 0 }
+        SoftStateCache {
+            lifetime,
+            entries: HashMap::new(),
+            refreshes: 0,
+            expirations: 0,
+        }
     }
 
     /// The configured entry lifetime.
@@ -70,7 +75,9 @@ impl<K: Eq + Hash + Clone, V> SoftStateCache<K, V> {
 
     /// Age of the entry for `key` at `now`.
     pub fn age(&self, key: &K, now: SimTime) -> Option<SimDuration> {
-        self.entries.get(key).map(|(_, at)| now.saturating_since(*at))
+        self.entries
+            .get(key)
+            .map(|(_, at)| now.saturating_since(*at))
     }
 
     /// Removes an entry outright (the paper's "Delete Location Message").

@@ -27,7 +27,9 @@ pub enum HandoffKind {
 impl HandoffKind {
     /// The default semisoft delay used by the Cellular IP papers (~100 ms).
     pub fn default_semisoft() -> Self {
-        HandoffKind::Semisoft { delay: SimDuration::from_millis(100) }
+        HandoffKind::Semisoft {
+            delay: SimDuration::from_millis(100),
+        }
     }
 
     /// Expected packet-loss window for this scheme given the tree geometry
@@ -73,7 +75,14 @@ impl SemisoftController {
 
     /// Opens a bicast window for `mn` moving `old_bs → new_bs`, lasting
     /// `delay` from `now`.
-    pub fn begin(&mut self, mn: Addr, old_bs: NodeId, new_bs: NodeId, now: SimTime, delay: SimDuration) {
+    pub fn begin(
+        &mut self,
+        mn: Addr,
+        old_bs: NodeId,
+        new_bs: NodeId,
+        now: SimTime,
+        delay: SimDuration,
+    ) {
         self.windows.insert(mn, (old_bs, new_bs, now + delay));
     }
 
@@ -158,7 +167,9 @@ mod tests {
             SimDuration::ZERO
         );
         // Tiny delay leaves a remainder.
-        let tight = HandoffKind::Semisoft { delay: SimDuration::from_millis(4) };
+        let tight = HandoffKind::Semisoft {
+            delay: SimDuration::from_millis(4),
+        };
         assert_eq!(
             tight.loss_window(&t, NodeId(3), NodeId(4), hop),
             SimDuration::from_millis(6)
@@ -179,7 +190,13 @@ mod tests {
     #[test]
     fn bicast_window_lifecycle() {
         let mut c = SemisoftController::new();
-        c.begin(addr(), NodeId(3), NodeId(4), SimTime::ZERO, SimDuration::from_millis(100));
+        c.begin(
+            addr(),
+            NodeId(3),
+            NodeId(4),
+            SimTime::ZERO,
+            SimDuration::from_millis(100),
+        );
         assert_eq!(c.open_windows(), 1);
         assert_eq!(
             c.bicast_targets(addr(), SimTime::from_millis(50)),
@@ -201,7 +218,13 @@ mod tests {
     #[test]
     fn complete_closes_early() {
         let mut c = SemisoftController::new();
-        c.begin(addr(), NodeId(3), NodeId(4), SimTime::ZERO, SimDuration::from_secs(1));
+        c.begin(
+            addr(),
+            NodeId(3),
+            NodeId(4),
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+        );
         c.complete(addr());
         assert_eq!(c.bicast_targets(addr(), SimTime::from_millis(1)), None);
     }
@@ -209,7 +232,13 @@ mod tests {
     #[test]
     fn sweep_expires_windows() {
         let mut c = SemisoftController::new();
-        c.begin(addr(), NodeId(3), NodeId(4), SimTime::ZERO, SimDuration::from_millis(10));
+        c.begin(
+            addr(),
+            NodeId(3),
+            NodeId(4),
+            SimTime::ZERO,
+            SimDuration::from_millis(10),
+        );
         assert_eq!(c.sweep(SimTime::from_millis(5)), 0);
         assert_eq!(c.sweep(SimTime::from_millis(10)), 1);
     }

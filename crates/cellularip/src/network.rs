@@ -77,10 +77,14 @@ impl CipNetwork {
     }
 
     fn install_caches(&mut self, node: NodeId) {
-        self.route_caches
-            .insert(node, SoftStateCache::new(self.config.timers.route_cache_lifetime()));
-        self.paging_caches
-            .insert(node, SoftStateCache::new(self.config.timers.paging_cache_lifetime()));
+        self.route_caches.insert(
+            node,
+            SoftStateCache::new(self.config.timers.route_cache_lifetime()),
+        );
+        self.paging_caches.insert(
+            node,
+            SoftStateCache::new(self.config.timers.paging_cache_lifetime()),
+        );
     }
 
     /// Adds a base station under `parent`.
@@ -188,7 +192,8 @@ impl CipNetwork {
     /// The base station `mn` is currently routed to, if routing state is
     /// live.
     pub fn locate(&self, mn: Addr, now: SimTime) -> Option<NodeId> {
-        self.downlink_path(mn, now).map(|p| *p.last().expect("path never empty"))
+        self.downlink_path(mn, now)
+            .map(|p| *p.last().expect("path never empty"))
     }
 
     /// The next downlink hop for `mn` at `node` (`Some(node)` itself means
@@ -225,7 +230,9 @@ impl CipNetwork {
                     hops += 1;
                 }
                 None => {
-                    return PageOutcome::Flooded { paged_bs: self.tree.bs_count() };
+                    return PageOutcome::Flooded {
+                        paged_bs: self.tree.bs_count(),
+                    };
                 }
             }
         }
@@ -258,7 +265,6 @@ impl CipNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn addr(s: &str) -> Addr {
         s.parse().unwrap()
@@ -327,7 +333,10 @@ mod tests {
         );
         // The stale mapping at the old BS (3) remains until expiry but is
         // unreachable from the gateway.
-        assert_eq!(n.next_hop(NodeId(3), mn, SimTime::from_millis(200)), Some(NodeId(3)));
+        assert_eq!(
+            n.next_hop(NodeId(3), mn, SimTime::from_millis(200)),
+            Some(NodeId(3))
+        );
     }
 
     #[test]
@@ -345,7 +354,13 @@ mod tests {
         let mn = addr("20.0.1.9");
         n.paging_update(mn, NodeId(5), SimTime::ZERO);
         let outcome = n.page(mn, SimTime::from_secs(30));
-        assert_eq!(outcome, PageOutcome::Directed { bs: NodeId(5), hops: 2 });
+        assert_eq!(
+            outcome,
+            PageOutcome::Directed {
+                bs: NodeId(5),
+                hops: 2
+            }
+        );
         assert_eq!(outcome.messages(), 2);
     }
 
@@ -384,7 +399,10 @@ mod tests {
         let mn = addr("20.0.1.9");
         // Hop-by-hop: BS 3 first, then its parent, then the gateway.
         n.refresh_route_at(NodeId(3), mn, NodeId(3), SimTime::ZERO);
-        assert!(n.downlink_path(mn, SimTime::ZERO).is_none(), "gateway not yet updated");
+        assert!(
+            n.downlink_path(mn, SimTime::ZERO).is_none(),
+            "gateway not yet updated"
+        );
         n.refresh_route_at(NodeId(1), mn, NodeId(3), SimTime::from_millis(5));
         n.refresh_route_at(NodeId(0), mn, NodeId(1), SimTime::from_millis(10));
         assert_eq!(

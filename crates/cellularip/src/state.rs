@@ -79,7 +79,12 @@ pub struct MnCipState {
 impl MnCipState {
     /// Creates a node considered active as of `now` (it just attached).
     pub fn new(timers: CipTimers, now: SimTime) -> Self {
-        MnCipState { timers, last_data: now, activations: 1, was_active: true }
+        MnCipState {
+            timers,
+            last_data: now,
+            activations: 1,
+            was_active: true,
+        }
     }
 
     /// The configured timers.

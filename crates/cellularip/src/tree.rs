@@ -17,7 +17,10 @@ pub struct CipTree {
 impl CipTree {
     /// Creates a tree containing only the gateway.
     pub fn new(gateway: NodeId) -> Self {
-        CipTree { gateway, parents: HashMap::new() }
+        CipTree {
+            gateway,
+            parents: HashMap::new(),
+        }
     }
 
     /// The gateway (root).
@@ -33,7 +36,10 @@ impl CipTree {
     /// not in the tree.
     pub fn add_bs(&mut self, bs: NodeId, parent: NodeId) {
         assert_ne!(bs, self.gateway, "gateway cannot be re-added");
-        assert!(!self.parents.contains_key(&bs), "duplicate base station {bs}");
+        assert!(
+            !self.parents.contains_key(&bs),
+            "duplicate base station {bs}"
+        );
         assert!(
             parent == self.gateway || self.parents.contains_key(&parent),
             "parent {parent} not in tree"
@@ -136,7 +142,10 @@ mod tests {
     #[test]
     fn uplink_paths() {
         let t = tree();
-        assert_eq!(t.uplink_path(NodeId(3)), vec![NodeId(3), NodeId(1), NodeId(0)]);
+        assert_eq!(
+            t.uplink_path(NodeId(3)),
+            vec![NodeId(3), NodeId(1), NodeId(0)]
+        );
         assert_eq!(t.uplink_path(NodeId(0)), vec![NodeId(0)]);
         assert_eq!(t.depth(NodeId(3)), 2);
         assert_eq!(t.depth(NodeId(0)), 0);

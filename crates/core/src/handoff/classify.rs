@@ -102,8 +102,12 @@ impl fmt::Display for HandoffType {
 /// Panics if either cell is unknown or is an upper-layer (domainless) BS —
 /// nodes never attach to those directly.
 pub fn classify(hierarchy: &Hierarchy, old: CellId, new: CellId) -> HandoffType {
-    let old_domain = hierarchy.domain_of(old).expect("old cell must be in a domain");
-    let new_domain = hierarchy.domain_of(new).expect("new cell must be in a domain");
+    let old_domain = hierarchy
+        .domain_of(old)
+        .expect("old cell must be in a domain");
+    let new_domain = hierarchy
+        .domain_of(new)
+        .expect("new cell must be in a domain");
     if old_domain != new_domain {
         return if hierarchy.same_upper(old_domain, new_domain) {
             HandoffType::InterDomainSameUpper
@@ -141,9 +145,18 @@ mod tests {
     #[test]
     fn intra_domain_cases() {
         let h = world();
-        assert_eq!(classify(&h, CellId(1), CellId(2)), HandoffType::IntraMicroToMicro);
-        assert_eq!(classify(&h, CellId(101), CellId(1)), HandoffType::IntraMacroToMicro);
-        assert_eq!(classify(&h, CellId(1), CellId(101)), HandoffType::IntraMicroToMacro);
+        assert_eq!(
+            classify(&h, CellId(1), CellId(2)),
+            HandoffType::IntraMicroToMicro
+        );
+        assert_eq!(
+            classify(&h, CellId(101), CellId(1)),
+            HandoffType::IntraMacroToMicro
+        );
+        assert_eq!(
+            classify(&h, CellId(1), CellId(101)),
+            HandoffType::IntraMicroToMacro
+        );
     }
 
     #[test]
@@ -151,7 +164,10 @@ mod tests {
         let mut h = Hierarchy::new();
         h.add_domain(CellId(10), None);
         h.add_macro_under(CellId(11), CellId(10));
-        assert_eq!(classify(&h, CellId(10), CellId(11)), HandoffType::IntraMacroToMacro);
+        assert_eq!(
+            classify(&h, CellId(10), CellId(11)),
+            HandoffType::IntraMacroToMacro
+        );
     }
 
     #[test]

@@ -28,12 +28,20 @@ pub struct HandoffFactors {
 impl HandoffFactors {
     /// The paper's full scheme: all three factors.
     pub fn all() -> Self {
-        HandoffFactors { speed: true, signal: true, resources: true }
+        HandoffFactors {
+            speed: true,
+            signal: true,
+            resources: true,
+        }
     }
 
     /// Signal-only (classic single-tier strongest-server handoff).
     pub fn signal_only() -> Self {
-        HandoffFactors { speed: false, signal: true, resources: false }
+        HandoffFactors {
+            speed: false,
+            signal: true,
+            resources: false,
+        }
     }
 }
 
@@ -218,7 +226,11 @@ impl HandoffEngine {
     ) -> HandoffDecision {
         let Some(cur) = current else {
             // Unattached: always take the best cell.
-            return HandoffDecision::Handoff { target: best.cell, tier: best.tier, fallback };
+            return HandoffDecision::Handoff {
+                target: best.cell,
+                tier: best.tier,
+                fallback,
+            };
         };
         if best.cell == cur.cell {
             return HandoffDecision::Stay;
@@ -226,19 +238,31 @@ impl HandoffEngine {
         let cur_rssi_ok = cur.rssi_dbm.is_some_and(|r| r >= self.config.min_rssi_dbm);
         if !cur_rssi_ok {
             // Coverage lost: must move regardless of hysteresis.
-            return HandoffDecision::Handoff { target: best.cell, tier: best.tier, fallback };
+            return HandoffDecision::Handoff {
+                target: best.cell,
+                tier: best.tier,
+                fallback,
+            };
         }
         if best.tier != cur.tier {
             // Tier change (speed or resource driven): hysteresis does not
             // apply — the tiers' power classes differ by construction.
-            return HandoffDecision::Handoff { target: best.cell, tier: best.tier, fallback };
+            return HandoffDecision::Handoff {
+                target: best.cell,
+                tier: best.tier,
+                fallback,
+            };
         }
         // Same-tier: factor 2's hysteresis rule.
         let cur_rssi = cur.rssi_dbm.expect("checked above");
         if self.factors.signal && best.rssi_dbm < cur_rssi + self.config.hysteresis_db {
             return HandoffDecision::Stay;
         }
-        HandoffDecision::Handoff { target: best.cell, tier: best.tier, fallback }
+        HandoffDecision::Handoff {
+            target: best.cell,
+            tier: best.tier,
+            fallback,
+        }
     }
 }
 
@@ -247,15 +271,29 @@ mod tests {
     use super::*;
 
     fn micro(id: u32, rssi: f64, free: f64) -> Candidate {
-        Candidate { cell: CellId(id), tier: Tier::Micro, rssi_dbm: rssi, free_ratio: free }
+        Candidate {
+            cell: CellId(id),
+            tier: Tier::Micro,
+            rssi_dbm: rssi,
+            free_ratio: free,
+        }
     }
 
     fn mac(id: u32, rssi: f64, free: f64) -> Candidate {
-        Candidate { cell: CellId(id), tier: Tier::Macro, rssi_dbm: rssi, free_ratio: free }
+        Candidate {
+            cell: CellId(id),
+            tier: Tier::Macro,
+            rssi_dbm: rssi,
+            free_ratio: free,
+        }
     }
 
     fn cur(id: u32, tier: Tier, rssi: f64) -> Option<CurrentAttachment> {
-        Some(CurrentAttachment { cell: CellId(id), tier, rssi_dbm: Some(rssi) })
+        Some(CurrentAttachment {
+            cell: CellId(id),
+            tier,
+            rssi_dbm: Some(rssi),
+        })
     }
 
     fn engine() -> HandoffEngine {
@@ -264,27 +302,27 @@ mod tests {
 
     #[test]
     fn pedestrian_prefers_micro() {
-        let d = engine().decide(
-            1.0,
-            None,
-            &[micro(1, -70.0, 0.9), mac(100, -50.0, 0.9)],
-        );
+        let d = engine().decide(1.0, None, &[micro(1, -70.0, 0.9), mac(100, -50.0, 0.9)]);
         assert_eq!(
             d,
-            HandoffDecision::Handoff { target: CellId(1), tier: Tier::Micro, fallback: Some(CellId(100)) }
+            HandoffDecision::Handoff {
+                target: CellId(1),
+                tier: Tier::Micro,
+                fallback: Some(CellId(100))
+            }
         );
     }
 
     #[test]
     fn vehicle_prefers_macro() {
-        let d = engine().decide(
-            25.0,
-            None,
-            &[micro(1, -50.0, 0.9), mac(100, -80.0, 0.9)],
-        );
+        let d = engine().decide(25.0, None, &[micro(1, -50.0, 0.9), mac(100, -80.0, 0.9)]);
         assert_eq!(
             d,
-            HandoffDecision::Handoff { target: CellId(100), tier: Tier::Macro, fallback: Some(CellId(1)) }
+            HandoffDecision::Handoff {
+                target: CellId(100),
+                tier: Tier::Macro,
+                fallback: Some(CellId(1))
+            }
         );
     }
 
@@ -320,7 +358,11 @@ mod tests {
     fn coverage_loss_overrides_hysteresis() {
         let d = engine().decide(
             1.0,
-            Some(CurrentAttachment { cell: CellId(1), tier: Tier::Micro, rssi_dbm: None }),
+            Some(CurrentAttachment {
+                cell: CellId(1),
+                tier: Tier::Micro,
+                rssi_dbm: None,
+            }),
             &[micro(2, -90.0, 0.9)],
         );
         assert!(matches!(d, HandoffDecision::Handoff { target, .. } if target == CellId(2)));
@@ -332,11 +374,19 @@ mod tests {
         let d = engine().decide(
             1.0,
             cur(1, Tier::Micro, -60.0),
-            &[micro(1, -60.0, 0.0), micro(2, -58.0, 0.01), mac(100, -70.0, 0.5)],
+            &[
+                micro(1, -60.0, 0.0),
+                micro(2, -58.0, 0.01),
+                mac(100, -70.0, 0.5),
+            ],
         );
         assert_eq!(
             d,
-            HandoffDecision::Handoff { target: CellId(100), tier: Tier::Macro, fallback: None }
+            HandoffDecision::Handoff {
+                target: CellId(100),
+                tier: Tier::Macro,
+                fallback: None
+            }
         );
     }
 
@@ -344,13 +394,13 @@ mod tests {
     fn resource_factor_disabled_ignores_load() {
         let e = HandoffEngine::new(
             DecisionConfig::default(),
-            HandoffFactors { speed: true, signal: true, resources: false },
+            HandoffFactors {
+                speed: true,
+                signal: true,
+                resources: false,
+            },
         );
-        let d = e.decide(
-            1.0,
-            None,
-            &[micro(1, -60.0, 0.0), mac(100, -50.0, 0.9)],
-        );
+        let d = e.decide(1.0, None, &[micro(1, -60.0, 0.0), mac(100, -50.0, 0.9)]);
         assert!(matches!(d, HandoffDecision::Handoff { target, .. } if target == CellId(1)));
     }
 
@@ -358,7 +408,11 @@ mod tests {
     fn speed_factor_disabled_keeps_tier() {
         let e = HandoffEngine::new(
             DecisionConfig::default(),
-            HandoffFactors { speed: false, signal: true, resources: true },
+            HandoffFactors {
+                speed: false,
+                signal: true,
+                resources: true,
+            },
         );
         // Fast node on micro stays micro-preferring without factor 1.
         let d = e.decide(
@@ -373,13 +427,13 @@ mod tests {
     fn signal_factor_disabled_prefers_load() {
         let e = HandoffEngine::new(
             DecisionConfig::default(),
-            HandoffFactors { speed: true, signal: false, resources: true },
+            HandoffFactors {
+                speed: true,
+                signal: false,
+                resources: true,
+            },
         );
-        let d = e.decide(
-            1.0,
-            None,
-            &[micro(1, -50.0, 0.2), micro(2, -80.0, 0.9)],
-        );
+        let d = e.decide(1.0, None, &[micro(1, -50.0, 0.2), micro(2, -80.0, 0.9)]);
         assert!(
             matches!(d, HandoffDecision::Handoff { target, .. } if target == CellId(2)),
             "without signal factor the least-loaded cell wins: {d:?}"
@@ -420,11 +474,7 @@ mod tests {
 
     #[test]
     fn deterministic_tie_break_by_cell_id() {
-        let d = engine().decide(
-            1.0,
-            None,
-            &[micro(2, -60.0, 0.9), micro(1, -60.0, 0.9)],
-        );
+        let d = engine().decide(1.0, None, &[micro(2, -60.0, 0.9), micro(1, -60.0, 0.9)]);
         assert!(matches!(d, HandoffDecision::Handoff { target, .. } if target == CellId(1)));
     }
 }

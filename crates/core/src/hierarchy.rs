@@ -79,7 +79,14 @@ impl Hierarchy {
     ///
     /// Panics on duplicate cell ids.
     pub fn add_upper_macro(&mut self, cell: CellId) -> CellId {
-        self.insert(cell, CellEntry { tier: Tier::Macro, parent: None, domain: None });
+        self.insert(
+            cell,
+            CellEntry {
+                tier: Tier::Macro,
+                parent: None,
+                domain: None,
+            },
+        );
         cell
     }
 
@@ -94,8 +101,19 @@ impl Hierarchy {
             assert!(self.cells.contains_key(&u), "unknown upper BS {u}");
         }
         let id = DomainId(self.domains.len() as u32);
-        self.insert(top_macro, CellEntry { tier: Tier::Macro, parent: upper, domain: Some(id) });
-        self.domains.push(Domain { id, top_macro, upper });
+        self.insert(
+            top_macro,
+            CellEntry {
+                tier: Tier::Macro,
+                parent: upper,
+                domain: Some(id),
+            },
+        );
+        self.domains.push(Domain {
+            id,
+            top_macro,
+            upper,
+        });
         id
     }
 
@@ -110,7 +128,14 @@ impl Hierarchy {
         let p = self.cells.get(&parent).expect("unknown parent");
         assert_eq!(p.tier, Tier::Macro, "macro cells attach under macro cells");
         let domain = p.domain.expect("parent must belong to a domain");
-        self.insert(cell, CellEntry { tier: Tier::Macro, parent: Some(parent), domain: Some(domain) });
+        self.insert(
+            cell,
+            CellEntry {
+                tier: Tier::Macro,
+                parent: Some(parent),
+                domain: Some(domain),
+            },
+        );
         cell
     }
 
@@ -122,7 +147,14 @@ impl Hierarchy {
     pub fn add_micro(&mut self, cell: CellId, parent: CellId) -> CellId {
         let p = self.cells.get(&parent).expect("unknown parent");
         let domain = p.domain.expect("parent must belong to a domain");
-        self.insert(cell, CellEntry { tier: Tier::Micro, parent: Some(parent), domain: Some(domain) });
+        self.insert(
+            cell,
+            CellEntry {
+                tier: Tier::Micro,
+                parent: Some(parent),
+                domain: Some(domain),
+            },
+        );
         cell
     }
 
@@ -287,7 +319,10 @@ mod tests {
         h.add_macro_under(CellId(11), CellId(10));
         h.add_micro(CellId(1), CellId(11));
         assert_eq!(h.domain_of(CellId(11)), Some(d));
-        assert_eq!(h.chain_up(CellId(1)), vec![CellId(1), CellId(11), CellId(10)]);
+        assert_eq!(
+            h.chain_up(CellId(1)),
+            vec![CellId(1), CellId(11), CellId(10)]
+        );
     }
 
     #[test]

@@ -165,7 +165,11 @@ impl LocationDirectory {
         for (levels, cell) in hierarchy.chain_up(from).into_iter().enumerate() {
             if let Some(table) = self.tables.get_mut(&cell) {
                 if let Some(hit) = table.lookup(mn, now) {
-                    return Some(Located { toward: hit.cell(), levels_climbed: levels, hit });
+                    return Some(Located {
+                        toward: hit.cell(),
+                        levels_climbed: levels,
+                        hit,
+                    });
                 }
             }
         }
@@ -206,12 +210,22 @@ impl LocationDirectory {
 
     /// `(location, update, delete)` message counters.
     pub fn counters(&self) -> (u64, u64, u64) {
-        (self.location_messages, self.update_messages, self.delete_messages)
+        (
+            self.location_messages,
+            self.update_messages,
+            self.delete_messages,
+        )
     }
 
     /// Total records currently stored across all tables.
     pub fn total_records(&self) -> usize {
-        self.tables.values().map(|t| { let (a, b) = t.sizes(); a + b }).sum()
+        self.tables
+            .values()
+            .map(|t| {
+                let (a, b) = t.sizes();
+                a + b
+            })
+            .sum()
     }
 }
 
@@ -345,7 +359,9 @@ mod tests {
     fn unknown_node_not_found() {
         let h = fig31();
         let mut d = dir(&h);
-        assert!(d.locate(&h, addr("9.9.9.9"), CellId(2), SimTime::ZERO).is_none());
+        assert!(d
+            .locate(&h, addr("9.9.9.9"), CellId(2), SimTime::ZERO)
+            .is_none());
         assert!(d
             .resolve_serving_cell(addr("9.9.9.9"), CellId(100), SimTime::ZERO)
             .is_none());

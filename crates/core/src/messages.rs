@@ -157,13 +157,34 @@ mod tests {
     #[test]
     fn sizes_positive_for_control() {
         let msgs = [
-            MtMessage::LocationMessage { mn: addr("1.1.1.1"), serving: CellId(0) },
-            MtMessage::UpdateLocation { mn: addr("1.1.1.1"), new_cell: CellId(1) },
-            MtMessage::DeleteLocation { mn: addr("1.1.1.1"), old_cell: CellId(0) },
-            MtMessage::HandoffRequest { mn: addr("1.1.1.1"), target: CellId(1) },
-            MtMessage::HandoffAccept { mn: addr("1.1.1.1"), target: CellId(1) },
-            MtMessage::HandoffReject { mn: addr("1.1.1.1"), target: CellId(1) },
-            MtMessage::RsmcNotify { mn: addr("1.1.1.1"), rsmc: addr("2.2.2.2") },
+            MtMessage::LocationMessage {
+                mn: addr("1.1.1.1"),
+                serving: CellId(0),
+            },
+            MtMessage::UpdateLocation {
+                mn: addr("1.1.1.1"),
+                new_cell: CellId(1),
+            },
+            MtMessage::DeleteLocation {
+                mn: addr("1.1.1.1"),
+                old_cell: CellId(0),
+            },
+            MtMessage::HandoffRequest {
+                mn: addr("1.1.1.1"),
+                target: CellId(1),
+            },
+            MtMessage::HandoffAccept {
+                mn: addr("1.1.1.1"),
+                target: CellId(1),
+            },
+            MtMessage::HandoffReject {
+                mn: addr("1.1.1.1"),
+                target: CellId(1),
+            },
+            MtMessage::RsmcNotify {
+                mn: addr("1.1.1.1"),
+                rsmc: addr("2.2.2.2"),
+            },
         ];
         for m in msgs {
             assert!(m.size_bytes() > 0);
@@ -175,7 +196,10 @@ mod tests {
     fn data_payload_classification() {
         assert!(Payload::Data.is_data());
         assert_eq!(Payload::Data.control_size_bytes(), 0);
-        let cip = Payload::Cip(CipControl::RouteUpdate { mn: addr("1.1.1.1"), came_from_bs: true });
+        let cip = Payload::Cip(CipControl::RouteUpdate {
+            mn: addr("1.1.1.1"),
+            came_from_bs: true,
+        });
         assert!(!cip.is_data());
         assert!(cip.control_size_bytes() > 0);
     }

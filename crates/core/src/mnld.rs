@@ -43,14 +43,18 @@ impl Mnld {
     /// if this was a *domain change* (an inter-domain movement).
     pub fn update(&mut self, mn: Addr, domain: DomainId, rsmc: Addr, now: SimTime) -> bool {
         self.updates += 1;
-        let changed = self
-            .entries
-            .get(&mn)
-            .is_none_or(|e| e.domain != domain);
+        let changed = self.entries.get(&mn).is_none_or(|e| e.domain != domain);
         if changed {
             self.domain_changes += 1;
         }
-        self.entries.insert(mn, MnldEntry { domain, rsmc, updated_at: now });
+        self.entries.insert(
+            mn,
+            MnldEntry {
+                domain,
+                rsmc,
+                updated_at: now,
+            },
+        );
         changed
     }
 
@@ -81,7 +85,12 @@ impl Mnld {
 
     /// `(updates, domain_changes, queries, query_hits)` counters.
     pub fn counters(&self) -> (u64, u64, u64, u64) {
-        (self.updates, self.domain_changes, self.queries, self.query_hits)
+        (
+            self.updates,
+            self.domain_changes,
+            self.queries,
+            self.query_hits,
+        )
     }
 }
 
@@ -96,23 +105,48 @@ mod tests {
     #[test]
     fn first_update_is_a_domain_change() {
         let mut m = Mnld::new();
-        assert!(m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::ZERO));
+        assert!(m.update(
+            addr("10.0.2.1"),
+            DomainId(0),
+            addr("20.0.0.1"),
+            SimTime::ZERO
+        ));
         assert_eq!(m.len(), 1);
     }
 
     #[test]
     fn same_domain_refresh_is_not_a_change() {
         let mut m = Mnld::new();
-        m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::ZERO);
-        assert!(!m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::from_secs(5)));
-        assert!(m.update(addr("10.0.2.1"), DomainId(1), addr("20.1.0.1"), SimTime::from_secs(9)));
+        m.update(
+            addr("10.0.2.1"),
+            DomainId(0),
+            addr("20.0.0.1"),
+            SimTime::ZERO,
+        );
+        assert!(!m.update(
+            addr("10.0.2.1"),
+            DomainId(0),
+            addr("20.0.0.1"),
+            SimTime::from_secs(5)
+        ));
+        assert!(m.update(
+            addr("10.0.2.1"),
+            DomainId(1),
+            addr("20.1.0.1"),
+            SimTime::from_secs(9)
+        ));
         assert_eq!(m.counters().1, 2, "two domain changes");
     }
 
     #[test]
     fn query_statistics() {
         let mut m = Mnld::new();
-        m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::ZERO);
+        m.update(
+            addr("10.0.2.1"),
+            DomainId(0),
+            addr("20.0.0.1"),
+            SimTime::ZERO,
+        );
         let e = m.query(addr("10.0.2.1")).unwrap();
         assert_eq!(e.domain, DomainId(0));
         assert_eq!(e.rsmc, addr("20.0.0.1"));
@@ -123,7 +157,12 @@ mod tests {
     #[test]
     fn peek_does_not_count() {
         let mut m = Mnld::new();
-        m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::ZERO);
+        m.update(
+            addr("10.0.2.1"),
+            DomainId(0),
+            addr("20.0.0.1"),
+            SimTime::ZERO,
+        );
         assert!(m.peek(addr("10.0.2.1")).is_some());
         assert_eq!(m.counters().2, 0);
         assert!(!m.is_empty());
@@ -132,8 +171,21 @@ mod tests {
     #[test]
     fn updated_at_tracks_latest() {
         let mut m = Mnld::new();
-        m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::ZERO);
-        m.update(addr("10.0.2.1"), DomainId(0), addr("20.0.0.1"), SimTime::from_secs(7));
-        assert_eq!(m.peek(addr("10.0.2.1")).unwrap().updated_at, SimTime::from_secs(7));
+        m.update(
+            addr("10.0.2.1"),
+            DomainId(0),
+            addr("20.0.0.1"),
+            SimTime::ZERO,
+        );
+        m.update(
+            addr("10.0.2.1"),
+            DomainId(0),
+            addr("20.0.0.1"),
+            SimTime::from_secs(7),
+        );
+        assert_eq!(
+            m.peek(addr("10.0.2.1")).unwrap().updated_at,
+            SimTime::from_secs(7)
+        );
     }
 }

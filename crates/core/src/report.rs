@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn aggregate_merges_flows() {
-        let mut r = SimReport { duration: SimDuration::from_secs(10), ..Default::default() };
+        let mut r = SimReport {
+            duration: SimDuration::from_secs(10),
+            ..Default::default()
+        };
         let mut q1 = FlowQos::new();
         q1.record_sent(0, SimTime::ZERO, 100);
         q1.record_received(0, SimTime::ZERO, SimTime::from_millis(5), 100);
@@ -210,8 +213,12 @@ mod tests {
     #[test]
     fn handoff_totals_and_latency() {
         let mut h = HandoffStats::default();
-        *h.completed.entry(HandoffType::IntraMicroToMicro).or_insert(0) += 3;
-        *h.completed.entry(HandoffType::InterDomainSameUpper).or_insert(0) += 1;
+        *h.completed
+            .entry(HandoffType::IntraMicroToMicro)
+            .or_insert(0) += 3;
+        *h.completed
+            .entry(HandoffType::InterDomainSameUpper)
+            .or_insert(0) += 1;
         h.latency_ms
             .entry(HandoffType::IntraMicroToMicro)
             .or_insert_with(Summary::new)
@@ -228,7 +235,11 @@ mod tests {
 
     #[test]
     fn signaling_totals() {
-        let s = SignalingStats { location_messages: 5, route_updates: 10, ..Default::default() };
+        let s = SignalingStats {
+            location_messages: 5,
+            route_updates: 10,
+            ..Default::default()
+        };
         assert_eq!(s.total_messages(), 15);
     }
 

@@ -95,7 +95,13 @@ impl Rsmc {
             return Vec::new();
         }
         self.notifications_sent += notify_targets as u64;
-        vec![MtMessage::RsmcNotify { mn, rsmc: self.addr }; notify_targets]
+        vec![
+            MtMessage::RsmcNotify {
+                mn,
+                rsmc: self.addr
+            };
+            notify_targets
+        ]
     }
 
     /// The cell currently (or recently) serving `mn`, if the location
@@ -121,7 +127,11 @@ impl Rsmc {
 
     /// `(notifications, authentications, packets_forwarded)` counters.
     pub fn counters(&self) -> (u64, u64, u64) {
-        (self.notifications_sent, self.auth_performed, self.packets_forwarded)
+        (
+            self.notifications_sent,
+            self.auth_performed,
+            self.packets_forwarded,
+        )
     }
 }
 

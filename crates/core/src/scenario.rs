@@ -36,24 +36,39 @@ pub enum ArchKind {
 impl ArchKind {
     /// The paper's full architecture.
     pub fn multi_tier() -> ArchKind {
-        ArchKind::MultiTier { rsmc: true, semisoft: true }
+        ArchKind::MultiTier {
+            rsmc: true,
+            semisoft: true,
+        }
     }
 
     /// The paper's architecture with hard handoff (Fig 2.4 comparison).
     pub fn multi_tier_hard() -> ArchKind {
-        ArchKind::MultiTier { rsmc: true, semisoft: false }
+        ArchKind::MultiTier {
+            rsmc: true,
+            semisoft: false,
+        }
     }
 
     /// Hierarchy without the RSMC (E9 ablation).
     pub fn multi_tier_no_rsmc() -> ArchKind {
-        ArchKind::MultiTier { rsmc: false, semisoft: true }
+        ArchKind::MultiTier {
+            rsmc: false,
+            semisoft: true,
+        }
     }
 
     /// Short display label for experiment tables.
     pub fn label(&self) -> &'static str {
         match self {
-            ArchKind::MultiTier { rsmc: true, semisoft: true } => "multi-tier+rsmc",
-            ArchKind::MultiTier { rsmc: true, semisoft: false } => "multi-tier(hard)",
+            ArchKind::MultiTier {
+                rsmc: true,
+                semisoft: true,
+            } => "multi-tier+rsmc",
+            ArchKind::MultiTier {
+                rsmc: true,
+                semisoft: false,
+            } => "multi-tier(hard)",
             ArchKind::MultiTier { rsmc: false, .. } => "multi-tier-no-rsmc",
             ArchKind::PureMobileIp => "pure-mobile-ip",
             ArchKind::FlatCellularIp => "flat-cellular-ip",
@@ -165,7 +180,11 @@ impl Scenario {
             arch: ArchKind::multi_tier(),
             n_domains: 3,
             micro_per_domain: 4,
-            population: Population { pedestrians: 6, vehicles: 3, cyclists: 0 },
+            population: Population {
+                pedestrians: 6,
+                vehicles: 3,
+                cyclists: 0,
+            },
             voice: true,
             video: true,
             web: false,
@@ -187,7 +206,11 @@ impl Scenario {
             arch: ArchKind::multi_tier(),
             n_domains: 2,
             micro_per_domain: 4,
-            population: Population { pedestrians: 2, vehicles: 1, cyclists: 0 },
+            population: Population {
+                pedestrians: 2,
+                vehicles: 1,
+                cyclists: 0,
+            },
             voice: true,
             video: false,
             web: false,
@@ -208,7 +231,11 @@ impl Scenario {
             arch: ArchKind::multi_tier(),
             n_domains: 1,
             micro_per_domain: 6,
-            population: Population { pedestrians: 4, vehicles: 0, cyclists: 4 },
+            population: Population {
+                pedestrians: 4,
+                vehicles: 0,
+                cyclists: 4,
+            },
             voice: true,
             video: true,
             web: true,
@@ -248,7 +275,11 @@ impl Scenario {
             macro_hole: true,
             ..Scenario::small_city(seed)
         }
-        .with_population(Population { pedestrians: 0, vehicles: 2, cyclists: 0 })
+        .with_population(Population {
+            pedestrians: 0,
+            vehicles: 2,
+            cyclists: 0,
+        })
     }
 
     /// Adds the satellite overlay.
@@ -311,7 +342,11 @@ impl Scenario {
         for d in 0..self.n_domains {
             // Consecutive pairs share a region/upper BS: (0,1), (2,3), …
             // unless sharing is disabled (every domain its own upper).
-            let region = if self.share_upper { (d / 2) as u32 } else { d as u32 };
+            let region = if self.share_upper {
+                (d / 2) as u32
+            } else {
+                d as u32
+            };
             let paired = if self.share_upper {
                 d + 1 < self.n_domains || d % 2 == 1
             } else {
@@ -450,7 +485,11 @@ mod tests {
             "packets delivered; drops: {:?}",
             report.drops
         );
-        assert!(qos.loss_rate < 0.9, "loss {:.3} suspiciously total", qos.loss_rate);
+        assert!(
+            qos.loss_rate < 0.9,
+            "loss {:.3} suspiciously total",
+            qos.loss_rate
+        );
     }
 
     #[test]
@@ -459,7 +498,12 @@ mod tests {
             let report = Scenario::commute_corridor(7).with_arch(arch).run_secs(15.0);
             let qos = report.aggregate_qos();
             assert!(qos.sent > 50, "{}: no traffic", arch.label());
-            assert!(qos.received > 0, "{}: nothing delivered, drops {:?}", arch.label(), report.drops);
+            assert!(
+                qos.received > 0,
+                "{}: nothing delivered, drops {:?}",
+                arch.label(),
+                report.drops
+            );
         }
     }
 

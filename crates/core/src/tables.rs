@@ -176,7 +176,10 @@ impl CellTable {
 
     /// `(micro_records, macro_records)` currently stored (incl. stale).
     pub fn sizes(&self) -> (usize, usize) {
-        (self.micro.len(), self.macro_.as_ref().map_or(0, SoftStateCache::len))
+        (
+            self.micro.len(),
+            self.macro_.as_ref().map_or(0, SoftStateCache::len),
+        )
     }
 
     /// `(lookups, micro_hits, macro_hits, misses)` statistics.
@@ -217,7 +220,11 @@ mod tests {
         t.record_macro(mn(), CellId(7), SimTime::ZERO);
         t.record_micro(mn(), CellId(3), SimTime::ZERO);
         let hit = t.lookup(mn(), SimTime::from_secs(1)).unwrap();
-        assert_eq!(hit, TableHit::Micro(CellId(3)), "micro_table searched first");
+        assert_eq!(
+            hit,
+            TableHit::Micro(CellId(3)),
+            "micro_table searched first"
+        );
         assert_eq!(hit.tier(), Tier::Micro);
     }
 
@@ -237,7 +244,10 @@ mod tests {
         let mut t = CellTable::for_macro_bs(SimDuration::from_secs(4));
         t.record_micro(mn(), CellId(3), SimTime::ZERO);
         assert!(t.lookup(mn(), SimTime::from_secs(3)).is_some());
-        assert!(t.lookup(mn(), SimTime::from_secs(4)).is_none(), "record erased");
+        assert!(
+            t.lookup(mn(), SimTime::from_secs(4)).is_none(),
+            "record erased"
+        );
         assert_eq!(t.stats().3, 1, "miss counted");
     }
 
@@ -273,6 +283,9 @@ mod tests {
         let mut t = CellTable::for_micro_bs(CellTable::DEFAULT_LIFETIME);
         t.record_micro(mn(), CellId(3), SimTime::ZERO);
         t.record_micro(mn(), CellId(4), SimTime::from_secs(1));
-        assert_eq!(t.lookup(mn(), SimTime::from_secs(2)).unwrap().cell(), CellId(4));
+        assert_eq!(
+            t.lookup(mn(), SimTime::from_secs(2)).unwrap().cell(),
+            CellId(4)
+        );
     }
 }

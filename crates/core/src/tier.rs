@@ -48,7 +48,7 @@ impl Tier {
     /// would otherwise hand off between micro cells too often), slower
     /// nodes in the micro tier (where bandwidth is plentiful). The value —
     /// about a brisk cycling speed — follows the multi-tier speed-sensitive
-    /// assignment literature the paper builds on (refs [6][7]).
+    /// assignment literature the paper builds on (refs \[6]\[7]).
     pub const SPEED_THRESHOLD_MPS: f64 = 8.0;
 
     /// The tier a node moving at `speed_mps` should prefer, considering
@@ -96,7 +96,10 @@ mod tests {
         assert_eq!(Tier::preferred_for_speed(1.0), Tier::Micro, "pedestrian");
         assert_eq!(Tier::preferred_for_speed(30.0), Tier::Macro, "highway");
         // Threshold itself stays micro (strictly-greater comparison).
-        assert_eq!(Tier::preferred_for_speed(Tier::SPEED_THRESHOLD_MPS), Tier::Micro);
+        assert_eq!(
+            Tier::preferred_for_speed(Tier::SPEED_THRESHOLD_MPS),
+            Tier::Micro
+        );
     }
 
     #[test]

@@ -180,11 +180,17 @@ impl WorldBuilder {
         let prefix: Prefix = Prefix::new(Addr::from_octets(20, d, 0, 0), 16);
         let rsmc_addr = Addr::from_octets(20, d, 0, 1);
         let rsmc_node = self.topo.add_node(rsmc_addr);
-        self.topo.connect(self.internet_node, rsmc_node, LinkConfig::wide_area());
+        self.topo
+            .connect(self.internet_node, rsmc_node, LinkConfig::wide_area());
         self.prefixes.push((prefix, rsmc_node));
         self.node_domain.insert(rsmc_node, didx);
 
-        let mut cip = CipNetwork::new(rsmc_node, CipConfig { timers: self.cfg.cip_timers });
+        let mut cip = CipNetwork::new(
+            rsmc_node,
+            CipConfig {
+                timers: self.cfg.cip_timers,
+            },
+        );
 
         // Upper-layer BS shared by the region (Fig 3.2's common R3).
         let upper_cell = spec.region.map(|r| {
@@ -207,12 +213,18 @@ impl WorldBuilder {
         let macro_cell = self.alloc_cell();
         let domain_id = self.hierarchy.add_domain(macro_cell, upper_cell);
         self.cell_domain.insert(macro_cell, didx);
-        let kind = if spec.satellite { CellKind::Satellite } else { CellKind::Macro };
+        let kind = if spec.satellite {
+            CellKind::Satellite
+        } else {
+            CellKind::Macro
+        };
         let bs_parent_node = if self.cfg.has_macro && spec.macro_radio {
             let macro_node = self.topo.add_node(Addr::from_octets(20, d, 0, 10));
-            self.topo.connect(rsmc_node, macro_node, LinkConfig::backbone());
+            self.topo
+                .connect(rsmc_node, macro_node, LinkConfig::backbone());
             cip.add_bs(macro_node, rsmc_node);
-            self.cells.add(Cell::new(macro_cell, kind, spec.center, macro_node));
+            self.cells
+                .add(Cell::new(macro_cell, kind, spec.center, macro_node));
             self.cell_node.insert(macro_cell, macro_node);
             self.node_cell.insert(macro_node, macro_cell);
             self.node_domain.insert(macro_node, didx);
@@ -272,11 +284,7 @@ impl WorldBuilder {
     }
 
     /// Adds a mobile node with the given mobility model and flows.
-    pub fn add_mn(
-        &mut self,
-        model: Box<dyn MobilityModel + Send>,
-        flows: &[FlowKind],
-    ) -> MnId {
+    pub fn add_mn(&mut self, model: Box<dyn MobilityModel + Send>, flows: &[FlowKind]) -> MnId {
         let idx = self.mns.len() as u32;
         let id = MnId(idx);
         let home = Addr::from_octets(10, 0, 2, (idx % 250) as u8 + 1);

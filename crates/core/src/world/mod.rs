@@ -25,7 +25,9 @@ use crate::mnld::Mnld;
 use crate::report::{DropCause, SimReport};
 use crate::rsmc::Rsmc;
 use crate::tier::Tier;
-use mtnet_cellularip::{CipNetwork, CipTimers, HandoffKind, MnCipState, MnMode, SemisoftController};
+use mtnet_cellularip::{
+    CipNetwork, CipTimers, HandoffKind, MnCipState, MnMode, SemisoftController,
+};
 use mtnet_mobileip::{
     AgentAdvertisement, ForeignAgent, HomeAgent, MipMessage, MnAction, MobileNode,
     RegistrationReply, RegistrationRequest,
@@ -264,10 +266,9 @@ impl World {
     /// serialization at the tier's rate, plus orbital propagation for the
     /// satellite tier (altitude / c).
     fn air_time(&self, cell: CellId, bytes: u32) -> SimDuration {
-        let (rate, altitude) = self
-            .cells
-            .cell(cell)
-            .map_or((768_000, 0.0), |c| (c.kind().data_rate_bps(), c.kind().altitude_m()));
+        let (rate, altitude) = self.cells.cell(cell).map_or((768_000, 0.0), |c| {
+            (c.kind().data_rate_bps(), c.kind().altitude_m())
+        });
         self.cfg.air_delay
             + SimDuration::from_secs_f64(f64::from(bytes) * 8.0 / rate as f64)
             + SimDuration::from_secs_f64(altitude / 299_792_458.0)
@@ -284,7 +285,16 @@ impl World {
         payload: Payload,
     ) -> Packet<Payload> {
         self.next_packet_id += 1;
-        Packet::new(PacketId(self.next_packet_id), flow, seq, src, dst, bytes, now, payload)
+        Packet::new(
+            PacketId(self.next_packet_id),
+            flow,
+            seq,
+            src,
+            dst,
+            bytes,
+            now,
+            payload,
+        )
     }
 
     /// Sends a control packet from a wired node.
@@ -319,10 +329,22 @@ impl World {
             return;
         };
         let bytes = pkt.wire_bytes();
-        match self.topo.link_mut(link).expect("link exists").transmit(ctx.now(), bytes) {
+        match self
+            .topo
+            .link_mut(link)
+            .expect("link exists")
+            .transmit(ctx.now(), bytes)
+        {
             TransmitOutcome::Delivered { at } => {
                 pkt.record_hop();
-                ctx.schedule_at(at, Ev::Pkt { node: next, from: Some(node), pkt });
+                ctx.schedule_at(
+                    at,
+                    Ev::Pkt {
+                        node: next,
+                        from: Some(node),
+                        pkt,
+                    },
+                );
             }
             TransmitOutcome::Dropped => {
                 if pkt.payload.is_data() {
@@ -333,7 +355,13 @@ impl World {
     }
 
     /// Transmits a packet over the air from `cell` toward `mn`.
-    fn air_down(&mut self, ctx: &mut Context<'_, Ev>, cell: CellId, mn: MnId, pkt: Packet<Payload>) {
+    fn air_down(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        cell: CellId,
+        mn: MnId,
+        pkt: Packet<Payload>,
+    ) {
         let delay = self.air_time(cell, pkt.wire_bytes());
         ctx.schedule_at(ctx.now() + delay, Ev::AirDown { mn, cell, pkt });
     }
@@ -350,7 +378,14 @@ impl World {
         self.report.signaling.control_bytes += u64::from(pkt.wire_bytes());
         let delay = self.air_time(cell, pkt.wire_bytes());
         let bs = self.cell_node[&cell];
-        ctx.schedule_at(ctx.now() + delay, Ev::Pkt { node: bs, from: None, pkt });
+        ctx.schedule_at(
+            ctx.now() + delay,
+            Ev::Pkt {
+                node: bs,
+                from: None,
+                pkt,
+            },
+        );
     }
 
     fn domain_idx_of_cell(&self, cell: CellId) -> Option<usize> {
@@ -376,11 +411,7 @@ impl World {
         let node_addr = self.topo.addr_of(node);
 
         // 1. Tunnel exit?
-        while pkt
-            .encap
-            .last()
-            .is_some_and(|h| h.outer_dst == node_addr)
-        {
+        while pkt.encap.last().is_some_and(|h| h.outer_dst == node_addr) {
             pkt.decapsulate();
         }
 
@@ -457,9 +488,7 @@ impl World {
                         id: 0,
                     };
                     let _ = self.ha.process_registration(&synthetic, now);
-                    if let Some(didx) =
-                        self.domains.iter().position(|d| d.rsmc.addr() == rsmc)
-                    {
+                    if let Some(didx) = self.domains.iter().position(|d| d.rsmc.addr() == rsmc) {
                         let dom = self.domains[didx].id;
                         self.mnld.update(mn, dom, rsmc, now);
                     }
@@ -655,7 +684,9 @@ impl World {
         let gateway = self.domains[didx].cip.tree().gateway();
         match control {
             CipControl::RouteUpdate { mn, .. } | CipControl::Semisoft { mn } => {
-                self.domains[didx].cip.refresh_route_at(node, mn, came_from, now);
+                self.domains[didx]
+                    .cip
+                    .refresh_route_at(node, mn, came_from, now);
                 // Semisoft: opening the bicast window when the update
                 // passes the crossover between old and new attachments.
                 if let CipControl::Semisoft { mn } = control {
@@ -692,7 +723,9 @@ impl World {
                 }
             }
             CipControl::PagingUpdate { mn } => {
-                self.domains[didx].cip.refresh_paging_at(node, mn, came_from, now);
+                self.domains[didx]
+                    .cip
+                    .refresh_paging_at(node, mn, came_from, now);
                 if node == gateway {
                     return;
                 }
@@ -706,9 +739,21 @@ impl World {
             return;
         };
         let bytes = pkt.wire_bytes();
-        match self.topo.link_mut(link).expect("link exists").transmit(now, bytes) {
+        match self
+            .topo
+            .link_mut(link)
+            .expect("link exists")
+            .transmit(now, bytes)
+        {
             TransmitOutcome::Delivered { at } => {
-                ctx.schedule_at(at, Ev::Pkt { node: parent, from: Some(node), pkt });
+                ctx.schedule_at(
+                    at,
+                    Ev::Pkt {
+                        node: parent,
+                        from: Some(node),
+                        pkt,
+                    },
+                );
             }
             TransmitOutcome::Dropped => {}
         }
@@ -726,8 +771,7 @@ impl World {
         if !self.cfg.rsmc_enabled {
             return;
         }
-        let Some(cell) = self
-            .domains[didx]
+        let Some(cell) = self.domains[didx]
             .cip
             .locate(mn, now)
             .and_then(|n| self.node_cell.get(&n).copied())
@@ -735,7 +779,9 @@ impl World {
             return;
         };
         let targets = if self.cfg.notify_cn { 2 } else { 1 };
-        let notifications = self.domains[didx].rsmc.on_route_update(mn, cell, now, targets);
+        let notifications = self.domains[didx]
+            .rsmc
+            .on_route_update(mn, cell, now, targets);
         if notifications.is_empty() {
             return;
         }
@@ -748,7 +794,10 @@ impl World {
             rsmc_node,
             rsmc_addr,
             ha_addr,
-            Payload::Mt(MtMessage::RsmcNotify { mn, rsmc: rsmc_addr }),
+            Payload::Mt(MtMessage::RsmcNotify {
+                mn,
+                rsmc: rsmc_addr,
+            }),
         );
         if self.cfg.notify_cn {
             let cn = self.cn_addr;
@@ -757,7 +806,10 @@ impl World {
                 rsmc_node,
                 rsmc_addr,
                 cn,
-                Payload::Mt(MtMessage::RsmcNotify { mn, rsmc: rsmc_addr }),
+                Payload::Mt(MtMessage::RsmcNotify {
+                    mn,
+                    rsmc: rsmc_addr,
+                }),
             );
         }
     }
@@ -817,10 +869,9 @@ impl World {
                             // The crossover *is* the old attach BS (the new
                             // cell chains under the old one): the "old
                             // branch" is this BS's own air interface.
-                            if let (Some(cell), Some(mnid)) = (
-                                self.node_cell.get(&node).copied(),
-                                self.mn_of(mn_addr),
-                            ) {
+                            if let (Some(cell), Some(mnid)) =
+                                (self.node_cell.get(&node).copied(), self.mn_of(mn_addr))
+                            {
                                 self.air_down(ctx, cell, mnid, pkt.clone());
                             }
                         } else {
@@ -831,12 +882,7 @@ impl World {
                                 if pos > 0 {
                                     let toward_old = old_path[pos - 1];
                                     if toward_old != child {
-                                        self.transmit_to_child(
-                                            ctx,
-                                            node,
-                                            toward_old,
-                                            pkt.clone(),
-                                        );
+                                        self.transmit_to_child(ctx, node, toward_old, pkt.clone());
                                     }
                                 }
                             }
@@ -870,10 +916,22 @@ impl World {
             return;
         };
         let bytes = pkt.wire_bytes();
-        match self.topo.link_mut(link).expect("link exists").transmit(ctx.now(), bytes) {
+        match self
+            .topo
+            .link_mut(link)
+            .expect("link exists")
+            .transmit(ctx.now(), bytes)
+        {
             TransmitOutcome::Delivered { at } => {
                 pkt.record_hop();
-                ctx.schedule_at(at, Ev::Pkt { node: child, from: Some(node), pkt });
+                ctx.schedule_at(
+                    at,
+                    Ev::Pkt {
+                        node: child,
+                        from: Some(node),
+                        pkt,
+                    },
+                );
             }
             TransmitOutcome::Dropped => {
                 if pkt.payload.is_data() {
@@ -941,7 +999,10 @@ impl World {
                         self.air_up(
                             ctx,
                             mnid,
-                            Payload::Cip(CipControl::RouteUpdate { mn: mn_addr, came_from_bs: true }),
+                            Payload::Cip(CipControl::RouteUpdate {
+                                mn: mn_addr,
+                                came_from_bs: true,
+                            }),
                             dst,
                         );
                     }
@@ -973,10 +1034,7 @@ impl World {
             || m.pending.map(|p| p.target) == Some(cell) && !self.cfg.mip_only;
         // Radio truth: the transmission only lands if the node is actually
         // inside the cell's radio range right now.
-        let radio_ok = self
-            .cells
-            .cell(cell)
-            .is_some_and(|c| c.covers(pos))
+        let radio_ok = self.cells.cell(cell).is_some_and(|c| c.covers(pos))
             && self.cells.rssi_dbm(cell, pos) >= mtnet_radio::SENSITIVITY_DBM;
         let reachable = attached_ok && radio_ok;
         if !reachable {
@@ -1023,12 +1081,7 @@ impl World {
         }
     }
 
-    fn complete_latency_if(
-        &mut self,
-        mn: MnId,
-        now: SimTime,
-        pred: impl Fn(HandoffType) -> bool,
-    ) {
+    fn complete_latency_if(&mut self, mn: MnId, now: SimTime, pred: impl Fn(HandoffType) -> bool) {
         let Some(pending) = self.pending_latency.get(&mn).copied() else {
             return;
         };
@@ -1085,7 +1138,11 @@ impl World {
                 .iter()
                 .find(|c| c.cell == cell)
                 .map(|c| c.rssi_dbm);
-            CurrentAttachment { cell, tier, rssi_dbm: rssi }
+            CurrentAttachment {
+                cell,
+                tier,
+                rssi_dbm: rssi,
+            }
         });
         match self.engine.decide(speed, current, &candidates) {
             HandoffDecision::Stay => {}
@@ -1102,7 +1159,9 @@ impl World {
                     self.mns[mn.0 as usize].mip.on_link_lost();
                 }
             }
-            HandoffDecision::Handoff { target, fallback, .. } => {
+            HandoffDecision::Handoff {
+                target, fallback, ..
+            } => {
                 self.start_handoff(ctx, mn, target, fallback);
             }
         }
@@ -1117,7 +1176,11 @@ impl World {
     ) {
         let now = ctx.now();
         let old = self.mns[mn.0 as usize].attached;
-        let kind = if old.is_some() { CallKind::Handoff } else { CallKind::New };
+        let kind = if old.is_some() {
+            CallKind::Handoff
+        } else {
+            CallKind::New
+        };
         // Admission at the target; §3.2 fallback to the other tier.
         let mut admitted = None;
         for cand in [Some(target), fallback].into_iter().flatten() {
@@ -1152,8 +1215,12 @@ impl World {
         self.report.signaling.control_bytes += 48;
 
         let htype = old.map(|o| classify(&self.hierarchy, o, granted));
-        self.mns[mn.0 as usize].pending =
-            Some(PendingAttach { target: granted, old, htype, decided_at: now });
+        self.mns[mn.0 as usize].pending = Some(PendingAttach {
+            target: granted,
+            old,
+            htype,
+            decided_at: now,
+        });
 
         // Semisoft (micro-tier targets in CIP architectures): notify the
         // new path before retuning.
@@ -1183,7 +1250,14 @@ impl World {
             );
             self.report.signaling.route_updates += 1;
             let air = self.air_time(granted, pkt.wire_bytes());
-            ctx.schedule_at(now + air, Ev::Pkt { node: new_bs, from: None, pkt });
+            ctx.schedule_at(
+                now + air,
+                Ev::Pkt {
+                    node: new_bs,
+                    from: None,
+                    pkt,
+                },
+            );
             delay
         } else {
             self.cfg.air_delay.saturating_mul(2) + self.cfg.retune_delay
@@ -1220,8 +1294,13 @@ impl World {
 
         if let Some(htype) = pending.htype {
             *self.report.handoffs.completed.entry(htype).or_insert(0) += 1;
-            self.pending_latency
-                .insert(mn, PendingLatency { htype, decided_at: pending.decided_at });
+            self.pending_latency.insert(
+                mn,
+                PendingLatency {
+                    htype,
+                    decided_at: pending.decided_at,
+                },
+            );
         }
 
         let mn_addr = self.mns[mn.0 as usize].home;
@@ -1233,7 +1312,8 @@ impl World {
             if old.is_some() {
                 self.report.signaling.update_messages += 1;
                 self.report.signaling.control_bytes += 32;
-                self.locdir.on_update_location(&self.hierarchy, mn_addr, target, now);
+                self.locdir
+                    .on_update_location(&self.hierarchy, mn_addr, target, now);
                 // Macro→micro sends the delete "in the same time" (§3.2a);
                 // we issue it for every tier change and micro→micro too,
                 // matching Fig 3.4's message lists.
@@ -1243,7 +1323,8 @@ impl World {
                     self.locdir.on_delete_location(mn_addr, o);
                 }
             } else {
-                self.locdir.on_location_message(&self.hierarchy, mn_addr, target, now);
+                self.locdir
+                    .on_location_message(&self.hierarchy, mn_addr, target, now);
                 self.report.signaling.location_messages += 1;
             }
             // Route repair from the new BS (this is where the hard-handoff
@@ -1254,7 +1335,10 @@ impl World {
                 self.air_up(
                     ctx,
                     mn,
-                    Payload::Cip(CipControl::RouteUpdate { mn: mn_addr, came_from_bs: true }),
+                    Payload::Cip(CipControl::RouteUpdate {
+                        mn: mn_addr,
+                        came_from_bs: true,
+                    }),
                     gw_addr,
                 );
                 // RSMC authentication on first entry to the domain.
@@ -1267,8 +1351,7 @@ impl World {
         // Mobile IP: (re-)registration when the care-of address changes —
         // inter-domain movement, initial attach, or every handoff in pure
         // Mobile IP mode.
-        let coa_changed = self.cfg.mip_only
-            && old != Some(target)
+        let coa_changed = self.cfg.mip_only && old != Some(target)
             || (!self.cfg.mip_only && new_didx != old_didx);
         if coa_changed {
             let adv = if self.cfg.mip_only {
@@ -1301,7 +1384,10 @@ impl World {
                 let new_rsmc_node = self.domains[new_didx].rsmc_node;
                 let new_rsmc_addr = self.domains[new_didx].rsmc.addr();
                 let old_rsmc_addr = self.domains[old_didx].rsmc.addr();
-                let msg = Payload::Mt(MtMessage::UpdateLocation { mn: mn_addr, new_cell: target });
+                let msg = Payload::Mt(MtMessage::UpdateLocation {
+                    mn: mn_addr,
+                    new_cell: target,
+                });
                 self.report.signaling.update_messages += 1;
                 let dst = if ht == HandoffType::InterDomainSameUpper {
                     // Fig 3.2: direct to the old domain; the min-delay path
@@ -1373,7 +1459,10 @@ impl World {
                 self.air_up(
                     ctx,
                     mn,
-                    Payload::Cip(CipControl::RouteUpdate { mn: mn_addr, came_from_bs: true }),
+                    Payload::Cip(CipControl::RouteUpdate {
+                        mn: mn_addr,
+                        came_from_bs: true,
+                    }),
                     gw_addr,
                 );
             }
@@ -1405,7 +1494,8 @@ impl World {
         let mn_addr = self.mns[mn.0 as usize].home;
         self.report.signaling.location_messages += 1;
         self.report.signaling.control_bytes += 32;
-        self.locdir.on_location_message(&self.hierarchy, mn_addr, cell, now);
+        self.locdir
+            .on_location_message(&self.hierarchy, mn_addr, cell, now);
     }
 
     fn handle_flow_next(&mut self, ctx: &mut Context<'_, Ev>, fidx: usize) {
@@ -1431,7 +1521,11 @@ impl World {
         if let Some(&rsmc) = self.cn_route_cache.get(&mn_addr) {
             pkt.encapsulate(cn, rsmc, TunnelKind::Rsmc);
         }
-        ctx.schedule_now(Ev::Pkt { node: self.cn_node, from: None, pkt });
+        ctx.schedule_now(Ev::Pkt {
+            node: self.cn_node,
+            from: None,
+            pkt,
+        });
     }
 
     fn handle_sweep(&mut self, ctx: &mut Context<'_, Ev>) {
@@ -1469,7 +1563,11 @@ impl Model for World {
 
     fn handle_event(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
         match event {
-            Ev::Pkt { node, from, mut pkt } => {
+            Ev::Pkt {
+                node,
+                from,
+                mut pkt,
+            } => {
                 // Home-agent interception happens as the packet transits
                 // the HA router.
                 if node == self.ha_node && self.mn_of(pkt.dst).is_some() {
@@ -1509,7 +1607,10 @@ impl World {
             // Stagger start times so nodes do not move in lockstep.
             sim.schedule_at(SimTime::from_millis(i as u64 * 7), Ev::MoveSample(mn));
             sim.schedule_at(SimTime::from_millis(100 + i as u64 * 13), Ev::Uplink(mn));
-            sim.schedule_at(SimTime::from_millis(200 + i as u64 * 17), Ev::LocationTick(mn));
+            sim.schedule_at(
+                SimTime::from_millis(200 + i as u64 * 17),
+                Ev::LocationTick(mn),
+            );
         }
         for f in 0..n_flows {
             sim.schedule_at(SimTime::from_millis(500 + f as u64 * 11), Ev::FlowNext(f));

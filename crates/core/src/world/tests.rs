@@ -64,7 +64,10 @@ fn cn_route_optimization_reduces_delay() {
             Box::new(Stationary::new(Point::new(1500.0, 1500.0))),
             &[FlowKind::Voice],
         );
-        b.build().run(SimDuration::from_secs(30)).aggregate_qos().mean_delay_ms
+        b.build()
+            .run(SimDuration::from_secs(30))
+            .aggregate_qos()
+            .mean_delay_ms
     };
     let optimized = run(true);
     let triangle = run(false);
@@ -80,7 +83,11 @@ fn semisoft_duplicates_only_with_semisoft() {
     let report_hard = Scenario::single_domain(3)
         .with_arch(ArchKind::multi_tier_hard())
         .run_secs(150.0);
-    assert_eq!(report_hard.aggregate_qos().duplicates, 0, "hard never bicasts");
+    assert_eq!(
+        report_hard.aggregate_qos().duplicates,
+        0,
+        "hard never bicasts"
+    );
     if report_semi.handoffs.total() > 0 {
         assert!(
             report_semi.aggregate_qos().duplicates > 0,
@@ -96,7 +103,10 @@ fn hard_handoff_loses_at_least_semisoft() {
     let hard = Scenario::single_domain(11)
         .with_arch(ArchKind::multi_tier_hard())
         .run_secs(300.0);
-    let (ls, lh) = (semi.aggregate_qos().loss_rate, hard.aggregate_qos().loss_rate);
+    let (ls, lh) = (
+        semi.aggregate_qos().loss_rate,
+        hard.aggregate_qos().loss_rate,
+    );
     assert!(
         ls <= lh + 1e-4,
         "semisoft loss {ls} must not exceed hard loss {lh}"
@@ -140,8 +150,7 @@ fn pure_mobile_ip_registers_on_every_handoff() {
     );
     // Every handoff triggers a fresh registration, plus initial attaches.
     assert!(
-        report.signaling.mip_requests as i64
-            >= report.handoffs.total() as i64,
+        report.signaling.mip_requests as i64 >= report.handoffs.total() as i64,
         "registrations {} < handoffs {}",
         report.signaling.mip_requests,
         report.handoffs.total()
@@ -152,14 +161,22 @@ fn pure_mobile_ip_registers_on_every_handoff() {
 fn flat_cip_fast_nodes_suffer_outage() {
     let report = Scenario::commute_corridor(9)
         .with_arch(ArchKind::FlatCellularIp)
-        .with_population(Population { pedestrians: 0, vehicles: 1, cyclists: 0 })
+        .with_population(Population {
+            pedestrians: 0,
+            vehicles: 1,
+            cyclists: 0,
+        })
         .run_secs(300.0);
     assert!(
         report.handoffs.outage_samples > 0,
         "a 25 m/s vehicle must outrun the micro strip"
     );
     let multi = Scenario::commute_corridor(9)
-        .with_population(Population { pedestrians: 0, vehicles: 1, cyclists: 0 })
+        .with_population(Population {
+            pedestrians: 0,
+            vehicles: 1,
+            cyclists: 0,
+        })
         .run_secs(300.0);
     assert!(
         multi.handoffs.outage_samples < report.handoffs.outage_samples,
@@ -172,7 +189,13 @@ fn deterministic_given_seed() {
     let run = || {
         let r = Scenario::small_city(77).run_secs(60.0);
         let q = r.aggregate_qos();
-        (q.sent, q.received, r.handoffs.total(), r.signaling.total_messages(), r.events_processed)
+        (
+            q.sent,
+            q.received,
+            r.handoffs.total(),
+            r.signaling.total_messages(),
+            r.events_processed,
+        )
     };
     assert_eq!(run(), run(), "same seed must reproduce exactly");
 }
@@ -216,11 +239,7 @@ fn channel_accounting_balances() {
     sim.run_until(SimTime::from_secs(30));
     let world = sim.into_model();
     let attached = world.mns.iter().filter(|m| m.attached.is_some()).count();
-    let in_use: u32 = world
-        .cells
-        .cells()
-        .map(|c| c.channels().in_use())
-        .sum();
+    let in_use: u32 = world.cells.cells().map(|c| c.channels().in_use()).sum();
     assert_eq!(
         in_use as usize, attached,
         "channels in use must equal attached nodes"
@@ -283,8 +302,14 @@ fn mnld_learns_domain_crossings() {
     let mut sim = mtnet_sim::Simulator::new(world);
     let n = scenario.population.total();
     for i in 0..n {
-        sim.schedule_at(SimTime::from_millis(i as u64 * 7), Ev::MoveSample(MnId(i as u32)));
-        sim.schedule_at(SimTime::from_millis(100 + i as u64 * 13), Ev::Uplink(MnId(i as u32)));
+        sim.schedule_at(
+            SimTime::from_millis(i as u64 * 7),
+            Ev::MoveSample(MnId(i as u32)),
+        );
+        sim.schedule_at(
+            SimTime::from_millis(100 + i as u64 * 13),
+            Ev::Uplink(MnId(i as u32)),
+        );
     }
     sim.schedule_at(SimTime::from_secs(5), Ev::Sweep);
     sim.run_until(SimTime::ZERO + duration);
@@ -297,10 +322,18 @@ fn mnld_learns_domain_crossings() {
 #[test]
 fn signaling_scales_with_population() {
     let small = Scenario::small_city(31)
-        .with_population(Population { pedestrians: 2, vehicles: 0, cyclists: 0 })
+        .with_population(Population {
+            pedestrians: 2,
+            vehicles: 0,
+            cyclists: 0,
+        })
         .run_secs(60.0);
     let large = Scenario::small_city(31)
-        .with_population(Population { pedestrians: 8, vehicles: 0, cyclists: 0 })
+        .with_population(Population {
+            pedestrians: 8,
+            vehicles: 0,
+            cyclists: 0,
+        })
         .run_secs(60.0);
     assert!(
         large.signaling.route_updates > small.signaling.route_updates * 2,
@@ -316,7 +349,10 @@ fn queue_overflow_counted_under_congestion() {
     let mut cfg = WorldConfig::default();
     cfg.notify_cn = true;
     let mut b = WorldBuilder::new(cfg);
-    b.add_domain(DomainSpec { n_micro: 2, ..DomainSpec::default() });
+    b.add_domain(DomainSpec {
+        n_micro: 2,
+        ..DomainSpec::default()
+    });
     for i in 0..20 {
         b.add_mn(
             Box::new(LinearCommute::new(
@@ -344,7 +380,11 @@ fn outage_detaches_and_releases_channel() {
     // One vehicle on a flat-CIP corridor: it will leave micro coverage.
     let scenario = Scenario::commute_corridor(37)
         .with_arch(ArchKind::FlatCellularIp)
-        .with_population(Population { pedestrians: 0, vehicles: 1, cyclists: 0 });
+        .with_population(Population {
+            pedestrians: 0,
+            vehicles: 1,
+            cyclists: 0,
+        });
     let world = scenario.build();
     let mut sim = mtnet_sim::Simulator::new(world);
     sim.schedule_at(SimTime::ZERO, Ev::MoveSample(MnId(0)));
@@ -364,7 +404,9 @@ fn satellite_overlay_rescues_macro_hole() {
     // macro radio, so terrestrial-only vehicles hit a coverage hole; the
     // satellite overlay absorbs it.
     let terrestrial = Scenario::rural_corridor(42).run_secs(300.0);
-    let with_sat = Scenario::rural_corridor(42).with_satellite().run_secs(300.0);
+    let with_sat = Scenario::rural_corridor(42)
+        .with_satellite()
+        .run_secs(300.0);
     assert!(
         terrestrial.handoffs.outage_samples > 10,
         "the macro hole must produce outages: {}",
@@ -381,7 +423,11 @@ fn satellite_overlay_rescues_macro_hole() {
         "satellite coverage must cut loss"
     );
     assert!(
-        with_sat.handoffs.completed.keys().any(|t| t.is_inter_domain()),
+        with_sat
+            .handoffs
+            .completed
+            .keys()
+            .any(|t| t.is_inter_domain()),
         "moving onto/off the satellite is an inter-domain handoff: {:?}",
         with_sat.handoffs.completed
     );

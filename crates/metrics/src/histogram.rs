@@ -36,7 +36,13 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     /// Encodes a value into its bucket index.
@@ -232,7 +238,19 @@ mod tests {
     #[test]
     fn index_value_round_trip_monotone() {
         let mut last = 0usize;
-        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 1_000_000, u64::MAX / 2] {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1000,
+            1_000_000,
+            u64::MAX / 2,
+        ] {
             let idx = Histogram::index_of(v);
             assert!(idx >= last, "indices must be monotone in value");
             last = idx;

@@ -31,7 +31,10 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Creates an empty, named series.
     pub fn new(name: impl Into<String>) -> Self {
-        TimeSeries { name: name.into(), points: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// The series name (used as a column header in reports).
@@ -71,9 +74,10 @@ impl TimeSeries {
 
     /// Largest sample value.
     pub fn max_value(&self) -> Option<f64> {
-        self.points.iter().map(|p| p.value).fold(None, |acc, v| {
-            Some(acc.map_or(v, |m: f64| m.max(v)))
-        })
+        self.points
+            .iter()
+            .map(|p| p.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
     }
 
     /// Mean of sample values (unweighted).

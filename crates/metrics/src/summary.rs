@@ -33,7 +33,13 @@ impl Default for Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Builds a summary from an iterator of observations.

@@ -1,9 +1,7 @@
 //! The Foreign Agent: visitor list, registration relay, detunneling, and
 //! smooth-handoff forwarding.
 
-use crate::messages::{
-    AgentAdvertisement, RegistrationReply, RegistrationRequest, ReplyCode,
-};
+use crate::messages::{AgentAdvertisement, RegistrationReply, RegistrationRequest, ReplyCode};
 use mtnet_net::Addr;
 use mtnet_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -30,7 +28,7 @@ impl VisitorEntry {
 
 /// A Foreign Agent (paper §2.2.1): offers its own address as care-of
 /// address, relays registrations, detunnels HA traffic, and — for smooth
-/// handoff (ref [5]) — forwards packets for recently departed visitors to
+/// handoff (ref \[5]) — forwards packets for recently departed visitors to
 /// their new care-of address.
 #[derive(Debug, Clone)]
 pub struct ForeignAgent {
@@ -156,7 +154,7 @@ impl ForeignAgent {
     }
 
     /// Installs a smooth-handoff forward: packets arriving for `mn` are
-    /// re-tunneled to `new_coa` (paper ref [5]; triggered by a
+    /// re-tunneled to `new_coa` (paper ref \[5]; triggered by a
     /// `BindingUpdate`). Removes the visitor entry.
     pub fn install_forward(&mut self, mn: Addr, new_coa: Addr, now: SimTime) {
         self.visitors.remove(&mn);
@@ -185,7 +183,10 @@ impl ForeignAgent {
         let fl = self.forward_lifetime;
         self.forwards
             .retain(|_, (_, at)| now.saturating_since(*at) < fl);
-        (v_before - self.visitors.len(), f_before - self.forwards.len())
+        (
+            v_before - self.visitors.len(),
+            f_before - self.forwards.len(),
+        )
     }
 
     /// `(relayed_requests, forwarded_packets)` counters.
@@ -237,7 +238,9 @@ mod tests {
     #[test]
     fn registration_lifecycle() {
         let mut f = fa();
-        let relayed = f.relay_registration(&req("10.0.0.9", 1), SimTime::ZERO).unwrap();
+        let relayed = f
+            .relay_registration(&req("10.0.0.9", 1), SimTime::ZERO)
+            .unwrap();
         assert_eq!(relayed.coa, addr("20.0.0.1"));
         // Pending entries are not active yet.
         assert!(!f.has_visitor(addr("10.0.0.9"), SimTime::ZERO));
@@ -250,7 +253,8 @@ mod tests {
     #[test]
     fn denied_reply_removes_pending_entry() {
         let mut f = fa();
-        f.relay_registration(&req("10.0.0.9", 2), SimTime::ZERO).unwrap();
+        f.relay_registration(&req("10.0.0.9", 2), SimTime::ZERO)
+            .unwrap();
         let denial = RegistrationReply {
             mn_home: addr("10.0.0.9"),
             code: ReplyCode::DeniedUnknownHome,
@@ -264,7 +268,8 @@ mod tests {
     #[test]
     fn mismatched_reply_id_ignored() {
         let mut f = fa();
-        f.relay_registration(&req("10.0.0.9", 3), SimTime::ZERO).unwrap();
+        f.relay_registration(&req("10.0.0.9", 3), SimTime::ZERO)
+            .unwrap();
         f.process_reply(&ok_reply("10.0.0.9", 999), SimTime::ZERO);
         // Still pending — stale reply must not activate the visitor.
         assert!(!f.has_visitor(addr("10.0.0.9"), SimTime::ZERO));
@@ -274,7 +279,8 @@ mod tests {
     #[test]
     fn visitor_expires() {
         let mut f = fa();
-        f.relay_registration(&req("10.0.0.9", 4), SimTime::ZERO).unwrap();
+        f.relay_registration(&req("10.0.0.9", 4), SimTime::ZERO)
+            .unwrap();
         f.process_reply(&ok_reply("10.0.0.9", 4), SimTime::ZERO);
         assert!(f.has_visitor(addr("10.0.0.9"), SimTime::from_secs(99)));
         assert!(!f.has_visitor(addr("10.0.0.9"), SimTime::from_secs(101)));
@@ -285,17 +291,23 @@ mod tests {
     #[test]
     fn capacity_denial() {
         let mut f = ForeignAgent::new(addr("20.0.0.1")).with_max_visitors(1);
-        f.relay_registration(&req("10.0.0.8", 5), SimTime::ZERO).unwrap();
-        let denied = f.relay_registration(&req("10.0.0.9", 6), SimTime::ZERO).unwrap_err();
+        f.relay_registration(&req("10.0.0.8", 5), SimTime::ZERO)
+            .unwrap();
+        let denied = f
+            .relay_registration(&req("10.0.0.9", 6), SimTime::ZERO)
+            .unwrap_err();
         assert_eq!(denied.code, ReplyCode::DeniedFaBusy);
         // Re-registration of the same visitor is allowed at capacity.
-        assert!(f.relay_registration(&req("10.0.0.8", 7), SimTime::ZERO).is_ok());
+        assert!(f
+            .relay_registration(&req("10.0.0.8", 7), SimTime::ZERO)
+            .is_ok());
     }
 
     #[test]
     fn smooth_handoff_forwarding() {
         let mut f = fa();
-        f.relay_registration(&req("10.0.0.9", 8), SimTime::ZERO).unwrap();
+        f.relay_registration(&req("10.0.0.9", 8), SimTime::ZERO)
+            .unwrap();
         f.process_reply(&ok_reply("10.0.0.9", 8), SimTime::ZERO);
         // MN moves: binding update installs a forward.
         f.install_forward(addr("10.0.0.9"), addr("30.0.0.1"), SimTime::from_secs(10));
@@ -306,9 +318,15 @@ mod tests {
         );
         assert_eq!(f.counters().1, 1);
         // Forward expires after its lifetime.
-        assert_eq!(f.forward_endpoint(addr("10.0.0.9"), SimTime::from_secs(16)), None);
+        assert_eq!(
+            f.forward_endpoint(addr("10.0.0.9"), SimTime::from_secs(16)),
+            None
+        );
         // And the entry was garbage-collected by the failed lookup.
-        assert_eq!(f.forward_endpoint(addr("10.0.0.9"), SimTime::from_secs(11)), None);
+        assert_eq!(
+            f.forward_endpoint(addr("10.0.0.9"), SimTime::from_secs(11)),
+            None
+        );
     }
 
     #[test]

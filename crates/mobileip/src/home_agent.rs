@@ -104,7 +104,11 @@ impl HomeAgent {
         let granted = req.lifetime.min(self.max_lifetime);
         self.bindings.insert(
             req.mn_home,
-            Binding { coa: req.coa, registered_at: now, lifetime: granted },
+            Binding {
+                coa: req.coa,
+                registered_at: now,
+                lifetime: granted,
+            },
         );
         self.registrations_accepted += 1;
         RegistrationReply {
@@ -119,7 +123,10 @@ impl HomeAgent {
     /// care-of address to tunnel it to. `None` means "the MN is home (or
     /// unknown) — deliver normally".
     pub fn tunnel_endpoint(&self, dst: Addr, now: SimTime) -> Option<Addr> {
-        self.bindings.get(&dst).filter(|b| b.is_valid(now)).map(|b| b.coa)
+        self.bindings
+            .get(&dst)
+            .filter(|b| b.is_valid(now))
+            .map(|b| b.coa)
     }
 
     /// Like [`HomeAgent::tunnel_endpoint`] but also counts the tunneled
@@ -152,7 +159,11 @@ impl HomeAgent {
 
     /// `(accepted, denied, tunneled)` signaling counters.
     pub fn counters(&self) -> (u64, u64, u64) {
-        (self.registrations_accepted, self.registrations_denied, self.packets_tunneled)
+        (
+            self.registrations_accepted,
+            self.registrations_denied,
+            self.packets_tunneled,
+        )
     }
 }
 
@@ -209,15 +220,22 @@ mod tests {
         assert!(reply.accepted());
         assert_eq!(reply.lifetime, SimDuration::from_secs(60));
         // Binding honors the clamped lifetime.
-        assert_eq!(h.tunnel_endpoint(addr("10.0.0.9"), SimTime::from_secs(61)), None);
+        assert_eq!(
+            h.tunnel_endpoint(addr("10.0.0.9"), SimTime::from_secs(61)),
+            None
+        );
     }
 
     #[test]
     fn binding_expires() {
         let mut h = ha();
         h.process_registration(&request("10.0.0.9", "20.0.0.1", 100, 4), SimTime::ZERO);
-        assert!(h.tunnel_endpoint(addr("10.0.0.9"), SimTime::from_secs(99)).is_some());
-        assert!(h.tunnel_endpoint(addr("10.0.0.9"), SimTime::from_secs(100)).is_none());
+        assert!(h
+            .tunnel_endpoint(addr("10.0.0.9"), SimTime::from_secs(99))
+            .is_some());
+        assert!(h
+            .tunnel_endpoint(addr("10.0.0.9"), SimTime::from_secs(100))
+            .is_none());
         assert_eq!(h.expire(SimTime::from_secs(100)), 1);
         assert_eq!(h.binding_count(), 0);
     }
@@ -226,7 +244,10 @@ mod tests {
     fn reregistration_replaces_coa() {
         let mut h = ha();
         h.process_registration(&request("10.0.0.9", "20.0.0.1", 100, 5), SimTime::ZERO);
-        h.process_registration(&request("10.0.0.9", "30.0.0.1", 100, 6), SimTime::from_secs(10));
+        h.process_registration(
+            &request("10.0.0.9", "30.0.0.1", 100, 6),
+            SimTime::from_secs(10),
+        );
         assert_eq!(
             h.tunnel_endpoint(addr("10.0.0.9"), SimTime::from_secs(50)),
             Some(addr("30.0.0.1"))

@@ -4,7 +4,7 @@
 //! the three functional entities and their message exchanges.
 //!
 //! * [`MipMessage`] — agent advertisements, registration request/reply,
-//!   binding warnings/updates (smooth handoff, paper ref [5]).
+//!   binding warnings/updates (smooth handoff, paper ref \[5]).
 //! * [`HomeAgent`] — binding cache with lifetimes; intercepts packets for
 //!   home addresses and tunnels them to the registered care-of address.
 //! * [`ForeignAgent`] — visitor list, care-of address, registration relay

@@ -106,7 +106,7 @@ pub enum MipMessage {
     /// Registration reply (HA→FA or FA→MN leg).
     Reply(RegistrationReply),
     /// Binding update to a previous FA: forward in-flight packets to the
-    /// new care-of address (smooth handoff, paper ref [5]).
+    /// new care-of address (smooth handoff, paper ref \[5]).
     BindingUpdate {
         /// The mobile node that moved.
         mn_home: Addr,
@@ -152,7 +152,10 @@ mod tests {
             id: 1,
         };
         assert!(ok.accepted());
-        let denied = RegistrationReply { code: ReplyCode::DeniedUnknownHome, ..ok };
+        let denied = RegistrationReply {
+            code: ReplyCode::DeniedUnknownHome,
+            ..ok
+        };
         assert!(!denied.accepted());
     }
 
@@ -172,8 +175,11 @@ mod tests {
         assert!(adv.size_bytes() > 0);
         assert!(req.size_bytes() > adv.size_bytes() - 48);
         assert_eq!(
-            MipMessage::BindingUpdate { mn_home: addr("1.1.1.2"), new_coa: addr("2.2.2.2") }
-                .size_bytes(),
+            MipMessage::BindingUpdate {
+                mn_home: addr("1.1.1.2"),
+                new_coa: addr("2.2.2.2")
+            }
+            .size_bytes(),
             40
         );
     }

@@ -117,7 +117,12 @@ impl MobileNode {
         let id = self.next_id;
         self.next_id += 1;
         self.registrations_sent += 1;
-        self.state = MnState::Registering { coa, id, sent_at: now, attempts: 0 };
+        self.state = MnState::Registering {
+            coa,
+            id,
+            sent_at: now,
+            attempts: 0,
+        };
         RegistrationRequest {
             mn_home: self.home_addr,
             coa,
@@ -170,7 +175,10 @@ impl MobileNode {
             return MnAction::None;
         }
         if reply.accepted() {
-            self.state = MnState::Registered { coa, expires_at: now + reply.lifetime };
+            self.state = MnState::Registered {
+                coa,
+                expires_at: now + reply.lifetime,
+            };
         } else {
             self.state = MnState::Searching;
             self.current_agent = None;
@@ -182,7 +190,13 @@ impl MobileNode {
     /// request after the timeout, falling back to `Searching` after
     /// `max_attempts`.
     pub fn poll_retransmit(&mut self, now: SimTime) -> MnAction {
-        let MnState::Registering { coa, id, sent_at, attempts } = self.state else {
+        let MnState::Registering {
+            coa,
+            id,
+            sent_at,
+            attempts,
+        } = self.state
+        else {
             return MnAction::None;
         };
         if now.saturating_since(sent_at) < self.retransmit_timeout {
@@ -193,8 +207,12 @@ impl MobileNode {
             self.current_agent = None;
             return MnAction::None;
         }
-        self.state =
-            MnState::Registering { coa, id, sent_at: now, attempts: attempts + 1 };
+        self.state = MnState::Registering {
+            coa,
+            id,
+            sent_at: now,
+            attempts: attempts + 1,
+        };
         self.registrations_sent += 1;
         MnAction::SendRequest(RegistrationRequest {
             mn_home: self.home_addr,

@@ -31,7 +31,14 @@ impl LinearCommute {
     pub fn new(from: Point, to: Point, speed: f64) -> Self {
         assert!(speed.is_finite() && speed > 0.0, "speed must be positive");
         assert!(from.distance(to) > 1e-9, "endpoints must differ");
-        LinearCommute { from, to, speed, round_trip: false, outbound: true, arrived: false }
+        LinearCommute {
+            from,
+            to,
+            speed,
+            round_trip: false,
+            outbound: true,
+            arrived: false,
+        }
     }
 
     /// Makes the node shuttle back and forth indefinitely.
@@ -54,7 +61,11 @@ impl LinearCommute {
 impl MobilityModel for LinearCommute {
     fn next_leg(&mut self, current: Point, _rng: &mut RngStream) -> Leg {
         if self.round_trip {
-            let (a, b) = if self.outbound { (self.from, self.to) } else { (self.to, self.from) };
+            let (a, b) = if self.outbound {
+                (self.from, self.to)
+            } else {
+                (self.to, self.from)
+            };
             self.outbound = !self.outbound;
             // `current` may differ from `a` by floating error; use exact endpoints.
             let _ = current;
@@ -88,24 +99,44 @@ mod tests {
         assert_eq!(m.leg_duration(), SimDuration::from_secs(10));
         let mut traj = Trajectory::new(Box::new(m));
         let mut r = rng();
-        assert_eq!(traj.position(SimTime::from_secs(5), &mut r), Point::new(50.0, 0.0));
-        assert_eq!(traj.position(SimTime::from_secs(10), &mut r), Point::new(100.0, 0.0));
+        assert_eq!(
+            traj.position(SimTime::from_secs(5), &mut r),
+            Point::new(50.0, 0.0)
+        );
+        assert_eq!(
+            traj.position(SimTime::from_secs(10), &mut r),
+            Point::new(100.0, 0.0)
+        );
         // Parked long after arrival.
-        assert_eq!(traj.position(SimTime::from_secs(1000), &mut r), Point::new(100.0, 0.0));
+        assert_eq!(
+            traj.position(SimTime::from_secs(1000), &mut r),
+            Point::new(100.0, 0.0)
+        );
         assert_eq!(traj.speed(SimTime::from_secs(1000), &mut r), 0.0);
     }
 
     #[test]
     fn round_trip_shuttles() {
-        let m = LinearCommute::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0), 10.0)
-            .round_trip();
+        let m = LinearCommute::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0), 10.0).round_trip();
         let mut traj = Trajectory::new(Box::new(m));
         let mut r = rng();
         // Out: t in [0,10); back: t in [10,20); out again...
-        assert_eq!(traj.position(SimTime::from_secs(5), &mut r), Point::new(50.0, 0.0));
-        assert_eq!(traj.position(SimTime::from_secs(15), &mut r), Point::new(50.0, 0.0));
-        assert_eq!(traj.position(SimTime::from_secs(20), &mut r), Point::new(0.0, 0.0));
-        assert_eq!(traj.position(SimTime::from_secs(25), &mut r), Point::new(50.0, 0.0));
+        assert_eq!(
+            traj.position(SimTime::from_secs(5), &mut r),
+            Point::new(50.0, 0.0)
+        );
+        assert_eq!(
+            traj.position(SimTime::from_secs(15), &mut r),
+            Point::new(50.0, 0.0)
+        );
+        assert_eq!(
+            traj.position(SimTime::from_secs(20), &mut r),
+            Point::new(0.0, 0.0)
+        );
+        assert_eq!(
+            traj.position(SimTime::from_secs(25), &mut r),
+            Point::new(50.0, 0.0)
+        );
         // Always moving at configured speed.
         assert_eq!(traj.speed(SimTime::from_secs(17), &mut r), 10.0);
     }

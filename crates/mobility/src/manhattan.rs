@@ -76,7 +76,9 @@ impl ManhattanGrid {
 impl MobilityModel for ManhattanGrid {
     fn next_leg(&mut self, current: Point, rng: &mut RngStream) -> Leg {
         // Keep the node on grid lines (start positions may be off-grid).
-        let here = self.area.clamp(Point::new(self.snap(current.x), self.snap(current.y)));
+        let here = self
+            .area
+            .clamp(Point::new(self.snap(current.x), self.snap(current.y)));
 
         // Choose heading: straight with prob 1-p_turn, else left/right.
         let u = rng.next_f64();
@@ -172,18 +174,24 @@ mod tests {
             }
             pos = leg.to;
         }
-        assert!(horizontal > 10 && vertical > 10, "h={horizontal} v={vertical}");
+        assert!(
+            horizontal > 10 && vertical > 10,
+            "h={horizontal} v={vertical}"
+        );
     }
 
     #[test]
     fn straight_only_when_turn_probability_zero() {
-        let mut model =
-            ManhattanGrid::new(10_000.0, 100.0, SpeedClass::UrbanVehicle).with_turn_probability(0.0);
+        let mut model = ManhattanGrid::new(10_000.0, 100.0, SpeedClass::UrbanVehicle)
+            .with_turn_probability(0.0);
         let mut r = RngStream::derive(8, "mh4");
         let mut pos = model.start();
         for _ in 0..20 {
             let leg = model.next_leg(pos, &mut r);
-            assert!((leg.to.y - leg.from.y).abs() < 1e-9, "turned without p_turn");
+            assert!(
+                (leg.to.y - leg.from.y).abs() < 1e-9,
+                "turned without p_turn"
+            );
             pos = leg.to;
         }
     }
@@ -214,9 +222,6 @@ mod tests {
     #[test]
     fn rotations_are_inverse() {
         let h = (1i8, 0i8);
-        assert_eq!(
-            ManhattanGrid::turn_right(ManhattanGrid::turn_left(h)),
-            h
-        );
+        assert_eq!(ManhattanGrid::turn_right(ManhattanGrid::turn_left(h)), h);
     }
 }

@@ -19,7 +19,12 @@ pub struct Leg {
 impl Leg {
     /// A stationary leg at `at` for `duration`.
     pub fn pause(at: Point, duration: SimDuration) -> Leg {
-        Leg { from: at, to: at, duration, speed: 0.0 }
+        Leg {
+            from: at,
+            to: at,
+            duration,
+            speed: 0.0,
+        }
     }
 
     /// A movement leg between two points at `speed` m/s.
@@ -30,7 +35,12 @@ impl Leg {
     pub fn travel(from: Point, to: Point, speed: f64) -> Leg {
         assert!(speed.is_finite() && speed > 0.0, "speed must be positive");
         let duration = SimDuration::from_secs_f64(from.distance(to) / speed);
-        Leg { from, to, duration, speed }
+        Leg {
+            from,
+            to,
+            duration,
+            speed,
+        }
     }
 
     /// Position `elapsed` into the leg.
@@ -109,7 +119,11 @@ impl std::fmt::Debug for Trajectory {
 impl Trajectory {
     /// Wraps a model into an empty trajectory.
     pub fn new(model: Box<dyn MobilityModel + Send>) -> Self {
-        Trajectory { model, ends: Vec::new(), legs: Vec::new() }
+        Trajectory {
+            model,
+            ends: Vec::new(),
+            legs: Vec::new(),
+        }
     }
 
     /// Extends the cached legs to cover time `t`.
@@ -142,7 +156,11 @@ impl Trajectory {
     pub fn position(&mut self, t: SimTime, rng: &mut RngStream) -> Point {
         self.materialize_to(t, rng);
         let i = self.leg_index_at(t);
-        let leg_start = if i == 0 { SimTime::ZERO } else { self.ends[i - 1] };
+        let leg_start = if i == 0 {
+            SimTime::ZERO
+        } else {
+            self.ends[i - 1]
+        };
         self.legs[i].position_at(t.saturating_since(leg_start))
     }
 
@@ -170,15 +188,24 @@ mod tests {
     fn leg_travel_duration() {
         let l = Leg::travel(Point::new(0.0, 0.0), Point::new(100.0, 0.0), 10.0);
         assert_eq!(l.duration, SimDuration::from_secs(10));
-        assert_eq!(l.position_at(SimDuration::from_secs(5)), Point::new(50.0, 0.0));
-        assert_eq!(l.position_at(SimDuration::from_secs(20)), Point::new(100.0, 0.0));
+        assert_eq!(
+            l.position_at(SimDuration::from_secs(5)),
+            Point::new(50.0, 0.0)
+        );
+        assert_eq!(
+            l.position_at(SimDuration::from_secs(20)),
+            Point::new(100.0, 0.0)
+        );
     }
 
     #[test]
     fn leg_pause_stays_put() {
         let l = Leg::pause(Point::new(7.0, 7.0), SimDuration::from_secs(3));
         assert_eq!(l.speed, 0.0);
-        assert_eq!(l.position_at(SimDuration::from_secs(1)), Point::new(7.0, 7.0));
+        assert_eq!(
+            l.position_at(SimDuration::from_secs(1)),
+            Point::new(7.0, 7.0)
+        );
     }
 
     #[test]
@@ -192,7 +219,10 @@ mod tests {
         let mut traj = Trajectory::new(Box::new(Stationary::new(Point::new(5.0, 5.0))));
         let mut r = rng();
         for secs in [0u64, 100, 10_000] {
-            assert_eq!(traj.position(SimTime::from_secs(secs), &mut r), Point::new(5.0, 5.0));
+            assert_eq!(
+                traj.position(SimTime::from_secs(secs), &mut r),
+                Point::new(5.0, 5.0)
+            );
             assert_eq!(traj.speed(SimTime::from_secs(secs), &mut r), 0.0);
         }
     }
@@ -223,9 +253,18 @@ mod tests {
         ];
         let mut traj = Trajectory::new(Box::new(Scripted { legs, i: 0 }));
         let mut r = rng();
-        assert_eq!(traj.position(SimTime::from_secs(5), &mut r), Point::new(50.0, 0.0));
-        assert_eq!(traj.position(SimTime::from_secs(12), &mut r), Point::new(100.0, 0.0));
-        assert_eq!(traj.position(SimTime::from_secs(20), &mut r), Point::new(100.0, 25.0));
+        assert_eq!(
+            traj.position(SimTime::from_secs(5), &mut r),
+            Point::new(50.0, 0.0)
+        );
+        assert_eq!(
+            traj.position(SimTime::from_secs(12), &mut r),
+            Point::new(100.0, 0.0)
+        );
+        assert_eq!(
+            traj.position(SimTime::from_secs(20), &mut r),
+            Point::new(100.0, 25.0)
+        );
         // Speeds per segment.
         assert_eq!(traj.speed(SimTime::from_secs(5), &mut r), 10.0);
         assert_eq!(traj.speed(SimTime::from_secs(12), &mut r), 0.0);
@@ -234,8 +273,11 @@ mod tests {
 
     #[test]
     fn backwards_queries_use_cache() {
-        let legs =
-            vec![Leg::travel(Point::new(0.0, 0.0), Point::new(100.0, 0.0), 1.0)];
+        let legs = vec![Leg::travel(
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            1.0,
+        )];
         let mut traj = Trajectory::new(Box::new(Scripted { legs, i: 0 }));
         let mut r = rng();
         let late = traj.position(SimTime::from_secs(90), &mut r);

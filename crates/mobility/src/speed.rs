@@ -21,8 +21,11 @@ pub enum SpeedClass {
 
 impl SpeedClass {
     /// All classes, for sweeps.
-    pub const ALL: [SpeedClass; 3] =
-        [SpeedClass::Pedestrian, SpeedClass::UrbanVehicle, SpeedClass::Highway];
+    pub const ALL: [SpeedClass; 3] = [
+        SpeedClass::Pedestrian,
+        SpeedClass::UrbanVehicle,
+        SpeedClass::Highway,
+    ];
 
     /// `(min, max)` speed in m/s.
     pub fn range(self) -> (f64, f64) {

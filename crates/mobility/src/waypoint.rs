@@ -170,13 +170,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid speed range")]
     fn bad_speed_range_rejected() {
-        RandomWaypoint::new(Rect::square(10.0), SpeedClass::Pedestrian)
-            .with_speed_range(5.0, 1.0);
+        RandomWaypoint::new(Rect::square(10.0), SpeedClass::Pedestrian).with_speed_range(5.0, 1.0);
     }
 
     #[test]
     fn area_accessor() {
         let area = Rect::square(42.0);
-        assert_eq!(RandomWaypoint::new(area, SpeedClass::Pedestrian).area(), area);
+        assert_eq!(
+            RandomWaypoint::new(area, SpeedClass::Pedestrian).area(),
+            area
+        );
     }
 }

@@ -108,7 +108,10 @@ pub struct Prefix {
 
 impl Prefix {
     /// The default route `0.0.0.0/0`.
-    pub const DEFAULT: Prefix = Prefix { network: Addr(0), len: 0 };
+    pub const DEFAULT: Prefix = Prefix {
+        network: Addr(0),
+        len: 0,
+    };
 
     /// Creates a prefix, canonicalizing the network address (host bits are
     /// zeroed).
@@ -118,7 +121,10 @@ impl Prefix {
     /// Panics if `len > 32`.
     pub fn new(addr: Addr, len: u8) -> Prefix {
         assert!(len <= 32, "prefix length {len} > 32");
-        Prefix { network: Addr(addr.0 & Self::mask(len)), len }
+        Prefix {
+            network: Addr(addr.0 & Self::mask(len)),
+            len,
+        }
     }
 
     /// A host route (`/32`) for one address.
@@ -160,7 +166,11 @@ impl Prefix {
     ///
     /// Panics if `i` exceeds the prefix capacity.
     pub fn host_at(&self, i: u32) -> Addr {
-        let capacity = if self.len == 32 { 1u64 } else { 1u64 << (32 - self.len) };
+        let capacity = if self.len == 32 {
+            1u64
+        } else {
+            1u64 << (32 - self.len)
+        };
         assert!(
             u64::from(i) < capacity,
             "host index {i} out of range for /{}",
@@ -296,8 +306,10 @@ mod tests {
     #[test]
     fn ordering_usable_in_maps() {
         use std::collections::BTreeSet;
-        let set: BTreeSet<Addr> =
-            ["1.1.1.1", "0.0.0.1"].iter().map(|s| s.parse().unwrap()).collect();
+        let set: BTreeSet<Addr> = ["1.1.1.1", "0.0.0.1"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         assert_eq!(set.iter().next().unwrap().to_string(), "0.0.0.1");
     }
 }

@@ -127,7 +127,11 @@ impl Link {
     /// Panics if the configured bandwidth is zero.
     pub fn new(config: LinkConfig) -> Self {
         assert!(config.bandwidth_bps > 0, "link bandwidth must be positive");
-        Link { config, busy_until: SimTime::ZERO, stats: LinkStats::default() }
+        Link {
+            config,
+            busy_until: SimTime::ZERO,
+            stats: LinkStats::default(),
+        }
     }
 
     /// The static configuration.
@@ -162,7 +166,9 @@ impl Link {
         self.busy_until = done;
         self.stats.tx_packets += 1;
         self.stats.tx_bytes += u64::from(wire_bytes);
-        TransmitOutcome::Delivered { at: done + self.config.propagation }
+        TransmitOutcome::Delivered {
+            at: done + self.config.propagation,
+        }
     }
 
     /// Resets queue state and statistics (between experiment repetitions).
@@ -255,7 +261,11 @@ mod tests {
 
     #[test]
     fn presets_are_sane() {
-        for c in [LinkConfig::backbone(), LinkConfig::access(), LinkConfig::wide_area()] {
+        for c in [
+            LinkConfig::backbone(),
+            LinkConfig::access(),
+            LinkConfig::wide_area(),
+        ] {
             assert!(c.bandwidth_bps > 0);
             assert!(!c.propagation.is_zero());
             assert!(c.queue_bytes > 0);

@@ -24,7 +24,7 @@ pub struct FlowId(pub u64);
 pub enum TunnelKind {
     /// Home Agent → care-of address tunnel (Mobile IP, Fig 2.2).
     HomeAgent,
-    /// Previous-FA → new-FA forwarding tunnel (smooth handoff, ref [5]).
+    /// Previous-FA → new-FA forwarding tunnel (smooth handoff, ref \[5]).
     SmoothHandoff,
     /// RSMC/gateway internal redirection (paper §4).
     Rsmc,
@@ -130,7 +130,11 @@ impl<P> Packet<P> {
 
     /// Pushes a tunnel header (encapsulation).
     pub fn encapsulate(&mut self, outer_src: Addr, outer_dst: Addr, kind: TunnelKind) {
-        self.encap.push(EncapHeader { outer_src, outer_dst, kind });
+        self.encap.push(EncapHeader {
+            outer_src,
+            outer_dst,
+            kind,
+        });
     }
 
     /// Pops the outermost tunnel header (decapsulation). Returns the header

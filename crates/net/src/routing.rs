@@ -27,7 +27,9 @@ pub struct RoutingTable {
 impl RoutingTable {
     /// Creates an empty table (no default route).
     pub fn new() -> Self {
-        RoutingTable { buckets: (0..=32).map(|_| HashMap::new()).collect() }
+        RoutingTable {
+            buckets: (0..=32).map(|_| HashMap::new()).collect(),
+        }
     }
 
     /// Inserts or replaces a route. Returns the previous next hop, if any.

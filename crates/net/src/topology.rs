@@ -98,7 +98,10 @@ impl Topology {
     /// Adds a node with the given address; returns its id.
     pub fn add_node(&mut self, addr: Addr) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeEntry { addr, out: Vec::new() });
+        self.nodes.push(NodeEntry {
+            addr,
+            out: Vec::new(),
+        });
         id
     }
 
@@ -139,7 +142,11 @@ impl Topology {
         assert!((from.0 as usize) < self.nodes.len(), "unknown node {from}");
         assert!((to.0 as usize) < self.nodes.len(), "unknown node {to}");
         let id = LinkId(self.links.len() as u32);
-        self.links.push(LinkEntry { from, to, link: Link::new(config) });
+        self.links.push(LinkEntry {
+            from,
+            to,
+            link: Link::new(config),
+        });
         self.nodes[from.0 as usize].out.push((to, id));
         id
     }
@@ -207,7 +214,12 @@ impl Topology {
                 _ => {}
             }
             for &(v, lid) in &self.nodes[u.0 as usize].out {
-                let w = self.links[lid.0 as usize].link.config().propagation.as_nanos().max(1);
+                let w = self.links[lid.0 as usize]
+                    .link
+                    .config()
+                    .propagation
+                    .as_nanos()
+                    .max(1);
                 let nd = d.saturating_add(w);
                 let better = match best[v.0 as usize] {
                     None => true,
@@ -264,11 +276,7 @@ impl Topology {
     /// Builds a complete host-route routing table for `node`: one `/32`
     /// route per other node via the min-delay first hop, plus routes for
     /// any `(prefix, owner)` pairs given in `prefixes`.
-    pub fn build_routing_table(
-        &self,
-        node: NodeId,
-        prefixes: &[(Prefix, NodeId)],
-    ) -> RoutingTable {
+    pub fn build_routing_table(&self, node: NodeId, prefixes: &[(Prefix, NodeId)]) -> RoutingTable {
         let mut table = RoutingTable::new();
         let best = self.dijkstra(node);
         let first_hop = |dst: NodeId| -> Option<NodeId> {
@@ -447,7 +455,9 @@ mod tests {
     fn reset_links_clears_stats() {
         let (mut t, a, b, _) = line_plus_slow_direct();
         let lid = t.link_between(a, b).unwrap();
-        t.link_mut(lid).unwrap().transmit(mtnet_sim::SimTime::ZERO, 100);
+        t.link_mut(lid)
+            .unwrap()
+            .transmit(mtnet_sim::SimTime::ZERO, 100);
         assert_eq!(t.link(lid).unwrap().stats().tx_packets, 1);
         t.reset_links();
         assert_eq!(t.link(lid).unwrap().stats().tx_packets, 0);

@@ -38,8 +38,12 @@ pub enum CellKind {
 
 impl CellKind {
     /// All tiers, ordered smallest to largest footprint.
-    pub const ALL: [CellKind; 4] =
-        [CellKind::Pico, CellKind::Micro, CellKind::Macro, CellKind::Satellite];
+    pub const ALL: [CellKind; 4] = [
+        CellKind::Pico,
+        CellKind::Micro,
+        CellKind::Macro,
+        CellKind::Satellite,
+    ];
 
     /// Nominal coverage radius in meters.
     pub fn radius_m(self) -> f64 {

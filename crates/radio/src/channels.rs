@@ -72,7 +72,10 @@ impl ChannelPool {
     /// Panics if `guard >= total` or `total == 0`.
     pub fn new(total: u32, guard: u32) -> Self {
         assert!(total > 0, "a pool needs at least one channel");
-        assert!(guard < total, "guard channels must leave room for new calls");
+        assert!(
+            guard < total,
+            "guard channels must leave room for new calls"
+        );
         ChannelPool {
             total,
             guard,

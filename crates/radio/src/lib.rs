@@ -11,7 +11,7 @@
 //!   shadowing, yielding received power in dBm.
 //! * [`ChannelPool`] — channels with guard-channel admission (handoff calls
 //!   get priority over new calls, the classic multi-tier admission scheme
-//!   of the paper's refs [6]/[7]).
+//!   of the paper's refs \[6]/\[7]).
 //! * [`CellMap`] — cell placement plus "best server" selection with
 //!   hysteresis, the trigger for every handoff in the reproduction.
 //!

@@ -34,13 +34,21 @@ pub struct CellMap {
 impl CellMap {
     /// Creates an empty map with default (shadowed urban) propagation.
     pub fn new(shadow_seed: u64) -> Self {
-        CellMap { cells: HashMap::new(), path_loss: PathLoss::default(), shadow_seed }
+        CellMap {
+            cells: HashMap::new(),
+            path_loss: PathLoss::default(),
+            shadow_seed,
+        }
     }
 
     /// Creates a map with shadowing disabled — controlled experiments where
     /// handoff points must be exactly reproducible from geometry.
     pub fn without_shadowing() -> Self {
-        CellMap { cells: HashMap::new(), path_loss: PathLoss::clean(3.5), shadow_seed: 0 }
+        CellMap {
+            cells: HashMap::new(),
+            path_loss: PathLoss::clean(3.5),
+            shadow_seed: 0,
+        }
     }
 
     /// Overrides the propagation model.
@@ -175,23 +183,47 @@ mod tests {
     /// Two micro cells 400 m apart plus a macro umbrella.
     fn two_micro_one_macro() -> CellMap {
         let mut map = CellMap::without_shadowing();
-        map.add(Cell::new(CellId(0), CellKind::Micro, Point::new(0.0, 0.0), NodeId(0)));
-        map.add(Cell::new(CellId(1), CellKind::Micro, Point::new(400.0, 0.0), NodeId(1)));
-        map.add(Cell::new(CellId(2), CellKind::Macro, Point::new(200.0, 0.0), NodeId(2)));
+        map.add(Cell::new(
+            CellId(0),
+            CellKind::Micro,
+            Point::new(0.0, 0.0),
+            NodeId(0),
+        ));
+        map.add(Cell::new(
+            CellId(1),
+            CellKind::Micro,
+            Point::new(400.0, 0.0),
+            NodeId(1),
+        ));
+        map.add(Cell::new(
+            CellId(2),
+            CellKind::Macro,
+            Point::new(200.0, 0.0),
+            NodeId(2),
+        ));
         map
     }
 
     #[test]
     fn best_cell_follows_position() {
         let map = two_micro_one_macro();
-        assert_eq!(map.best_cell(Point::new(10.0, 0.0), Some(CellKind::Micro)), Some(CellId(0)));
-        assert_eq!(map.best_cell(Point::new(390.0, 0.0), Some(CellKind::Micro)), Some(CellId(1)));
+        assert_eq!(
+            map.best_cell(Point::new(10.0, 0.0), Some(CellKind::Micro)),
+            Some(CellId(0))
+        );
+        assert_eq!(
+            map.best_cell(Point::new(390.0, 0.0), Some(CellKind::Micro)),
+            Some(CellId(1))
+        );
     }
 
     #[test]
     fn tier_filter_restricts() {
         let map = two_micro_one_macro();
-        assert_eq!(map.best_cell(Point::new(200.0, 0.0), Some(CellKind::Macro)), Some(CellId(2)));
+        assert_eq!(
+            map.best_cell(Point::new(200.0, 0.0), Some(CellKind::Macro)),
+            Some(CellId(2))
+        );
         // At the midpoint both micros are 200 m away — equidistant but both
         // within footprint; macro is right there and louder.
         let all = map.measure(Point::new(200.0, 0.0), None);
@@ -221,8 +253,7 @@ mod tests {
         // Just past the midpoint toward cell 1: cell 1 is stronger, but not
         // by a large margin — with high hysteresis we stay on cell 0.
         let p = Point::new(210.0, 0.0);
-        let sticky =
-            map.best_cell_hysteresis(p, CellId(0), 20.0, Some(CellKind::Micro));
+        let sticky = map.best_cell_hysteresis(p, CellId(0), 20.0, Some(CellKind::Micro));
         assert_eq!(sticky, Some(CellId(0)));
         // With zero hysteresis we switch.
         let eager = map.best_cell_hysteresis(p, CellId(0), 0.0, Some(CellKind::Micro));
@@ -235,7 +266,11 @@ mod tests {
         // Outside cell 0's 300 m footprint entirely.
         let p = Point::new(380.0, 0.0);
         let next = map.best_cell_hysteresis(p, CellId(0), 20.0, Some(CellKind::Micro));
-        assert_eq!(next, Some(CellId(1)), "must leave a dead cell regardless of hysteresis");
+        assert_eq!(
+            next,
+            Some(CellId(1)),
+            "must leave a dead cell regardless of hysteresis"
+        );
     }
 
     #[test]
@@ -258,8 +293,18 @@ mod tests {
     #[should_panic(expected = "duplicate cell id")]
     fn duplicate_id_rejected() {
         let mut map = CellMap::new(0);
-        map.add(Cell::new(CellId(0), CellKind::Pico, Point::ORIGIN, NodeId(0)));
-        map.add(Cell::new(CellId(0), CellKind::Pico, Point::ORIGIN, NodeId(1)));
+        map.add(Cell::new(
+            CellId(0),
+            CellKind::Pico,
+            Point::ORIGIN,
+            NodeId(0),
+        ));
+        map.add(Cell::new(
+            CellId(0),
+            CellKind::Pico,
+            Point::ORIGIN,
+            NodeId(1),
+        ));
     }
 
     #[test]
@@ -275,7 +320,12 @@ mod tests {
     fn shadowing_decorrelates_repetitions() {
         let mk = |seed| {
             let mut m = CellMap::new(seed);
-            m.add(Cell::new(CellId(0), CellKind::Macro, Point::ORIGIN, NodeId(0)));
+            m.add(Cell::new(
+                CellId(0),
+                CellKind::Macro,
+                Point::ORIGIN,
+                NodeId(0),
+            ));
             m.rssi_dbm(CellId(0), Point::new(500.0, 500.0))
         };
         assert_ne!(mk(1), mk(2));

@@ -26,7 +26,11 @@ pub struct PathLoss {
 impl Default for PathLoss {
     /// Urban-ish defaults: exponent 3.5, 40 dB at 1 m, 6 dB shadowing.
     fn default() -> Self {
-        PathLoss { exponent: 3.5, ref_loss_db: 40.0, shadow_sigma_db: 6.0 }
+        PathLoss {
+            exponent: 3.5,
+            ref_loss_db: 40.0,
+            shadow_sigma_db: 6.0,
+        }
     }
 }
 
@@ -34,7 +38,11 @@ impl PathLoss {
     /// Free-space-like propagation without shadowing (unit tests,
     /// controlled experiments).
     pub fn clean(exponent: f64) -> Self {
-        PathLoss { exponent, ref_loss_db: 40.0, shadow_sigma_db: 0.0 }
+        PathLoss {
+            exponent,
+            ref_loss_db: 40.0,
+            shadow_sigma_db: 0.0,
+        }
     }
 
     /// Mean path loss at distance `d` meters (no shadowing term).
@@ -145,12 +153,19 @@ mod tests {
             pl.rx_power_dbm(30.0, tx, p, seed) + pl.mean_loss_db(tx.distance(p)) - 30.0
         };
         assert_ne!(shadow(p1, 1), shadow(p2, 1), "different squares differ");
-        assert_ne!(shadow(p1, 1), shadow(p1, 2), "different transmitters differ");
+        assert_ne!(
+            shadow(p1, 1),
+            shadow(p1, 2),
+            "different transmitters differ"
+        );
     }
 
     #[test]
     fn shadowing_statistics_plausible() {
-        let pl = PathLoss { shadow_sigma_db: 8.0, ..PathLoss::default() };
+        let pl = PathLoss {
+            shadow_sigma_db: 8.0,
+            ..PathLoss::default()
+        };
         let tx = Point::ORIGIN;
         let mut sum = 0.0;
         let mut sum2 = 0.0;
@@ -164,7 +179,11 @@ mod tests {
         let mean = sum / n as f64;
         let var = sum2 / n as f64 - mean * mean;
         assert!(mean.abs() < 1.0, "shadow mean {mean} should be ~0");
-        assert!((var.sqrt() - 8.0).abs() < 1.0, "shadow sd {} should be ~8", var.sqrt());
+        assert!(
+            (var.sqrt() - 8.0).abs() < 1.0,
+            "shadow sd {} should be ~8",
+            var.sqrt()
+        );
     }
 
     #[test]

@@ -61,7 +61,11 @@ mod tests {
     use super::*;
 
     fn ev(t: u64, seq: u64) -> ScheduledEvent<()> {
-        ScheduledEvent { time: SimTime::from_nanos(t), seq, event: () }
+        ScheduledEvent {
+            time: SimTime::from_nanos(t),
+            seq,
+            event: (),
+        }
     }
 
     #[test]
@@ -73,7 +77,11 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let e = ScheduledEvent { time: SimTime::from_secs(1), seq: 3, event: 42u32 };
+        let e = ScheduledEvent {
+            time: SimTime::from_secs(1),
+            seq: 3,
+            event: 42u32,
+        };
         assert_eq!(e.time(), SimTime::from_secs(1));
         assert_eq!(e.into_event(), 42);
     }

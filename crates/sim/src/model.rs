@@ -37,7 +37,11 @@ impl<'a, E> Context<'a, E> {
         events_emitted: &'a mut u64,
         stop_requested: &'a mut bool,
     ) -> Self {
-        Context { scheduler, events_emitted, stop_requested }
+        Context {
+            scheduler,
+            events_emitted,
+            stop_requested,
+        }
     }
 
     /// Current simulated time.

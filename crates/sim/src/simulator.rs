@@ -161,7 +161,10 @@ mod tests {
     }
 
     fn metronome() -> Simulator<Metronome> {
-        let mut sim = Simulator::new(Metronome { ticks: 0, period: SimDuration::from_secs(1) });
+        let mut sim = Simulator::new(Metronome {
+            ticks: 0,
+            period: SimDuration::from_secs(1),
+        });
         sim.schedule_at(SimTime::ZERO, ());
         sim
     }

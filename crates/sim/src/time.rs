@@ -329,7 +329,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_nanos(2_000_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_nanos(2_000_000_000)
+        );
     }
 
     #[test]
@@ -377,9 +380,20 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![SimTime::from_secs(3), SimTime::ZERO, SimTime::from_millis(1500)];
+        let mut v = vec![
+            SimTime::from_secs(3),
+            SimTime::ZERO,
+            SimTime::from_millis(1500),
+        ];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_millis(1500), SimTime::from_secs(3)]);
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(1500),
+                SimTime::from_secs(3)
+            ]
+        );
     }
 
     #[test]
@@ -393,7 +407,9 @@ mod tests {
 
     #[test]
     fn checked_add_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_secs(1))

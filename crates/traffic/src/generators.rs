@@ -59,7 +59,10 @@ impl Cbr {
 
 impl ArrivalProcess for Cbr {
     fn next_arrival(&mut self, _rng: &mut RngStream) -> Arrival {
-        Arrival { gap: self.interval, bytes: self.bytes }
+        Arrival {
+            gap: self.interval,
+            bytes: self.bytes,
+        }
     }
 
     fn mean_rate_bps(&self) -> f64 {
@@ -91,7 +94,10 @@ impl OnOffVbr {
     /// Panics on non-positive parameters.
     pub fn new(interval: SimDuration, bytes: u32, mean_on_secs: f64, mean_off_secs: f64) -> Self {
         assert!(!interval.is_zero() && bytes > 0, "bad packet parameters");
-        assert!(mean_on_secs > 0.0 && mean_off_secs > 0.0, "bad on/off means");
+        assert!(
+            mean_on_secs > 0.0 && mean_off_secs > 0.0,
+            "bad on/off means"
+        );
         OnOffVbr {
             interval,
             bytes,
@@ -118,7 +124,10 @@ impl ArrivalProcess for OnOffVbr {
         let step = self.interval.as_secs_f64();
         if self.on_remaining >= step {
             self.on_remaining -= step;
-            return Arrival { gap: self.interval, bytes: self.bytes };
+            return Arrival {
+                gap: self.interval,
+                bytes: self.bytes,
+            };
         }
         // Burst exhausted: silence, then a fresh burst starts.
         let off = rng.exponential(self.mean_off);
@@ -162,7 +171,10 @@ impl ParetoWeb {
     ///
     /// Panics on non-positive parameters or `alpha <= 1` (infinite mean).
     pub fn new(mean_think_secs: f64, min_burst_bytes: f64, alpha: f64, mtu: u32) -> Self {
-        assert!(mean_think_secs > 0.0 && min_burst_bytes > 0.0 && mtu > 0, "bad parameters");
+        assert!(
+            mean_think_secs > 0.0 && min_burst_bytes > 0.0 && mtu > 0,
+            "bad parameters"
+        );
         assert!(alpha > 1.0, "alpha must exceed 1 for a finite mean");
         ParetoWeb {
             mean_think: mean_think_secs,
@@ -197,11 +209,17 @@ impl ArrivalProcess for ParetoWeb {
             self.burst_remaining = burst as u64;
             let bytes = self.burst_remaining.min(u64::from(self.mtu)) as u32;
             self.burst_remaining -= u64::from(bytes);
-            return Arrival { gap: SimDuration::from_secs_f64(think), bytes };
+            return Arrival {
+                gap: SimDuration::from_secs_f64(think),
+                bytes,
+            };
         }
         let bytes = self.burst_remaining.min(u64::from(self.mtu)) as u32;
         self.burst_remaining -= u64::from(bytes);
-        Arrival { gap: self.in_burst_gap, bytes }
+        Arrival {
+            gap: self.in_burst_gap,
+            bytes,
+        }
     }
 
     fn mean_rate_bps(&self) -> f64 {
@@ -256,17 +274,25 @@ mod tests {
         let measured = total_bits / total_secs;
         let expected = v.mean_rate_bps();
         let err = (measured - expected).abs() / expected;
-        assert!(err < 0.1, "measured {measured:.0} vs expected {expected:.0}");
+        assert!(
+            err < 0.1,
+            "measured {measured:.0} vs expected {expected:.0}"
+        );
     }
 
     #[test]
     fn onoff_has_bursts_and_gaps() {
         let mut v = OnOffVbr::video();
         let mut r = rng();
-        let gaps: Vec<f64> = (0..10_000).map(|_| v.next_arrival(&mut r).gap.as_secs_f64()).collect();
+        let gaps: Vec<f64> = (0..10_000)
+            .map(|_| v.next_arrival(&mut r).gap.as_secs_f64())
+            .collect();
         let short = gaps.iter().filter(|&&g| g < 0.011).count();
         let long = gaps.iter().filter(|&&g| g > 0.1).count();
-        assert!(short > 5_000, "expected mostly in-burst packets, got {short}");
+        assert!(
+            short > 5_000,
+            "expected mostly in-burst packets, got {short}"
+        );
         assert!(long > 50, "expected some silences, got {long}");
     }
 
@@ -330,7 +356,9 @@ mod tests {
         let run = || {
             let mut v = OnOffVbr::video();
             let mut r = RngStream::derive(5, "det");
-            (0..100).map(|_| v.next_arrival(&mut r).gap.as_nanos()).sum::<u64>()
+            (0..100)
+                .map(|_| v.next_arrival(&mut r).gap.as_nanos())
+                .sum::<u64>()
         };
         assert_eq!(run(), run());
     }

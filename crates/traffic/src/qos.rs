@@ -274,7 +274,11 @@ mod tests {
             q.record_received(seq, t, t + SimDuration::from_millis(d), 100);
         }
         let r = q.report(SimDuration::from_secs(1));
-        assert!(r.p95_delay_ms <= 15.0, "p95 {} should be near 10", r.p95_delay_ms);
+        assert!(
+            r.p95_delay_ms <= 15.0,
+            "p95 {} should be near 10",
+            r.p95_delay_ms
+        );
         assert!(r.mean_delay_ms > 10.0);
     }
 

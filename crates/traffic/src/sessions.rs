@@ -42,8 +42,15 @@ impl SessionProcess {
     ///
     /// Panics on non-positive parameters.
     pub fn new(arrival_rate: f64, mean_holding_secs: f64) -> Self {
-        assert!(arrival_rate > 0.0 && mean_holding_secs > 0.0, "bad session parameters");
-        SessionProcess { arrival_rate, mean_holding_secs, next_index: 0 }
+        assert!(
+            arrival_rate > 0.0 && mean_holding_secs > 0.0,
+            "bad session parameters"
+        );
+        SessionProcess {
+            arrival_rate,
+            mean_holding_secs,
+            next_index: 0,
+        }
     }
 
     /// Offered load in Erlangs (`rate × holding`).
@@ -53,18 +60,17 @@ impl SessionProcess {
 
     /// Draws the next session start after `now`. Returns the start time and
     /// the event (carrying the holding time).
-    pub fn next_session(
-        &mut self,
-        now: SimTime,
-        rng: &mut RngStream,
-    ) -> (SimTime, SessionEvent) {
+    pub fn next_session(&mut self, now: SimTime, rng: &mut RngStream) -> (SimTime, SessionEvent) {
         let gap = rng.exponential(1.0 / self.arrival_rate);
         let duration = rng.exponential(self.mean_holding_secs);
         let session = self.next_index;
         self.next_index += 1;
         (
             now + SimDuration::from_secs_f64(gap),
-            SessionEvent::Start { session, duration: SimDuration::from_secs_f64(duration) },
+            SessionEvent::Start {
+                session,
+                duration: SimDuration::from_secs_f64(duration),
+            },
         )
     }
 }

@@ -20,9 +20,7 @@ fn main() {
     });
     let secs = 720.0; // one full out-and-back across the 9 km corridor
 
-    println!(
-        "two commuters, 9 km corridor, 3 domains, {secs:.0} s simulated\n"
-    );
+    println!("two commuters, 9 km corridor, 3 domains, {secs:.0} s simulated\n");
     for arch in [ArchKind::multi_tier(), ArchKind::PureMobileIp] {
         let report = scenario.with_arch(arch).run_secs(secs);
         let q = report.aggregate_qos();

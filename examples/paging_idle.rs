@@ -31,7 +31,10 @@ fn main() {
         println!("web goodput          : {:.0} bit/s", q.throughput_bps);
         println!("loss                 : {:.3}%", q.loss_rate * 100.0);
         println!("route updates (active): {}", report.signaling.route_updates);
-        println!("paging updates (idle) : {}", report.signaling.paging_updates);
+        println!(
+            "paging updates (idle) : {}",
+            report.signaling.paging_updates
+        );
         println!("pages transmitted     : {}", report.signaling.page_messages);
         println!(
             "paging drops          : {}",

@@ -38,10 +38,16 @@ fn main() {
     println!("ping-pong handoffs : {}", report.handoffs.ping_pong);
 
     println!("\n--- signaling overhead ---");
-    println!("location messages  : {}", report.signaling.location_messages);
+    println!(
+        "location messages  : {}",
+        report.signaling.location_messages
+    );
     println!("route updates      : {}", report.signaling.route_updates);
     println!("MIP registrations  : {}", report.signaling.mip_requests);
-    println!("RSMC notifications : {}", report.signaling.rsmc_notifications);
+    println!(
+        "RSMC notifications : {}",
+        report.signaling.rsmc_notifications
+    );
     println!("control bytes      : {}", report.signaling.control_bytes);
 
     println!("\nper-flow QoS:");

@@ -47,7 +47,10 @@ fn active_node_lifecycle_with_state_machine() {
     let idle_t = t + timers.active_timeout + SimDuration::from_secs(1);
     assert_eq!(state.mode(idle_t), MnMode::Idle);
     let late = t + timers.route_cache_lifetime() + SimDuration::from_secs(1);
-    assert!(net.downlink_path(mn, late).is_none(), "routing state decayed");
+    assert!(
+        net.downlink_path(mn, late).is_none(),
+        "routing state decayed"
+    );
     assert!(
         matches!(net.page(mn, late), PageOutcome::Directed { bs, .. } if bs == NodeId(3)),
         "paging still knows the node"
@@ -85,7 +88,11 @@ fn hard_handoff_stale_branch_until_crossover_update() {
 fn semisoft_window_bounded_by_kind_loss_window() {
     let net = network();
     let hop = SimDuration::from_millis(5);
-    for (old, new) in [(NodeId(3), NodeId(4)), (NodeId(3), NodeId(5)), (NodeId(4), NodeId(6))] {
+    for (old, new) in [
+        (NodeId(3), NodeId(4)),
+        (NodeId(3), NodeId(5)),
+        (NodeId(4), NodeId(6)),
+    ] {
         let hard = HandoffKind::Hard.loss_window(net.tree(), old, new, hop);
         let semi = HandoffKind::default_semisoft().loss_window(net.tree(), old, new, hop);
         assert!(semi <= hard);

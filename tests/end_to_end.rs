@@ -52,7 +52,11 @@ fn multi_tier_beats_pure_mobile_ip_on_delay() {
 fn multi_tier_beats_flat_cip_for_fast_nodes() {
     // The macro umbrella is the whole point of the multi-tier design
     // (the E11 shape): fast nodes outrun a micro-only deployment.
-    let pop = Population { pedestrians: 0, vehicles: 2, cyclists: 0 };
+    let pop = Population {
+        pedestrians: 0,
+        vehicles: 2,
+        cyclists: 0,
+    };
     let multi = Scenario::small_city(3).with_population(pop).run_secs(120.0);
     let flat = Scenario::small_city(3)
         .with_arch(ArchKind::FlatCellularIp)
@@ -88,7 +92,11 @@ fn rsmc_reduces_delay_vs_no_rsmc() {
 #[test]
 fn handoff_reports_are_internally_consistent() {
     let r = Scenario::small_city(5)
-        .with_population(Population { pedestrians: 4, vehicles: 2, cyclists: 2 })
+        .with_population(Population {
+            pedestrians: 4,
+            vehicles: 2,
+            cyclists: 2,
+        })
         .run_secs(120.0);
     // Every latency sample belongs to a completed handoff type.
     for (ht, summary) in &r.handoffs.latency_ms {
@@ -110,7 +118,11 @@ fn longer_runs_do_not_leak_state() {
     // Soft state must stay bounded: run long, verify caches swept.
     let r = Scenario::single_domain(6).run_secs(240.0);
     let q = r.aggregate_qos();
-    assert!(q.loss_rate < 0.05, "steady state stays healthy: {:.4}", q.loss_rate);
+    assert!(
+        q.loss_rate < 0.05,
+        "steady state stays healthy: {:.4}",
+        q.loss_rate
+    );
     // Events scale linearly-ish with time; a leak would explode this.
     assert!(
         r.events_processed < 3_000_000,

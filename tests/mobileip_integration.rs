@@ -2,9 +2,7 @@
 //! through complete protocol exchanges — no simulator, pure message
 //! passing, verifying the state machines compose (paper §2.2.1, Fig 2.2).
 
-use mtnet_mobileip::{
-    ForeignAgent, HomeAgent, MnAction, MnState, MobileNode, RegistrationRequest,
-};
+use mtnet_mobileip::{ForeignAgent, HomeAgent, MnAction, MnState, MobileNode, RegistrationRequest};
 use mtnet_net::{Addr, Prefix};
 use mtnet_sim::{SimDuration, SimTime};
 
@@ -77,7 +75,8 @@ fn movement_between_agents_rebinds() {
     s.fa1
         .install_forward(addr("10.0.2.9"), addr("20.1.0.1"), SimTime::from_secs(10));
     assert_eq!(
-        s.fa1.forward_endpoint(addr("10.0.2.9"), SimTime::from_secs(11)),
+        s.fa1
+            .forward_endpoint(addr("10.0.2.9"), SimTime::from_secs(11)),
         Some(addr("20.1.0.1"))
     );
     assert_eq!(s.mn.counters().1, 1, "one handoff recorded by the MN");

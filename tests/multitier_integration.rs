@@ -50,7 +50,10 @@ fn paper_walkthrough_x_y_z() {
     dir.on_location_message(&h, z, CellId(6), t0);
 
     // X: macro R1 → micro B (Fig 3.4a).
-    assert_eq!(classify(&h, CellId(101), CellId(2)), HandoffType::IntraMacroToMicro);
+    assert_eq!(
+        classify(&h, CellId(101), CellId(2)),
+        HandoffType::IntraMacroToMicro
+    );
     dir.on_update_location(&h, x, CellId(2), SimTime::from_secs(1));
     dir.on_delete_location(x, CellId(101));
     // The paper's resulting records: B, A, R1, R3 know the way to X.
@@ -58,14 +61,21 @@ fn paper_walkthrough_x_y_z() {
     assert_eq!(dir.resolve_serving_cell(x, CellId(100), t), Some(CellId(2)));
 
     // Y: micro C → macro R1 (Fig 3.4b).
-    assert_eq!(classify(&h, CellId(3), CellId(101)), HandoffType::IntraMicroToMacro);
+    assert_eq!(
+        classify(&h, CellId(3), CellId(101)),
+        HandoffType::IntraMicroToMacro
+    );
     dir.on_update_location(&h, y, CellId(101), SimTime::from_secs(1));
     dir.on_delete_location(y, CellId(3));
     // The micro-first lookup order means R1's *stale* micro record (from
     // Y's time at C) shadows the fresh macro record until the
     // time-limitation erases it — a real property of the paper's scheme.
     let shadowed = dir.locate(&h, y, CellId(101), t).unwrap();
-    assert_eq!(shadowed.hit.tier(), Tier::Micro, "stale micro record shadows first");
+    assert_eq!(
+        shadowed.hit.tier(),
+        Tier::Micro,
+        "stale micro record shadows first"
+    );
     // Refresh only the macro attachment past the old record's lifetime…
     dir.on_location_message(&h, y, CellId(101), SimTime::from_secs(5));
     let after_expiry = SimTime::from_secs(7);
@@ -73,7 +83,10 @@ fn paper_walkthrough_x_y_z() {
     assert_eq!(loc.hit.tier(), Tier::Macro, "macro_table holds Y now");
 
     // Z: micro F → micro E (Fig 3.4c).
-    assert_eq!(classify(&h, CellId(6), CellId(5)), HandoffType::IntraMicroToMicro);
+    assert_eq!(
+        classify(&h, CellId(6), CellId(5)),
+        HandoffType::IntraMicroToMicro
+    );
     dir.on_update_location(&h, z, CellId(5), SimTime::from_secs(1));
     dir.on_delete_location(z, CellId(6));
     assert_eq!(dir.resolve_serving_cell(z, CellId(102), t), Some(CellId(5)));
@@ -97,14 +110,27 @@ fn decision_engine_drives_the_expected_procedures() {
             rssi_dbm: Some(-70.0),
         }),
         &[
-            Candidate { cell: CellId(101), tier: Tier::Macro, rssi_dbm: -70.0, free_ratio: 0.8 },
-            Candidate { cell: CellId(2), tier: Tier::Micro, rssi_dbm: -65.0, free_ratio: 0.9 },
+            Candidate {
+                cell: CellId(101),
+                tier: Tier::Macro,
+                rssi_dbm: -70.0,
+                free_ratio: 0.8,
+            },
+            Candidate {
+                cell: CellId(2),
+                tier: Tier::Micro,
+                rssi_dbm: -65.0,
+                free_ratio: 0.9,
+            },
         ],
     );
     let HandoffDecision::Handoff { target, .. } = decision else {
         panic!("expected a handoff, got {decision:?}");
     };
-    assert_eq!(classify(&h, CellId(101), target), HandoffType::IntraMacroToMicro);
+    assert_eq!(
+        classify(&h, CellId(101), target),
+        HandoffType::IntraMacroToMicro
+    );
 }
 
 #[test]
@@ -146,13 +172,19 @@ fn rsmc_notifications_only_on_movement() {
 fn inter_domain_classification_matches_hierarchy() {
     let h = fig31();
     // B(2) in domain 0 → E(5) in domain 1, both under R3: Fig 3.2.
-    assert_eq!(classify(&h, CellId(2), CellId(5)), HandoffType::InterDomainSameUpper);
+    assert_eq!(
+        classify(&h, CellId(2), CellId(5)),
+        HandoffType::InterDomainSameUpper
+    );
 
     // A third domain with no upper: Fig 3.3 from anywhere.
     let mut h2 = fig31();
     h2.add_domain(CellId(103), None);
     h2.add_micro(CellId(7), CellId(103));
-    assert_eq!(classify(&h2, CellId(2), CellId(7)), HandoffType::InterDomainDifferentUpper);
+    assert_eq!(
+        classify(&h2, CellId(2), CellId(7)),
+        HandoffType::InterDomainDifferentUpper
+    );
 }
 
 #[test]
@@ -164,13 +196,27 @@ fn resource_exhaustion_tier_fallback_in_context() {
         20.0, // fast: wants macro
         None,
         &[
-            Candidate { cell: CellId(101), tier: Tier::Macro, rssi_dbm: -60.0, free_ratio: 0.0 },
-            Candidate { cell: CellId(2), tier: Tier::Micro, rssi_dbm: -70.0, free_ratio: 0.9 },
+            Candidate {
+                cell: CellId(101),
+                tier: Tier::Macro,
+                rssi_dbm: -60.0,
+                free_ratio: 0.0,
+            },
+            Candidate {
+                cell: CellId(2),
+                tier: Tier::Micro,
+                rssi_dbm: -70.0,
+                free_ratio: 0.9,
+            },
         ],
     );
     assert_eq!(
         decision,
-        HandoffDecision::Handoff { target: CellId(2), tier: Tier::Micro, fallback: None },
+        HandoffDecision::Handoff {
+            target: CellId(2),
+            tier: Tier::Micro,
+            fallback: None
+        },
         "macro full → micro fallback chosen directly"
     );
 }
@@ -182,8 +228,12 @@ fn stale_records_age_out_exactly_per_time_limitation() {
     let mut dir = LocationDirectory::new(&h, lifetime);
     let mn = addr("10.0.2.1");
     dir.on_location_message(&h, mn, CellId(2), SimTime::ZERO);
-    assert!(dir.locate(&h, mn, CellId(2), SimTime::from_millis(3999)).is_some());
-    assert!(dir.locate(&h, mn, CellId(2), SimTime::from_millis(4000)).is_none());
+    assert!(dir
+        .locate(&h, mn, CellId(2), SimTime::from_millis(3999))
+        .is_some());
+    assert!(dir
+        .locate(&h, mn, CellId(2), SimTime::from_millis(4000))
+        .is_none());
     // Sweep reclaims the memory.
     let evicted = dir.sweep(SimTime::from_secs(5));
     assert_eq!(evicted, 4, "record existed at B, A, R1, R3");

@@ -9,7 +9,7 @@ use mtnet_core::handoff::{
 use mtnet_core::tier::Tier;
 use mtnet_metrics::{Histogram, Summary};
 use mtnet_net::{Addr, NodeId, Prefix, RoutingTable};
-use mtnet_radio::{CallKind, ChannelPool, CellId};
+use mtnet_radio::{CallKind, CellId, ChannelPool};
 use mtnet_sim::{RngStream, Scheduler, SimDuration, SimTime};
 use proptest::prelude::*;
 

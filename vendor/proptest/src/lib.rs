@@ -1,0 +1,177 @@
+//! Offline API-subset stand-in for `proptest`.
+//!
+//! A real — but deliberately small — property-testing harness covering the
+//! API surface `tests/properties.rs` uses: the [`proptest!`] and
+//! `prop_assert*` macros, range strategies, [`arbitrary::any`], string
+//! character-class patterns, [`collection`] strategies, and
+//! [`sample::Index`]. Unlike the real crate there is **no shrinking** and
+//! no persisted failure regressions: a failing case reports its seed and
+//! case number so it can be replayed with `PROPTEST_SEED`. See
+//! `vendor/README.md` for the restoration path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs each contained `#[test] fn name(arg in strategy, …) { body }` as a
+/// property: the body is executed for `PROPTEST_CASES` (default 64)
+/// generated inputs.
+///
+/// Mirrors `proptest::proptest!` for the subset of syntax this workspace
+/// uses. There is no shrinking; failures report the master seed and case
+/// index for replay.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases_from_env();
+                let seed = $crate::test_runner::seed_from_env();
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        seed,
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{} (seed {}): {}",
+                            stringify!($name), case, cases, seed, err,
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with formatted context) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, "{l:?} != {r:?}");
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, "{:?} != {:?}: {}", l, r, ::std::format!($($fmt)+));
+            }
+        }
+    };
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l != r, "{l:?} == {r:?}");
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l != r, "{:?} == {:?}: {}", l, r, ::std::format!($($fmt)+));
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in -2.5f64..2.5, z in 0u8..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!(z <= 4);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u32..100, 2..5),
+            s in prop::collection::btree_set(0u8..=200, 1..6),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 6);
+        }
+
+        #[test]
+        fn string_patterns_match_class(label in "[a-z]{1,12}") {
+            prop_assert!((1..=12).contains(&label.len()));
+            prop_assert!(label.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn sample_index_in_range(pick in any::<(prop::sample::Index, prop::sample::Index)>()) {
+            prop_assert!(pick.0.index(7) < 7);
+            prop_assert!(pick.1.index(1) == 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_case() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(x in 0u32..10) {
+                    prop_assert!(x > 100, "x was {x}");
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "got: {msg}");
+        assert!(msg.contains("x was"), "got: {msg}");
+    }
+}

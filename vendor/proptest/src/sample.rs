@@ -1,0 +1,48 @@
+//! Sampling helpers (`Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A position that can index any non-empty slice, mirroring
+/// `proptest::sample::Index`: the concrete index is resolved against a
+/// length at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Resolves this sample against a collection of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_always_in_range() {
+        let mut rng = TestRng::for_case(9, "idx", 0);
+        for len in 1..50 {
+            let i = Index::arbitrary(&mut rng);
+            assert!(i.index(len) < len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn index_empty_panics() {
+        Index(3).index(0);
+    }
+}

@@ -1,0 +1,131 @@
+//! The [`Strategy`] trait and the built-in range strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// The real crate's `Strategy` produces shrinkable value *trees*; this
+/// subset generates plain values (no shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    // u64::MIN..=u64::MAX overflows a u64 span; draw raw bits.
+                    if span > u128::from(u64::MAX) {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // Map the unit draw over [0, 1] inclusively so `hi` is reachable.
+        let u = rng.next_u64() as f64 / u64::MAX as f64;
+        lo + (hi - lo) * u
+    }
+}
+
+/// Character-class string patterns: `&str` literals like `"[a-z]{1,12}"`
+/// act as strategies producing matching `String`s (see [`crate::string`]).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_from_pattern(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(42, "strategy", 0)
+    }
+
+    #[test]
+    fn int_ranges_hit_extremes_and_stay_bounded() {
+        let mut r = rng();
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1_000 {
+            let x = (3u8..=5).generate(&mut r);
+            assert!((3..=5).contains(&x));
+            seen_lo |= x == 3;
+            seen_hi |= x == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn negative_ranges_work() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let x = (-10i32..-2).generate(&mut r);
+            assert!((-10..-2).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_bounded() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let x = (-1e6f64..1e6).generate(&mut r);
+            assert!((-1e6..1e6).contains(&x));
+            let y = (0.0f64..=1.0).generate(&mut r);
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_overflow() {
+        let mut r = rng();
+        let _ = (u64::MIN..=u64::MAX).generate(&mut r);
+    }
+}

@@ -1,0 +1,110 @@
+//! String generation from character-class patterns.
+//!
+//! The real proptest compiles full regexes; this subset supports the shape
+//! the workspace's tests use — a concatenation of units, each a literal
+//! character or a character class `[a-z0-9_]`, optionally followed by a
+//! `{min,max}` repetition — e.g. `"[a-z]{1,12}"`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Unit {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Unit> {
+    let mut units = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = if c == '[' {
+            let mut class = Vec::new();
+            loop {
+                let c = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                if c == ']' {
+                    break;
+                }
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    let hi = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling '-' in pattern {pattern:?}"));
+                    assert!(c <= hi, "inverted range {c}-{hi} in pattern {pattern:?}");
+                    class.extend(c..=hi);
+                } else {
+                    class.push(c);
+                }
+            }
+            assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+            class
+        } else {
+            assert!(
+                !"(){}|*+?.^$\\".contains(c),
+                "unsupported regex feature {c:?} in pattern {pattern:?} \
+                 (vendored proptest supports only char classes and {{m,n}})"
+            );
+            vec![c]
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let rep: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            let (lo, hi) = rep
+                .split_once(',')
+                .unwrap_or_else(|| panic!("bad repetition {{{rep}}} in pattern {pattern:?}"));
+            let lo: usize = lo.trim().parse().expect("bad repetition min");
+            let hi: usize = hi.trim().parse().expect("bad repetition max");
+            assert!(lo <= hi, "inverted repetition in pattern {pattern:?}");
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        units.push(Unit { choices, min, max });
+    }
+    units
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for unit in parse(pattern) {
+        let n = unit.min + rng.below((unit.max - unit.min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(unit.choices[rng.below(unit.choices.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::for_case(1, "s", 0);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_multi_ranges() {
+        let mut rng = TestRng::for_case(1, "s2", 0);
+        let s = generate_from_pattern("x[0-9a-f]{4,4}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('x'));
+        assert!(s[1..].bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex feature")]
+    fn rejects_unsupported_syntax() {
+        let mut rng = TestRng::for_case(1, "s3", 0);
+        let _ = generate_from_pattern("a+", &mut rng);
+    }
+}

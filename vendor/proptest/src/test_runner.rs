@@ -1,0 +1,145 @@
+//! Case counting, seeding, and the per-case RNG behind [`crate::proptest!`].
+
+use std::fmt;
+
+/// A failed property case (produced by the `prop_assert*` macros).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Number of generated cases per property: `PROPTEST_CASES` or 64.
+pub fn cases_from_env() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Master seed for the whole run: `PROPTEST_SEED` or a fixed default, so
+/// runs are reproducible by default and replayable after a failure.
+pub fn seed_from_env() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5EED_CAFE_F00D_D00D)
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic per-case generator (SplitMix64-seeded xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Derives the generator for one (property, case) pair: the property
+    /// name is hashed so distinct properties see independent streams.
+    pub fn for_case(master_seed: u64, property: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in property.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut sm = master_seed ^ h ^ (u64::from(case) << 32 | u64::from(case));
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 random bits (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`, unbiased (Lemire rejection).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(n);
+            let lo = m as u64;
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_case_streams_are_deterministic_and_distinct() {
+        let mut a = TestRng::for_case(1, "p", 0);
+        let mut b = TestRng::for_case(1, "p", 0);
+        let mut c = TestRng::for_case(1, "p", 1);
+        let mut d = TestRng::for_case(1, "q", 0);
+        let x = a.next_u64();
+        assert_eq!(x, b.next_u64());
+        assert_ne!(x, c.next_u64());
+        assert_ne!(x, d.next_u64());
+    }
+
+    #[test]
+    fn below_is_bounded() {
+        let mut r = TestRng::for_case(2, "b", 0);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn env_defaults() {
+        assert!(cases_from_env() > 0);
+        let _ = seed_from_env();
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline API-subset stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and the derive
+//! macros the workspace imports. The derives expand to nothing, so these
+//! act as marker traits only — enough to compile `use serde::{Serialize,
+//! Deserialize}` + `#[derive(...)]` without a crates registry. See
+//! `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Stand-in for the `serde::ser` module namespace.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Stand-in for the `serde::de` module namespace.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! `#[derive(Serialize, Deserialize)]` must resolve to *something* for the
+//! workspace to compile without registry access; these derives accept the
+//! same attribute namespace as the real ones and expand to nothing, so the
+//! annotated types simply don't get serialization impls. See
+//! `vendor/README.md` for the restoration path.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
