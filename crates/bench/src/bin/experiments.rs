@@ -4,9 +4,18 @@
 //! cargo run -p mtnet-bench --bin experiments --release           # full runs
 //! cargo run -p mtnet-bench --bin experiments --release -- quick  # smoke runs
 //! cargo run -p mtnet-bench --bin experiments --release -- full E4 E9
+//! cargo run -p mtnet-bench --bin experiments --release -- quick E10 --threads 1
 //! ```
+//!
+//! Experiment arms and replications run concurrently through
+//! `mtnet_sim::runner::BatchRunner`; `--threads N` (or `MTNET_THREADS=N`)
+//! pins the pool width, and `--threads 1` forces the sequential path. The
+//! printed tables are byte-identical at any thread count; per-experiment
+//! wall-clock timings go to stderr so stdout stays recordable.
 
-use mtnet_bench::{run_all, Effort};
+use mtnet_bench::{run_one, Effort, ALL_IDS};
+use mtnet_sim::runner::{BatchRunner, THREADS_ENV};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,16 +24,33 @@ fn main() {
     } else {
         Effort::Full
     };
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        match args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => std::env::set_var(THREADS_ENV, n.to_string()),
+            _ => {
+                eprintln!("--threads needs a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
     let filter: Vec<&String> = args
         .iter()
         .filter(|a| a.starts_with('E') || a.starts_with('e'))
         .collect();
     let seed = 42;
-    println!("mtnet experiment suite — effort: {effort:?}, seed: {seed}\n");
-    for result in run_all(effort, seed) {
-        if !filter.is_empty() && !filter.iter().any(|f| f.eq_ignore_ascii_case(result.id)) {
+    println!(
+        "mtnet experiment suite — effort: {effort:?}, seed: {seed}, threads: {}\n",
+        BatchRunner::from_env().threads()
+    );
+    let suite_start = Instant::now();
+    for id in ALL_IDS {
+        if !filter.is_empty() && !filter.iter().any(|f| f.eq_ignore_ascii_case(id)) {
             continue;
         }
+        let start = Instant::now();
+        let result = run_one(id, effort, seed).expect("known id");
         println!("{}", result.render());
+        eprintln!("[{id}: {:.2}s]", start.elapsed().as_secs_f64());
     }
+    eprintln!("[suite: {:.2}s]", suite_start.elapsed().as_secs_f64());
 }

@@ -5,6 +5,13 @@
 //! binary (full-length runs, printed tables recorded in `EXPERIMENTS.md`)
 //! and the Criterion benches (short smoke-length runs).
 //!
+//! Every experiment's arms and replications execute **concurrently**
+//! through `mtnet_sim::runner::BatchRunner` (set `MTNET_THREADS=1` to
+//! force the sequential path), with per-run sub-seeds derived from the
+//! `(experiment, architecture, replication)` path via
+//! `mtnet_sim::rng::SeedTree` — so the printed tables are byte-identical
+//! at any thread count.
+//!
 //! | id  | paper artifact | runner |
 //! |-----|----------------|--------|
 //! | E1  | Fig 2.1 multi-tier architecture      | [`experiments::e1_multitier_coverage`] |
@@ -44,6 +51,19 @@ impl Effort {
             Effort::Full => full,
         }
     }
+
+    /// Independent replications per experiment arm for the headline
+    /// comparisons (E10/E11). Every `(experiment, architecture,
+    /// replication)` tuple gets its own sub-seed (see
+    /// `mtnet_sim::rng::SeedTree`) and the replications run concurrently
+    /// through `mtnet_sim::runner::BatchRunner`; tables report
+    /// mean ± 95% CI across them.
+    pub fn replications(self) -> u64 {
+        match self {
+            Effort::Quick => 3,
+            Effort::Full => 3,
+        }
+    }
 }
 
 /// One experiment's rendered output.
@@ -76,22 +96,38 @@ impl ExperimentResult {
     }
 }
 
+/// Every experiment id, in suite order.
+pub const ALL_IDS: [&str; 12] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+];
+
+/// Runs a single experiment by id (case-insensitive); `None` for unknown
+/// ids.
+pub fn run_one(id: &str, effort: Effort, seed: u64) -> Option<ExperimentResult> {
+    let r = match id.to_ascii_uppercase().as_str() {
+        "E1" => experiments::e1_multitier_coverage(effort, seed),
+        "E2" => experiments::e2_mobileip(effort, seed),
+        "E3" => experiments::e3_cip_routing(effort, seed),
+        "E4" => experiments::e4_cip_handoff(effort, seed),
+        "E5" => experiments::e5_location(seed),
+        "E6" => experiments::e6_interdomain_same(effort, seed),
+        "E7" => experiments::e7_interdomain_diff(effort, seed),
+        "E8" => experiments::e8_intradomain(effort, seed),
+        "E9" => experiments::e9_rsmc(effort, seed),
+        "E10" => experiments::e10_qos(effort, seed),
+        "E11" => experiments::e11_loss(effort, seed),
+        "E12" => experiments::e12_ablation(effort, seed),
+        _ => return None,
+    };
+    Some(r)
+}
+
 /// Runs every experiment in order.
 pub fn run_all(effort: Effort, seed: u64) -> Vec<ExperimentResult> {
-    vec![
-        experiments::e1_multitier_coverage(effort, seed),
-        experiments::e2_mobileip(effort, seed),
-        experiments::e3_cip_routing(effort, seed),
-        experiments::e4_cip_handoff(effort, seed),
-        experiments::e5_location(seed),
-        experiments::e6_interdomain_same(effort, seed),
-        experiments::e7_interdomain_diff(effort, seed),
-        experiments::e8_intradomain(effort, seed),
-        experiments::e9_rsmc(effort, seed),
-        experiments::e10_qos(effort, seed),
-        experiments::e11_loss(effort, seed),
-        experiments::e12_ablation(effort, seed),
-    ]
+    ALL_IDS
+        .iter()
+        .map(|id| run_one(id, effort, seed).expect("known id"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -103,6 +139,12 @@ mod tests {
         assert_eq!(Effort::Full.secs(300.0), 300.0);
         assert_eq!(Effort::Quick.secs(300.0), 30.0);
         assert_eq!(Effort::Quick.secs(50.0), 10.0, "floors at 10 s");
+    }
+
+    #[test]
+    fn replication_counts_positive() {
+        assert!(Effort::Quick.replications() >= 2, "CIs need >= 2 reps");
+        assert!(Effort::Full.replications() >= Effort::Quick.replications());
     }
 
     #[test]

@@ -172,6 +172,116 @@ impl SimReport {
             self.signaling.total_messages() as f64 / h as f64
         }
     }
+
+    /// A bit-exact textual digest of every metric in the report.
+    ///
+    /// Floats are rendered as their IEEE-754 bit patterns (hex), so two
+    /// fingerprints are equal **iff** the runs produced identical metrics
+    /// down to the last ulp — the determinism contract the parallel batch
+    /// runner is tested against (`tests/determinism.rs`): same master
+    /// seed, any thread count, byte-identical fingerprint.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write;
+        fn bits(x: f64) -> String {
+            format!("{:016x}", x.to_bits())
+        }
+        fn summary_line(s: &Summary) -> String {
+            format!(
+                "n={} mean={} var={} min={} max={}",
+                s.count(),
+                bits(s.mean()),
+                bits(s.sample_variance()),
+                bits(s.min().unwrap_or(0.0)),
+                bits(s.max().unwrap_or(0.0)),
+            )
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "duration_ns={}", self.duration.as_nanos());
+        let _ = writeln!(out, "events={}", self.events_processed);
+        for (flow, report) in self.flow_reports() {
+            let _ = writeln!(
+                out,
+                "flow {}: sent={} recv={} dup={} ooo={} loss={} delay={} p95={} jitter={} tput={}",
+                flow.0,
+                report.sent,
+                report.received,
+                report.duplicates,
+                report.out_of_order,
+                bits(report.loss_rate),
+                bits(report.mean_delay_ms),
+                bits(report.p95_delay_ms),
+                bits(report.jitter_ms),
+                bits(report.throughput_bps),
+            );
+        }
+        for (ht, count) in &self.handoffs.completed {
+            let _ = writeln!(out, "handoff {ht}: {count}");
+        }
+        for (ht, lat) in &self.handoffs.latency_ms {
+            let _ = writeln!(out, "latency {ht}: {}", summary_line(lat));
+        }
+        let h = &self.handoffs;
+        let _ = writeln!(
+            out,
+            "handoffs: rejected={} fallback={} pingpong={} outages={}",
+            h.rejected, h.fallback_used, h.ping_pong, h.outage_samples
+        );
+        let s = &self.signaling;
+        let _ = writeln!(
+            out,
+            "signaling: loc={} upd={} del={} route={} paging={} page={} mipreq={} miprep={} rsmc={} ho={} bytes={}",
+            s.location_messages,
+            s.update_messages,
+            s.delete_messages,
+            s.route_updates,
+            s.paging_updates,
+            s.page_messages,
+            s.mip_requests,
+            s.mip_replies,
+            s.rsmc_notifications,
+            s.handoff_messages,
+            s.control_bytes,
+        );
+        for (cause, count) in &self.drops {
+            let _ = writeln!(out, "drop {cause}: {count}");
+        }
+        let _ = writeln!(
+            out,
+            "calls: accepted={} blocked={}",
+            self.calls_accepted, self.calls_blocked
+        );
+        out
+    }
+}
+
+/// One batch run's labelled result: which arm produced it, from which
+/// sub-seed, plus the full [`SimReport`] — the unit the parallel runner
+/// collects in submission order.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Human-readable arm label (architecture, sweep point, …).
+    pub label: String,
+    /// The sub-seed the run's world was built from (see
+    /// `mtnet_sim::rng::SeedTree`).
+    pub seed: u64,
+    /// Replication index within the arm.
+    pub replication: u64,
+    /// The run's full metric report.
+    pub report: SimReport,
+}
+
+impl RunReport {
+    /// Bit-exact digest including the run's identity, for determinism
+    /// comparisons across thread counts.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "run label={} seed={:016x} rep={}\n{}",
+            self.label,
+            self.seed,
+            self.replication,
+            self.report.fingerprint()
+        )
+    }
 }
 
 #[cfg(test)]
@@ -247,5 +357,40 @@ mod tests {
     fn signaling_per_handoff_guard() {
         let r = SimReport::default();
         assert_eq!(r.signaling_per_handoff(), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_is_total_and_sensitive() {
+        let mut r = SimReport {
+            duration: SimDuration::from_secs(10),
+            ..Default::default()
+        };
+        let mut q = FlowQos::new();
+        q.record_sent(0, SimTime::ZERO, 100);
+        q.record_received(0, SimTime::ZERO, SimTime::from_millis(5), 100);
+        r.flows.push((FlowId(1), q));
+        r.count_drop(DropCause::NoRoute);
+        r.signaling.route_updates = 3;
+        let a = r.fingerprint();
+        assert_eq!(a, r.fingerprint(), "fingerprint is a pure function");
+        assert!(a.contains("flow 1"), "{a}");
+        assert!(a.contains("drop no-route: 1"), "{a}");
+        // Any metric change must move the fingerprint.
+        r.signaling.route_updates += 1;
+        assert_ne!(a, r.fingerprint());
+    }
+
+    #[test]
+    fn run_report_fingerprint_includes_identity() {
+        let run = RunReport {
+            label: "multi-tier+rsmc".into(),
+            seed: 0xabcd,
+            replication: 2,
+            report: SimReport::default(),
+        };
+        let fp = run.fingerprint();
+        assert!(fp.contains("label=multi-tier+rsmc"), "{fp}");
+        assert!(fp.contains("seed=000000000000abcd"), "{fp}");
+        assert!(fp.contains("rep=2"), "{fp}");
     }
 }

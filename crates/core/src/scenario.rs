@@ -255,6 +255,13 @@ impl Scenario {
         self
     }
 
+    /// Replaces the master seed (replication sweeps: derive per-run seeds
+    /// with `mtnet_sim::rng::SeedTree` and stamp them in here).
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
     /// Replaces the decision factors (E12 ablations).
     pub fn with_factors(mut self, factors: HandoffFactors) -> Scenario {
         self.factors = factors;
@@ -434,6 +441,16 @@ impl Scenario {
     /// Builds and runs for `secs` simulated seconds.
     pub fn run_secs(&self, secs: f64) -> SimReport {
         self.build().run(SimDuration::from_secs_f64(secs))
+    }
+
+    /// Builds and runs for `secs` simulated seconds, wrapping the result
+    /// with the run's identity (architecture label, seed, replication).
+    pub fn run_report(&self, secs: f64, replication: u64) -> crate::report::RunReport {
+        self.build().run_report(
+            SimDuration::from_secs_f64(secs),
+            self.arch.label(),
+            replication,
+        )
     }
 }
 

@@ -1595,6 +1595,17 @@ impl Model for World {
     }
 }
 
+// The parallel batch runner (`mtnet_sim::runner`) ships whole worlds to
+// worker threads: a world is built from its config on one thread, run to
+// completion there, and only the report crosses back. Nothing in the
+// world may regress to `Rc`/`RefCell`/thread-local state.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<World>();
+    assert_send::<WorldConfig>();
+    assert_send::<SimReport>();
+};
+
 impl World {
     /// Runs the world for `duration` and extracts the report.
     pub fn run(self, duration: SimDuration) -> SimReport {
@@ -1627,6 +1638,24 @@ impl World {
             .map(|f| (f.flow, f.qos.clone()))
             .collect();
         world.report
+    }
+
+    /// Runs the world and wraps the report with the run's identity — the
+    /// config-in / [`crate::report::RunReport`]-out unit the parallel batch runner
+    /// collects in submission order.
+    pub fn run_report(
+        self,
+        duration: SimDuration,
+        label: impl Into<String>,
+        replication: u64,
+    ) -> crate::report::RunReport {
+        let seed = self.cfg.seed;
+        crate::report::RunReport {
+            label: label.into(),
+            seed,
+            replication,
+            report: self.run(duration),
+        }
     }
 }
 

@@ -6,6 +6,8 @@
 //! * [`Counter`] — monotone event counters with rate helpers.
 //! * [`Summary`] — streaming mean/variance/min/max (Welford) with merge and
 //!   normal-approximation confidence intervals.
+//! * [`Replicates`] — named scalar metrics aggregated across independent
+//!   replications (the cross-run layer over [`Summary`]).
 //! * [`Histogram`] — log-scale bucketed histogram with percentile queries
 //!   (HdrHistogram-style, base-2 with linear sub-buckets).
 //! * [`TimeWeighted`] — integrates a piecewise-constant value over simulated
@@ -26,6 +28,7 @@
 
 mod counter;
 mod histogram;
+mod replicates;
 mod series;
 mod summary;
 mod table;
@@ -33,6 +36,7 @@ mod timeweighted;
 
 pub use counter::Counter;
 pub use histogram::Histogram;
+pub use replicates::Replicates;
 pub use series::{SeriesPoint, TimeSeries};
 pub use summary::Summary;
 pub use table::{fmt_f64, Table};

@@ -271,4 +271,81 @@ proptest! {
             }
         }
     }
+
+    // ---------------------------------------------------------------
+    // Seed splitting: distinct (experiment, architecture, replication)
+    // tuples never share a stream, and derivation is order-independent.
+    // ---------------------------------------------------------------
+    #[test]
+    fn seed_tuples_never_collide(
+        master in any::<u64>(),
+        exp in "[a-z0-9_]{1,10}",
+        arch in "[a-z0-9_]{1,10}",
+        rep in 0u64..10_000,
+        other_rep in 0u64..10_000,
+    ) {
+        use mtnet_sim::rng::replication_seed;
+        let base = replication_seed(master, &exp, &arch, rep);
+        if rep != other_rep {
+            prop_assert_ne!(base, replication_seed(master, &exp, &arch, other_rep),
+                "replication index must move the seed");
+        }
+        // Any label perturbation moves the seed.
+        prop_assert_ne!(base, replication_seed(master, &format!("{exp}x"), &arch, rep));
+        prop_assert_ne!(base, replication_seed(master, &exp, &format!("{arch}x"), rep));
+        prop_assert_ne!(base, replication_seed(master.wrapping_add(1), &exp, &arch, rep));
+        if exp != arch {
+            prop_assert_ne!(base, replication_seed(master, &arch, &exp, rep),
+                "experiment and architecture positions are not interchangeable");
+        }
+        // Streams from distinct tuples decorrelate (not just the seeds).
+        use rand::RngCore;
+        let mut a = mtnet_sim::SeedTree::new(master).label(&exp).label(&arch).index(rep).stream();
+        let mut b = mtnet_sim::SeedTree::new(master).label(&exp).label(&format!("{arch}x")).index(rep).stream();
+        let equal_draws = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        prop_assert_eq!(equal_draws, 0, "sibling streams must not track each other");
+    }
+
+    #[test]
+    fn seed_derivation_is_order_independent(
+        master in any::<u64>(),
+        exp in "[a-z]{1,8}",
+        arch_a in "[a-z]{1,8}",
+        arch_b in "[a-z]{1,8}",
+        reps in 1u64..32,
+    ) {
+        use mtnet_sim::SeedTree;
+        // The seed of (exp, arch_a, reps) is the same whether it is
+        // derived first, last, or after materializing every sibling —
+        // derivation never mutates shared state.
+        let direct = SeedTree::new(master).label(&exp).label(&arch_a).index(reps).seed();
+        let root = SeedTree::new(master).label(&exp);
+        let mut sibling_seeds = Vec::new();
+        for rep in 0..reps {
+            sibling_seeds.push(root.label(&arch_b).index(rep).seed());
+            sibling_seeds.push(root.label(&arch_a).index(rep).seed());
+        }
+        let after = root.label(&arch_a).index(reps).seed();
+        prop_assert_eq!(direct, after, "sibling derivations perturbed a seed");
+        let unique: std::collections::BTreeSet<u64> = sibling_seeds.iter().copied().collect();
+        let expected = if arch_a == arch_b { reps } else { 2 * reps };
+        prop_assert_eq!(unique.len() as u64, expected, "sibling seeds collided");
+    }
+
+    // ---------------------------------------------------------------
+    // Batch runner: thread count never changes results or their order.
+    // ---------------------------------------------------------------
+    #[test]
+    fn batch_runner_thread_invariant(
+        jobs in prop::collection::vec(any::<u64>(), 0..48),
+        threads in 2usize..8,
+    ) {
+        use mtnet_sim::BatchRunner;
+        let work = |i: usize, j: u64| {
+            j.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ (i as u64)
+        };
+        let seq = BatchRunner::new(1).run(jobs.clone(), work);
+        let par = BatchRunner::new(threads).run(jobs, work);
+        prop_assert_eq!(seq, par);
+    }
 }
