@@ -5,6 +5,8 @@
 //! cargo run -p mtnet-bench --bin experiments --release -- quick  # smoke runs
 //! cargo run -p mtnet-bench --bin experiments --release -- full E4 E9
 //! cargo run -p mtnet-bench --bin experiments --release -- quick E10 --threads 1
+//! cargo run -p mtnet-bench --bin experiments --release -- --bench-json BENCH.json
+//! cargo run -p mtnet-bench --bin experiments --release -- --fingerprints fp.txt
 //! ```
 //!
 //! Experiment arms and replications run concurrently through
@@ -12,45 +14,84 @@
 //! pins the pool width, and `--threads 1` forces the sequential path. The
 //! printed tables are byte-identical at any thread count; per-experiment
 //! wall-clock timings go to stderr so stdout stays recordable.
+//!
+//! `--bench-json <path>` records the perf trajectory machine-readably: one
+//! JSON object per experiment with `{experiment, effort, wall_ms, events,
+//! threads}`. `--fingerprints <path>` dumps the bit-exact
+//! `SimReport::fingerprint` of every run — diffing two dumps proves a
+//! refactor changed nothing observable.
 
 use mtnet_bench::{run_one, Effort, ALL_IDS};
 use mtnet_sim::runner::{BatchRunner, THREADS_ENV};
+use std::fmt::Write as _;
 use std::time::Instant;
 
+/// Extracts `--flag <value>` from the argument list, removing both tokens.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let effort = if args.iter().any(|a| a == "quick") {
-        Effort::Quick
-    } else {
-        Effort::Full
-    };
-    if let Some(pos) = args.iter().position(|a| a == "--threads") {
-        match args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) if n > 0 => std::env::set_var(THREADS_ENV, n.to_string()),
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_json = take_value_flag(&mut args, "--bench-json");
+    let fingerprint_path = take_value_flag(&mut args, "--fingerprints");
+    if let Some(threads) = take_value_flag(&mut args, "--threads") {
+        match threads.parse::<usize>() {
+            Ok(n) if n > 0 => std::env::set_var(THREADS_ENV, n.to_string()),
             _ => {
                 eprintln!("--threads needs a positive integer");
                 std::process::exit(2);
             }
         }
     }
+    let effort = if args.iter().any(|a| a == "quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
     let filter: Vec<&String> = args
         .iter()
         .filter(|a| a.starts_with('E') || a.starts_with('e'))
         .collect();
     let seed = 42;
-    println!(
-        "mtnet experiment suite — effort: {effort:?}, seed: {seed}, threads: {}\n",
-        BatchRunner::from_env().threads()
-    );
+    let threads = BatchRunner::from_env().threads();
+    println!("mtnet experiment suite — effort: {effort:?}, seed: {seed}, threads: {threads}\n");
     let suite_start = Instant::now();
+    let mut bench_rows = Vec::new();
+    let mut fingerprint_dump = String::new();
     for id in ALL_IDS {
         if !filter.is_empty() && !filter.iter().any(|f| f.eq_ignore_ascii_case(id)) {
             continue;
         }
         let start = Instant::now();
         let result = run_one(id, effort, seed).expect("known id");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         println!("{}", result.render());
-        eprintln!("[{id}: {:.2}s]", start.elapsed().as_secs_f64());
+        eprintln!("[{id}: {:.2}s]", wall_ms / 1e3);
+        bench_rows.push(format!(
+            "  {{\"experiment\": \"{id}\", \"effort\": \"{effort:?}\", \"wall_ms\": {wall_ms:.1}, \
+             \"events\": {}, \"threads\": {threads}}}",
+            result.events
+        ));
+        for (i, fp) in result.fingerprints.iter().enumerate() {
+            let _ = writeln!(fingerprint_dump, "== {id} run {i} ==\n{fp}");
+        }
     }
     eprintln!("[suite: {:.2}s]", suite_start.elapsed().as_secs_f64());
+    if let Some(path) = bench_json {
+        let json = format!("[\n{}\n]\n", bench_rows.join(",\n"));
+        std::fs::write(&path, json).expect("write --bench-json file");
+        eprintln!("[bench json -> {path}]");
+    }
+    if let Some(path) = fingerprint_path {
+        std::fs::write(&path, fingerprint_dump).expect("write --fingerprints file");
+        eprintln!("[fingerprints -> {path}]");
+    }
 }

@@ -65,6 +65,15 @@ fn run_batch(jobs: Vec<(Scenario, f64)>) -> Vec<SimReport> {
     batch_runner().run(jobs, |_, (scenario, secs)| scenario.run_secs(secs))
 }
 
+/// Total event count and bit-exact per-run fingerprints for an
+/// experiment's reports, in submission order.
+fn digest(reports: &[SimReport]) -> (u64, Vec<String>) {
+    (
+        reports.iter().map(|r| r.events_processed).sum(),
+        reports.iter().map(SimReport::fingerprint).collect(),
+    )
+}
+
 /// `mean ± ci95` rendering for a cross-replication summary (plain mean
 /// when only one replication contributed).
 fn pm(s: Option<&Summary>, unit: fn(f64) -> String) -> String {
@@ -154,6 +163,7 @@ pub fn e1_multitier_coverage(effort: Effort, seed: u64) -> ExperimentResult {
         })
         .collect();
     let reports = run_batch(jobs);
+    let (events, fingerprints) = digest(&reports);
     let mut sat = Table::new(["overlay", "loss", "outage samples", "inter-domain handoffs"]);
     for ((label, _), r) in arms.iter().zip(&reports) {
         let inter: u64 = r
@@ -183,6 +193,8 @@ pub fn e1_multitier_coverage(effort: Effort, seed: u64) -> ExperimentResult {
             format!("tier speed threshold: {} m/s", Tier::SPEED_THRESHOLD_MPS),
             "the satellite tier absorbs the macro hole: outages drop to ~0 at the cost of 32 kb/s service and ~2.7 ms orbital latency".into(),
         ],
+        events,
+        fingerprints,
     }
 }
 
@@ -200,6 +212,7 @@ pub fn e2_mobileip(effort: Effort, seed: u64) -> ExperimentResult {
         })
         .collect();
     let mut reports = run_batch(jobs);
+    let (events, fingerprints) = digest(&reports);
     let multi = reports.pop().expect("two arms");
     let pure = reports.pop().expect("two arms");
     let mut t = Table::new([
@@ -236,6 +249,8 @@ pub fn e2_mobileip(effort: Effort, seed: u64) -> ExperimentResult {
         notes: vec![
             "expected shape: triangle delay > optimized delay; registrations higher without the hierarchy".into(),
         ],
+        events,
+        fingerprints,
     }
 }
 
@@ -262,6 +277,7 @@ pub fn e3_cip_routing(effort: Effort, seed: u64) -> ExperimentResult {
         })
         .collect();
     let reports = run_batch(jobs);
+    let (events, fingerprints) = digest(&reports);
     for (&period_ms, r) in periods.iter().zip(&reports) {
         let q = r.aggregate_qos();
         let drops = |c| r.drops.get(&c).copied().unwrap_or(0);
@@ -282,6 +298,8 @@ pub fn e3_cip_routing(effort: Effort, seed: u64) -> ExperimentResult {
             "expected shape: overhead falls linearly with the period; loss rises once caches outlive their refresh".into(),
             "cache lifetime is 3x the period, so staleness appears via handoffs, not pure expiry".into(),
         ],
+        events,
+        fingerprints,
     }
 }
 
@@ -346,6 +364,7 @@ pub fn e4_cip_handoff(effort: Effort, seed: u64) -> ExperimentResult {
         })
         .collect();
     let reports = run_batch(jobs);
+    let (events, fingerprints) = digest(&reports);
     for ((label, _), r) in arms.iter().zip(&reports) {
         let q = r.aggregate_qos();
         measured.row([
@@ -366,6 +385,8 @@ pub fn e4_cip_handoff(effort: Effort, seed: u64) -> ExperimentResult {
         notes: vec![
             "expected shape: hard window = crossover round-trip (paper); semisoft covers it at the cost of duplicates".into(),
         ],
+        events,
+        fingerprints,
     }
 }
 
@@ -469,6 +490,8 @@ pub fn e5_location(seed: u64) -> ExperimentResult {
             "micro-sourced records dominate hits: the paper's micro-first search order pays off"
                 .into(),
         ],
+        events: 0,
+        fingerprints: Vec::new(),
     }
 }
 
@@ -504,6 +527,7 @@ pub fn e6_interdomain_same(effort: Effort, seed: u64) -> ExperimentResult {
     let secs = effort.secs(500.0);
     let arch = ArchKind::multi_tier();
     let r = Scenario::commute_corridor(arm_seed(seed, "E6", arch.label(), 0)).run_secs(secs);
+    let (events, fingerprints) = digest(std::slice::from_ref(&r));
     ExperimentResult {
         id: "E6",
         title: "Fig 3.2 — inter-domain handoff, same upper BS",
@@ -511,6 +535,8 @@ pub fn e6_interdomain_same(effort: Effort, seed: u64) -> ExperimentResult {
         notes: vec![
             "expected shape: inter-domain (same upper) latency well below the different-upper case of E7 — no home-network round trip".into(),
         ],
+        events,
+        fingerprints,
     }
 }
 
@@ -522,6 +548,7 @@ pub fn e7_interdomain_diff(effort: Effort, seed: u64) -> ExperimentResult {
     let r = Scenario::commute_corridor(arm_seed(seed, "E7", arch.label(), 0))
         .without_shared_upper()
         .run_secs(secs);
+    let (events, fingerprints) = digest(std::slice::from_ref(&r));
     ExperimentResult {
         id: "E7",
         title: "Fig 3.3 — inter-domain handoff, different upper BS",
@@ -529,6 +556,8 @@ pub fn e7_interdomain_diff(effort: Effort, seed: u64) -> ExperimentResult {
         notes: vec![
             "expected shape: different-upper latency includes the home-network round trip (tens of ms of WAN)".into(),
         ],
+        events,
+        fingerprints,
     }
 }
 
@@ -543,6 +572,7 @@ pub fn e8_intradomain(effort: Effort, seed: u64) -> ExperimentResult {
             cyclists: 3,
         })
         .run_secs(secs);
+    let (events, fingerprints) = digest(std::slice::from_ref(&r));
     ExperimentResult {
         id: "E8",
         title: "Fig 3.4 — intra-domain handoffs (macro→micro, micro→macro, micro→micro)",
@@ -550,6 +580,8 @@ pub fn e8_intradomain(effort: Effort, seed: u64) -> ExperimentResult {
         notes: vec![
             "expected shape: all intra cases complete within the access network (≈ semisoft delay + tree climb), far below inter-domain costs".into(),
         ],
+        events,
+        fingerprints,
     }
 }
 
@@ -575,6 +607,7 @@ pub fn e9_rsmc(effort: Effort, seed: u64) -> ExperimentResult {
         })
         .collect();
     let reports = run_batch(jobs);
+    let (events, fingerprints) = digest(&reports);
     for (&arch, r) in archs.iter().zip(&reports) {
         let q = r.aggregate_qos();
         let drops = |c| r.drops.get(&c).copied().unwrap_or(0);
@@ -595,6 +628,8 @@ pub fn e9_rsmc(effort: Effort, seed: u64) -> ExperimentResult {
         notes: vec![
             "expected shape: RSMC cuts mean delay (route optimization via CN notify) and loss (location-cache rescue of stale routes)".into(),
         ],
+        events,
+        fingerprints,
     }
 }
 
@@ -619,6 +654,7 @@ pub fn e10_qos(effort: Effort, seed: u64) -> ExperimentResult {
         }
     }
     let reports = run_batch(jobs);
+    let (events, fingerprints) = digest(&reports);
     let mut t = Table::new([
         "architecture",
         "loss",
@@ -663,6 +699,8 @@ pub fn e10_qos(effort: Effort, seed: u64) -> ExperimentResult {
         notes: vec![
             "expected shape: multi-tier wins on delay (vs triangle-routing Mobile IP) and on loss/outage (vs coverage-limited flat Cellular IP)".into(),
         ],
+        events,
+        fingerprints,
     }
 }
 
@@ -718,6 +756,7 @@ pub fn e11_loss(effort: Effort, seed: u64) -> ExperimentResult {
         }
     }
     let reports = run_batch(jobs);
+    let (events, fingerprints) = digest(&reports);
     let mut t = Table::new([
         "population",
         "architecture",
@@ -759,6 +798,8 @@ pub fn e11_loss(effort: Effort, seed: u64) -> ExperimentResult {
             "expected shape: fast populations break flat Cellular IP (outages) and stress pure Mobile IP (registration loss); the multi-tier architecture stays low across all speeds".into(),
             "semisoft ≤ hard loss for the micro-tier populations".into(),
         ],
+        events,
+        fingerprints,
     }
 }
 
@@ -816,6 +857,7 @@ pub fn e12_ablation(effort: Effort, seed: u64) -> ExperimentResult {
         })
         .collect();
     let reports = run_batch(jobs);
+    let (events, fingerprints) = digest(&reports);
     for ((label, _), r) in arms.iter().zip(&reports) {
         let q = r.aggregate_qos();
         t.row([
@@ -835,6 +877,8 @@ pub fn e12_ablation(effort: Effort, seed: u64) -> ExperimentResult {
         notes: vec![
             "expected shape: dropping the speed factor strands fast nodes in micro cells (more handoffs); dropping signal raises ping-pong; dropping resources removes the fallback safety valve".into(),
         ],
+        events,
+        fingerprints,
     }
 }
 

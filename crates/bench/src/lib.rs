@@ -77,6 +77,13 @@ pub struct ExperimentResult {
     pub tables: Vec<(String, Table)>,
     /// Interpretation notes (expected shape, caveats).
     pub notes: Vec<String>,
+    /// Total simulator events executed across every run of the
+    /// experiment (the run-cost denominator in `BENCH.json`).
+    pub events: u64,
+    /// Bit-exact `SimReport::fingerprint` of every run, in submission
+    /// order — the regression surface for "same results, faster" work
+    /// (`experiments --fingerprints <path>` records them).
+    pub fingerprints: Vec<String>,
 }
 
 impl ExperimentResult {

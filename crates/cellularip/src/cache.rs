@@ -1,8 +1,8 @@
 //! Soft-state mappings: the primitive under routing caches, paging caches
 //! and the paper's `micro_table`/`macro_table`.
 
+use mtnet_sim::FxHashMap;
 use mtnet_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
 use std::hash::Hash;
 
 /// A map whose entries expire unless refreshed within a lifetime.
@@ -25,7 +25,7 @@ use std::hash::Hash;
 #[derive(Debug, Clone)]
 pub struct SoftStateCache<K, V> {
     lifetime: SimDuration,
-    entries: HashMap<K, (V, SimTime)>,
+    entries: FxHashMap<K, (V, SimTime)>,
     refreshes: u64,
     expirations: u64,
 }
@@ -41,7 +41,7 @@ impl<K: Eq + Hash + Clone, V> SoftStateCache<K, V> {
         assert!(!lifetime.is_zero(), "soft state needs a positive lifetime");
         SoftStateCache {
             lifetime,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             refreshes: 0,
             expirations: 0,
         }

@@ -2,8 +2,8 @@
 
 use crate::tree::CipTree;
 use mtnet_net::{Addr, NodeId};
+use mtnet_sim::FxHashMap;
 use mtnet_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Which Cellular IP handoff scheme a node uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +63,7 @@ impl HandoffKind {
 #[derive(Debug, Clone, Default)]
 pub struct SemisoftController {
     /// mn → (old_bs, new_bs, window_end)
-    windows: HashMap<Addr, (NodeId, NodeId, SimTime)>,
+    windows: FxHashMap<Addr, (NodeId, NodeId, SimTime)>,
     bicasts: u64,
 }
 

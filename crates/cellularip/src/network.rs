@@ -5,7 +5,6 @@ use crate::state::CipTimers;
 use crate::tree::CipTree;
 use mtnet_net::{Addr, NodeId};
 use mtnet_sim::SimTime;
-use std::collections::HashMap;
 
 /// Static configuration of a Cellular IP network.
 #[derive(Debug, Clone, Copy, Default)]
@@ -53,10 +52,12 @@ pub struct CipNetwork {
     tree: CipTree,
     config: CipConfig,
     /// Per-node routing cache: mn → next hop downlink (the node itself
-    /// means "deliver over the air here").
-    route_caches: HashMap<NodeId, SoftStateCache<Addr, NodeId>>,
-    /// Per-node paging cache (coarser lifetime).
-    paging_caches: HashMap<NodeId, SoftStateCache<Addr, NodeId>>,
+    /// means "deliver over the air here"). Indexed densely by `NodeId`
+    /// (`None` for ids outside this access network), so the per-packet
+    /// next-hop probe is an array read instead of a map lookup.
+    route_caches: Vec<Option<SoftStateCache<Addr, NodeId>>>,
+    /// Per-node paging cache (coarser lifetime), same dense layout.
+    paging_caches: Vec<Option<SoftStateCache<Addr, NodeId>>>,
     route_update_messages: u64,
     paging_update_messages: u64,
 }
@@ -67,8 +68,8 @@ impl CipNetwork {
         let mut net = CipNetwork {
             tree: CipTree::new(gateway),
             config,
-            route_caches: HashMap::new(),
-            paging_caches: HashMap::new(),
+            route_caches: Vec::new(),
+            paging_caches: Vec::new(),
             route_update_messages: 0,
             paging_update_messages: 0,
         };
@@ -77,14 +78,33 @@ impl CipNetwork {
     }
 
     fn install_caches(&mut self, node: NodeId) {
-        self.route_caches.insert(
-            node,
-            SoftStateCache::new(self.config.timers.route_cache_lifetime()),
-        );
-        self.paging_caches.insert(
-            node,
-            SoftStateCache::new(self.config.timers.paging_cache_lifetime()),
-        );
+        let idx = node.0 as usize;
+        if self.route_caches.len() <= idx {
+            self.route_caches.resize_with(idx + 1, || None);
+            self.paging_caches.resize_with(idx + 1, || None);
+        }
+        self.route_caches[idx] = Some(SoftStateCache::new(
+            self.config.timers.route_cache_lifetime(),
+        ));
+        self.paging_caches[idx] = Some(SoftStateCache::new(
+            self.config.timers.paging_cache_lifetime(),
+        ));
+    }
+
+    fn route_cache(&self, node: NodeId) -> Option<&SoftStateCache<Addr, NodeId>> {
+        self.route_caches.get(node.0 as usize)?.as_ref()
+    }
+
+    fn route_cache_mut(&mut self, node: NodeId) -> Option<&mut SoftStateCache<Addr, NodeId>> {
+        self.route_caches.get_mut(node.0 as usize)?.as_mut()
+    }
+
+    fn paging_cache(&self, node: NodeId) -> Option<&SoftStateCache<Addr, NodeId>> {
+        self.paging_caches.get(node.0 as usize)?.as_ref()
+    }
+
+    fn paging_cache_mut(&mut self, node: NodeId) -> Option<&mut SoftStateCache<Addr, NodeId>> {
+        self.paging_caches.get_mut(node.0 as usize)?.as_mut()
     }
 
     /// Adds a base station under `parent`.
@@ -119,8 +139,7 @@ impl CipNetwork {
         let path = self.tree.uplink_path(bs);
         let mut came_from = bs; // at the attach BS the mapping is itself
         for &node in &path {
-            self.route_caches
-                .get_mut(&node)
+            self.route_cache_mut(node)
                 .expect("cache exists for every tree node")
                 .refresh(mn, came_from, now);
             came_from = node;
@@ -134,8 +153,7 @@ impl CipNetwork {
         let path = self.tree.uplink_path(bs);
         let mut came_from = bs;
         for &node in &path {
-            self.paging_caches
-                .get_mut(&node)
+            self.paging_cache_mut(node)
                 .expect("cache exists for every tree node")
                 .refresh(mn, came_from, now);
             came_from = node;
@@ -155,8 +173,7 @@ impl CipNetwork {
     ///
     /// Panics if `node` is not in the tree.
     pub fn refresh_route_at(&mut self, node: NodeId, mn: Addr, came_from: NodeId, now: SimTime) {
-        self.route_caches
-            .get_mut(&node)
+        self.route_cache_mut(node)
             .expect("unknown node")
             .refresh(mn, came_from, now);
     }
@@ -167,8 +184,7 @@ impl CipNetwork {
     ///
     /// Panics if `node` is not in the tree.
     pub fn refresh_paging_at(&mut self, node: NodeId, mn: Addr, came_from: NodeId, now: SimTime) {
-        self.paging_caches
-            .get_mut(&node)
+        self.paging_cache_mut(node)
             .expect("unknown node")
             .refresh(mn, came_from, now);
     }
@@ -180,7 +196,7 @@ impl CipNetwork {
         let mut path = vec![self.tree.gateway()];
         let mut cur = self.tree.gateway();
         loop {
-            let next = *self.route_caches.get(&cur)?.get(&mn, now)?;
+            let next = *self.route_cache(cur)?.get(&mn, now)?;
             if next == cur {
                 return Some(path); // cur is the attach BS
             }
@@ -199,14 +215,14 @@ impl CipNetwork {
     /// The next downlink hop for `mn` at `node` (`Some(node)` itself means
     /// deliver over the air).
     pub fn next_hop(&self, node: NodeId, mn: Addr, now: SimTime) -> Option<NodeId> {
-        self.route_caches.get(&node)?.get(&mn, now).copied()
+        self.route_cache(node)?.get(&mn, now).copied()
     }
 
     /// Clears the routing state for `mn` along the uplink path of `bs`
     /// (explicit teardown after a handoff, if the scheme uses one).
     pub fn clear_route(&mut self, mn: Addr, bs: NodeId) {
         for node in self.tree.uplink_path(bs) {
-            if let Some(c) = self.route_caches.get_mut(&node) {
+            if let Some(c) = self.route_cache_mut(node) {
                 c.remove(&mn);
             }
         }
@@ -219,8 +235,7 @@ impl CipNetwork {
         let mut hops = 0;
         loop {
             let next = self
-                .paging_caches
-                .get(&cur)
+                .paging_cache(cur)
                 .and_then(|c| c.get(&mn, now))
                 .copied();
             match next {
@@ -241,10 +256,10 @@ impl CipNetwork {
     /// Sweeps every cache; returns total evictions.
     pub fn sweep(&mut self, now: SimTime) -> usize {
         let mut evicted = 0;
-        for c in self.route_caches.values_mut() {
+        for c in self.route_caches.iter_mut().flatten() {
             evicted += c.sweep(now);
         }
-        for c in self.paging_caches.values_mut() {
+        for c in self.paging_caches.iter_mut().flatten() {
             evicted += c.sweep(now);
         }
         evicted
@@ -258,7 +273,11 @@ impl CipNetwork {
     /// Total live routing-cache entries across all nodes (state-size
     /// metric).
     pub fn total_route_entries(&self, now: SimTime) -> usize {
-        self.route_caches.values().map(|c| c.live_count(now)).sum()
+        self.route_caches
+            .iter()
+            .flatten()
+            .map(|c| c.live_count(now))
+            .sum()
     }
 }
 

@@ -1,7 +1,6 @@
 //! The base-station tree of a Cellular IP access network.
 
 use mtnet_net::NodeId;
-use std::collections::HashMap;
 
 /// The wired tree of base stations rooted at the gateway router
 /// (paper Fig 2.3). All routing in Cellular IP is along this tree:
@@ -10,8 +9,12 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct CipTree {
     gateway: NodeId,
-    /// child → parent (gateway has no entry).
-    parents: HashMap<NodeId, NodeId>,
+    /// child → parent, indexed densely by node id (`None` for the
+    /// gateway and for nodes outside the tree) — parent/contains probes
+    /// are per-hop hot in the packet simulation.
+    parents: Vec<Option<NodeId>>,
+    /// Number of registered base stations.
+    bs_count: usize,
 }
 
 impl CipTree {
@@ -19,7 +22,8 @@ impl CipTree {
     pub fn new(gateway: NodeId) -> Self {
         CipTree {
             gateway,
-            parents: HashMap::new(),
+            parents: Vec::new(),
+            bs_count: 0,
         }
     }
 
@@ -36,30 +40,32 @@ impl CipTree {
     /// not in the tree.
     pub fn add_bs(&mut self, bs: NodeId, parent: NodeId) {
         assert_ne!(bs, self.gateway, "gateway cannot be re-added");
+        assert!(self.parent(bs).is_none(), "duplicate base station {bs}");
         assert!(
-            !self.parents.contains_key(&bs),
-            "duplicate base station {bs}"
-        );
-        assert!(
-            parent == self.gateway || self.parents.contains_key(&parent),
+            parent == self.gateway || self.parent(parent).is_some(),
             "parent {parent} not in tree"
         );
-        self.parents.insert(bs, parent);
+        let idx = bs.0 as usize;
+        if self.parents.len() <= idx {
+            self.parents.resize(idx + 1, None);
+        }
+        self.parents[idx] = Some(parent);
+        self.bs_count += 1;
     }
 
     /// True if `node` is the gateway or a registered BS.
     pub fn contains(&self, node: NodeId) -> bool {
-        node == self.gateway || self.parents.contains_key(&node)
+        node == self.gateway || self.parent(node).is_some()
     }
 
     /// Number of base stations (excluding the gateway).
     pub fn bs_count(&self) -> usize {
-        self.parents.len()
+        self.bs_count
     }
 
     /// The parent of `bs` (`None` for the gateway or unknown nodes).
     pub fn parent(&self, bs: NodeId) -> Option<NodeId> {
-        self.parents.get(&bs).copied()
+        self.parents.get(bs.0 as usize).copied().flatten()
     }
 
     /// Path from `bs` up to and including the gateway: `[bs, …, gateway]`.
@@ -71,35 +77,55 @@ impl CipTree {
         assert!(self.contains(bs), "unknown base station {bs}");
         let mut path = vec![bs];
         let mut cur = bs;
-        while let Some(p) = self.parents.get(&cur) {
-            path.push(*p);
-            cur = *p;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
         }
         path
     }
 
-    /// Depth of `bs` (gateway = 0).
+    /// Depth of `bs` (gateway = 0). Allocation-free parent walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bs` is not in the tree.
     pub fn depth(&self, bs: NodeId) -> usize {
-        self.uplink_path(bs).len() - 1
+        assert!(self.contains(bs), "unknown base station {bs}");
+        let mut depth = 0;
+        let mut cur = bs;
+        while let Some(p) = self.parent(cur) {
+            depth += 1;
+            cur = p;
+        }
+        depth
     }
 
     /// The **crossover base station** between the paths of `old` and `new`:
     /// the deepest node common to both uplink paths (paper Fig 2.4 —
     /// "the common branch node between the old and new base stations").
+    /// Classic two-pointer LCA walk — no allocation, this runs per bicast
+    /// packet while a semisoft window is open.
     ///
     /// # Panics
     ///
     /// Panics if either node is not in the tree.
     pub fn crossover(&self, old: NodeId, new: NodeId) -> NodeId {
-        let old_path = self.uplink_path(old);
-        let new_path = self.uplink_path(new);
-        // Walk the old path bottom-up; the first node also on the new path
-        // is the deepest common node.
-        let new_set: std::collections::HashSet<NodeId> = new_path.into_iter().collect();
-        *old_path
-            .iter()
-            .find(|n| new_set.contains(n))
-            .expect("gateway is always common")
+        let (mut a, mut b) = (old, new);
+        let mut da = self.depth(a);
+        let mut db = self.depth(b);
+        while da > db {
+            a = self.parent(a).expect("depth counted");
+            da -= 1;
+        }
+        while db > da {
+            b = self.parent(b).expect("depth counted");
+            db -= 1;
+        }
+        while a != b {
+            a = self.parent(a).expect("gateway is always common");
+            b = self.parent(b).expect("gateway is always common");
+        }
+        a
     }
 
     /// Hops from `bs` up to `ancestor` (0 if equal).
@@ -108,17 +134,24 @@ impl CipTree {
     ///
     /// Panics if `ancestor` is not on the uplink path of `bs`.
     pub fn hops_to_ancestor(&self, bs: NodeId, ancestor: NodeId) -> usize {
-        self.uplink_path(bs)
-            .iter()
-            .position(|&n| n == ancestor)
-            .expect("not an ancestor")
+        assert!(self.contains(bs), "unknown base station {bs}");
+        let mut hops = 0;
+        let mut cur = bs;
+        while cur != ancestor {
+            cur = self.parent(cur).expect("not an ancestor");
+            hops += 1;
+        }
+        hops
     }
 
     /// All base stations, in deterministic (id) order.
     pub fn base_stations(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.parents.keys().copied().collect();
-        v.sort();
-        v
+        self.parents
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
     }
 }
 

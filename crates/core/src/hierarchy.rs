@@ -10,8 +10,8 @@
 
 use crate::tier::Tier;
 use mtnet_radio::CellId;
+use mtnet_sim::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a domain (one macro-tier coverage area).
@@ -62,7 +62,7 @@ struct CellEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Hierarchy {
-    cells: HashMap<CellId, CellEntry>,
+    cells: FxHashMap<CellId, CellEntry>,
     domains: Vec<Domain>,
 }
 

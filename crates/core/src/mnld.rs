@@ -9,8 +9,8 @@
 
 use crate::hierarchy::DomainId;
 use mtnet_net::Addr;
+use mtnet_sim::FxHashMap;
 use mtnet_sim::SimTime;
-use std::collections::HashMap;
 
 /// One MNLD record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +26,7 @@ pub struct MnldEntry {
 /// The location database.
 #[derive(Debug, Default)]
 pub struct Mnld {
-    entries: HashMap<Addr, MnldEntry>,
+    entries: FxHashMap<Addr, MnldEntry>,
     updates: u64,
     domain_changes: u64,
     queries: u64,

@@ -18,9 +18,9 @@ use mtnet_mobileip::{ForeignAgent, HomeAgent, MobileNode};
 use mtnet_mobility::{MobilityModel, Point, Trajectory};
 use mtnet_net::{Addr, FlowId, LinkConfig, NodeId, Prefix, Topology};
 use mtnet_radio::{Cell, CellId, CellKind, CellMap};
+use mtnet_sim::FxHashMap;
 use mtnet_sim::{RngStream, SimDuration, SimTime};
 use mtnet_traffic::{Cbr, OnOffVbr, ParetoWeb};
-use std::collections::HashMap;
 
 /// The kind of multimedia flow to attach to a mobile node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,20 +74,20 @@ pub struct WorldBuilder {
     cells: CellMap,
     hierarchy: Hierarchy,
     domains: Vec<DomainState>,
-    cell_node: HashMap<CellId, NodeId>,
-    node_cell: HashMap<NodeId, CellId>,
-    cell_domain: HashMap<CellId, usize>,
-    node_domain: HashMap<NodeId, usize>,
-    region_upper: HashMap<u32, (CellId, NodeId)>,
+    cell_node: FxHashMap<CellId, NodeId>,
+    node_cell: FxHashMap<NodeId, CellId>,
+    cell_domain: FxHashMap<CellId, usize>,
+    node_domain: FxHashMap<NodeId, usize>,
+    region_upper: FxHashMap<u32, (CellId, NodeId)>,
     prefixes: Vec<(Prefix, NodeId)>,
     internet_node: NodeId,
     ha_node: NodeId,
     cn_node: NodeId,
     ha: HomeAgent,
     cn_addr: Addr,
-    bs_fas: HashMap<CellId, ForeignAgent>,
+    bs_fas: FxHashMap<CellId, ForeignAgent>,
     mns: Vec<MnSim>,
-    addr_to_mn: HashMap<Addr, MnId>,
+    addr_to_mn: FxHashMap<Addr, MnId>,
     flows: Vec<super::FlowSim>,
     next_cell: u32,
     master_rng: RngStream,
@@ -146,20 +146,20 @@ impl WorldBuilder {
             cells,
             hierarchy: Hierarchy::new(),
             domains: Vec::new(),
-            cell_node: HashMap::new(),
-            node_cell: HashMap::new(),
-            cell_domain: HashMap::new(),
-            node_domain: HashMap::new(),
-            region_upper: HashMap::new(),
+            cell_node: FxHashMap::default(),
+            node_cell: FxHashMap::default(),
+            cell_domain: FxHashMap::default(),
+            node_domain: FxHashMap::default(),
+            region_upper: FxHashMap::default(),
             prefixes: vec![(home_prefix, ha_node)],
             internet_node,
             ha_node,
             cn_node,
             ha,
             cn_addr,
-            bs_fas: HashMap::new(),
+            bs_fas: FxHashMap::default(),
             mns: Vec::new(),
-            addr_to_mn: HashMap::new(),
+            addr_to_mn: FxHashMap::default(),
             flows: Vec::new(),
             next_cell: 0,
         }
@@ -337,23 +337,97 @@ impl WorldBuilder {
         &self.cells
     }
 
-    /// Finalizes routing tables and produces the world.
+    /// Finalizes the persistent lookup indices and produces the world.
     pub fn build(self) -> World {
-        let tables = self.topo.build_all_routing_tables(&self.prefixes);
         let locdir = LocationDirectory::new(&self.hierarchy, self.cfg.table_lifetime);
+        // Dense per-id tables for the per-packet lookups: ids are small
+        // and contiguous, so array reads beat map probes on the hot path.
+        fn dense<T: Copy>(n: usize, entries: impl Iterator<Item = (usize, T)>) -> Vec<Option<T>> {
+            let mut v = vec![None; n];
+            for (i, t) in entries {
+                v[i] = Some(t);
+            }
+            v
+        }
+        let n_nodes = self.topo.node_count();
+        let n_cells = self.next_cell as usize;
+        let cell_node = dense(
+            n_cells,
+            self.cell_node.iter().map(|(c, &n)| (c.0 as usize, n)),
+        );
+        let node_cell = dense(
+            n_nodes,
+            self.node_cell.iter().map(|(n, &c)| (n.0 as usize, c)),
+        );
+        let cell_domain = dense(
+            n_cells,
+            self.cell_domain.iter().map(|(c, &d)| (c.0 as usize, d)),
+        );
+        let node_domain = dense(
+            n_nodes,
+            self.node_domain.iter().map(|(n, &d)| (n.0 as usize, d)),
+        );
         let engine = crate::handoff::HandoffEngine::new(self.cfg.decision, self.cfg.factors);
+        // Longest prefix first, so `World::wired_next_hop` can take the
+        // first containing prefix with a usable route — the same
+        // most-specific-wins-with-fall-through order the per-node LPM
+        // tables implemented. The sort is stable and equal-length
+        // prefixes are disjoint, so ties cannot change answers.
+        let mut prefixes = self.prefixes;
+        prefixes.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        // Persistent O(1) indices for the per-packet scans: the domain of
+        // an RSMC address / gateway node and the slot of a flow id never
+        // change after build.
+        let rsmc_addr_domain = self
+            .domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.rsmc.addr(), i))
+            .collect();
+        let rsmc_node_domain = self
+            .domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.rsmc_node, i))
+            .collect();
+        let flow_index = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.flow, i))
+            .collect();
+        // MN home addresses come from one dense /24 (see `add_mn`), so the
+        // per-hop owner probe can be mask-compare-index. `u32::MAX` is an
+        // unreachable sentinel: masked addresses always have a zero low
+        // byte.
+        let mn_net = self
+            .mns
+            .first()
+            .map_or(u32::MAX, |m| m.home.0 & 0xFFFF_FF00);
+        let mut mn_by_octet = vec![None; 256];
+        for (&addr, &mn) in &self.addr_to_mn {
+            assert_eq!(
+                addr.0 & 0xFFFF_FF00,
+                mn_net,
+                "MN home addresses must share one /24 for the dense index"
+            );
+            mn_by_octet[(addr.0 & 0xFF) as usize] = Some(mn);
+        }
         World {
             cfg: self.cfg,
             topo: self.topo,
-            tables,
+            routes: mtnet_net::RouteCache::new(),
+            prefixes,
             cells: self.cells,
-            cell_node: self.cell_node,
-            node_cell: self.node_cell,
+            cell_node,
+            node_cell,
             hierarchy: self.hierarchy,
             locdir,
             domains: self.domains,
-            cell_domain: self.cell_domain,
-            node_domain: self.node_domain,
+            cell_domain,
+            node_domain,
+            rsmc_addr_domain,
+            rsmc_node_domain,
             ha: self.ha,
             ha_node: self.ha_node,
             cn_node: self.cn_node,
@@ -361,12 +435,16 @@ impl WorldBuilder {
             mnld: Mnld::new(),
             bs_fas: self.bs_fas,
             mns: self.mns,
-            addr_to_mn: self.addr_to_mn,
+            mn_net,
+            mn_by_octet,
             flows: self.flows,
-            cn_route_cache: HashMap::new(),
+            flow_index,
+            cn_route_cache: FxHashMap::default(),
             engine,
-            pending_latency: HashMap::new(),
+            pending_latency: FxHashMap::default(),
             next_packet_id: 0,
+            measure_scratch: Vec::new(),
+            candidate_scratch: Vec::new(),
             report: SimReport::default(),
         }
     }

@@ -34,12 +34,13 @@ use mtnet_mobileip::{
 };
 use mtnet_mobility::Trajectory;
 use mtnet_net::{
-    Addr, FlowId, NodeId, Packet, PacketId, RoutingTable, Topology, TransmitOutcome, TunnelKind,
+    Addr, FlowId, NodeId, Packet, PacketId, Prefix, RouteCache, Topology, TransmitOutcome,
+    TunnelKind,
 };
-use mtnet_radio::{CallKind, CellId, CellMap};
+use mtnet_radio::{CallKind, CellId, CellMap, Measurement};
+use mtnet_sim::FxHashMap;
 use mtnet_sim::{Context, Model, RngStream, SimDuration, SimTime, Simulator};
 use mtnet_traffic::{ArrivalProcess, Cbr, FlowQos, OnOffVbr, ParetoWeb};
-use std::collections::HashMap;
 
 /// Architecture and protocol switches for one experiment arm.
 #[derive(Debug, Clone, Copy)]
@@ -193,8 +194,9 @@ pub enum Ev {
         node: NodeId,
         /// Upstream node, if any.
         from: Option<NodeId>,
-        /// The packet.
-        pkt: Packet<Payload>,
+        /// The packet (boxed: the event travels one hop per scheduler
+        /// entry, so a thin pointer keeps queue traffic small).
+        pkt: Box<Packet<Payload>>,
     },
     /// A downlink air transmission reaches a mobile node.
     AirDown {
@@ -202,8 +204,8 @@ pub enum Ev {
         mn: MnId,
         /// Transmitting cell.
         cell: CellId,
-        /// The packet.
-        pkt: Packet<Payload>,
+        /// The packet (boxed, as in [`Ev::Pkt`]).
+        pkt: Box<Packet<Payload>>,
     },
     /// Periodic mobility measurement for one node.
     MoveSample(MnId),
@@ -223,30 +225,62 @@ pub enum Ev {
 pub struct World {
     pub(crate) cfg: WorldConfig,
     pub(crate) topo: Topology,
-    pub(crate) tables: HashMap<NodeId, RoutingTable>,
+    /// Min-delay route cache: one Dijkstra per source per topology
+    /// generation, O(1) next hops afterwards (replaces the per-node
+    /// longest-prefix routing tables on the wired fast path).
+    pub(crate) routes: RouteCache,
+    /// Prefix-owned address space (home network, per-domain subnets),
+    /// sorted longest prefix first: destinations that are not topology
+    /// nodes route toward the owner of the longest containing prefix
+    /// with a usable route.
+    pub(crate) prefixes: Vec<(Prefix, NodeId)>,
     pub(crate) cells: CellMap,
-    pub(crate) cell_node: HashMap<CellId, NodeId>,
-    pub(crate) node_cell: HashMap<NodeId, CellId>,
+    /// BS node of each cell, indexed densely by cell id (per-packet hot).
+    pub(crate) cell_node: Vec<Option<NodeId>>,
+    /// Cell served by each BS node, indexed densely by node id.
+    pub(crate) node_cell: Vec<Option<CellId>>,
     pub(crate) hierarchy: Hierarchy,
     pub(crate) locdir: LocationDirectory,
     pub(crate) domains: Vec<DomainState>,
-    pub(crate) cell_domain: HashMap<CellId, usize>,
-    pub(crate) node_domain: HashMap<NodeId, usize>,
+    /// Domain of each cell, indexed densely by cell id.
+    pub(crate) cell_domain: Vec<Option<usize>>,
+    /// Domain of each access-network node, indexed densely by node id.
+    pub(crate) node_domain: Vec<Option<usize>>,
+    /// RSMC address → domain index (the `iter().position()` scans this
+    /// replaces ran per RSMC-addressed packet).
+    pub(crate) rsmc_addr_domain: FxHashMap<Addr, usize>,
+    /// RSMC/gateway node → domain index.
+    pub(crate) rsmc_node_domain: FxHashMap<NodeId, usize>,
     pub(crate) ha: HomeAgent,
     pub(crate) ha_node: NodeId,
     pub(crate) cn_node: NodeId,
     pub(crate) cn_addr: Addr,
     pub(crate) mnld: Mnld,
     /// Pure-Mobile-IP mode: one FA per BS.
-    pub(crate) bs_fas: HashMap<CellId, ForeignAgent>,
+    pub(crate) bs_fas: FxHashMap<CellId, ForeignAgent>,
     pub(crate) mns: Vec<MnSim>,
-    pub(crate) addr_to_mn: HashMap<Addr, MnId>,
+    /// The /24 network shared by every MN home address
+    /// (`WorldBuilder::add_mn` allocates them densely from one subnet;
+    /// `build` asserts it). `u32::MAX` when no MNs exist — no masked
+    /// address can equal it.
+    mn_net: u32,
+    /// MN id by home-address last octet — with `mn_net`, makes the
+    /// per-hop `mn_of` probe two arithmetic ops and an array read.
+    mn_by_octet: Vec<Option<MnId>>,
     flows: Vec<FlowSim>,
+    /// FlowId → index into `flows`, so per-packet delivery is O(1).
+    pub(crate) flow_index: FxHashMap<FlowId, usize>,
     /// CN's route-optimization cache: mn → RSMC to tunnel to.
-    cn_route_cache: HashMap<Addr, Addr>,
+    cn_route_cache: FxHashMap<Addr, Addr>,
     engine: HandoffEngine,
-    pending_latency: HashMap<MnId, PendingLatency>,
+    pending_latency: FxHashMap<MnId, PendingLatency>,
     next_packet_id: u64,
+    /// Reused measurement buffer: one allocation for the whole run
+    /// instead of one per mobility sample.
+    measure_scratch: Vec<Measurement>,
+    /// Reused handoff-candidate buffer (same lifecycle as
+    /// `measure_scratch`).
+    candidate_scratch: Vec<Candidate>,
     pub(crate) report: SimReport,
 }
 
@@ -283,9 +317,9 @@ impl World {
         bytes: u32,
         now: SimTime,
         payload: Payload,
-    ) -> Packet<Payload> {
+    ) -> Box<Packet<Payload>> {
         self.next_packet_id += 1;
-        Packet::new(
+        Box::new(Packet::new(
             PacketId(self.next_packet_id),
             flow,
             seq,
@@ -294,7 +328,7 @@ impl World {
             bytes,
             now,
             payload,
-        )
+        ))
     }
 
     /// Sends a control packet from a wired node.
@@ -312,11 +346,46 @@ impl World {
         self.forward_wired(ctx, from_node, pkt);
     }
 
+    /// Next wired hop out of `node` toward `dst`: exact node addresses
+    /// route directly (the old host routes), other addresses via their
+    /// containing prefixes' owners, longest first (the old prefix
+    /// routes). Both resolve through the [`RouteCache`], so the per-hop
+    /// cost is a couple of map lookups instead of a longest-prefix scan —
+    /// with hop choices identical to the Dijkstra-built routing tables
+    /// this replaces: the retired tables skipped a prefix whose owner was
+    /// `node` itself or unreachable, letting *shorter* matching prefixes
+    /// answer, so the walk here continues past such entries rather than
+    /// giving up at the longest match (`prefixes` is sorted
+    /// longest-first by `WorldBuilder::build`).
+    fn wired_next_hop(&mut self, node: NodeId, dst: Addr) -> Option<NodeId> {
+        if let Some(target) = self.topo.node_by_addr(dst) {
+            if let Some(hop) = self.routes.next_hop(&self.topo, node, target) {
+                return Some(hop);
+            }
+            // Unreachable host routes fell through to prefixes in the old
+            // tables; preserve that.
+        }
+        for &(prefix, owner) in &self.prefixes {
+            if !prefix.contains(dst) || owner == node {
+                continue; // a prefix owner holds no route to its own space
+            }
+            if let Some(hop) = self.routes.next_hop(&self.topo, node, owner) {
+                return Some(hop);
+            }
+        }
+        None
+    }
+
     /// Forwards a packet out of `node` toward its routing destination over
     /// the wired topology.
-    fn forward_wired(&mut self, ctx: &mut Context<'_, Ev>, node: NodeId, mut pkt: Packet<Payload>) {
+    fn forward_wired(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        mut pkt: Box<Packet<Payload>>,
+    ) {
         let dst = pkt.routing_dst();
-        let Some(next) = self.tables.get(&node).and_then(|t| t.lookup(dst)) else {
+        let Some(next) = self.wired_next_hop(node, dst) else {
             if pkt.payload.is_data() {
                 self.report.count_drop(DropCause::NoRoute);
             }
@@ -360,7 +429,7 @@ impl World {
         ctx: &mut Context<'_, Ev>,
         cell: CellId,
         mn: MnId,
-        pkt: Packet<Payload>,
+        pkt: Box<Packet<Payload>>,
     ) {
         let delay = self.air_time(cell, pkt.wire_bytes());
         ctx.schedule_at(ctx.now() + delay, Ev::AirDown { mn, cell, pkt });
@@ -377,7 +446,7 @@ impl World {
         let pkt = self.alloc_packet(FlowId(0), 0, src, dst, bytes, ctx.now(), payload);
         self.report.signaling.control_bytes += u64::from(pkt.wire_bytes());
         let delay = self.air_time(cell, pkt.wire_bytes());
-        let bs = self.cell_node[&cell];
+        let bs = self.node_of_cell(cell);
         ctx.schedule_at(
             ctx.now() + delay,
             Ev::Pkt {
@@ -389,12 +458,42 @@ impl World {
     }
 
     fn domain_idx_of_cell(&self, cell: CellId) -> Option<usize> {
-        self.cell_domain.get(&cell).copied()
+        self.cell_domain.get(cell.0 as usize).copied().flatten()
     }
 
-    /// The MN id owning a (home) address.
+    /// Domain index of an access-network node, if it belongs to one.
+    fn domain_idx_of_node(&self, node: NodeId) -> Option<usize> {
+        self.node_domain.get(node.0 as usize).copied().flatten()
+    }
+
+    /// The cell served by a BS node, if it hosts one.
+    fn cell_of_node(&self, node: NodeId) -> Option<CellId> {
+        self.node_cell.get(node.0 as usize).copied().flatten()
+    }
+
+    /// The BS node of a cell, if it has a radio deployment.
+    fn bs_of_cell(&self, cell: CellId) -> Option<NodeId> {
+        self.cell_node.get(cell.0 as usize).copied().flatten()
+    }
+
+    /// The BS node of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has no radio deployment.
+    fn node_of_cell(&self, cell: CellId) -> NodeId {
+        self.bs_of_cell(cell).expect("cell has a BS node")
+    }
+
+    /// The MN id owning a (home) address. Probed multiple times per
+    /// forwarded packet, hence the arithmetic fast path over the dense
+    /// home subnet (equivalent to `addr_to_mn.get`, which remains the
+    /// source of truth at build time).
     fn mn_of(&self, addr: Addr) -> Option<MnId> {
-        self.addr_to_mn.get(&addr).copied()
+        if addr.0 & 0xFFFF_FF00 != self.mn_net {
+            return None;
+        }
+        self.mn_by_octet[(addr.0 & 0xFF) as usize]
     }
 
     // ------------------------------------------------------------------
@@ -406,9 +505,10 @@ impl World {
         ctx: &mut Context<'_, Ev>,
         node: NodeId,
         from: Option<NodeId>,
-        mut pkt: Packet<Payload>,
+        mut pkt: Box<Packet<Payload>>,
     ) {
         let node_addr = self.topo.addr_of(node);
+        let node_didx = self.domain_idx_of_node(node);
 
         // 1. Tunnel exit?
         while pkt.encap.last().is_some_and(|h| h.outer_dst == node_addr) {
@@ -418,7 +518,7 @@ impl World {
         // 2. Cellular IP uplink control climbing the tree refreshes caches
         //    at every node it passes — including the gateway it is
         //    addressed to, so this check precedes local consumption.
-        if let Some(didx) = self.node_domain.get(&node).copied() {
+        if let Some(didx) = node_didx {
             if !self.cfg.mip_only {
                 if let Payload::Cip(c) = pkt.payload {
                     self.handle_cip_climb(ctx, didx, node, from, c, pkt);
@@ -435,7 +535,7 @@ impl World {
 
         // 4. Packet for a mobile node inside an access network this node
         //    belongs to: Cellular IP downlink / uplink handling.
-        if let Some(didx) = self.node_domain.get(&node).copied() {
+        if let Some(didx) = node_didx {
             if !self.cfg.mip_only {
                 if self.mn_of(pkt.dst).is_some() {
                     self.forward_downlink(ctx, didx, node, pkt);
@@ -443,7 +543,7 @@ impl World {
                 }
             } else if let Some(mn) = self.mn_of(pkt.dst) {
                 // Pure Mobile IP: the BS delivers only to its own radio.
-                let Some(cell) = self.node_cell.get(&node).copied() else {
+                let Some(cell) = self.cell_of_node(node) else {
                     self.forward_wired(ctx, node, pkt);
                     return;
                 };
@@ -461,7 +561,12 @@ impl World {
     }
 
     /// Control processing for packets addressed to an infrastructure node.
-    fn consume_at_node(&mut self, ctx: &mut Context<'_, Ev>, node: NodeId, pkt: Packet<Payload>) {
+    fn consume_at_node(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        pkt: Box<Packet<Payload>>,
+    ) {
         let now = ctx.now();
         if node == self.ha_node {
             match pkt.payload {
@@ -488,7 +593,7 @@ impl World {
                         id: 0,
                     };
                     let _ = self.ha.process_registration(&synthetic, now);
-                    if let Some(didx) = self.domains.iter().position(|d| d.rsmc.addr() == rsmc) {
+                    if let Some(didx) = self.rsmc_addr_domain.get(&rsmc).copied() {
                         let dom = self.domains[didx].id;
                         self.mnld.update(mn, dom, rsmc, now);
                     }
@@ -535,7 +640,7 @@ impl World {
             return;
         }
         // RSMC / gateway processing.
-        if let Some(didx) = self.domains.iter().position(|d| d.rsmc_node == node) {
+        if let Some(didx) = self.rsmc_node_domain.get(&node).copied() {
             match pkt.payload {
                 Payload::Mip(MipMessage::Request(req)) => {
                     // FA leg: relay to the HA or deny locally.
@@ -593,7 +698,7 @@ impl World {
         }
         // Pure Mobile IP: a BS acting as FA.
         if self.cfg.mip_only {
-            if let Some(cell) = self.node_cell.get(&node).copied() {
+            if let Some(cell) = self.cell_of_node(node) {
                 match pkt.payload {
                     Payload::Mip(MipMessage::Request(req)) => {
                         let result = self
@@ -677,7 +782,7 @@ impl World {
         node: NodeId,
         from: Option<NodeId>,
         control: CipControl,
-        pkt: Packet<Payload>,
+        pkt: Box<Packet<Payload>>,
     ) {
         let now = ctx.now();
         let came_from = from.unwrap_or(node);
@@ -696,8 +801,8 @@ impl World {
                             (m.attached, m.pending.map(|p| p.target))
                         };
                         if let (Some(old), Some(target)) = (old, target) {
-                            let old_node = self.cell_node[&old];
-                            let new_node = self.cell_node[&target];
+                            let old_node = self.node_of_cell(old);
+                            let new_node = self.node_of_cell(target);
                             let tree = self.domains[didx].cip.tree();
                             if tree.contains(old_node)
                                 && tree.contains(new_node)
@@ -774,7 +879,7 @@ impl World {
         let Some(cell) = self.domains[didx]
             .cip
             .locate(mn, now)
-            .and_then(|n| self.node_cell.get(&n).copied())
+            .and_then(|n| self.cell_of_node(n))
         else {
             return;
         };
@@ -820,7 +925,7 @@ impl World {
         ctx: &mut Context<'_, Ev>,
         didx: usize,
         node: NodeId,
-        pkt: Packet<Payload>,
+        pkt: Box<Packet<Payload>>,
     ) {
         let now = ctx.now();
         let mn_addr = pkt.dst;
@@ -844,7 +949,7 @@ impl World {
             Some(n) if n == node => {
                 // Attach BS: deliver over the air (plus semisoft bicast
                 // handled at the crossover below).
-                if let Some(cell) = self.node_cell.get(&node).copied() {
+                if let Some(cell) = self.cell_of_node(node) {
                     if let Some(mn) = self.mn_of(mn_addr) {
                         self.air_down(ctx, cell, mn, pkt);
                         return;
@@ -870,20 +975,28 @@ impl World {
                             // cell chains under the old one): the "old
                             // branch" is this BS's own air interface.
                             if let (Some(cell), Some(mnid)) =
-                                (self.node_cell.get(&node).copied(), self.mn_of(mn_addr))
+                                (self.cell_of_node(node), self.mn_of(mn_addr))
                             {
                                 self.air_down(ctx, cell, mnid, pkt.clone());
                             }
                         } else {
                             // The cache points to the new branch; the
                             // duplicate follows the tree toward the old BS.
-                            let old_path = tree.uplink_path(old_bs);
-                            if let Some(pos) = old_path.iter().position(|&n| n == node) {
-                                if pos > 0 {
-                                    let toward_old = old_path[pos - 1];
-                                    if toward_old != child {
-                                        self.transmit_to_child(ctx, node, toward_old, pkt.clone());
-                                    }
+                            // Parent walk from the old BS finds this node's
+                            // child on that branch without materializing
+                            // the path.
+                            let mut toward_old = None;
+                            let mut cur = old_bs;
+                            while let Some(parent) = tree.parent(cur) {
+                                if parent == node {
+                                    toward_old = Some(cur);
+                                    break;
+                                }
+                                cur = parent;
+                            }
+                            if let Some(toward_old) = toward_old {
+                                if toward_old != child {
+                                    self.transmit_to_child(ctx, node, toward_old, pkt.clone());
                                 }
                             }
                         }
@@ -907,7 +1020,7 @@ impl World {
         ctx: &mut Context<'_, Ev>,
         node: NodeId,
         child: NodeId,
-        mut pkt: Packet<Payload>,
+        mut pkt: Box<Packet<Payload>>,
     ) {
         let Some(link) = self.topo.link_between(node, child) else {
             if pkt.payload.is_data() {
@@ -948,7 +1061,7 @@ impl World {
         ctx: &mut Context<'_, Ev>,
         didx: usize,
         node: NodeId,
-        pkt: Packet<Payload>,
+        pkt: Box<Packet<Payload>>,
     ) {
         let now = ctx.now();
         let mn_addr = pkt.dst;
@@ -957,7 +1070,7 @@ impl World {
                 // Source-routed forward down the tree, delivered straight
                 // over the located BS's air interface (the BS's own
                 // routing cache lapsed along with the gateway's).
-                if let Some(&bs_node) = self.cell_node.get(&cell) {
+                if let Some(bs_node) = self.bs_of_cell(cell) {
                     if self.domains[didx].cip.tree().contains(bs_node) {
                         self.domains[didx].rsmc.count_forwarded();
                         let hops = self.domains[didx].cip.tree().depth(bs_node) as u64;
@@ -977,7 +1090,7 @@ impl World {
         match outcome {
             mtnet_cellularip::PageOutcome::Directed { bs, .. } => {
                 let hops = self.domains[didx].cip.tree().depth(bs) as u64;
-                let cell = self.node_cell.get(&bs).copied();
+                let cell = self.cell_of_node(bs);
                 if let (Some(cell), Some(mn)) = (cell, self.mn_of(mn_addr)) {
                     let delay = SimDuration::from_millis(2).saturating_mul(hops.max(1))
                         + self.air_time(cell, pkt.wire_bytes());
@@ -1020,7 +1133,7 @@ impl World {
         ctx: &mut Context<'_, Ev>,
         mn: MnId,
         cell: CellId,
-        pkt: Packet<Payload>,
+        pkt: Box<Packet<Payload>>,
     ) {
         let now = ctx.now();
         let pos = {
@@ -1045,7 +1158,7 @@ impl World {
         }
         match pkt.payload {
             Payload::Data => {
-                let fidx = self.flows.iter().position(|f| f.flow == pkt.flow);
+                let fidx = self.flow_index.get(&pkt.flow).copied();
                 if let Some(fidx) = fidx {
                     self.flows[fidx].qos.record_received(
                         pkt.seq,
@@ -1115,9 +1228,14 @@ impl World {
             let speed = m.traj.speed(now, &mut m.rng);
             (pos, speed)
         };
-        // Candidate set restricted by the deployed tiers.
-        let mut candidates = Vec::new();
-        for meas in self.cells.measure(pos, None) {
+        // Candidate set restricted by the deployed tiers. Both buffers are
+        // scratch space owned by the world: the measurement pass and the
+        // candidate list cost no allocation per sample.
+        let mut measurements = std::mem::take(&mut self.measure_scratch);
+        let mut candidates = std::mem::take(&mut self.candidate_scratch);
+        self.cells.measure_into(pos, None, &mut measurements);
+        candidates.clear();
+        for meas in &measurements {
             let tier = Tier::of_cell(meas.kind);
             let allowed = match tier {
                 Tier::Micro => self.cfg.has_micro,
@@ -1132,6 +1250,7 @@ impl World {
                 });
             }
         }
+        self.measure_scratch = measurements;
         let current = self.mns[mn.0 as usize].attached.map(|cell| {
             let tier = Tier::of_cell(self.cells.cell(cell).expect("known cell").kind());
             let rssi = candidates
@@ -1144,7 +1263,9 @@ impl World {
                 rssi_dbm: rssi,
             }
         });
-        match self.engine.decide(speed, current, &candidates) {
+        let decision = self.engine.decide(speed, current, &candidates);
+        self.candidate_scratch = candidates;
+        match decision {
             HandoffDecision::Stay => {}
             HandoffDecision::Outage => {
                 self.report.handoffs.outage_samples += 1;
@@ -1237,7 +1358,7 @@ impl World {
             let mn_addr = self.mns[mn.0 as usize].home;
             let didx = self.domain_idx_of_cell(granted).expect("checked");
             let gw_addr = self.topo.addr_of(self.domains[didx].rsmc_node);
-            let new_bs = self.cell_node[&granted];
+            let new_bs = self.node_of_cell(granted);
             let bytes = Payload::Cip(CipControl::Semisoft { mn: mn_addr }).control_size_bytes();
             let pkt = self.alloc_packet(
                 FlowId(0),
@@ -1355,7 +1476,7 @@ impl World {
             || (!self.cfg.mip_only && new_didx != old_didx);
         if coa_changed {
             let adv = if self.cfg.mip_only {
-                let bs_addr = self.topo.addr_of(self.cell_node[&target]);
+                let bs_addr = self.topo.addr_of(self.node_of_cell(target));
                 AgentAdvertisement {
                     agent: bs_addr,
                     coa: bs_addr,
@@ -1426,10 +1547,7 @@ impl World {
         // only re-registers once the binding passes its half-life).
         if let mtnet_mobileip::MnState::Registered { .. } = self.mns[mn.0 as usize].mip.state() {
             let fa_addr = if self.cfg.mip_only {
-                self.node_cell
-                    .iter()
-                    .find(|(_, &c)| c == cell)
-                    .map(|(&n, _)| self.topo.addr_of(n))
+                self.bs_of_cell(cell).map(|n| self.topo.addr_of(n))
             } else {
                 self.domain_idx_of_cell(cell)
                     .map(|didx| self.domains[didx].fa.addr())

@@ -432,3 +432,117 @@ fn satellite_overlay_rescues_macro_hole() {
         with_sat.handoffs.completed
     );
 }
+
+#[test]
+fn persistent_indices_match_linear_scans() {
+    // The O(1) lookup structures this PR introduced must agree exactly
+    // with the `iter().position()`-style scans they replaced, for every
+    // key that exists — and reject every key that does not.
+    let mut b = WorldBuilder::new(WorldConfig::default());
+    b.add_domain(DomainSpec::default());
+    b.add_domain(DomainSpec {
+        center: Point::new(4500.0, 1500.0),
+        ..DomainSpec::default()
+    });
+    b.add_mn(
+        Box::new(Stationary::new(Point::new(1500.0, 1500.0))),
+        &[FlowKind::Voice, FlowKind::Web],
+    );
+    b.add_mn(
+        Box::new(
+            LinearCommute::new(Point::new(900.0, 1500.0), Point::new(4500.0, 1500.0), 10.0)
+                .round_trip(),
+        ),
+        &[FlowKind::Video],
+    );
+    let world = b.build();
+
+    // Flow index ≡ position scan.
+    for (i, f) in world.flows.iter().enumerate() {
+        assert_eq!(world.flow_index.get(&f.flow).copied(), Some(i));
+        assert_eq!(
+            world.flows.iter().position(|g| g.flow == f.flow),
+            world.flow_index.get(&f.flow).copied()
+        );
+    }
+    assert_eq!(world.flow_index.get(&FlowId(999)), None);
+    assert_eq!(world.flows.iter().position(|g| g.flow == FlowId(999)), None);
+
+    // Domain indices ≡ position scans over the domain list.
+    for (didx, d) in world.domains.iter().enumerate() {
+        assert_eq!(
+            world.rsmc_addr_domain.get(&d.rsmc.addr()).copied(),
+            world
+                .domains
+                .iter()
+                .position(|x| x.rsmc.addr() == d.rsmc.addr())
+        );
+        assert_eq!(
+            world.rsmc_addr_domain.get(&d.rsmc.addr()).copied(),
+            Some(didx)
+        );
+        assert_eq!(
+            world.rsmc_node_domain.get(&d.rsmc_node).copied(),
+            world
+                .domains
+                .iter()
+                .position(|x| x.rsmc_node == d.rsmc_node)
+        );
+    }
+    assert_eq!(world.rsmc_addr_domain.get(&world.cn_addr), None);
+
+    // MN owner probe ≡ scan over the population.
+    for m in &world.mns {
+        assert_eq!(
+            world.mn_of(m.home),
+            world.mns.iter().find(|x| x.home == m.home).map(|x| x.id)
+        );
+    }
+    assert_eq!(world.mn_of(world.cn_addr), None);
+    assert_eq!(world.mn_of(world.ha.addr()), None);
+
+    // Dense node/cell tables ≡ the builder's associations, both ways.
+    for (cidx, bs) in world.cell_node.iter().enumerate() {
+        if let Some(bs) = bs {
+            assert_eq!(world.cell_of_node(*bs), Some(CellId(cidx as u32)));
+            assert_eq!(world.node_of_cell(CellId(cidx as u32)), *bs);
+        }
+    }
+}
+
+#[test]
+fn route_cache_matches_routing_tables() {
+    // The RouteCache + prefix resolution in `wired_next_hop` must pick
+    // exactly the hops the retired per-node routing tables would have:
+    // same Dijkstra, same tie-breaks, same prefix fallbacks.
+    let mut b = WorldBuilder::new(WorldConfig::default());
+    b.add_domain(DomainSpec::default());
+    b.add_domain(DomainSpec {
+        center: Point::new(4500.0, 1500.0),
+        region: Some(1),
+        ..DomainSpec::default()
+    });
+    b.add_mn(
+        Box::new(Stationary::new(Point::new(1500.0, 1500.0))),
+        &[FlowKind::Voice],
+    );
+    let mut world = b.build();
+    let tables = world.topo.build_all_routing_tables(&world.prefixes);
+    // Probe every (router, destination) pair the simulation can see:
+    // node addresses, MN home addresses, and the CN/HA endpoints.
+    let mut dsts: Vec<Addr> = (0..world.topo.node_count() as u32)
+        .map(|n| world.topo.addr_of(NodeId(n)))
+        .collect();
+    dsts.extend(world.mns.iter().map(|m| m.home));
+    dsts.push(world.cn_addr);
+    for node in 0..world.topo.node_count() as u32 {
+        let node = NodeId(node);
+        for &dst in &dsts {
+            assert_eq!(
+                world.wired_next_hop(node, dst),
+                tables[&node].lookup(dst),
+                "divergence at {node} -> {dst:?}"
+            );
+        }
+    }
+}

@@ -3,8 +3,8 @@
 
 use crate::messages::{AgentAdvertisement, RegistrationReply, RegistrationRequest, ReplyCode};
 use mtnet_net::Addr;
+use mtnet_sim::FxHashMap;
 use mtnet_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// One visitor-list entry at a foreign agent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,10 +36,10 @@ pub struct ForeignAgent {
     max_visitors: usize,
     max_lifetime: SimDuration,
     adv_seq: u64,
-    visitors: HashMap<Addr, VisitorEntry>,
+    visitors: FxHashMap<Addr, VisitorEntry>,
     /// Departed visitors whose traffic we still forward: MN → (new CoA,
     /// installed-at). Entries live for `forward_lifetime`.
-    forwards: HashMap<Addr, (Addr, SimTime)>,
+    forwards: FxHashMap<Addr, (Addr, SimTime)>,
     forward_lifetime: SimDuration,
     relayed_requests: u64,
     forwarded_packets: u64,
@@ -60,8 +60,8 @@ impl ForeignAgent {
             max_visitors: Self::DEFAULT_MAX_VISITORS,
             max_lifetime: Self::DEFAULT_MAX_LIFETIME,
             adv_seq: 0,
-            visitors: HashMap::new(),
-            forwards: HashMap::new(),
+            visitors: FxHashMap::default(),
+            forwards: FxHashMap::default(),
             forward_lifetime: Self::DEFAULT_FORWARD_LIFETIME,
             relayed_requests: 0,
             forwarded_packets: 0,

@@ -2,8 +2,8 @@
 
 use crate::messages::{RegistrationReply, RegistrationRequest, ReplyCode};
 use mtnet_net::{Addr, Prefix};
+use mtnet_sim::FxHashMap;
 use mtnet_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// One mobility binding: home address → care-of address, with lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +31,7 @@ pub struct HomeAgent {
     addr: Addr,
     home_prefix: Prefix,
     max_lifetime: SimDuration,
-    bindings: HashMap<Addr, Binding>,
+    bindings: FxHashMap<Addr, Binding>,
     // Signaling counters for overhead experiments.
     registrations_accepted: u64,
     registrations_denied: u64,
@@ -48,7 +48,7 @@ impl HomeAgent {
             addr,
             home_prefix,
             max_lifetime: Self::DEFAULT_MAX_LIFETIME,
-            bindings: HashMap::new(),
+            bindings: FxHashMap::default(),
             registrations_accepted: 0,
             registrations_denied: 0,
             packets_tunneled: 0,

@@ -13,6 +13,9 @@
 //! * [`RoutingTable`] — longest-prefix-match forwarding with a default route.
 //! * [`Topology`] — a graph of nodes and links with Dijkstra shortest paths,
 //!   used to auto-populate routing tables.
+//! * [`RouteCache`] — a generation-keyed shortest-path cache answering
+//!   `next_hop` / `hop_count` / `path_delay` in O(1) after one Dijkstra
+//!   per source per topology version.
 //!
 //! The substrate is protocol-agnostic: payloads are a generic parameter, so
 //! protocol crates define their own message enums.
@@ -33,11 +36,13 @@
 mod addr;
 mod link;
 mod packet;
+mod routecache;
 mod routing;
 mod topology;
 
 pub use addr::{Addr, ParseAddrError, ParsePrefixError, Prefix};
 pub use link::{Link, LinkConfig, LinkStats, TransmitOutcome};
 pub use packet::{EncapHeader, FlowId, Packet, PacketId, TunnelKind};
+pub use routecache::RouteCache;
 pub use routing::RoutingTable;
 pub use topology::{LinkId, NodeId, Topology, TopologyError};

@@ -4,6 +4,7 @@
 use crate::addr::{Addr, Prefix};
 use crate::link::{Link, LinkConfig};
 use crate::routing::RoutingTable;
+use mtnet_sim::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
@@ -73,7 +74,9 @@ struct LinkEntry {
 ///
 /// The topology owns the mutable link state (queues, statistics); the
 /// simulation asks it to transmit packets hop by hop. Shortest paths (by
-/// propagation delay) can be computed to fill [`RoutingTable`]s.
+/// propagation delay) can be computed to fill [`RoutingTable`]s, or — on
+/// hot paths — served O(1) from a [`crate::RouteCache`] keyed to this
+/// topology's [`generation`](Topology::generation).
 ///
 /// ```
 /// use mtnet_net::{Topology, LinkConfig, Addr};
@@ -87,12 +90,26 @@ struct LinkEntry {
 pub struct Topology {
     nodes: Vec<NodeEntry>,
     links: Vec<LinkEntry>,
+    /// Structure version: bumped by every node/link addition so shortest-
+    /// path caches can invalidate lazily. Link *state* (queues, stats) is
+    /// not structure — it never affects Dijkstra weights.
+    generation: u64,
+    /// O(1) reverse index for [`node_by_addr`](Topology::node_by_addr);
+    /// first-added node wins on duplicate addresses.
+    by_addr: FxHashMap<Addr, NodeId>,
 }
 
 impl Topology {
     /// Creates an empty topology.
     pub fn new() -> Self {
         Topology::default()
+    }
+
+    /// Structure version. Any mutation that can change shortest paths
+    /// (adding nodes or links) bumps it; [`crate::RouteCache`] compares
+    /// generations to invalidate lazily.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Adds a node with the given address; returns its id.
@@ -102,6 +119,8 @@ impl Topology {
             addr,
             out: Vec::new(),
         });
+        self.by_addr.entry(addr).or_insert(id);
+        self.generation += 1;
         id
     }
 
@@ -124,13 +143,10 @@ impl Topology {
         self.nodes[node.0 as usize].addr
     }
 
-    /// Finds the node owning `addr`, if any (linear scan; topologies are
-    /// small).
+    /// Finds the node owning `addr`, if any (O(1); the first-added node
+    /// wins if an address was reused).
     pub fn node_by_addr(&self, addr: Addr) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.addr == addr)
-            .map(|i| NodeId(i as u32))
+        self.by_addr.get(&addr).copied()
     }
 
     /// Adds a unidirectional link `from → to`.
@@ -148,6 +164,7 @@ impl Topology {
             link: Link::new(config),
         });
         self.nodes[from.0 as usize].out.push((to, id));
+        self.generation += 1;
         id
     }
 
@@ -201,7 +218,7 @@ impl Topology {
 
     /// Dijkstra from `src`, weighted by link propagation delay (nanos),
     /// returning the predecessor map.
-    fn dijkstra(&self, src: NodeId) -> Vec<Option<(u64, NodeId)>> {
+    pub(crate) fn dijkstra(&self, src: NodeId) -> Vec<Option<(u64, NodeId)>> {
         // dist/pred indexed by node id; pred[src] = src.
         let n = self.nodes.len();
         let mut best: Vec<Option<(u64, NodeId)>> = vec![None; n];

@@ -3,7 +3,7 @@
 use crate::cell::{Cell, CellId, CellKind};
 use crate::propagation::{PathLoss, SENSITIVITY_DBM};
 use mtnet_mobility::Point;
-use std::collections::HashMap;
+use mtnet_sim::FxHashMap;
 
 /// One signal measurement of a cell at a location.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,26 +18,94 @@ pub struct Measurement {
     pub free_ratio: f64,
 }
 
+/// Uniform-grid spatial index over cell footprints.
+///
+/// Each cell is registered in every grid bucket its footprint's bounding
+/// square overlaps, so a point query only inspects the one bucket
+/// containing the point (any cell covering the point necessarily overlaps
+/// that bucket). Tiers whose footprint dwarfs the bucket size (the
+/// satellite overlay's 500 km) would bloat the grid, so cells beyond
+/// [`GridIndex::BROAD_RADIUS_M`] go to a flat `broad` list that every
+/// query scans — there are at most a handful of those per deployment.
+#[derive(Debug, Clone, Default)]
+struct GridIndex {
+    buckets: FxHashMap<(i32, i32), Vec<CellId>>,
+    broad: Vec<CellId>,
+}
+
+impl GridIndex {
+    /// Bucket edge length. Sized so a micro cell (300 m) lands in ~4
+    /// buckets and a macro cell (2 km) in ~25.
+    const BUCKET_M: f64 = 1_000.0;
+    /// Cells with footprints beyond this radius skip the grid.
+    const BROAD_RADIUS_M: f64 = 4_000.0;
+
+    fn bucket_of(p: Point) -> (i32, i32) {
+        (
+            (p.x / Self::BUCKET_M).floor() as i32,
+            (p.y / Self::BUCKET_M).floor() as i32,
+        )
+    }
+
+    fn insert(&mut self, cell: &Cell) {
+        let r = cell.radius_m();
+        if r > Self::BROAD_RADIUS_M {
+            self.broad.push(cell.id());
+            return;
+        }
+        let c = cell.center();
+        let (bx0, by0) = Self::bucket_of(Point::new(c.x - r, c.y - r));
+        let (bx1, by1) = Self::bucket_of(Point::new(c.x + r, c.y + r));
+        for bx in bx0..=bx1 {
+            for by in by0..=by1 {
+                self.buckets.entry((bx, by)).or_default().push(cell.id());
+            }
+        }
+    }
+
+    /// Ids of every cell whose footprint can contain `at` (a superset:
+    /// callers still check [`Cell::covers`]).
+    fn candidates(&self, at: Point) -> impl Iterator<Item = CellId> + '_ {
+        self.buckets
+            .get(&Self::bucket_of(at))
+            .into_iter()
+            .flatten()
+            .chain(self.broad.iter())
+            .copied()
+    }
+}
+
 /// All cells of a deployment plus the propagation model: answers "which
 /// cells can a node at point P hear, and how loudly?".
 ///
 /// This is the measurement substrate for the paper's handoff decision
 /// (§3.2): the decision engine combines these measurements with node speed.
+/// Point queries go through a uniform grid index so only cells whose footprint
+/// can contain the query point are inspected — the full scan survives as
+/// [`CellMap::measure_full_scan`], the reference implementation the
+/// property tests hold the grid against.
 #[derive(Debug)]
 pub struct CellMap {
-    cells: HashMap<CellId, Cell>,
+    /// Cells indexed densely by id (`None` in gaps) — the per-packet
+    /// `cell`/`rssi_dbm` probes are array reads.
+    cells: Vec<Option<Cell>>,
+    /// Number of `Some` entries in `cells`.
+    count: usize,
     path_loss: PathLoss,
     /// Extra seed decorrelating shadowing between experiment repetitions.
     shadow_seed: u64,
+    grid: GridIndex,
 }
 
 impl CellMap {
     /// Creates an empty map with default (shadowed urban) propagation.
     pub fn new(shadow_seed: u64) -> Self {
         CellMap {
-            cells: HashMap::new(),
+            cells: Vec::new(),
+            count: 0,
             path_loss: PathLoss::default(),
             shadow_seed,
+            grid: GridIndex::default(),
         }
     }
 
@@ -45,9 +113,11 @@ impl CellMap {
     /// handoff points must be exactly reproducible from geometry.
     pub fn without_shadowing() -> Self {
         CellMap {
-            cells: HashMap::new(),
+            cells: Vec::new(),
+            count: 0,
             path_loss: PathLoss::clean(3.5),
             shadow_seed: 0,
+            grid: GridIndex::default(),
         }
     }
 
@@ -64,36 +134,41 @@ impl CellMap {
     /// Panics on duplicate cell ids.
     pub fn add(&mut self, cell: Cell) -> CellId {
         let id = cell.id();
-        let prev = self.cells.insert(id, cell);
-        assert!(prev.is_none(), "duplicate cell id {id}");
+        let idx = id.0 as usize;
+        if self.cells.len() <= idx {
+            self.cells.resize_with(idx + 1, || None);
+        }
+        assert!(self.cells[idx].is_none(), "duplicate cell id {id}");
+        self.grid.insert(&cell);
+        self.cells[idx] = Some(cell);
+        self.count += 1;
         id
     }
 
     /// Number of cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.count
     }
 
     /// True if no cells were added.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.count == 0
     }
 
-    /// Shared access to a cell.
+    /// Shared access to a cell (O(1) array read).
     pub fn cell(&self, id: CellId) -> Option<&Cell> {
-        self.cells.get(&id)
+        self.cells.get(id.0 as usize)?.as_ref()
     }
 
     /// Mutable access to a cell (channel pool updates).
     pub fn cell_mut(&mut self, id: CellId) -> Option<&mut Cell> {
-        self.cells.get_mut(&id)
+        self.cells.get_mut(id.0 as usize)?.as_mut()
     }
 
-    /// Iterates over all cells in id order (deterministic).
+    /// Iterates over all cells in id order (deterministic: dense storage
+    /// is already id-ordered).
     pub fn cells(&self) -> impl Iterator<Item = &Cell> {
-        let mut v: Vec<&Cell> = self.cells.values().collect();
-        v.sort_by_key(|c| c.id());
-        v.into_iter()
+        self.cells.iter().flatten()
     }
 
     /// Received power of `cell` at `at`, in dBm.
@@ -102,7 +177,7 @@ impl CellMap {
     ///
     /// Panics if the cell id is unknown.
     pub fn rssi_dbm(&self, cell: CellId, at: Point) -> f64 {
-        let c = &self.cells[&cell];
+        let c = self.cell(cell).expect("unknown cell id");
         // The configured model supplies reference loss and shadowing; the
         // exponent is tier-specific so nominal footprints are radio-true.
         let pl = crate::PathLoss {
@@ -123,35 +198,94 @@ impl CellMap {
         }
     }
 
+    /// One audible-cell measurement, or `None` if the cell fails the tier
+    /// filter, footprint check, or sensitivity floor.
+    fn measure_one(&self, cell: CellId, at: Point, tier: Option<CellKind>) -> Option<Measurement> {
+        let c = self.cell(cell).expect("indexed cell exists");
+        if !(tier.is_none_or(|t| c.kind() == t) && c.covers(at)) {
+            return None;
+        }
+        let m = Measurement {
+            cell,
+            kind: c.kind(),
+            rssi_dbm: self.rssi_dbm(cell, at),
+            free_ratio: c.free_resource_ratio(),
+        };
+        (m.rssi_dbm >= SENSITIVITY_DBM).then_some(m)
+    }
+
     /// Measures every audible cell at `at` (RSSI above the sensitivity
     /// floor **and** inside the nominal footprint), sorted strongest first.
     /// `tier` restricts the scan to one tier.
+    ///
+    /// Allocates a fresh vector per call; event loops should hold a
+    /// scratch buffer and use [`CellMap::measure_into`].
     pub fn measure(&self, at: Point, tier: Option<CellKind>) -> Vec<Measurement> {
+        let mut out = Vec::new();
+        self.measure_into(at, tier, &mut out);
+        out
+    }
+
+    /// [`CellMap::measure`] into a caller-owned buffer (cleared first), so
+    /// per-event measurement costs no allocation once the buffer has grown
+    /// to the deployment's audible-cell count.
+    pub fn measure_into(&self, at: Point, tier: Option<CellKind>, out: &mut Vec<Measurement>) {
+        out.clear();
+        out.extend(
+            self.grid
+                .candidates(at)
+                .filter_map(|id| self.measure_one(id, at, tier)),
+        );
+        out.sort_by(|a, b| b.rssi_dbm.total_cmp(&a.rssi_dbm).then(a.cell.cmp(&b.cell)));
+    }
+
+    /// Reference implementation of [`CellMap::measure`] that scans every
+    /// cell instead of using the spatial index. Kept (and exercised by
+    /// property tests and benches) to prove the grid path observationally
+    /// identical; not for hot paths.
+    pub fn measure_full_scan(&self, at: Point, tier: Option<CellKind>) -> Vec<Measurement> {
         let mut out: Vec<Measurement> = self
             .cells()
-            .filter(|c| tier.is_none_or(|t| c.kind() == t))
-            .filter(|c| c.covers(at))
-            .map(|c| Measurement {
-                cell: c.id(),
-                kind: c.kind(),
-                rssi_dbm: self.rssi_dbm(c.id(), at),
-                free_ratio: c.free_resource_ratio(),
-            })
-            .filter(|m| m.rssi_dbm >= SENSITIVITY_DBM)
+            .filter_map(|c| self.measure_one(c.id(), at, tier))
             .collect();
         out.sort_by(|a, b| b.rssi_dbm.total_cmp(&a.rssi_dbm).then(a.cell.cmp(&b.cell)));
         out
     }
 
+    /// `true` if `candidate` outranks `best` in the [`CellMap::measure`]
+    /// sort order (strongest RSSI first, lowest id on ties).
+    fn outranks(candidate: &Measurement, best: &Measurement) -> bool {
+        match candidate.rssi_dbm.total_cmp(&best.rssi_dbm) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Equal => candidate.cell < best.cell,
+            std::cmp::Ordering::Less => false,
+        }
+    }
+
     /// Strongest audible cell at `at`, optionally restricted to one tier.
+    /// Single pass over the grid bucket, no allocation.
     pub fn best_cell(&self, at: Point, tier: Option<CellKind>) -> Option<CellId> {
-        self.measure(at, tier).first().map(|m| m.cell)
+        let mut best: Option<Measurement> = None;
+        for m in self
+            .grid
+            .candidates(at)
+            .filter_map(|id| self.measure_one(id, at, tier))
+        {
+            if best.as_ref().is_none_or(|b| Self::outranks(&m, b)) {
+                best = Some(m);
+            }
+        }
+        best.map(|m| m.cell)
     }
 
     /// Strongest audible cell with hysteresis: switch away from `current`
     /// only if a candidate beats it by at least `hysteresis_db`, or if
     /// `current` no longer covers `at`. Hysteresis suppresses ping-pong
     /// handoffs at cell boundaries.
+    ///
+    /// The current cell's measurement is folded into the same single pass
+    /// that finds the strongest candidate — one bucket scan, no
+    /// allocation.
     pub fn best_cell_hysteresis(
         &self,
         at: Point,
@@ -159,13 +293,25 @@ impl CellMap {
         hysteresis_db: f64,
         tier: Option<CellKind>,
     ) -> Option<CellId> {
-        let measurements = self.measure(at, tier);
-        let current_m = measurements.iter().find(|m| m.cell == current);
-        match (measurements.first(), current_m) {
+        let mut best: Option<Measurement> = None;
+        let mut current_rssi: Option<f64> = None;
+        for m in self
+            .grid
+            .candidates(at)
+            .filter_map(|id| self.measure_one(id, at, tier))
+        {
+            if m.cell == current {
+                current_rssi = Some(m.rssi_dbm);
+            }
+            if best.as_ref().is_none_or(|b| Self::outranks(&m, b)) {
+                best = Some(m);
+            }
+        }
+        match (best, current_rssi) {
             (None, _) => None,
             (Some(best), None) => Some(best.cell), // lost current entirely
             (Some(best), Some(cur)) => {
-                if best.cell != current && best.rssi_dbm >= cur.rssi_dbm + hysteresis_db {
+                if best.cell != current && best.rssi_dbm >= cur + hysteresis_db {
                     Some(best.cell)
                 } else {
                     Some(current)

@@ -8,8 +8,15 @@ use std::cmp::Ordering;
 ///
 /// Tokens are unique for the lifetime of a [`crate::Scheduler`]; cancelling a
 /// token that already fired (or was already cancelled) is a harmless no-op.
+/// The token carries both the event's sequence number (its identity) and
+/// its slab slot (its location), so cancellation is O(1) without any
+/// auxiliary index. Ordering and equality follow the sequence number:
+/// `seq` is unique per scheduler, so comparing the pair is comparing `seq`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventToken(pub(crate) u64);
+pub struct EventToken {
+    pub(crate) seq: u64,
+    pub(crate) slot: u32,
+}
 
 /// A scheduled event: payload plus its firing time and tie-break sequence.
 #[derive(Debug)]

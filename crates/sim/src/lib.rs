@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod hash;
 mod model;
 pub mod rng;
 pub mod runner;
@@ -58,6 +59,7 @@ mod simulator;
 mod time;
 
 pub use event::{EventToken, ScheduledEvent};
+pub use hash::{FxHashMap, FxHashSet};
 pub use model::{Context, Model};
 pub use rng::{RngStream, SeedTree};
 pub use runner::BatchRunner;

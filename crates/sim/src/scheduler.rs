@@ -1,16 +1,25 @@
-//! The pending-event set: a binary heap keyed by `(time, seq)` with O(1)
-//! logical cancellation.
+//! The pending-event set: a binary heap of small `(time, seq, slot)` keys
+//! over a payload slab, with O(1) logical cancellation.
 
 use crate::event::{EventToken, ScheduledEvent};
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Priority queue of future events.
 ///
-/// Cancellation is *logical*: cancelled tokens go into a tombstone set and
-/// the entry is discarded when popped. This keeps both `schedule` and
-/// `cancel` cheap; tombstones are purged as their entries surface.
+/// The heap holds only 24-byte `(time, seq, slot)` keys; payloads live in
+/// a slab indexed by `slot`. Sift operations during push/pop therefore
+/// move small fixed-size keys instead of whole event payloads — the
+/// difference is most of the queue cost when events carry packets.
+///
+/// Cancellation is *logical*: the slot is emptied, and the dangling heap
+/// key is discarded when it surfaces. A slot is not reused until its heap
+/// key has been popped, so a surfacing key whose slot is empty is always a
+/// cancelled event and never someone else's payload. Live-event
+/// accounting is an explicit counter, so cancelling a token that already
+/// fired is recognized (the seq is in no slot) and rejected rather than
+/// corrupting [`Scheduler::len`].
 ///
 /// ```
 /// use mtnet_sim::{Scheduler, SimTime};
@@ -23,8 +32,16 @@ use std::collections::{BinaryHeap, HashSet};
 /// ```
 #[derive(Debug)]
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Reverse<(ScheduledEvent<E>, EventToken)>>,
-    cancelled: HashSet<EventToken>,
+    /// Min-heap (via `Reverse`) ordered by `(time, seq)` — deterministic
+    /// FIFO among simultaneous events. The third element is the slab slot.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Payload slab: `slots[slot] = Some((seq, event))` while pending,
+    /// `None` once cancelled. Reserved until the heap key pops.
+    slots: Vec<Option<(u64, E)>>,
+    /// Slots whose heap key has surfaced, ready for reuse.
+    free: Vec<u32>,
+    /// Number of pending, non-cancelled events.
+    live: usize,
     next_seq: u64,
     now: SimTime,
     scheduled_total: u64,
@@ -42,7 +59,9 @@ impl<E> Scheduler<E> {
     pub fn new() -> Self {
         Scheduler {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             next_seq: 0,
             now: SimTime::ZERO,
             scheduled_total: 0,
@@ -57,12 +76,12 @@ impl<E> Scheduler<E> {
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
     /// Total events ever scheduled (monitoring/debugging aid).
@@ -84,10 +103,20 @@ impl<E> Scheduler<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        let token = EventToken(seq);
-        self.heap
-            .push(Reverse((ScheduledEvent { time, seq, event }, token)));
-        token
+        self.live += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some((seq, event));
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("fewer than 2^32 pending events");
+                self.slots.push(Some((seq, event)));
+                s
+            }
+        };
+        self.heap.push(Reverse((time, seq, slot)));
+        EventToken { seq, slot }
     }
 
     /// Schedules `event` after the given delay from now.
@@ -95,44 +124,76 @@ impl<E> Scheduler<E> {
         self.schedule_at(self.now + delay, event)
     }
 
-    /// Cancels a pending event. Returns `true` if the token was live.
+    /// Cancels a pending event. Returns `true` if the token was live —
+    /// tokens that never existed, already fired, or were already cancelled
+    /// are rejected without perturbing the live-event count. O(1): the
+    /// token names its slab slot, and a slot's stored `seq` matching the
+    /// token's proves the event is still the token's own (slots are only
+    /// reused after their heap key pops).
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        // A token could reference an event that already fired; inserting it
-        // anyway would leak a tombstone, so only count tokens still queued.
-        if token.0 >= self.next_seq {
+        if token.seq >= self.next_seq {
             return false;
         }
-        let inserted = self.cancelled.insert(token);
-        if inserted {
-            self.cancelled_total += 1;
+        match self.slots.get_mut(token.slot as usize) {
+            Some(slot @ Some(_)) if slot.as_ref().is_some_and(|(seq, _)| *seq == token.seq) => {
+                *slot = None;
+                self.live -= 1;
+                self.cancelled_total += 1;
+                true
+            }
+            _ => false, // already fired, already cancelled, or slot reused
         }
-        inserted
     }
 
     /// Pops the next live event, advancing `now` to its firing time.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        while let Some(Reverse((entry, token))) = self.heap.pop() {
-            if self.cancelled.remove(&token) {
+        while let Some(Reverse((time, seq, slot))) = self.heap.pop() {
+            let payload = self.slots[slot as usize].take();
+            self.free.push(slot);
+            if let Some((stored_seq, event)) = payload {
+                debug_assert_eq!(stored_seq, seq, "slot reused before its key popped");
+                self.live -= 1;
+                self.now = time;
+                return Some(ScheduledEvent { time, seq, event });
+            }
+            // Cancelled: the dangling key just releases its slot.
+        }
+        None
+    }
+
+    /// Pops the next live event only if it fires at or before `horizon` —
+    /// one heap walk for the peek-then-pop pattern of a bounded run loop.
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<ScheduledEvent<E>> {
+        while let Some(&Reverse((time, seq, slot))) = self.heap.peek() {
+            if self.slots[slot as usize].is_none() {
+                // Cancelled head: purge and keep looking.
+                self.heap.pop();
+                self.free.push(slot);
                 continue;
             }
-            self.now = entry.time;
-            return Some(entry);
+            if time > horizon {
+                return None;
+            }
+            self.heap.pop();
+            let (stored_seq, event) = self.slots[slot as usize].take().expect("checked live");
+            debug_assert_eq!(stored_seq, seq, "slot reused before its key popped");
+            self.free.push(slot);
+            self.live -= 1;
+            self.now = time;
+            return Some(ScheduledEvent { time, seq, event });
         }
-        // Heap drained; any remaining tombstones refer to fired events.
-        self.cancelled.clear();
         None
     }
 
     /// Firing time of the next live event, if any, without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Purge dead entries at the head so the peek is accurate.
-        while let Some(Reverse((entry, token))) = self.heap.peek() {
-            if self.cancelled.contains(token) {
-                let Reverse((_, token)) = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&token);
-            } else {
-                return Some(entry.time);
+        while let Some(&Reverse((time, _, slot))) = self.heap.peek() {
+            if self.slots[slot as usize].is_some() {
+                return Some(time);
             }
+            // Purge the cancelled head so the peek is accurate.
+            self.heap.pop();
+            self.free.push(slot);
         }
         None
     }
@@ -198,7 +259,56 @@ mod tests {
     #[test]
     fn cancel_unknown_token_rejected() {
         let mut q: Scheduler<()> = Scheduler::new();
-        assert!(!q.cancel(EventToken(99)));
+        assert!(!q.cancel(EventToken { seq: 99, slot: 0 }));
+    }
+
+    #[test]
+    fn cancel_rejects_token_whose_slot_was_reused() {
+        // Event A fires; its slot is reused by event B. A's stale token
+        // must not cancel B (the slot's stored seq no longer matches).
+        let mut q = Scheduler::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "a");
+        assert_eq!(q.pop().unwrap().into_event(), "a");
+        let b = q.schedule_at(SimTime::from_secs(2), "b");
+        assert_eq!(a.slot, b.slot, "test premise: the slot is reused");
+        assert!(!q.cancel(a), "stale token must not hit the new event");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().into_event(), "b");
+    }
+
+    #[test]
+    fn cancel_after_fire_is_rejected() {
+        // Regression: cancelling a token whose event already fired used to
+        // insert a tombstone anyway, making `len()` (`heap - cancelled`)
+        // underflow. The token must be rejected and accounting stay exact.
+        let mut q = Scheduler::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap().into_event(), "a");
+        assert!(!q.cancel(a), "token already fired");
+        assert_eq!(q.len(), 1, "live count untouched by the stale cancel");
+        assert_eq!(q.cancelled_total(), 0);
+        assert_eq!(q.pop().unwrap().into_event(), "b");
+        assert!(q.is_empty());
+        assert!(!q.cancel(a), "still rejected after the queue drained");
+    }
+
+    #[test]
+    fn slots_are_reused_after_pop() {
+        let mut q = Scheduler::new();
+        for round in 0..10 {
+            let tok = q.schedule_at(SimTime::from_secs(round), round);
+            if round % 3 == 0 {
+                q.cancel(tok);
+                assert_eq!(q.peek_time(), None);
+            } else {
+                assert_eq!(q.pop().unwrap().into_event(), round);
+            }
+            assert!(q.is_empty());
+        }
+        // Every round reused the same slab slot (cancelled heads are
+        // purged by peek, popped ones by pop).
+        assert_eq!(q.slots.len(), 1);
     }
 
     #[test]

@@ -98,9 +98,10 @@ impl<M: Model> Simulator<M> {
         self.scheduler.schedule_in(delay, event)
     }
 
-    /// Executes a single event, if one is pending. Returns its firing time.
-    pub fn step(&mut self) -> Option<SimTime> {
-        let entry = self.scheduler.pop()?;
+    /// Dispatches one popped event to the model: the single copy of the
+    /// count-context-handle sequence shared by [`Simulator::step`] and
+    /// [`Simulator::run_until`].
+    fn dispatch(&mut self, entry: crate::ScheduledEvent<M::Event>) -> SimTime {
         let time = entry.time();
         let event = entry.into_event();
         self.events_processed += 1;
@@ -110,7 +111,13 @@ impl<M: Model> Simulator<M> {
             &mut self.stop_requested,
         );
         self.model.handle_event(&mut ctx, event);
-        Some(time)
+        time
+    }
+
+    /// Executes a single event, if one is pending. Returns its firing time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let entry = self.scheduler.pop()?;
+        Some(self.dispatch(entry))
     }
 
     /// Runs until the queue drains, the model requests a stop, or the event
@@ -128,15 +135,17 @@ impl<M: Model> Simulator<M> {
             if self.events_processed >= self.event_budget {
                 return RunOutcome::EventBudgetExhausted;
             }
-            match self.scheduler.peek_time() {
-                None => return RunOutcome::QueueEmpty,
-                Some(t) if t > horizon => return RunOutcome::HorizonReached,
-                Some(_) => {
-                    self.step();
-                    if self.stop_requested {
-                        return RunOutcome::Stopped;
-                    }
-                }
+            // Single heap walk per event (peek and pop fused).
+            let Some(entry) = self.scheduler.pop_at_or_before(horizon) else {
+                return if self.scheduler.is_empty() {
+                    RunOutcome::QueueEmpty
+                } else {
+                    RunOutcome::HorizonReached
+                };
+            };
+            self.dispatch(entry);
+            if self.stop_requested {
+                return RunOutcome::Stopped;
             }
         }
     }

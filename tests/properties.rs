@@ -8,12 +8,109 @@ use mtnet_core::handoff::{
 };
 use mtnet_core::tier::Tier;
 use mtnet_metrics::{Histogram, Summary};
-use mtnet_net::{Addr, NodeId, Prefix, RoutingTable};
-use mtnet_radio::{CallKind, CellId, ChannelPool};
+use mtnet_mobility::Point;
+use mtnet_net::{Addr, LinkConfig, NodeId, Prefix, RouteCache, RoutingTable, Topology};
+use mtnet_radio::{CallKind, Cell, CellId, CellKind, CellMap, ChannelPool};
 use mtnet_sim::{RngStream, Scheduler, SimDuration, SimTime};
 use proptest::prelude::*;
 
 proptest! {
+    // ---------------------------------------------------------------
+    // Radio grid index: bucketed measurement is observationally
+    // identical to the full scan it replaced — same cells, same RSSIs,
+    // same order — on arbitrary layouts and probe points.
+    // ---------------------------------------------------------------
+    #[test]
+    fn grid_measure_equals_full_scan(
+        cells in prop::collection::vec(
+            (-20_000.0f64..20_000.0, -20_000.0f64..20_000.0, 0usize..4),
+            0..40,
+        ),
+        probes in prop::collection::vec(
+            (-25_000.0f64..25_000.0, -25_000.0f64..25_000.0),
+            1..20,
+        ),
+        tier_filter in 0usize..5,
+    ) {
+        let kinds = [CellKind::Pico, CellKind::Micro, CellKind::Macro, CellKind::Satellite];
+        let mut map = CellMap::new(7);
+        for (i, &(x, y, k)) in cells.iter().enumerate() {
+            map.add(Cell::new(
+                CellId(i as u32),
+                kinds[k],
+                Point::new(x, y),
+                NodeId(i as u32),
+            ));
+        }
+        let tier = kinds.get(tier_filter).copied(); // index 4 → None (all tiers)
+        for &(px, py) in &probes {
+            let at = Point::new(px, py);
+            let grid = map.measure(at, tier);
+            let scan = map.measure_full_scan(at, tier);
+            prop_assert_eq!(&grid, &scan, "grid and scan disagree at {:?}", at);
+            // Single-pass best-cell variants agree with the sorted list.
+            prop_assert_eq!(map.best_cell(at, tier), scan.first().map(|m| m.cell));
+            if let Some(first) = scan.first() {
+                // Zero hysteresis from a non-covering current cell must
+                // pick the strongest candidate, like the list head.
+                let ghost = CellId(u32::MAX);
+                prop_assert_eq!(
+                    map.best_cell_hysteresis(at, ghost, 0.0, tier),
+                    Some(first.cell)
+                );
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // RouteCache: cached next hops, hop counts and delays are identical
+    // to the per-call Dijkstra on arbitrary topologies — including after
+    // mutations that must invalidate the cache.
+    // ---------------------------------------------------------------
+    #[test]
+    fn route_cache_equals_naive_dijkstra(
+        edges in prop::collection::vec((0u32..12, 0u32..12, 1u64..50), 0..40),
+        extra_edges in prop::collection::vec((0u32..14, 0u32..14, 1u64..50), 1..10),
+    ) {
+        let n = 12u32;
+        let mut topo = Topology::new();
+        for i in 0..n {
+            topo.add_node(Addr(0x0a00_0000 | i));
+        }
+        let mut add = |topo: &mut Topology, a: u32, b: u32, ms: u64| {
+            if a != b {
+                topo.add_link(NodeId(a), NodeId(b), LinkConfig {
+                    propagation: SimDuration::from_millis(ms),
+                    ..LinkConfig::backbone()
+                });
+            }
+        };
+        for &(a, b, ms) in &edges {
+            add(&mut topo, a, b, ms);
+        }
+        let mut cache = RouteCache::new();
+        let check = |topo: &Topology, cache: &mut RouteCache| {
+            let n = topo.node_count() as u32;
+            for s in 0..n {
+                for d in 0..n {
+                    let (s, d) = (NodeId(s), NodeId(d));
+                    prop_assert_eq!(cache.next_hop(topo, s, d), topo.next_hop_on_path(s, d));
+                    prop_assert_eq!(cache.hop_count(topo, s, d), topo.hop_count(s, d));
+                }
+            }
+            Ok(())
+        };
+        check(&topo, &mut cache)?;
+        // Mutate: add two nodes and more links; the same cache object must
+        // lazily invalidate and agree again.
+        topo.add_node(Addr(0x0a00_0000 | 12));
+        topo.add_node(Addr(0x0a00_0000 | 13));
+        for &(a, b, ms) in &extra_edges {
+            add(&mut topo, a, b, ms);
+        }
+        check(&topo, &mut cache)?;
+    }
+
     // ---------------------------------------------------------------
     // Scheduler: events fire in (time, insertion) order, never lost.
     // ---------------------------------------------------------------

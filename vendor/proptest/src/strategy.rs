@@ -81,6 +81,29 @@ impl Strategy for &str {
     }
 }
 
+// Tuples of strategies are strategies over tuples of their values
+// (mirrors the real crate), so `(0u32..4, -1.0f64..1.0)` composes without
+// `prop_compose!`. Components generate left to right.
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
 #[cfg(test)]
 mod tests {
     use super::*;
