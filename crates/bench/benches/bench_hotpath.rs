@@ -1,9 +1,15 @@
-//! Criterion benches for the hot-path layers of this PR: cached routing
+//! Criterion benches for the hot-path layers: cached routing
 //! (`RouteCache` vs per-call Dijkstra), spatial radio measurement (grid
-//! index vs full scan), and per-packet flow lookup (persistent index vs
-//! linear scan). Each pair must show the optimized variant ahead; the
-//! equivalence of their *answers* is enforced by property tests
-//! (`tests/properties.rs`), so these benches only argue speed.
+//! index vs full scan, and the batched SoA sweep vs both, at 10/100/1k
+//! cells), per-packet flow lookup (persistent index vs linear scan), and
+//! scheduler backends (calendar queue vs binary heap on a hold-model
+//! churn). Each pair documents the speed relationship the code relies
+//! on — the optimized variant ahead, or (for the scheduler pair) the
+//! crossover that motivates the per-world backend choice: the heap's
+//! constant factor wins tiny pending sets, the calendar's O(1) wins the
+//! thousands-pending populations the experiment suite actually runs.
+//! The equivalence of each pair's *answers* is enforced by property
+//! tests (`tests/properties.rs`), so these benches only argue speed.
 //!
 //! Every sample runs a 10 000-operation batch (the `_x10k` suffix), so
 //! sub-microsecond routines are measured well above timer resolution —
@@ -12,7 +18,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mtnet_net::{Addr, FlowId, LinkConfig, NodeId, RouteCache, Topology};
 use mtnet_radio::{Cell, CellId, CellKind, CellMap};
-use mtnet_sim::FxHashMap;
+use mtnet_sim::{FxHashMap, Scheduler, SchedulerKind, SimDuration, SimTime};
 
 const BATCH: u64 = 10_000;
 
@@ -155,5 +161,119 @@ fn bench_flow_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_next_hop, bench_measure, bench_flow_lookup);
+/// A deployment of roughly `n` cells: a micro grid under macro umbrellas
+/// (1:25 macro:micro, like the city scenarios).
+fn build_cells_n(n: usize) -> CellMap {
+    let mut map = CellMap::without_shadowing();
+    let side = (n as f64).sqrt().ceil() as u32;
+    let mut id = 0u32;
+    for gx in 0..side {
+        for gy in 0..side {
+            if (id as usize) >= n {
+                break;
+            }
+            map.add(Cell::new(
+                CellId(id),
+                if id % 26 == 25 {
+                    CellKind::Macro
+                } else {
+                    CellKind::Micro
+                },
+                mtnet_mobility::Point::new(f64::from(gx) * 400.0, f64::from(gy) * 400.0),
+                NodeId(id),
+            ));
+            id += 1;
+        }
+    }
+    map
+}
+
+/// Batched SoA measurement vs the scalar full scan across deployment
+/// sizes — the speedup side of the `measure_batch ≡ measure_full_scan`
+/// property.
+fn bench_measure_batch(c: &mut Criterion) {
+    for n in [10usize, 100, 1_000] {
+        let map = build_cells_n(n);
+        let extent = (n as f64).sqrt().ceil() * 400.0;
+        let probe = |k: u64| {
+            mtnet_mobility::Point::new(
+                (k % 37) as f64 / 37.0 * extent,
+                (k % 53) as f64 / 53.0 * extent,
+            )
+        };
+        let mut group = c.benchmark_group(format!("measure_batch_{n}cells"));
+        group.sample_size(20);
+        group.bench_function("scalar_full_scan_x10k", |b| {
+            b.iter(|| {
+                let mut audible = 0usize;
+                for k in 0..BATCH {
+                    audible += map.measure_full_scan(probe(k), None).len();
+                }
+                black_box(audible)
+            })
+        });
+        group.bench_function("soa_batch_x10k", |b| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                let mut audible = 0usize;
+                for k in 0..BATCH {
+                    map.measure_batch(probe(k), None, &mut scratch);
+                    audible += scratch.len();
+                }
+                black_box(audible)
+            })
+        });
+        group.finish();
+    }
+}
+
+/// Scheduler backends head to head on the event loop's own access
+/// pattern: a hold model (pop one, push one at `now + delay`) over a
+/// standing population, the delays mixing packet-scale gaps with
+/// occasional far-future timers (the overflow-ladder case). The small
+/// population shows the heap's constant-factor advantage, the large one
+/// the calendar's O(1) scaling — the crossover behind
+/// `SchedulerKind` being selectable per world.
+fn bench_scheduler(c: &mut Criterion) {
+    let run = |kind: SchedulerKind, standing: usize| {
+        let mut q = Scheduler::with_kind(kind);
+        for i in 0..standing as u64 {
+            q.schedule_at(SimTime::from_nanos(i * 1_000), i);
+        }
+        let mut acc = 0u64;
+        for k in 0..BATCH {
+            let e = q
+                .pop_at_or_before(SimTime::MAX)
+                .expect("standing population");
+            acc ^= e.into_event();
+            let delay = if k % 64 == 0 {
+                SimDuration::from_secs(2) // periodic-timer scale
+            } else {
+                SimDuration::from_nanos(50_000 + k % 7 * 13_000) // packet scale
+            };
+            q.schedule_in(delay, k);
+        }
+        acc
+    };
+    let mut group = c.benchmark_group("scheduler_hold_model");
+    group.sample_size(20);
+    for standing in [256usize, 4_096] {
+        group.bench_function(&format!("heap_{standing}pending_x10k"), |b| {
+            b.iter(|| black_box(run(SchedulerKind::Heap, standing)))
+        });
+        group.bench_function(&format!("calendar_{standing}pending_x10k"), |b| {
+            b.iter(|| black_box(run(SchedulerKind::Calendar, standing)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_next_hop,
+    bench_measure,
+    bench_measure_batch,
+    bench_scheduler,
+    bench_flow_lookup
+);
 criterion_main!(benches);

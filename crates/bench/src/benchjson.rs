@@ -1,0 +1,300 @@
+//! The `BENCH.json` row model: reading, writing and merging the
+//! machine-readable perf trajectory, plus the regression-gate logic the
+//! `bench_check` binary applies in CI.
+//!
+//! The file is a JSON array with one object per line. The vendored serde
+//! stand-in has no real serialization, so rows are rendered and parsed
+//! with plain string handling — the format is fixed and produced only by
+//! this crate.
+
+/// One trajectory row: an experiment at an effort level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Experiment id (`E1`..`E12`) or `suite` for the per-effort total.
+    pub experiment: String,
+    /// `Quick` or `Full`.
+    pub effort: String,
+    /// Wall-clock time of the run, in milliseconds.
+    pub wall_ms: f64,
+    /// Deterministic work count: simulator events processed, or for
+    /// analytic experiments the number of model operations. The perf
+    /// gate requires this to match the committed value **exactly**.
+    pub events: u64,
+    /// `events / wall seconds` — the self-describing throughput figure.
+    pub events_per_sec: u64,
+    /// True for experiments that run no discrete-event simulation (their
+    /// wall time is noise, so the gate skips the wall comparison).
+    pub analytic: bool,
+    /// Worker threads the suite ran with.
+    pub threads: usize,
+}
+
+impl BenchRow {
+    /// Renders the row as one JSON object line (no trailing comma).
+    pub fn to_json_line(&self) -> String {
+        let analytic = if self.analytic {
+            ", \"analytic\": true"
+        } else {
+            ""
+        };
+        format!(
+            "  {{\"experiment\": \"{}\", \"effort\": \"{}\", \"wall_ms\": {:.1}, \"events\": {}, \
+             \"events_per_sec\": {}{analytic}, \"threads\": {}}}",
+            self.experiment,
+            self.effort,
+            self.wall_ms,
+            self.events,
+            self.events_per_sec,
+            self.threads
+        )
+    }
+
+    /// Parses a row from one object line; `None` for non-row lines
+    /// (brackets, blanks). Unknown fields are ignored; missing optional
+    /// fields default (`events_per_sec` 0, `analytic` false) so older
+    /// trajectory files stay readable.
+    pub fn parse(line: &str) -> Option<BenchRow> {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            return None;
+        }
+        Some(BenchRow {
+            experiment: str_field(line, "experiment")?,
+            effort: str_field(line, "effort")?,
+            wall_ms: num_field(line, "wall_ms")?,
+            events: num_field(line, "events")? as u64,
+            events_per_sec: num_field(line, "events_per_sec").unwrap_or(0.0) as u64,
+            analytic: line.contains("\"analytic\": true"),
+            threads: num_field(line, "threads")? as usize,
+        })
+    }
+}
+
+/// Extracts a string field's value from a single-line JSON object.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts a numeric field's value from a single-line JSON object.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a whole trajectory file.
+pub fn parse_file(text: &str) -> Vec<BenchRow> {
+    text.lines().filter_map(BenchRow::parse).collect()
+}
+
+/// Renders a whole trajectory file.
+pub fn render_file(rows: &[BenchRow]) -> String {
+    let body: Vec<String> = rows.iter().map(BenchRow::to_json_line).collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+/// Merges freshly measured rows into an existing trajectory: a fresh row
+/// replaces the committed row with the same `(experiment, effort)`;
+/// other committed rows (e.g. the other effort level) are retained. The
+/// result is sorted Full-before-Quick, suite order, totals last, so
+/// regeneration is deterministic.
+pub fn merge(existing: Vec<BenchRow>, fresh: Vec<BenchRow>) -> Vec<BenchRow> {
+    let mut rows: Vec<BenchRow> = existing
+        .into_iter()
+        .filter(|old| {
+            !fresh
+                .iter()
+                .any(|new| new.experiment == old.experiment && new.effort == old.effort)
+        })
+        .collect();
+    rows.extend(fresh);
+    rows.sort_by_key(|r| {
+        (
+            match r.effort.as_str() {
+                "Full" => 0,
+                "Quick" => 1,
+                _ => 2,
+            },
+            suite_order(&r.experiment),
+        )
+    });
+    rows
+}
+
+/// Suite position of an experiment id (`suite` totals sort last).
+fn suite_order(experiment: &str) -> usize {
+    if experiment == "suite" {
+        return usize::MAX;
+    }
+    crate::ALL_IDS
+        .iter()
+        .position(|id| *id == experiment)
+        .unwrap_or(usize::MAX - 1)
+}
+
+/// Outcome of gating one fresh row against the committed trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateOutcome {
+    /// Within bounds (wall delta in percent, negative = faster).
+    Ok(f64),
+    /// No committed row with this `(experiment, effort)` — informational.
+    NoBaseline,
+    /// Event count differs from the committed value: determinism drift.
+    EventDrift {
+        /// Events in the committed trajectory.
+        committed: u64,
+        /// Events in the fresh run.
+        fresh: u64,
+    },
+    /// Wall time regressed beyond the tolerance (delta in percent).
+    WallRegression(f64),
+    /// Wall comparison skipped (analytic row or sub-floor baseline);
+    /// events still matched.
+    WallSkipped,
+}
+
+/// Wall-time regression tolerance, in percent.
+pub const WALL_TOLERANCE_PCT: f64 = 25.0;
+/// Committed rows faster than this are pure noise: events are still
+/// checked, wall time is not.
+pub const WALL_FLOOR_MS: f64 = 50.0;
+
+/// Gates one fresh row against the committed rows. Event counts must be
+/// exactly equal (the determinism tripwire); wall time may regress up to
+/// `tolerance_pct` (analytic and sub-[`WALL_FLOOR_MS`] rows skip the
+/// wall comparison — their timings are noise).
+pub fn gate_row(fresh: &BenchRow, committed: &[BenchRow], tolerance_pct: f64) -> GateOutcome {
+    let Some(base) = committed
+        .iter()
+        .find(|c| c.experiment == fresh.experiment && c.effort == fresh.effort)
+    else {
+        return GateOutcome::NoBaseline;
+    };
+    if base.events != fresh.events {
+        return GateOutcome::EventDrift {
+            committed: base.events,
+            fresh: fresh.events,
+        };
+    }
+    if fresh.analytic || base.analytic || base.wall_ms < WALL_FLOOR_MS {
+        return GateOutcome::WallSkipped;
+    }
+    let delta_pct = (fresh.wall_ms - base.wall_ms) / base.wall_ms * 100.0;
+    if delta_pct > tolerance_pct {
+        GateOutcome::WallRegression(delta_pct)
+    } else {
+        GateOutcome::Ok(delta_pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(experiment: &str, effort: &str, wall_ms: f64, events: u64) -> BenchRow {
+        BenchRow {
+            experiment: experiment.into(),
+            effort: effort.into(),
+            wall_ms,
+            events,
+            events_per_sec: if wall_ms > 0.0 {
+                (events as f64 / (wall_ms / 1e3)) as u64
+            } else {
+                0
+            },
+            analytic: false,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn row_round_trips_through_json() {
+        let mut r = row("E3", "Full", 661.7, 7_747_917);
+        r.analytic = true;
+        let parsed = BenchRow::parse(&r.to_json_line()).expect("parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn file_round_trips_and_tolerates_legacy_rows() {
+        let rows = vec![
+            row("E1", "Full", 60.0, 100),
+            row("suite", "Full", 60.0, 100),
+        ];
+        let text = render_file(&rows);
+        assert_eq!(parse_file(&text), rows);
+        // A PR-3-era row without events_per_sec still parses.
+        let legacy = "  {\"experiment\": \"E2\", \"effort\": \"Full\", \"wall_ms\": 43.9, \
+                      \"events\": 684735, \"threads\": 1},";
+        let parsed = BenchRow::parse(legacy).expect("legacy row parses");
+        assert_eq!(parsed.events, 684_735);
+        assert_eq!(parsed.events_per_sec, 0);
+        assert!(!parsed.analytic);
+    }
+
+    #[test]
+    fn merge_replaces_matching_effort_and_keeps_the_other() {
+        let committed = vec![row("E1", "Full", 60.0, 100), row("E1", "Quick", 6.0, 10)];
+        let fresh = vec![row("E1", "Quick", 5.0, 10)];
+        let merged = merge(committed, fresh);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].effort, "Full");
+        assert_eq!(merged[0].wall_ms, 60.0, "Full row untouched");
+        assert_eq!(merged[1].wall_ms, 5.0, "Quick row replaced");
+    }
+
+    #[test]
+    fn gate_flags_event_drift_as_hard_failure() {
+        let committed = vec![row("E1", "Full", 60.0, 100)];
+        let fresh = row("E1", "Full", 60.0, 101);
+        assert_eq!(
+            gate_row(&fresh, &committed, WALL_TOLERANCE_PCT),
+            GateOutcome::EventDrift {
+                committed: 100,
+                fresh: 101
+            }
+        );
+    }
+
+    #[test]
+    fn gate_tolerates_wall_within_bounds_and_flags_beyond() {
+        let committed = vec![row("E1", "Full", 100.0, 100)];
+        assert!(matches!(
+            gate_row(&row("E1", "Full", 120.0, 100), &committed, 25.0),
+            GateOutcome::Ok(delta) if (delta - 20.0).abs() < 1e-9
+        ));
+        assert!(matches!(
+            gate_row(&row("E1", "Full", 130.0, 100), &committed, 25.0),
+            GateOutcome::WallRegression(delta) if (delta - 30.0).abs() < 1e-9
+        ));
+    }
+
+    #[test]
+    fn gate_skips_wall_for_noise_rows_but_still_checks_events() {
+        let committed = vec![row("E5", "Full", 2.5, 100)];
+        assert_eq!(
+            gate_row(&row("E5", "Full", 50.0, 100), &committed, 25.0),
+            GateOutcome::WallSkipped,
+            "2.5ms baseline is under the wall floor"
+        );
+        assert!(matches!(
+            gate_row(&row("E5", "Full", 2.5, 99), &committed, 25.0),
+            GateOutcome::EventDrift { .. }
+        ));
+    }
+
+    #[test]
+    fn gate_reports_missing_baseline() {
+        assert_eq!(
+            gate_row(&row("E9", "Quick", 1.0, 1), &[], 25.0),
+            GateOutcome::NoBaseline
+        );
+    }
+}

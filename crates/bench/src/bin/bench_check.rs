@@ -1,0 +1,92 @@
+//! CI perf-regression gate over `BENCH.json`.
+//!
+//! ```text
+//! bench_check <fresh.json> <committed.json>
+//! ```
+//!
+//! Compares a freshly measured `experiments --bench-json` trajectory
+//! against the committed one, matching rows on `(experiment, effort)`:
+//!
+//! * **Event counts must be exactly equal** — any difference means the
+//!   simulation's behavior changed (the determinism tripwire), which a
+//!   perf PR must never do silently. Hard failure.
+//! * **Wall time** may regress up to 25% (override with the
+//!   `BENCH_CHECK_WALL_TOLERANCE` environment variable, in percent)
+//!   before failing. Analytic rows and rows whose committed wall time is
+//!   under 50 ms are pure timer noise: their wall comparison is skipped,
+//!   their event equality still enforced.
+//! * Fresh rows with no committed counterpart are reported, not failed —
+//!   that is how new experiments enter the trajectory.
+//!
+//! Exit status: 0 clean, 1 on drift/regression, 2 on usage errors.
+
+use mtnet_bench::benchjson::{self, GateOutcome};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [fresh_path, committed_path] = &args[..] else {
+        eprintln!("usage: bench_check <fresh.json> <committed.json>");
+        std::process::exit(2);
+    };
+    let tolerance = std::env::var("BENCH_CHECK_WALL_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(benchjson::WALL_TOLERANCE_PCT);
+    let read = |path: &str| -> Vec<benchjson::BenchRow> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => benchjson::parse_file(&text),
+            Err(e) => {
+                eprintln!("bench_check: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let fresh = read(fresh_path);
+    let committed = read(committed_path);
+    if fresh.is_empty() {
+        eprintln!("bench_check: {fresh_path} contains no rows");
+        std::process::exit(2);
+    }
+
+    let mut failures = 0usize;
+    println!("bench_check: {fresh_path} vs {committed_path} (wall tolerance {tolerance:.0}%)");
+    for row in &fresh {
+        let label = format!("{:>5} {:<5}", row.experiment, row.effort);
+        match benchjson::gate_row(row, &committed, tolerance) {
+            GateOutcome::Ok(delta) => {
+                println!(
+                    "  {label} ok      events {:>12}  wall {delta:+6.1}%",
+                    row.events
+                );
+            }
+            GateOutcome::WallSkipped => {
+                println!(
+                    "  {label} ok      events {:>12}  wall skipped (noise floor)",
+                    row.events
+                );
+            }
+            GateOutcome::NoBaseline => {
+                println!(
+                    "  {label} new     events {:>12}  (no committed baseline)",
+                    row.events
+                );
+            }
+            GateOutcome::EventDrift { committed, fresh } => {
+                println!(
+                    "  {label} FAIL    event drift: committed {committed}, fresh {fresh} — \
+                     the simulation's behavior changed"
+                );
+                failures += 1;
+            }
+            GateOutcome::WallRegression(delta) => {
+                println!("  {label} FAIL    wall regression {delta:+.1}% (> {tolerance:.0}%)");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_check: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("bench_check: clean");
+}

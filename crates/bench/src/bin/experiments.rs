@@ -21,10 +21,21 @@
 //! `SimReport::fingerprint` of every run — diffing two dumps proves a
 //! refactor changed nothing observable.
 
+use mtnet_bench::benchjson::{self, BenchRow};
 use mtnet_bench::{run_one, Effort, ALL_IDS};
 use mtnet_sim::runner::{BatchRunner, THREADS_ENV};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Throughput figure for one row; zero when wall time is unmeasurably
+/// small.
+fn events_per_sec(events: u64, wall_ms: f64) -> u64 {
+    if wall_ms > 0.0 {
+        (events as f64 / (wall_ms / 1e3)).round() as u64
+    } else {
+        0
+    }
+}
 
 /// Extracts `--flag <value>` from the argument list, removing both tokens.
 fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -75,19 +86,46 @@ fn main() {
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         println!("{}", result.render());
         eprintln!("[{id}: {:.2}s]", wall_ms / 1e3);
-        bench_rows.push(format!(
-            "  {{\"experiment\": \"{id}\", \"effort\": \"{effort:?}\", \"wall_ms\": {wall_ms:.1}, \
-             \"events\": {}, \"threads\": {threads}}}",
-            result.events
-        ));
+        bench_rows.push(BenchRow {
+            experiment: id.to_string(),
+            effort: format!("{effort:?}"),
+            wall_ms,
+            events: result.events,
+            events_per_sec: events_per_sec(result.events, wall_ms),
+            analytic: result.analytic,
+            threads,
+        });
         for (i, fp) in result.fingerprints.iter().enumerate() {
             let _ = writeln!(fingerprint_dump, "== {id} run {i} ==\n{fp}");
         }
     }
     eprintln!("[suite: {:.2}s]", suite_start.elapsed().as_secs_f64());
     if let Some(path) = bench_json {
-        let json = format!("[\n{}\n]\n", bench_rows.join(",\n"));
-        std::fs::write(&path, json).expect("write --bench-json file");
+        // Suite-total row (sum of the measured rows), so the trajectory
+        // file is self-describing about whole-suite cost. Only a full
+        // (unfiltered) run may write it — a partial run must not shrink
+        // the committed total.
+        if filter.is_empty() {
+            let total_events: u64 = bench_rows.iter().map(|r| r.events).sum();
+            let total_wall: f64 = bench_rows.iter().map(|r| r.wall_ms).sum();
+            bench_rows.push(BenchRow {
+                experiment: "suite".into(),
+                effort: format!("{effort:?}"),
+                wall_ms: total_wall,
+                events: total_events,
+                events_per_sec: events_per_sec(total_events, total_wall),
+                analytic: false,
+                threads,
+            });
+        }
+        // Merge into an existing trajectory (a Full file keeps its Quick
+        // rows and vice versa) so one committed BENCH.json carries both
+        // effort levels for the perf gate.
+        let existing = std::fs::read_to_string(&path)
+            .map(|text| benchjson::parse_file(&text))
+            .unwrap_or_default();
+        let merged = benchjson::merge(existing, bench_rows);
+        std::fs::write(&path, benchjson::render_file(&merged)).expect("write --bench-json file");
         eprintln!("[bench json -> {path}]");
     }
     if let Some(path) = fingerprint_path {

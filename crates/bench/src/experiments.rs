@@ -194,6 +194,7 @@ pub fn e1_multitier_coverage(effort: Effort, seed: u64) -> ExperimentResult {
             "the satellite tier absorbs the macro hole: outages drop to ~0 at the cost of 32 kb/s service and ~2.7 ms orbital latency".into(),
         ],
         events,
+        analytic: false,
         fingerprints,
     }
 }
@@ -250,6 +251,7 @@ pub fn e2_mobileip(effort: Effort, seed: u64) -> ExperimentResult {
             "expected shape: triangle delay > optimized delay; registrations higher without the hierarchy".into(),
         ],
         events,
+        analytic: false,
         fingerprints,
     }
 }
@@ -299,6 +301,7 @@ pub fn e3_cip_routing(effort: Effort, seed: u64) -> ExperimentResult {
             "cache lifetime is 3x the period, so staleness appears via handoffs, not pure expiry".into(),
         ],
         events,
+        analytic: false,
         fingerprints,
     }
 }
@@ -386,6 +389,7 @@ pub fn e4_cip_handoff(effort: Effort, seed: u64) -> ExperimentResult {
             "expected shape: hard window = crossover round-trip (paper); semisoft covers it at the cost of duplicates".into(),
         ],
         events,
+        analytic: false,
         fingerprints,
     }
 }
@@ -410,6 +414,10 @@ pub fn e5_location(seed: u64) -> ExperimentResult {
     let lifetime = SimDuration::from_secs(6);
     let n_mns = 40usize;
     let horizon = SimTime::from_secs(120);
+    // E5 is analytic (no discrete-event simulation), but its work is
+    // still deterministic: count location messages + directory queries
+    // so the perf gate's events-equality tripwire covers it too.
+    let mut total_work = 0u64;
     let mut t = Table::new([
         "refresh period",
         "messages",
@@ -468,6 +476,7 @@ pub fn e5_location(seed: u64) -> ExperimentResult {
             dir.sweep(now);
             now += SimDuration::from_secs(period_s);
         }
+        total_work += messages + queries;
         t.row([
             format!("{period_s}s"),
             messages.to_string(),
@@ -490,7 +499,8 @@ pub fn e5_location(seed: u64) -> ExperimentResult {
             "micro-sourced records dominate hits: the paper's micro-first search order pays off"
                 .into(),
         ],
-        events: 0,
+        events: total_work,
+        analytic: true,
         fingerprints: Vec::new(),
     }
 }
@@ -536,6 +546,7 @@ pub fn e6_interdomain_same(effort: Effort, seed: u64) -> ExperimentResult {
             "expected shape: inter-domain (same upper) latency well below the different-upper case of E7 — no home-network round trip".into(),
         ],
         events,
+        analytic: false,
         fingerprints,
     }
 }
@@ -557,6 +568,7 @@ pub fn e7_interdomain_diff(effort: Effort, seed: u64) -> ExperimentResult {
             "expected shape: different-upper latency includes the home-network round trip (tens of ms of WAN)".into(),
         ],
         events,
+        analytic: false,
         fingerprints,
     }
 }
@@ -581,6 +593,7 @@ pub fn e8_intradomain(effort: Effort, seed: u64) -> ExperimentResult {
             "expected shape: all intra cases complete within the access network (≈ semisoft delay + tree climb), far below inter-domain costs".into(),
         ],
         events,
+        analytic: false,
         fingerprints,
     }
 }
@@ -629,6 +642,7 @@ pub fn e9_rsmc(effort: Effort, seed: u64) -> ExperimentResult {
             "expected shape: RSMC cuts mean delay (route optimization via CN notify) and loss (location-cache rescue of stale routes)".into(),
         ],
         events,
+        analytic: false,
         fingerprints,
     }
 }
@@ -700,6 +714,7 @@ pub fn e10_qos(effort: Effort, seed: u64) -> ExperimentResult {
             "expected shape: multi-tier wins on delay (vs triangle-routing Mobile IP) and on loss/outage (vs coverage-limited flat Cellular IP)".into(),
         ],
         events,
+        analytic: false,
         fingerprints,
     }
 }
@@ -799,6 +814,7 @@ pub fn e11_loss(effort: Effort, seed: u64) -> ExperimentResult {
             "semisoft ≤ hard loss for the micro-tier populations".into(),
         ],
         events,
+        analytic: false,
         fingerprints,
     }
 }
@@ -878,6 +894,7 @@ pub fn e12_ablation(effort: Effort, seed: u64) -> ExperimentResult {
             "expected shape: dropping the speed factor strands fast nodes in micro cells (more handoffs); dropping signal raises ping-pong; dropping resources removes the fallback safety valve".into(),
         ],
         events,
+        analytic: false,
         fingerprints,
     }
 }

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchjson;
 pub mod experiments;
 
 use mtnet_metrics::Table;
@@ -77,9 +78,15 @@ pub struct ExperimentResult {
     pub tables: Vec<(String, Table)>,
     /// Interpretation notes (expected shape, caveats).
     pub notes: Vec<String>,
-    /// Total simulator events executed across every run of the
-    /// experiment (the run-cost denominator in `BENCH.json`).
+    /// Deterministic work count: total simulator events executed across
+    /// every run of the experiment, or — for analytic experiments — the
+    /// number of model operations performed (the run-cost denominator in
+    /// `BENCH.json`, and the perf gate's determinism tripwire).
     pub events: u64,
+    /// True when the experiment runs no discrete-event simulation (its
+    /// work counter is analytic-model operations and its wall time is
+    /// noise — the perf gate skips wall comparisons for such rows).
+    pub analytic: bool,
     /// Bit-exact `SimReport::fingerprint` of every run, in submission
     /// order — the regression surface for "same results, faster" work
     /// (`experiments --fingerprints <path>` records them).

@@ -90,6 +90,11 @@ impl SemisoftController {
     /// new_bs)` — the crossover should send a copy down each branch.
     /// Counts the bicast for overhead accounting.
     pub fn bicast_targets(&mut self, mn: Addr, now: SimTime) -> Option<(NodeId, NodeId)> {
+        if self.windows.is_empty() {
+            // Every downlink hop probes this; skip the hash while no
+            // handoff is in flight (the overwhelmingly common case).
+            return None;
+        }
         let (old, new, end) = *self.windows.get(&mn)?;
         if now >= end {
             self.windows.remove(&mn);

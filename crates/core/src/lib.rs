@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod handoff;
 pub mod hierarchy;
 pub mod location;
@@ -49,6 +50,7 @@ pub mod tables;
 pub mod tier;
 pub mod world;
 
+pub use arena::{PacketArena, PacketRef};
 pub use handoff::{HandoffDecision, HandoffEngine, HandoffFactors, HandoffType};
 pub use hierarchy::{Domain, DomainId, Hierarchy};
 pub use messages::{MnId, MtMessage, Payload};

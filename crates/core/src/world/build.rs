@@ -443,6 +443,7 @@ impl WorldBuilder {
             engine,
             pending_latency: FxHashMap::default(),
             next_packet_id: 0,
+            arena: crate::arena::PacketArena::new(),
             measure_scratch: Vec::new(),
             candidate_scratch: Vec::new(),
             report: SimReport::default(),

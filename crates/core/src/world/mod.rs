@@ -15,6 +15,7 @@ mod build;
 
 pub use build::{DomainSpec, FlowKind, WorldBuilder};
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::handoff::{
     classify, Candidate, CurrentAttachment, HandoffDecision, HandoffEngine, HandoffType,
 };
@@ -34,12 +35,11 @@ use mtnet_mobileip::{
 };
 use mtnet_mobility::Trajectory;
 use mtnet_net::{
-    Addr, FlowId, NodeId, Packet, PacketId, Prefix, RouteCache, Topology, TransmitOutcome,
-    TunnelKind,
+    Addr, FlowId, NodeId, PacketId, Prefix, RouteCache, Topology, TransmitOutcome, TunnelKind,
 };
 use mtnet_radio::{CallKind, CellId, CellMap, Measurement};
 use mtnet_sim::FxHashMap;
-use mtnet_sim::{Context, Model, RngStream, SimDuration, SimTime, Simulator};
+use mtnet_sim::{Context, Model, RngStream, SchedulerKind, SimDuration, SimTime, Simulator};
 use mtnet_traffic::{ArrivalProcess, Cbr, FlowQos, OnOffVbr, ParetoWeb};
 
 /// Architecture and protocol switches for one experiment arm.
@@ -79,6 +79,11 @@ pub struct WorldConfig {
     pub air_delay: SimDuration,
     /// Radio retune time for a hard handoff.
     pub retune_delay: SimDuration,
+    /// Event-queue backend for this world's run loop. Both backends pop
+    /// in the identical `(time, seq)` order, so this is purely a
+    /// performance knob: the calendar queue (default) is O(1) amortized,
+    /// the binary heap is the O(log n) reference.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for WorldConfig {
@@ -100,6 +105,7 @@ impl Default for WorldConfig {
             table_lifetime: SimDuration::from_secs(6),
             air_delay: SimDuration::from_millis(2),
             retune_delay: SimDuration::from_millis(10),
+            scheduler: SchedulerKind::Calendar,
         }
     }
 }
@@ -194,9 +200,10 @@ pub enum Ev {
         node: NodeId,
         /// Upstream node, if any.
         from: Option<NodeId>,
-        /// The packet (boxed: the event travels one hop per scheduler
-        /// entry, so a thin pointer keeps queue traffic small).
-        pkt: Box<Packet<Payload>>,
+        /// The packet: an 8-byte generational handle into the world's
+        /// [`PacketArena`] — events stay small and packet lifecycles
+        /// never touch the allocator.
+        pkt: PacketRef,
     },
     /// A downlink air transmission reaches a mobile node.
     AirDown {
@@ -204,8 +211,8 @@ pub enum Ev {
         mn: MnId,
         /// Transmitting cell.
         cell: CellId,
-        /// The packet (boxed, as in [`Ev::Pkt`]).
-        pkt: Box<Packet<Payload>>,
+        /// The packet (an arena handle, as in [`Ev::Pkt`]).
+        pkt: PacketRef,
     },
     /// Periodic mobility measurement for one node.
     MoveSample(MnId),
@@ -275,6 +282,10 @@ pub struct World {
     engine: HandoffEngine,
     pending_latency: FxHashMap<MnId, PendingLatency>,
     next_packet_id: u64,
+    /// Generational slab holding every packet in flight; events carry
+    /// [`PacketRef`] handles into it. Allocation-free per packet once the
+    /// slab has grown to the world's steady-state in-flight count.
+    pub(crate) arena: PacketArena,
     /// Reused measurement buffer: one allocation for the whole run
     /// instead of one per mobility sample.
     measure_scratch: Vec<Measurement>,
@@ -303,9 +314,17 @@ impl World {
         let (rate, altitude) = self.cells.cell(cell).map_or((768_000, 0.0), |c| {
             (c.kind().data_rate_bps(), c.kind().altitude_m())
         });
+        // Terrestrial cells skip the orbital-propagation term entirely
+        // (`from_secs_f64(0.0)` is exactly zero, so the shortcut changes
+        // no bits — it just spares a rounding per packet).
+        let orbit = if altitude == 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(altitude / 299_792_458.0)
+        };
         self.cfg.air_delay
             + SimDuration::from_secs_f64(f64::from(bytes) * 8.0 / rate as f64)
-            + SimDuration::from_secs_f64(altitude / 299_792_458.0)
+            + orbit
     }
 
     fn alloc_packet(
@@ -317,9 +336,9 @@ impl World {
         bytes: u32,
         now: SimTime,
         payload: Payload,
-    ) -> Box<Packet<Payload>> {
+    ) -> PacketRef {
         self.next_packet_id += 1;
-        Box::new(Packet::new(
+        self.arena.alloc(
             PacketId(self.next_packet_id),
             flow,
             seq,
@@ -328,7 +347,7 @@ impl World {
             bytes,
             now,
             payload,
-        ))
+        )
     }
 
     /// Sends a control packet from a wired node.
@@ -342,7 +361,7 @@ impl World {
     ) {
         let bytes = payload.control_size_bytes();
         let pkt = self.alloc_packet(FlowId(0), 0, src, dst, bytes, ctx.now(), payload);
-        self.report.signaling.control_bytes += u64::from(pkt.wire_bytes());
+        self.report.signaling.control_bytes += u64::from(self.arena.get(pkt).wire_bytes());
         self.forward_wired(ctx, from_node, pkt);
     }
 
@@ -378,26 +397,25 @@ impl World {
 
     /// Forwards a packet out of `node` toward its routing destination over
     /// the wired topology.
-    fn forward_wired(
-        &mut self,
-        ctx: &mut Context<'_, Ev>,
-        node: NodeId,
-        mut pkt: Box<Packet<Payload>>,
-    ) {
-        let dst = pkt.routing_dst();
+    fn forward_wired(&mut self, ctx: &mut Context<'_, Ev>, node: NodeId, pkt: PacketRef) {
+        let (dst, bytes, is_data) = {
+            let p = self.arena.get(pkt);
+            (p.routing_dst(), p.wire_bytes(), p.payload.is_data())
+        };
         let Some(next) = self.wired_next_hop(node, dst) else {
-            if pkt.payload.is_data() {
+            if is_data {
                 self.report.count_drop(DropCause::NoRoute);
             }
+            self.arena.free(pkt);
             return;
         };
         let Some(link) = self.topo.link_between(node, next) else {
-            if pkt.payload.is_data() {
+            if is_data {
                 self.report.count_drop(DropCause::NoRoute);
             }
+            self.arena.free(pkt);
             return;
         };
-        let bytes = pkt.wire_bytes();
         match self
             .topo
             .link_mut(link)
@@ -405,7 +423,7 @@ impl World {
             .transmit(ctx.now(), bytes)
         {
             TransmitOutcome::Delivered { at } => {
-                pkt.record_hop();
+                self.arena.get_mut(pkt).record_hop();
                 ctx.schedule_at(
                     at,
                     Ev::Pkt {
@@ -416,22 +434,17 @@ impl World {
                 );
             }
             TransmitOutcome::Dropped => {
-                if pkt.payload.is_data() {
+                if is_data {
                     self.report.count_drop(DropCause::QueueOverflow);
                 }
+                self.arena.free(pkt);
             }
         }
     }
 
     /// Transmits a packet over the air from `cell` toward `mn`.
-    fn air_down(
-        &mut self,
-        ctx: &mut Context<'_, Ev>,
-        cell: CellId,
-        mn: MnId,
-        pkt: Box<Packet<Payload>>,
-    ) {
-        let delay = self.air_time(cell, pkt.wire_bytes());
+    fn air_down(&mut self, ctx: &mut Context<'_, Ev>, cell: CellId, mn: MnId, pkt: PacketRef) {
+        let delay = self.air_time(cell, self.arena.get(pkt).wire_bytes());
         ctx.schedule_at(ctx.now() + delay, Ev::AirDown { mn, cell, pkt });
     }
 
@@ -444,8 +457,9 @@ impl World {
         let src = self.mns[mn.0 as usize].home;
         let bytes = payload.control_size_bytes();
         let pkt = self.alloc_packet(FlowId(0), 0, src, dst, bytes, ctx.now(), payload);
-        self.report.signaling.control_bytes += u64::from(pkt.wire_bytes());
-        let delay = self.air_time(cell, pkt.wire_bytes());
+        let wire = self.arena.get(pkt).wire_bytes();
+        self.report.signaling.control_bytes += u64::from(wire);
+        let delay = self.air_time(cell, wire);
         let bs = self.node_of_cell(cell);
         ctx.schedule_at(
             ctx.now() + delay,
@@ -505,22 +519,29 @@ impl World {
         ctx: &mut Context<'_, Ev>,
         node: NodeId,
         from: Option<NodeId>,
-        mut pkt: Box<Packet<Payload>>,
+        pkt: PacketRef,
     ) {
         let node_addr = self.topo.addr_of(node);
         let node_didx = self.domain_idx_of_node(node);
 
         // 1. Tunnel exit?
-        while pkt.encap.last().is_some_and(|h| h.outer_dst == node_addr) {
-            pkt.decapsulate();
+        {
+            let p = self.arena.get_mut(pkt);
+            while p.encap.last().is_some_and(|h| h.outer_dst == node_addr) {
+                p.decapsulate();
+            }
         }
+        let (dst, payload) = {
+            let p = self.arena.get(pkt);
+            (p.dst, p.payload)
+        };
 
         // 2. Cellular IP uplink control climbing the tree refreshes caches
         //    at every node it passes — including the gateway it is
         //    addressed to, so this check precedes local consumption.
         if let Some(didx) = node_didx {
             if !self.cfg.mip_only {
-                if let Payload::Cip(c) = pkt.payload {
+                if let Payload::Cip(c) = payload {
                     self.handle_cip_climb(ctx, didx, node, from, c, pkt);
                     return;
                 }
@@ -528,7 +549,7 @@ impl World {
         }
 
         // 3. Packet addressed to this node itself: protocol processing.
-        if pkt.dst == node_addr {
+        if dst == node_addr {
             self.consume_at_node(ctx, node, pkt);
             return;
         }
@@ -537,11 +558,11 @@ impl World {
         //    belongs to: Cellular IP downlink / uplink handling.
         if let Some(didx) = node_didx {
             if !self.cfg.mip_only {
-                if self.mn_of(pkt.dst).is_some() {
+                if self.mn_of(dst).is_some() {
                     self.forward_downlink(ctx, didx, node, pkt);
                     return;
                 }
-            } else if let Some(mn) = self.mn_of(pkt.dst) {
+            } else if let Some(mn) = self.mn_of(dst) {
                 // Pure Mobile IP: the BS delivers only to its own radio.
                 let Some(cell) = self.cell_of_node(node) else {
                     self.forward_wired(ctx, node, pkt);
@@ -549,8 +570,11 @@ impl World {
                 };
                 if self.mns[mn.0 as usize].attached == Some(cell) {
                     self.air_down(ctx, cell, mn, pkt);
-                } else if pkt.payload.is_data() {
-                    self.report.count_drop(DropCause::NoRoute);
+                } else {
+                    if payload.is_data() {
+                        self.report.count_drop(DropCause::NoRoute);
+                    }
+                    self.arena.free(pkt);
                 }
                 return;
             }
@@ -561,15 +585,14 @@ impl World {
     }
 
     /// Control processing for packets addressed to an infrastructure node.
-    fn consume_at_node(
-        &mut self,
-        ctx: &mut Context<'_, Ev>,
-        node: NodeId,
-        pkt: Box<Packet<Payload>>,
-    ) {
+    fn consume_at_node(&mut self, ctx: &mut Context<'_, Ev>, node: NodeId, pkt: PacketRef) {
         let now = ctx.now();
+        // The packet ends here in every branch; only its payload (a small
+        // `Copy` enum) is consulted. Release the slot up front.
+        let payload = self.arena.get(pkt).payload;
+        self.arena.free(pkt);
         if node == self.ha_node {
-            match pkt.payload {
+            match payload {
                 Payload::Mip(MipMessage::Request(req)) => {
                     let reply = self.ha.process_registration(&req, now);
                     self.report.signaling.mip_requests += 1;
@@ -634,14 +657,14 @@ impl World {
             return;
         }
         if node == self.cn_node {
-            if let Payload::Mt(MtMessage::RsmcNotify { mn, rsmc }) = pkt.payload {
+            if let Payload::Mt(MtMessage::RsmcNotify { mn, rsmc }) = payload {
                 self.cn_route_cache.insert(mn, rsmc);
             }
             return;
         }
         // RSMC / gateway processing.
         if let Some(didx) = self.rsmc_node_domain.get(&node).copied() {
-            match pkt.payload {
+            match payload {
                 Payload::Mip(MipMessage::Request(req)) => {
                     // FA leg: relay to the HA or deny locally.
                     let result = self.domains[didx].fa.relay_registration(&req, now);
@@ -699,7 +722,7 @@ impl World {
         // Pure Mobile IP: a BS acting as FA.
         if self.cfg.mip_only {
             if let Some(cell) = self.cell_of_node(node) {
-                match pkt.payload {
+                match payload {
                     Payload::Mip(MipMessage::Request(req)) => {
                         let result = self
                             .bs_fas
@@ -773,6 +796,15 @@ impl World {
         self.forward_downlink(ctx, didx, node, pkt);
     }
 
+    /// Frees a packet that ends its life here, counting the drop when it
+    /// carried application data.
+    fn drop_packet(&mut self, pkt: PacketRef, cause: DropCause) {
+        if self.arena.get(pkt).payload.is_data() {
+            self.report.count_drop(cause);
+        }
+        self.arena.free(pkt);
+    }
+
     /// Cellular IP uplink control (route/paging/semisoft updates) climbing
     /// from `node` toward the gateway, refreshing caches hop by hop.
     fn handle_cip_climb(
@@ -782,7 +814,7 @@ impl World {
         node: NodeId,
         from: Option<NodeId>,
         control: CipControl,
-        pkt: Box<Packet<Payload>>,
+        pkt: PacketRef,
     ) {
         let now = ctx.now();
         let came_from = from.unwrap_or(node);
@@ -818,6 +850,7 @@ impl World {
                     }
                 }
                 if node == gateway {
+                    self.arena.free(pkt);
                     self.on_gateway_route_update(ctx, didx, mn, now);
                     // Intra-domain handoff completes when the repair
                     // reaches the gateway.
@@ -832,18 +865,21 @@ impl World {
                     .cip
                     .refresh_paging_at(node, mn, came_from, now);
                 if node == gateway {
+                    self.arena.free(pkt);
                     return;
                 }
             }
         }
         // Climb to the parent.
         let Some(parent) = self.domains[didx].cip.tree().parent(node) else {
+            self.arena.free(pkt);
             return;
         };
         let Some(link) = self.topo.link_between(node, parent) else {
+            self.arena.free(pkt);
             return;
         };
-        let bytes = pkt.wire_bytes();
+        let bytes = self.arena.get(pkt).wire_bytes();
         match self
             .topo
             .link_mut(link)
@@ -860,7 +896,7 @@ impl World {
                     },
                 );
             }
-            TransmitOutcome::Dropped => {}
+            TransmitOutcome::Dropped => self.arena.free(pkt),
         }
     }
 
@@ -925,10 +961,10 @@ impl World {
         ctx: &mut Context<'_, Ev>,
         didx: usize,
         node: NodeId,
-        pkt: Box<Packet<Payload>>,
+        pkt: PacketRef,
     ) {
         let now = ctx.now();
-        let mn_addr = pkt.dst;
+        let mn_addr = self.arena.get(pkt).dst;
         let gateway = self.domains[didx].cip.tree().gateway();
         // A departed visitor with a forwarding entry: re-tunnel toward the
         // new domain instead of descending a dead branch (Fig 3.3's "keep
@@ -936,9 +972,10 @@ impl World {
         if node == gateway {
             if let Some(coa) = self.domains[didx].fa.forward_endpoint(mn_addr, now) {
                 if coa != self.domains[didx].rsmc.addr() {
-                    let mut pkt = pkt;
                     let own = self.domains[didx].rsmc.addr();
-                    pkt.encapsulate(own, coa, TunnelKind::SmoothHandoff);
+                    self.arena
+                        .get_mut(pkt)
+                        .encapsulate(own, coa, TunnelKind::SmoothHandoff);
                     self.forward_wired(ctx, node, pkt);
                     return;
                 }
@@ -955,9 +992,7 @@ impl World {
                         return;
                     }
                 }
-                if pkt.payload.is_data() {
-                    self.report.count_drop(DropCause::NoRoute);
-                }
+                self.drop_packet(pkt, DropCause::NoRoute);
             }
             Some(child) => {
                 // Semisoft bicast: if this node is the crossover of an open
@@ -977,7 +1012,8 @@ impl World {
                             if let (Some(cell), Some(mnid)) =
                                 (self.cell_of_node(node), self.mn_of(mn_addr))
                             {
-                                self.air_down(ctx, cell, mnid, pkt.clone());
+                                let copy = self.arena.duplicate(pkt);
+                                self.air_down(ctx, cell, mnid, copy);
                             }
                         } else {
                             // The cache points to the new branch; the
@@ -996,7 +1032,8 @@ impl World {
                             }
                             if let Some(toward_old) = toward_old {
                                 if toward_old != child {
-                                    self.transmit_to_child(ctx, node, toward_old, pkt.clone());
+                                    let copy = self.arena.duplicate(pkt);
+                                    self.transmit_to_child(ctx, node, toward_old, copy);
                                 }
                             }
                         }
@@ -1008,8 +1045,8 @@ impl World {
                 // No routing state at this node.
                 if node == gateway {
                     self.gateway_rescue(ctx, didx, node, pkt);
-                } else if pkt.payload.is_data() {
-                    self.report.count_drop(DropCause::NoRoute);
+                } else {
+                    self.drop_packet(pkt, DropCause::NoRoute);
                 }
             }
         }
@@ -1020,15 +1057,13 @@ impl World {
         ctx: &mut Context<'_, Ev>,
         node: NodeId,
         child: NodeId,
-        mut pkt: Box<Packet<Payload>>,
+        pkt: PacketRef,
     ) {
         let Some(link) = self.topo.link_between(node, child) else {
-            if pkt.payload.is_data() {
-                self.report.count_drop(DropCause::NoRoute);
-            }
+            self.drop_packet(pkt, DropCause::NoRoute);
             return;
         };
-        let bytes = pkt.wire_bytes();
+        let bytes = self.arena.get(pkt).wire_bytes();
         match self
             .topo
             .link_mut(link)
@@ -1036,7 +1071,7 @@ impl World {
             .transmit(ctx.now(), bytes)
         {
             TransmitOutcome::Delivered { at } => {
-                pkt.record_hop();
+                self.arena.get_mut(pkt).record_hop();
                 ctx.schedule_at(
                     at,
                     Ev::Pkt {
@@ -1047,9 +1082,7 @@ impl World {
                 );
             }
             TransmitOutcome::Dropped => {
-                if pkt.payload.is_data() {
-                    self.report.count_drop(DropCause::QueueOverflow);
-                }
+                self.drop_packet(pkt, DropCause::QueueOverflow);
             }
         }
     }
@@ -1061,10 +1094,10 @@ impl World {
         ctx: &mut Context<'_, Ev>,
         didx: usize,
         node: NodeId,
-        pkt: Box<Packet<Payload>>,
+        pkt: PacketRef,
     ) {
         let now = ctx.now();
-        let mn_addr = pkt.dst;
+        let mn_addr = self.arena.get(pkt).dst;
         if self.cfg.rsmc_enabled {
             if let Some(cell) = self.domains[didx].rsmc.locate(mn_addr, now) {
                 // Source-routed forward down the tree, delivered straight
@@ -1075,7 +1108,7 @@ impl World {
                         self.domains[didx].rsmc.count_forwarded();
                         let hops = self.domains[didx].cip.tree().depth(bs_node) as u64;
                         let delay = SimDuration::from_millis(2).saturating_mul(hops.max(1))
-                            + self.air_time(cell, pkt.wire_bytes());
+                            + self.air_time(cell, self.arena.get(pkt).wire_bytes());
                         if let Some(mn) = self.mn_of(mn_addr) {
                             ctx.schedule_at(now + delay, Ev::AirDown { mn, cell, pkt });
                             return;
@@ -1093,16 +1126,14 @@ impl World {
                 let cell = self.cell_of_node(bs);
                 if let (Some(cell), Some(mn)) = (cell, self.mn_of(mn_addr)) {
                     let delay = SimDuration::from_millis(2).saturating_mul(hops.max(1))
-                        + self.air_time(cell, pkt.wire_bytes());
+                        + self.air_time(cell, self.arena.get(pkt).wire_bytes());
                     ctx.schedule_at(now + delay, Ev::AirDown { mn, cell, pkt });
-                } else if pkt.payload.is_data() {
-                    self.report.count_drop(DropCause::NoRoute);
+                } else {
+                    self.drop_packet(pkt, DropCause::NoRoute);
                 }
             }
             mtnet_cellularip::PageOutcome::Flooded { .. } => {
-                if pkt.payload.is_data() {
-                    self.report.count_drop(DropCause::Paging);
-                }
+                self.drop_packet(pkt, DropCause::Paging);
                 // A flooded page wakes the node: it answers with a route
                 // update so subsequent packets flow.
                 if let Some(mnid) = self.mn_of(mn_addr) {
@@ -1133,9 +1164,16 @@ impl World {
         ctx: &mut Context<'_, Ev>,
         mn: MnId,
         cell: CellId,
-        pkt: Box<Packet<Payload>>,
+        pkt: PacketRef,
     ) {
         let now = ctx.now();
+        // The packet is consumed here on every path; pull the delivery-
+        // relevant fields out and release the slot before the logic.
+        let (payload, flow, seq, created_at, payload_bytes) = {
+            let p = self.arena.get(pkt);
+            (p.payload, p.flow, p.seq, p.created_at, p.payload_bytes)
+        };
+        self.arena.free(pkt);
         let pos = {
             let m = &mut self.mns[mn.0 as usize];
             m.traj.position(now, &mut m.rng)
@@ -1146,26 +1184,26 @@ impl World {
         let attached_ok = m.attached == Some(cell)
             || m.pending.map(|p| p.target) == Some(cell) && !self.cfg.mip_only;
         // Radio truth: the transmission only lands if the node is actually
-        // inside the cell's radio range right now.
-        let radio_ok = self.cells.cell(cell).is_some_and(|c| c.covers(pos))
-            && self.cells.rssi_dbm(cell, pos) >= mtnet_radio::SENSITIVITY_DBM;
+        // inside the cell's radio range right now (one distance pass for
+        // the footprint check and the path loss).
+        let radio_ok = self
+            .cells
+            .rssi_if_covered(cell, pos)
+            .is_some_and(|rssi| rssi >= mtnet_radio::SENSITIVITY_DBM);
         let reachable = attached_ok && radio_ok;
         if !reachable {
-            if pkt.payload.is_data() {
+            if payload.is_data() {
                 self.report.count_drop(DropCause::WirelessDetached);
             }
             return;
         }
-        match pkt.payload {
+        match payload {
             Payload::Data => {
-                let fidx = self.flow_index.get(&pkt.flow).copied();
+                let fidx = self.flow_index.get(&flow).copied();
                 if let Some(fidx) = fidx {
-                    self.flows[fidx].qos.record_received(
-                        pkt.seq,
-                        pkt.created_at,
-                        now,
-                        pkt.payload_bytes,
-                    );
+                    self.flows[fidx]
+                        .qos
+                        .record_received(seq, created_at, now, payload_bytes);
                 }
                 self.mns[mn.0 as usize].cip.touch(now);
             }
@@ -1233,7 +1271,7 @@ impl World {
         // candidate list cost no allocation per sample.
         let mut measurements = std::mem::take(&mut self.measure_scratch);
         let mut candidates = std::mem::take(&mut self.candidate_scratch);
-        self.cells.measure_into(pos, None, &mut measurements);
+        self.cells.measure_batch(pos, None, &mut measurements);
         candidates.clear();
         for meas in &measurements {
             let tier = Tier::of_cell(meas.kind);
@@ -1370,7 +1408,7 @@ impl World {
                 Payload::Cip(CipControl::Semisoft { mn: mn_addr }),
             );
             self.report.signaling.route_updates += 1;
-            let air = self.air_time(granted, pkt.wire_bytes());
+            let air = self.air_time(granted, self.arena.get(pkt).wire_bytes());
             ctx.schedule_at(
                 now + air,
                 Ev::Pkt {
@@ -1633,11 +1671,12 @@ impl World {
             s
         };
         let cn = self.cn_addr;
-        let mut pkt =
-            self.alloc_packet(flow_id, seq, cn, mn_addr, arrival.bytes, now, Payload::Data);
+        let pkt = self.alloc_packet(flow_id, seq, cn, mn_addr, arrival.bytes, now, Payload::Data);
         // CN route optimization: tunnel straight to the last notified RSMC.
         if let Some(&rsmc) = self.cn_route_cache.get(&mn_addr) {
-            pkt.encapsulate(cn, rsmc, TunnelKind::Rsmc);
+            self.arena
+                .get_mut(pkt)
+                .encapsulate(cn, rsmc, TunnelKind::Rsmc);
         }
         ctx.schedule_now(Ev::Pkt {
             node: self.cn_node,
@@ -1665,13 +1704,19 @@ impl World {
 
     /// Pre-routing at the home agent: intercept + tunnel packets for
     /// registered mobile nodes (Fig 2.2 step 2a).
-    fn ha_intercept(&mut self, pkt: &mut Packet<Payload>, now: SimTime) {
-        if pkt.is_encapsulated() {
-            return;
-        }
-        if let Some(coa) = self.ha.tunnel_endpoint_counted(pkt.dst, now) {
+    fn ha_intercept(&mut self, pkt: PacketRef, now: SimTime) {
+        let dst = {
+            let p = self.arena.get(pkt);
+            if p.is_encapsulated() {
+                return;
+            }
+            p.dst
+        };
+        if let Some(coa) = self.ha.tunnel_endpoint_counted(dst, now) {
             let ha = self.ha.addr();
-            pkt.encapsulate(ha, coa, TunnelKind::HomeAgent);
+            self.arena
+                .get_mut(pkt)
+                .encapsulate(ha, coa, TunnelKind::HomeAgent);
         }
     }
 }
@@ -1681,20 +1726,14 @@ impl Model for World {
 
     fn handle_event(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
         match event {
-            Ev::Pkt {
-                node,
-                from,
-                mut pkt,
-            } => {
+            Ev::Pkt { node, from, pkt } => {
                 // Home-agent interception happens as the packet transits
                 // the HA router.
-                if node == self.ha_node && self.mn_of(pkt.dst).is_some() {
-                    self.ha_intercept(&mut pkt, ctx.now());
+                if node == self.ha_node && self.mn_of(self.arena.get(pkt).dst).is_some() {
+                    self.ha_intercept(pkt, ctx.now());
                     // If no binding exists the packet has nowhere to go.
-                    if !pkt.is_encapsulated() {
-                        if pkt.payload.is_data() {
-                            self.report.count_drop(DropCause::NoBinding);
-                        }
+                    if !self.arena.get(pkt).is_encapsulated() {
+                        self.drop_packet(pkt, DropCause::NoBinding);
                         return;
                     }
                     self.forward_wired(ctx, node, pkt);
@@ -1727,7 +1766,8 @@ const _: () = {
 impl World {
     /// Runs the world for `duration` and extracts the report.
     pub fn run(self, duration: SimDuration) -> SimReport {
-        let mut sim = Simulator::new(self);
+        let kind = self.cfg.scheduler;
+        let mut sim = Simulator::new(self).with_scheduler(kind);
         // Kick off periodic machinery.
         let n_mns = sim.model().mns.len();
         let n_flows = sim.model().flows.len();

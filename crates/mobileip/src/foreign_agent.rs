@@ -164,6 +164,12 @@ impl ForeignAgent {
     /// If a forward exists for `mn`, returns the new CoA to re-tunnel to
     /// and counts the forwarded packet.
     pub fn forward_endpoint(&mut self, mn: Addr, now: SimTime) -> Option<Addr> {
+        if self.forwards.is_empty() {
+            // Probed for every downlink packet crossing the gateway; skip
+            // the hash while no smooth-handoff forward is installed (the
+            // overwhelmingly common case).
+            return None;
+        }
         let (coa, installed) = *self.forwards.get(&mn)?;
         if now.saturating_since(installed) >= self.forward_lifetime {
             self.forwards.remove(&mn);

@@ -102,6 +102,11 @@ pub struct Trajectory {
     /// Cumulative end time of each cached leg.
     ends: Vec<SimTime>,
     legs: Vec<Leg>,
+    /// Index of the leg that answered the last query. Simulation queries
+    /// are (per-trajectory) non-decreasing in time, so the next answer is
+    /// almost always this leg or the one after — an O(1) forward step
+    /// instead of a binary search per query.
+    cursor: usize,
 }
 
 impl std::fmt::Debug for Trajectory {
@@ -123,6 +128,7 @@ impl Trajectory {
             model,
             ends: Vec::new(),
             legs: Vec::new(),
+            cursor: 0,
         }
     }
 
@@ -144,12 +150,27 @@ impl Trajectory {
         }
     }
 
-    fn leg_index_at(&self, t: SimTime) -> usize {
-        // First leg whose end is strictly after t.
-        match self.ends.binary_search(&t) {
-            Ok(i) => (i + 1).min(self.legs.len() - 1),
-            Err(i) => i.min(self.legs.len() - 1),
+    /// Index of the first leg whose end is strictly after `t` (clamped
+    /// to the last leg) — `partition_point(ends, e <= t)`, served from
+    /// the monotone-query cursor when possible.
+    fn leg_index_at(&mut self, t: SimTime) -> usize {
+        let n = self.legs.len();
+        let mut i = self.cursor.min(n - 1);
+        let start = if i == 0 {
+            SimTime::ZERO
+        } else {
+            self.ends[i - 1]
+        };
+        if t < start {
+            // Backwards query (tests, replays): full binary search.
+            i = self.ends.partition_point(|e| *e <= t).min(n - 1);
+        } else {
+            while i < n - 1 && self.ends[i] <= t {
+                i += 1;
+            }
         }
+        self.cursor = i;
+        i
     }
 
     /// Position at time `t` (materializing legs as needed).
@@ -167,7 +188,8 @@ impl Trajectory {
     /// Instantaneous speed (m/s) at time `t`.
     pub fn speed(&mut self, t: SimTime, rng: &mut RngStream) -> f64 {
         self.materialize_to(t, rng);
-        self.legs[self.leg_index_at(t)].speed
+        let i = self.leg_index_at(t);
+        self.legs[i].speed
     }
 
     /// Number of legs currently cached.

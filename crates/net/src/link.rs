@@ -53,8 +53,15 @@ impl LinkConfig {
     /// Serialization time for `bytes` on this link.
     pub fn serialization(&self, bytes: u32) -> SimDuration {
         assert!(self.bandwidth_bps > 0, "link bandwidth must be positive");
-        let nanos = (u128::from(bytes) * 8 * 1_000_000_000) / u128::from(self.bandwidth_bps);
-        SimDuration::from_nanos(nanos.min(u128::from(u64::MAX)) as u64)
+        // Fast path in u64: `bytes * 8e9` fits easily for real packet
+        // sizes (up to ~2.3 GB); the u128 route covers the rest with the
+        // same exact integer result.
+        if bytes < (1 << 31) {
+            SimDuration::from_nanos(u64::from(bytes) * 8_000_000_000 / self.bandwidth_bps)
+        } else {
+            let nanos = (u128::from(bytes) * 8 * 1_000_000_000) / u128::from(self.bandwidth_bps);
+            SimDuration::from_nanos(nanos.min(u128::from(u64::MAX)) as u64)
+        }
     }
 }
 
@@ -115,6 +122,10 @@ pub enum TransmitOutcome {
 #[derive(Debug, Clone)]
 pub struct Link {
     config: LinkConfig,
+    /// `config.serialization(config.queue_bytes)`, precomputed: the
+    /// drop-tail threshold is consulted on every transmit and is a pure
+    /// function of the static config.
+    max_backlog: SimDuration,
     busy_until: SimTime,
     stats: LinkStats,
 }
@@ -129,6 +140,7 @@ impl Link {
         assert!(config.bandwidth_bps > 0, "link bandwidth must be positive");
         Link {
             config,
+            max_backlog: config.serialization(config.queue_bytes),
             busy_until: SimTime::ZERO,
             stats: LinkStats::default(),
         }
@@ -155,7 +167,7 @@ impl Link {
     /// Returns the delivery time at the far end, or `Dropped` if the
     /// drop-tail queue is full.
     pub fn transmit(&mut self, now: SimTime, wire_bytes: u32) -> TransmitOutcome {
-        let max_backlog = self.config.serialization(self.config.queue_bytes);
+        let max_backlog = self.max_backlog;
         let backlog = self.backlog(now);
         if backlog > max_backlog {
             self.stats.dropped_packets += 1;

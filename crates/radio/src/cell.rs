@@ -197,9 +197,16 @@ impl Cell {
 
     /// Slant-range distance from the transmitter to `p`: ground distance
     /// for terrestrial cells, hypotenuse with the orbital altitude for the
-    /// satellite tier.
+    /// satellite tier. (`hypot(x, 0) == |x|` exactly per IEEE-754, so
+    /// skipping the libm call for terrestrial cells changes no bits.)
     pub fn distance_to(&self, p: Point) -> f64 {
-        self.center.distance(p).hypot(self.kind.altitude_m())
+        let ground = self.center.distance(p);
+        let altitude = self.kind.altitude_m();
+        if altitude == 0.0 {
+            ground
+        } else {
+            ground.hypot(altitude)
+        }
     }
 
     /// True if `p` lies within the nominal ground footprint.

@@ -95,6 +95,40 @@ pub struct CellMap {
     /// Extra seed decorrelating shadowing between experiment repetitions.
     shadow_seed: u64,
     grid: GridIndex,
+    /// Structure-of-arrays mirror of the static per-cell fields, in id
+    /// order — the batched measurement path streams these flat lanes
+    /// instead of hopping between `Cell` structs (which drag their
+    /// channel pools through the cache).
+    soa: CellSoa,
+}
+
+/// Structure-of-arrays mirror for [`CellMap::measure_batch`]: one flat
+/// `f64` lane per static field, auto-vectorizable by the compiler.
+#[derive(Debug, Default)]
+struct CellSoa {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    /// Squared nominal radius with a conservative margin, the pre-filter
+    /// bound (see [`CellMap::measure_batch`]).
+    filter_r2: Vec<f64>,
+    id: Vec<CellId>,
+    kind: Vec<CellKind>,
+}
+
+impl CellSoa {
+    fn push(&mut self, cell: &Cell) {
+        self.x.push(cell.center().x);
+        self.y.push(cell.center().y);
+        // Conservative: the cheap dx²+dy² lane carries at most a few ulp
+        // of error against the exact `hypot`, so widen the radius bound
+        // by 1e-9 relative — orders of magnitude beyond any rounding —
+        // and let survivors be re-checked exactly. Cells rejected here
+        // are *definitely* outside the footprint.
+        let r = cell.radius_m() * (1.0 + 1e-9);
+        self.filter_r2.push(r * r);
+        self.id.push(cell.id());
+        self.kind.push(cell.kind());
+    }
 }
 
 impl CellMap {
@@ -106,6 +140,7 @@ impl CellMap {
             path_loss: PathLoss::default(),
             shadow_seed,
             grid: GridIndex::default(),
+            soa: CellSoa::default(),
         }
     }
 
@@ -118,6 +153,7 @@ impl CellMap {
             path_loss: PathLoss::clean(3.5),
             shadow_seed: 0,
             grid: GridIndex::default(),
+            soa: CellSoa::default(),
         }
     }
 
@@ -140,6 +176,7 @@ impl CellMap {
         }
         assert!(self.cells[idx].is_none(), "duplicate cell id {id}");
         self.grid.insert(&cell);
+        self.soa.push(&cell);
         self.cells[idx] = Some(cell);
         self.count += 1;
         id
@@ -178,6 +215,13 @@ impl CellMap {
     /// Panics if the cell id is unknown.
     pub fn rssi_dbm(&self, cell: CellId, at: Point) -> f64 {
         let c = self.cell(cell).expect("unknown cell id");
+        self.rssi_from_ground(c, c.center().distance(at), at)
+    }
+
+    /// Received power given the ground distance already computed (the
+    /// coverage check pays the `hypot`; this reuses it). Same arithmetic
+    /// as [`CellMap::rssi_dbm`], bit for bit.
+    fn rssi_from_ground(&self, c: &Cell, ground: f64, at: Point) -> f64 {
         // The configured model supplies reference loss and shadowing; the
         // exponent is tier-specific so nominal footprints are radio-true.
         let pl = crate::PathLoss {
@@ -187,28 +231,45 @@ impl CellMap {
         if c.kind().altitude_m() > 0.0 {
             // Orbital transmitter: free-space over the slant range, no
             // terrestrial shadowing model.
-            c.kind().tx_power_dbm() - pl.mean_loss_db(c.distance_to(at))
+            c.kind().tx_power_dbm() - pl.mean_loss_db(ground.hypot(c.kind().altitude_m()))
         } else {
-            pl.rx_power_dbm(
+            pl.rx_power_dbm_with_distance(
                 c.kind().tx_power_dbm(),
-                c.center(),
+                ground,
                 at,
-                u64::from(cell.0) ^ self.shadow_seed,
+                u64::from(c.id().0) ^ self.shadow_seed,
             )
         }
+    }
+
+    /// Received power at `at` when `at` lies inside the cell's nominal
+    /// footprint, `None` otherwise (or for unknown ids). One distance
+    /// computation serves both the coverage check and the path loss —
+    /// the per-packet air-interface reachability probe.
+    pub fn rssi_if_covered(&self, cell: CellId, at: Point) -> Option<f64> {
+        let c = self.cell(cell)?;
+        let ground = c.center().distance(at);
+        if ground > c.radius_m() {
+            return None;
+        }
+        Some(self.rssi_from_ground(c, ground, at))
     }
 
     /// One audible-cell measurement, or `None` if the cell fails the tier
     /// filter, footprint check, or sensitivity floor.
     fn measure_one(&self, cell: CellId, at: Point, tier: Option<CellKind>) -> Option<Measurement> {
         let c = self.cell(cell).expect("indexed cell exists");
-        if !(tier.is_none_or(|t| c.kind() == t) && c.covers(at)) {
+        if !tier.is_none_or(|t| c.kind() == t) {
+            return None;
+        }
+        let ground = c.center().distance(at);
+        if ground > c.radius_m() {
             return None;
         }
         let m = Measurement {
             cell,
             kind: c.kind(),
-            rssi_dbm: self.rssi_dbm(cell, at),
+            rssi_dbm: self.rssi_from_ground(c, ground, at),
             free_ratio: c.free_resource_ratio(),
         };
         (m.rssi_dbm >= SENSITIVITY_DBM).then_some(m)
@@ -236,6 +297,59 @@ impl CellMap {
                 .candidates(at)
                 .filter_map(|id| self.measure_one(id, at, tier)),
         );
+        out.sort_by(|a, b| b.rssi_dbm.total_cmp(&a.rssi_dbm).then(a.cell.cmp(&b.cell)));
+    }
+
+    /// Batched variant of [`CellMap::measure_into`]: evaluates every
+    /// cell's coverage in one pass over flat structure-of-arrays lanes
+    /// (x, y, squared radius) — a branch-light dx²+dy² sweep the compiler
+    /// auto-vectorizes — then runs the exact scalar radio math only for
+    /// the handful of cells whose footprint can contain `at`.
+    ///
+    /// Output is identical to [`CellMap::measure_into`] and
+    /// [`CellMap::measure_full_scan`] bit for bit: the lane sweep is a
+    /// *conservative* pre-filter (its radius bound is widened far beyond
+    /// its few-ulp rounding slack, so it never rejects a covered cell),
+    /// and every survivor goes through the same `hypot`/path-loss
+    /// arithmetic and the same `total_cmp` sort as the scalar paths.
+    /// Property tests hold all three pairwise equal; the experiment
+    /// harness uses this one for the per-sample handoff scans.
+    pub fn measure_batch(&self, at: Point, tier: Option<CellKind>, out: &mut Vec<Measurement>) {
+        out.clear();
+        let (px, py) = (at.x, at.y);
+        let n = self.soa.id.len();
+        let xs = &self.soa.x[..n];
+        let ys = &self.soa.y[..n];
+        let r2s = &self.soa.filter_r2[..n];
+        for i in 0..n {
+            // The vectorizable lane: squared ground distance vs the
+            // widened squared radius.
+            let dx = xs[i] - px;
+            let dy = ys[i] - py;
+            let d2 = dx * dx + dy * dy;
+            if d2 > r2s[i] {
+                continue;
+            }
+            // Exact scalar path for the survivors — same ops, same bits
+            // as `measure_one`.
+            if !tier.is_none_or(|t| self.soa.kind[i] == t) {
+                continue;
+            }
+            let c = self.cell(self.soa.id[i]).expect("soa mirrors cells");
+            let ground = c.center().distance(at);
+            if ground > c.radius_m() {
+                continue;
+            }
+            let m = Measurement {
+                cell: c.id(),
+                kind: c.kind(),
+                rssi_dbm: self.rssi_from_ground(c, ground, at),
+                free_ratio: c.free_resource_ratio(),
+            };
+            if m.rssi_dbm >= SENSITIVITY_DBM {
+                out.push(m);
+            }
+        }
         out.sort_by(|a, b| b.rssi_dbm.total_cmp(&a.rssi_dbm).then(a.cell.cmp(&b.cell)));
     }
 

@@ -79,7 +79,21 @@ impl PathLoss {
     /// `tx_power_dbm`, in dBm. `tx_seed` identifies the transmitter for
     /// shadowing decorrelation (use the cell id).
     pub fn rx_power_dbm(&self, tx_power_dbm: f64, tx: Point, at: Point, tx_seed: u64) -> f64 {
-        tx_power_dbm - self.mean_loss_db(tx.distance(at)) + self.shadow_db(tx_seed, at)
+        self.rx_power_dbm_with_distance(tx_power_dbm, tx.distance(at), at, tx_seed)
+    }
+
+    /// [`PathLoss::rx_power_dbm`] with the transmitter distance already in
+    /// hand — hot paths that needed the distance for a coverage check
+    /// reuse it instead of paying a second `hypot`. Identical arithmetic,
+    /// identical bits.
+    pub fn rx_power_dbm_with_distance(
+        &self,
+        tx_power_dbm: f64,
+        distance: f64,
+        at: Point,
+        tx_seed: u64,
+    ) -> f64 {
+        tx_power_dbm - self.mean_loss_db(distance) + self.shadow_db(tx_seed, at)
     }
 
     /// The distance at which mean received power falls to `threshold_dbm`

@@ -8,14 +8,13 @@ use std::cmp::Ordering;
 ///
 /// Tokens are unique for the lifetime of a [`crate::Scheduler`]; cancelling a
 /// token that already fired (or was already cancelled) is a harmless no-op.
-/// The token carries both the event's sequence number (its identity) and
-/// its slab slot (its location), so cancellation is O(1) without any
-/// auxiliary index. Ordering and equality follow the sequence number:
-/// `seq` is unique per scheduler, so comparing the pair is comparing `seq`.
+/// The token is the event's sequence number — its identity in the
+/// scheduler's `(time, seq)` total order. Cancellation locates the event
+/// by seq (O(pending); see [`crate::Scheduler::cancel`]), keeping the
+/// schedule/pop fast path free of per-event cancellation bookkeeping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventToken {
     pub(crate) seq: u64,
-    pub(crate) slot: u32,
 }
 
 /// A scheduled event: payload plus its firing time and tie-break sequence.

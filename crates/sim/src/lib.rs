@@ -63,6 +63,6 @@ pub use hash::{FxHashMap, FxHashSet};
 pub use model::{Context, Model};
 pub use rng::{RngStream, SeedTree};
 pub use runner::BatchRunner;
-pub use scheduler::Scheduler;
+pub use scheduler::{Scheduler, SchedulerKind};
 pub use simulator::{RunOutcome, Simulator};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,152 @@
+//! The binary-heap backend: the reference ordering implementation.
+//!
+//! Kept alongside the calendar queue as the semantics oracle — property
+//! tests drive both backends through identical schedule/cancel/pop
+//! interleavings and demand the exact same pop sequence. It is also the
+//! right choice for tiny or wildly irregular schedules where the calendar
+//! queue's bucket tuning has nothing to grab onto.
+//!
+//! A heap entry is sifted O(log n) times per push/pop, so payloads do
+//! not ride in the heap: the heap holds 24-byte `(time, seq, slot)` keys
+//! and payloads sit still in a slot slab until their key surfaces.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Min-ordered queue of `(time, seq)` keys over `BinaryHeap`, payloads in
+/// a slab. O(log n) push/pop.
+#[derive(Debug)]
+pub(crate) struct HeapQueue<E> {
+    /// Min-heap (via `Reverse`) of `(time, seq, slot)` keys.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// `slots[slot] = Some((seq, event))` while pending; `None` once
+    /// cancelled (the dangling key is purged when it surfaces). A slot is
+    /// not reused until its key has popped.
+    slots: Vec<Option<(u64, E)>>,
+    /// Slots whose key has surfaced, ready for reuse.
+    free: Vec<u32>,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapQueue<E> {
+    pub(crate) fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, time: SimTime, seq: u64, event: E) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some((seq, event));
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("fewer than 2^32 pending events");
+                self.slots.push(Some((seq, event)));
+                s
+            }
+        };
+        self.heap.push(Reverse((time, seq, slot)));
+    }
+
+    /// The `(time, seq)` key of the earliest live entry, purging
+    /// cancelled heads on the way.
+    #[inline]
+    pub(crate) fn peek_min(&mut self) -> Option<(SimTime, u64)> {
+        while let Some(&Reverse((time, seq, slot))) = self.heap.peek() {
+            if self.slots[slot as usize].is_some() {
+                return Some((time, seq));
+            }
+            // Cancelled head: the dangling key just releases its slot.
+            self.heap.pop();
+            self.free.push(slot);
+        }
+        None
+    }
+
+    #[inline]
+    pub(crate) fn pop_min(&mut self) -> Option<(SimTime, u64, E)> {
+        while let Some(Reverse((time, seq, slot))) = self.heap.pop() {
+            let payload = self.slots[slot as usize].take();
+            self.free.push(slot);
+            if let Some((stored_seq, event)) = payload {
+                debug_assert_eq!(stored_seq, seq, "slot reused before its key popped");
+                return Some((time, seq, event));
+            }
+        }
+        None
+    }
+
+    /// Pops the earliest live entry only if it fires at or before
+    /// `horizon`.
+    #[inline]
+    pub(crate) fn pop_min_at_or_before(&mut self, horizon_ns: u64) -> Option<(SimTime, u64, E)> {
+        let (time, _) = self.peek_min()?;
+        if time.as_nanos() > horizon_ns {
+            return None;
+        }
+        self.pop_min()
+    }
+
+    /// Removes the entry with sequence number `seq`, returning it if it
+    /// was pending. O(n) over the slab — cancellation is off the hot
+    /// path; see [`super::Scheduler::cancel`].
+    pub(crate) fn cancel(&mut self, seq: u64) -> Option<E> {
+        for slot in &mut self.slots {
+            if slot.as_ref().is_some_and(|(s, _)| *s == seq) {
+                let (_, event) = slot.take().expect("just matched");
+                // The dangling heap key surfaces (and frees the slot) in
+                // peek_min/pop_min.
+                return Some(event);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_entries_in_key_order() {
+        let mut q = HeapQueue::new();
+        q.push(SimTime::from_secs(2), 0, "late");
+        q.push(SimTime::from_secs(1), 2, "tie-b");
+        q.push(SimTime::from_secs(1), 1, "tie-a");
+        assert_eq!(q.peek_min(), Some((SimTime::from_secs(1), 1)));
+        assert_eq!(q.pop_min().map(|(_, _, e)| e), Some("tie-a"));
+        assert_eq!(q.pop_min().map(|(_, _, e)| e), Some("tie-b"));
+        assert_eq!(q.pop_min().map(|(_, _, e)| e), Some("late"));
+        assert_eq!(q.pop_min(), None);
+    }
+
+    #[test]
+    fn cancel_by_seq_and_slot_reuse() {
+        let mut q = HeapQueue::new();
+        q.push(SimTime::from_secs(1), 0, 10);
+        q.push(SimTime::from_secs(2), 1, 11);
+        assert_eq!(q.cancel(0), Some(10));
+        assert_eq!(q.cancel(0), None);
+        assert_eq!(
+            q.peek_min(),
+            Some((SimTime::from_secs(2), 1)),
+            "purges head"
+        );
+        assert_eq!(q.pop_min().map(|(_, _, e)| e), Some(11));
+        // Both slots recycled.
+        q.push(SimTime::from_secs(3), 2, 12);
+        q.push(SimTime::from_secs(3), 3, 13);
+        assert_eq!(q.slots.len(), 2);
+    }
+}

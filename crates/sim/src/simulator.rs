@@ -2,7 +2,7 @@
 
 use crate::event::EventToken;
 use crate::model::{Context, Model};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::time::{SimDuration, SimTime};
 
 /// Why a call to [`Simulator::run_until`] returned.
@@ -50,6 +50,24 @@ impl<M: Model> Simulator<M> {
     /// Useful as a runaway guard in property tests.
     pub fn with_event_budget(mut self, budget: u64) -> Self {
         self.event_budget = budget;
+        self
+    }
+
+    /// Selects the event-queue backend (see [`SchedulerKind`]). Both
+    /// backends implement the identical `(time, seq)` total order, so
+    /// results are bit-for-bit the same either way — this is a
+    /// performance knob, selectable per simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been scheduled (the backend cannot
+    /// be swapped under a populated queue).
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
+        assert!(
+            self.scheduler.is_empty() && self.scheduler.scheduled_total() == 0,
+            "select the scheduler backend before scheduling events"
+        );
+        self.scheduler = Scheduler::with_kind(kind);
         self
     }
 

@@ -445,4 +445,150 @@ proptest! {
         let par = BatchRunner::new(threads).run(jobs, work);
         prop_assert_eq!(seq, par);
     }
+
+    // ---------------------------------------------------------------
+    // Scheduler backends: the calendar queue and the binary-heap
+    // reference produce identical observable behavior on arbitrary
+    // schedule / cancel / pop / pop-at-or-before interleavings — same
+    // pop order (including `seq` FIFO ties), same cancel verdicts, same
+    // lengths, same peeked times.
+    // ---------------------------------------------------------------
+    #[test]
+    fn calendar_scheduler_equals_heap_reference(
+        ops in prop::collection::vec((0u8..6, any::<u64>()), 1..400,)
+    ) {
+        use mtnet_sim::SchedulerKind;
+        let mut cal = Scheduler::with_kind(SchedulerKind::Calendar);
+        let mut heap = Scheduler::with_kind(SchedulerKind::Heap);
+        let mut tokens = Vec::new();
+        for (i, &(op, raw)) in ops.iter().enumerate() {
+            match op {
+                // Near-future schedule (µs..ms range, with same-time
+                // collisions since the divisor quantizes heavily).
+                0 | 1 => {
+                    let d = SimDuration::from_nanos((raw % 1_000_000) / 64 * 64);
+                    let (tc, th) = (cal.schedule_in(d, i), heap.schedule_in(d, i));
+                    prop_assert_eq!(tc, th, "tokens diverged");
+                    tokens.push(tc);
+                }
+                // Far-future schedule: exercises the overflow ladder and
+                // its interplay with the wheel cursor.
+                2 => {
+                    let d = SimDuration::from_nanos(raw % 20_000_000_000);
+                    let (tc, th) = (cal.schedule_in(d, i), heap.schedule_in(d, i));
+                    prop_assert_eq!(tc, th, "tokens diverged");
+                    tokens.push(tc);
+                }
+                // Pop and compare everything observable.
+                3 => {
+                    let (ec, eh) = (cal.pop(), heap.pop());
+                    prop_assert_eq!(ec.is_some(), eh.is_some());
+                    if let (Some(ec), Some(eh)) = (ec, eh) {
+                        prop_assert_eq!(ec.time(), eh.time());
+                        prop_assert_eq!(ec.into_event(), eh.into_event());
+                    }
+                }
+                // Bounded pop at an arbitrary horizon past now.
+                4 => {
+                    let h = cal.now() + SimDuration::from_nanos(raw % 2_000_000);
+                    let (ec, eh) = (cal.pop_at_or_before(h), heap.pop_at_or_before(h));
+                    prop_assert_eq!(ec.is_some(), eh.is_some(), "horizon verdicts diverged");
+                    if let (Some(ec), Some(eh)) = (ec, eh) {
+                        prop_assert_eq!(ec.time(), eh.time());
+                        prop_assert_eq!(ec.into_event(), eh.into_event());
+                    }
+                }
+                // Cancel a remembered token (possibly already fired or
+                // already cancelled — verdicts must agree).
+                _ => {
+                    if !tokens.is_empty() {
+                        let tok = tokens[(raw as usize) % tokens.len()];
+                        prop_assert_eq!(cal.cancel(tok), heap.cancel(tok));
+                    }
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len(), "len diverged after op {}", i);
+            prop_assert_eq!(cal.now(), heap.now(), "now diverged after op {}", i);
+        }
+        // Drain both: the tails must match event for event.
+        prop_assert_eq!(cal.peek_time(), heap.peek_time());
+        loop {
+            let (ec, eh) = (cal.pop(), heap.pop());
+            prop_assert_eq!(ec.is_some(), eh.is_some(), "tail lengths diverged");
+            let (Some(ec), Some(eh)) = (ec, eh) else { break };
+            prop_assert_eq!(ec.time(), eh.time());
+            prop_assert_eq!(ec.into_event(), eh.into_event());
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Batched RSSI: the structure-of-arrays sweep is bit-identical to
+    // the full scan (and the grid) on arbitrary layouts, and the
+    // hysteresis decision built from its output matches
+    // `best_cell_hysteresis` across covered/uncovered currents and
+    // margins.
+    // ---------------------------------------------------------------
+    #[test]
+    fn measure_batch_equals_full_scan_incl_hysteresis(
+        cells in prop::collection::vec(
+            (-20_000.0f64..20_000.0, -20_000.0f64..20_000.0, 0usize..4),
+            0..40,
+        ),
+        probes in prop::collection::vec(
+            (-25_000.0f64..25_000.0, -25_000.0f64..25_000.0),
+            1..16,
+        ),
+        tier_filter in 0usize..5,
+        hysteresis_db in 0.0f64..30.0,
+        current_pick in any::<usize>(),
+    ) {
+        let kinds = [CellKind::Pico, CellKind::Micro, CellKind::Macro, CellKind::Satellite];
+        let mut map = CellMap::new(11);
+        for (i, &(x, y, k)) in cells.iter().enumerate() {
+            map.add(Cell::new(
+                CellId(i as u32),
+                kinds[k],
+                Point::new(x, y),
+                NodeId(i as u32),
+            ));
+        }
+        let tier = kinds.get(tier_filter).copied(); // index 4 → None (all tiers)
+        let mut batch = Vec::new();
+        for &(px, py) in &probes {
+            let at = Point::new(px, py);
+            map.measure_batch(at, tier, &mut batch);
+            let scan = map.measure_full_scan(at, tier);
+            prop_assert_eq!(&batch, &scan, "batch and scan disagree at {:?}", at);
+            // Hysteresis: rebuild the decision from the (batch) list and
+            // hold it against the single-pass implementation, for both a
+            // current cell drawn from the deployment and a ghost.
+            let current = if cells.is_empty() {
+                CellId(u32::MAX)
+            } else {
+                CellId((current_pick % cells.len()) as u32)
+            };
+            for cur in [current, CellId(u32::MAX)] {
+                let reference = {
+                    let best = batch.first();
+                    let cur_rssi = batch.iter().find(|m| m.cell == cur).map(|m| m.rssi_dbm);
+                    match (best, cur_rssi) {
+                        (None, _) => None,
+                        (Some(b), None) => Some(b.cell),
+                        (Some(b), Some(c)) => {
+                            if b.cell != cur && b.rssi_dbm >= c + hysteresis_db {
+                                Some(b.cell)
+                            } else {
+                                Some(cur)
+                            }
+                        }
+                    }
+                };
+                prop_assert_eq!(
+                    map.best_cell_hysteresis(at, cur, hysteresis_db, tier),
+                    reference,
+                    "hysteresis path diverged at {:?} (current {:?})", at, cur
+                );
+            }
+        }
+    }
 }
