@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench_check <fresh.json> <committed.json>
+//! bench_check --update <fresh.json> <committed.json>
 //! ```
 //!
 //! Compares a freshly measured `experiments --bench-json` trajectory
@@ -18,14 +19,26 @@
 //! * Fresh rows with no committed counterpart are reported, not failed —
 //!   that is how new experiments enter the trajectory.
 //!
+//! `--update` regenerates the committed file in place instead of gating:
+//! fresh rows are merged over their `(experiment, effort)` counterparts
+//! (rows the fresh run did not measure are kept), replacing the
+//! hand-edit workflow for refreshing `BENCH.json` after an intentional
+//! behavior or performance change.
+//!
 //! Exit status: 0 clean, 1 on drift/regression, 2 on usage errors.
 
 use mtnet_bench::benchjson::{self, GateOutcome};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let update = if let Some(pos) = args.iter().position(|a| a == "--update") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
     let [fresh_path, committed_path] = &args[..] else {
-        eprintln!("usage: bench_check <fresh.json> <committed.json>");
+        eprintln!("usage: bench_check [--update] <fresh.json> <committed.json>");
         std::process::exit(2);
     };
     let tolerance = std::env::var("BENCH_CHECK_WALL_TOLERANCE")
@@ -46,6 +59,28 @@ fn main() {
     if fresh.is_empty() {
         eprintln!("bench_check: {fresh_path} contains no rows");
         std::process::exit(2);
+    }
+    if update {
+        let replaced = fresh
+            .iter()
+            .filter(|f| {
+                committed
+                    .iter()
+                    .any(|c| c.experiment == f.experiment && c.effort == f.effort)
+            })
+            .count();
+        let added = fresh.len() - replaced;
+        let merged = benchjson::merge(committed, fresh);
+        if let Err(e) = std::fs::write(committed_path, benchjson::render_file(&merged)) {
+            eprintln!("bench_check: cannot write {committed_path}: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "bench_check: updated {committed_path} from {fresh_path} \
+             ({replaced} row(s) replaced, {added} added, {} total)",
+            merged.len()
+        );
+        return;
     }
 
     let mut failures = 0usize;

@@ -22,8 +22,8 @@
 //! refactor changed nothing observable.
 
 use mtnet_bench::benchjson::{self, BenchRow};
-use mtnet_bench::{run_one, Effort, ALL_IDS};
-use mtnet_sim::runner::{BatchRunner, THREADS_ENV};
+use mtnet_bench::{cli, run_one, Effort, ALL_IDS};
+use mtnet_sim::runner::BatchRunner;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -37,40 +37,42 @@ fn events_per_sec(events: u64, wall_ms: f64) -> u64 {
     }
 }
 
-/// Extracts `--flag <value>` from the argument list, removing both tokens.
-fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let pos = args.iter().position(|a| a == flag)?;
-    if pos + 1 >= args.len() {
-        eprintln!("{flag} needs a value");
-        std::process::exit(2);
-    }
-    let value = args.remove(pos + 1);
-    args.remove(pos);
-    Some(value)
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let bench_json = take_value_flag(&mut args, "--bench-json");
-    let fingerprint_path = take_value_flag(&mut args, "--fingerprints");
-    if let Some(threads) = take_value_flag(&mut args, "--threads") {
-        match threads.parse::<usize>() {
-            Ok(n) if n > 0 => std::env::set_var(THREADS_ENV, n.to_string()),
-            _ => {
-                eprintln!("--threads needs a positive integer");
-                std::process::exit(2);
+    let bench_json = cli::take_value(&mut args, "--bench-json").unwrap_or_else(|e| fail(&e));
+    let fingerprint_path =
+        cli::take_value(&mut args, "--fingerprints").unwrap_or_else(|e| fail(&e));
+    cli::apply_threads_flag(&mut args).unwrap_or_else(|e| fail(&e));
+    // Every remaining argument must be an effort word or a known
+    // experiment id — an unknown id or a stray flag must fail loudly, not
+    // silently run nothing (or everything).
+    let mut effort = Effort::Full;
+    let mut filter: Vec<String> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "quick" => effort = Effort::Quick,
+            "full" => effort = Effort::Full,
+            a if a.starts_with('-') => {
+                fail(&format!(
+                    "unknown flag {a:?} (valid: --threads N, --bench-json PATH, --fingerprints PATH)"
+                ));
+            }
+            a => {
+                if !ALL_IDS.iter().any(|id| id.eq_ignore_ascii_case(a)) {
+                    fail(&format!(
+                        "unknown experiment id {a:?} (valid: {}, plus quick|full)",
+                        ALL_IDS.join(" ")
+                    ));
+                }
+                filter.push(arg.clone());
             }
         }
     }
-    let effort = if args.iter().any(|a| a == "quick") {
-        Effort::Quick
-    } else {
-        Effort::Full
-    };
-    let filter: Vec<&String> = args
-        .iter()
-        .filter(|a| a.starts_with('E') || a.starts_with('e'))
-        .collect();
     let seed = 42;
     let threads = BatchRunner::from_env().threads();
     println!("mtnet experiment suite — effort: {effort:?}, seed: {seed}, threads: {threads}\n");

@@ -1,0 +1,136 @@
+//! Parameter sweeps over declarative scenario specs, with a resumable
+//! content-addressed result store.
+//!
+//! ```text
+//! sweep --family dense-urban --effort quick \
+//!       --axis arch=multi-tier+rsmc,flat-cellular-ip --axis domains=1,2 \
+//!       --reps 2 --seed 42 --store .mtnet-store
+//! sweep --spec my-scenario.mtspec --axis route_update_ms=500..4500..1000
+//! sweep --list-families
+//! ```
+//!
+//! Cells already present in the store (keyed by canonical spec text +
+//! master seed) are loaded, not recomputed — interrupting a sweep and
+//! re-invoking it, or extending the grid/replications, only simulates
+//! the missing cells. `--no-store` forces a stateless run. The final
+//! line (`sweep "<family>": N cells: computed X, loaded Y`) is the
+//! machine-checkable resume contract CI greps.
+
+use mtnet_bench::store::ResultStore;
+use mtnet_bench::sweep::{parse_axis, run_sweep, Axis, SweepPlan};
+use mtnet_bench::{cli, Effort};
+use mtnet_core::spec::ScenarioSpec;
+use mtnet_sim::runner::BatchRunner;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep --family <name> | --spec <file>  [--axis key=v1,v2|lo..hi..step]...\n\
+         \x20      [--reps N] [--effort quick|full] [--seed N]\n\
+         \x20      [--store DIR | --no-store] [--threads N] [--list-families]\n\
+         axes assign any scenario-spec key (see ScenarioSpec::set); cells already\n\
+         in the store are loaded instead of recomputed"
+    );
+    std::process::exit(2)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sweep: {msg}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if cli::take_switch(&mut args, "--list-families") {
+        println!("available scenario families:");
+        for (name, preset) in ScenarioSpec::families() {
+            let spec = preset();
+            println!(
+                "  {name:<18} {} domain(s), {} {} cells/domain, pop {}p/{}c/{}v, {:.0}s",
+                spec.n_domains,
+                spec.micro_per_domain,
+                spec.micro_kind,
+                spec.pedestrians,
+                spec.cyclists,
+                spec.vehicles,
+                spec.duration_s,
+            );
+        }
+        return;
+    }
+    let take =
+        |args: &mut Vec<String>, flag| cli::take_value(args, flag).unwrap_or_else(|e| fail(&e));
+    let family_arg = take(&mut args, "--family");
+    let spec_file = take(&mut args, "--spec");
+    let axes: Vec<Axis> = cli::take_values(&mut args, "--axis")
+        .unwrap_or_else(|e| fail(&e))
+        .iter()
+        .map(|a| parse_axis(a).unwrap_or_else(|e| fail(&e)))
+        .collect();
+    let reps: u64 = take(&mut args, "--reps")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail("--reps needs a positive integer"))
+        })
+        .unwrap_or(1);
+    let effort = match take(&mut args, "--effort").as_deref() {
+        None | Some("full") => Effort::Full,
+        Some("quick") => Effort::Quick,
+        Some(other) => fail(&format!("unknown effort {other:?} (quick|full)")),
+    };
+    let master_seed: u64 = take(&mut args, "--seed")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail("--seed needs an integer"))
+        })
+        .unwrap_or(42);
+    let no_store = cli::take_switch(&mut args, "--no-store");
+    let store_dir = take(&mut args, "--store").unwrap_or_else(|| ".mtnet-store".into());
+    cli::apply_threads_flag(&mut args).unwrap_or_else(|e| fail(&e));
+    if !args.is_empty() {
+        eprintln!("sweep: unrecognized arguments: {}", args.join(" "));
+        usage();
+    }
+
+    let (family, base) = match (family_arg, spec_file) {
+        (Some(name), None) => {
+            let spec = ScenarioSpec::family(&name)
+                .unwrap_or_else(|| fail(&format!("unknown family {name:?} (try --list-families)")));
+            (name, spec)
+        }
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let spec = ScenarioSpec::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            (spec.name.clone(), spec)
+        }
+        _ => usage(),
+    };
+
+    let plan = SweepPlan {
+        family: family.clone(),
+        base,
+        axes,
+        replications: reps,
+        effort,
+    };
+    let store = if no_store {
+        None
+    } else {
+        Some(
+            ResultStore::open(&store_dir)
+                .unwrap_or_else(|e| fail(&format!("cannot open store {store_dir}: {e}"))),
+        )
+    };
+    let runner = BatchRunner::from_env();
+    println!(
+        "mtnet sweep — family: {family}, effort: {effort:?}, seed: {master_seed}, threads: {}, store: {}",
+        runner.threads(),
+        if no_store { "(disabled)".to_string() } else { store_dir.clone() },
+    );
+    let start = std::time::Instant::now();
+    let outcome =
+        run_sweep(&plan, master_seed, store.as_ref(), &runner).unwrap_or_else(|e| fail(&e));
+    eprintln!("[sweep wall: {:.2}s]", start.elapsed().as_secs_f64());
+    print!("{}", outcome.table);
+    println!("{}", outcome.summary(&family));
+}

@@ -1,0 +1,92 @@
+//! Tiny shared argument helpers for the harness binaries
+//! (`experiments`, `sweep`, `bench_check`) — one implementation of
+//! flag extraction and the `--threads` pool-width knob, so the
+//! binaries cannot drift apart.
+
+use mtnet_sim::runner::THREADS_ENV;
+
+/// Extracts every `--flag <value>` occurrence, removing the consumed
+/// tokens. Errors when a final `--flag` has no value token.
+pub fn take_values(args: &mut Vec<String>, flag: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    while let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        out.push(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    Ok(out)
+}
+
+/// Extracts an at-most-once `--flag <value>`.
+pub fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let mut all = take_values(args, flag)?;
+    if all.len() > 1 {
+        return Err(format!("{flag} given more than once"));
+    }
+    Ok(all.pop())
+}
+
+/// Removes every occurrence of a bare `--flag`; true if it appeared.
+pub fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    let mut seen = false;
+    while let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        seen = true;
+    }
+    seen
+}
+
+/// Consumes `--threads N` and pins the batch-runner pool width via the
+/// `MTNET_THREADS` environment variable. Rejects non-positive or
+/// non-numeric widths.
+pub fn apply_threads_flag(args: &mut Vec<String>) -> Result<(), String> {
+    if let Some(threads) = take_value(args, "--threads")? {
+        match threads.parse::<usize>() {
+            Ok(n) if n > 0 => std::env::set_var(THREADS_ENV, n.to_string()),
+            _ => {
+                return Err(format!(
+                    "--threads needs a positive integer, got {threads:?}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn take_values_consumes_all_occurrences() {
+        let mut a = args(&["--axis", "x=1", "keep", "--axis", "y=2"]);
+        assert_eq!(take_values(&mut a, "--axis").unwrap(), ["x=1", "y=2"]);
+        assert_eq!(a, ["keep"]);
+        assert!(take_values(&mut args(&["--axis"]), "--axis").is_err());
+    }
+
+    #[test]
+    fn take_value_rejects_repeats() {
+        let mut a = args(&["--seed", "1", "--seed", "2"]);
+        assert!(take_value(&mut a, "--seed").is_err());
+        let mut b = args(&["--seed", "7"]);
+        assert_eq!(take_value(&mut b, "--seed").unwrap().as_deref(), Some("7"));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn switch_and_threads_validation() {
+        let mut a = args(&["--no-store", "rest"]);
+        assert!(take_switch(&mut a, "--no-store"));
+        assert!(!take_switch(&mut a, "--no-store"));
+        assert_eq!(a, ["rest"]);
+        assert!(apply_threads_flag(&mut args(&["--threads", "0"])).is_err());
+        assert!(apply_threads_flag(&mut args(&["--threads", "zero"])).is_err());
+    }
+}

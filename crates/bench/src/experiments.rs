@@ -2,12 +2,15 @@
 //! see `EXPERIMENTS.md` for the recorded outputs and the paper-vs-measured
 //! discussion.
 //!
-//! Every simulation arm is expressed as a fully-specified job — a
-//! [`Scenario`] carrying its own sub-seed plus a duration — and fanned out
-//! through [`BatchRunner`]. Sub-seeds come from the `(experiment, arm,
-//! replication)` path via [`replication_seed`], so the jobs are
+//! Every simulation arm is a declarative [`ScenarioSpec`] — family
+//! preset + knob assignments + duration + seed path — built by
+//! [`arm_specs`] and fanned out through [`BatchRunner`]; the runner
+//! itself is reduced to a thin metric-extraction closure over the
+//! returned reports. Seed paths are `(experiment, arm, replication)`
+//! resolved via `mtnet_sim::rng::seed_for_path`, so the jobs are
 //! independent of scheduling order and the rendered tables are
-//! byte-identical at any thread count.
+//! byte-identical at any thread count. The same specs are pinned
+//! textually by the golden tests in `tests/spec_golden.rs`.
 
 use crate::{Effort, ExperimentResult};
 use mtnet_cellularip::{CipTree, HandoffKind};
@@ -15,12 +18,12 @@ use mtnet_core::handoff::{HandoffFactors, HandoffType};
 use mtnet_core::hierarchy::Hierarchy;
 use mtnet_core::location::LocationDirectory;
 use mtnet_core::report::SimReport;
-use mtnet_core::scenario::{ArchKind, Population, Scenario};
+use mtnet_core::scenario::ArchKind;
+use mtnet_core::spec::ScenarioSpec;
 use mtnet_core::tier::Tier;
 use mtnet_metrics::{fmt_f64, Replicates, Summary, Table};
 use mtnet_net::{Addr, NodeId};
 use mtnet_radio::{CellId, CellKind, PathLoss, SENSITIVITY_DBM};
-use mtnet_sim::rng::replication_seed;
 use mtnet_sim::runner::BatchRunner;
 use mtnet_sim::{RngStream, SimDuration, SimTime};
 
@@ -30,13 +33,6 @@ fn pct(x: f64) -> String {
 
 fn ms(x: f64) -> String {
     format!("{x:.1}ms")
-}
-
-/// The sub-seed for one `(experiment, arm, replication)` tuple. Pure in
-/// its arguments: neither thread scheduling nor how many other arms exist
-/// can perturb a run's random numbers.
-fn arm_seed(master: u64, experiment: &str, arm: &str, rep: u64) -> u64 {
-    replication_seed(master, experiment, arm, rep)
 }
 
 /// Thread-count override for in-process tests. The environment variable
@@ -58,11 +54,227 @@ fn batch_runner() -> BatchRunner {
     BatchRunner::from_env()
 }
 
-/// Runs every `(scenario, secs)` job through the shared worker pool
-/// (`MTNET_THREADS` overrides the width); results come back in submission
-/// order.
-fn run_batch(jobs: Vec<(Scenario, f64)>) -> Vec<SimReport> {
-    batch_runner().run(jobs, |_, (scenario, secs)| scenario.run_secs(secs))
+/// Runs every spec job through the shared worker pool (`MTNET_THREADS`
+/// overrides the width); results come back in submission order.
+fn run_specs(master: u64, specs: Vec<ScenarioSpec>) -> Vec<SimReport> {
+    batch_runner().run(specs, move |_, spec| spec.run(master))
+}
+
+/// The declarative simulation arms of one experiment, in submission
+/// order — the single place each experiment's scenario is defined.
+/// Empty for the analytic E5. The golden test pins these texts; the
+/// sweep engine's families compose the same presets.
+pub fn arm_specs(id: &str, effort: Effort) -> Vec<ScenarioSpec> {
+    match id.to_ascii_uppercase().as_str() {
+        "E1" => {
+            let secs = e1_overlay_secs(effort);
+            e1_arms()
+                .iter()
+                .map(|(label, satellite)| {
+                    let spec = ScenarioSpec::rural_corridor()
+                        .with_duration_s(secs)
+                        .with_seed_path("E1", label, 0);
+                    if *satellite {
+                        spec.with_satellite()
+                    } else {
+                        spec
+                    }
+                })
+                .collect()
+        }
+        "E2" => e2_arms()
+            .iter()
+            .map(|&arch| {
+                ScenarioSpec::commute_corridor()
+                    .with_arch(arch)
+                    .with_duration_s(effort.secs(300.0))
+                    .with_seed_path("E2", arch.label(), 0)
+            })
+            .collect(),
+        "E3" => e3_periods()
+            .iter()
+            .map(|&period_ms| {
+                ScenarioSpec::single_domain()
+                    .with_arch(ArchKind::FlatCellularIp)
+                    .with_route_update_ms(period_ms)
+                    .with_duration_s(effort.secs(300.0))
+                    .with_seed_path("E3", &format!("{period_ms}ms"), 0)
+            })
+            .collect(),
+        "E4" => e4_arms()
+            .iter()
+            .map(|(label, arch)| {
+                ScenarioSpec::single_domain()
+                    .with_arch(*arch)
+                    .with_duration_s(effort.secs(400.0))
+                    .with_seed_path("E4", label, 0)
+            })
+            .collect(),
+        "E5" => Vec::new(),
+        "E6" => {
+            let arch = ArchKind::multi_tier();
+            vec![ScenarioSpec::commute_corridor()
+                .with_arch(arch)
+                .with_duration_s(effort.secs(500.0))
+                .with_seed_path("E6", arch.label(), 0)]
+        }
+        "E7" => {
+            let arch = ArchKind::multi_tier();
+            vec![ScenarioSpec::commute_corridor()
+                .with_arch(arch)
+                .without_shared_upper()
+                .with_duration_s(effort.secs(500.0))
+                .with_seed_path("E7", arch.label(), 0)]
+        }
+        "E8" => {
+            let arch = ArchKind::multi_tier();
+            vec![ScenarioSpec::small_city()
+                .with_arch(arch)
+                .with_population(6, 3, 2)
+                .with_duration_s(effort.secs(600.0))
+                .with_seed_path("E8", arch.label(), 0)]
+        }
+        "E9" => e9_arms()
+            .iter()
+            .map(|&arch| {
+                ScenarioSpec::small_city()
+                    .with_arch(arch)
+                    .with_duration_s(effort.secs(300.0))
+                    .with_seed_path("E9", arch.label(), 0)
+            })
+            .collect(),
+        "E10" => {
+            let mut specs = Vec::new();
+            for arch in e10_arms() {
+                for rep in 0..effort.replications() {
+                    specs.push(
+                        ScenarioSpec::small_city()
+                            .with_arch(arch)
+                            .with_duration_s(effort.secs(300.0))
+                            .with_seed_path("E10", arch.label(), rep),
+                    );
+                }
+            }
+            specs
+        }
+        "E11" => {
+            let mut specs = Vec::new();
+            for (pname, pop) in e11_populations() {
+                for arch in e11_arms() {
+                    for rep in 0..effort.replications() {
+                        let arm = format!("{pname}/{}", arch.label());
+                        specs.push(
+                            ScenarioSpec::small_city()
+                                .with_arch(arch)
+                                .with_population(pop.0, pop.1, pop.2)
+                                .with_duration_s(effort.secs(300.0))
+                                .with_seed_path("E11", &arm, rep),
+                        );
+                    }
+                }
+            }
+            specs
+        }
+        "E12" => e12_arms()
+            .iter()
+            .map(|(label, factors)| {
+                ScenarioSpec::small_city()
+                    .with_population(6, 3, 3)
+                    .with_factors(*factors)
+                    .with_duration_s(effort.secs(300.0))
+                    .with_seed_path("E12", label, 0)
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// E1's arms: `(label, satellite overlay?)`.
+fn e1_arms() -> [(&'static str, bool); 2] {
+    [("terrestrial only", false), ("with satellite", true)]
+}
+
+/// E2's arms: triangle-routing baseline vs the optimized architecture.
+fn e2_arms() -> [ArchKind; 2] {
+    [ArchKind::PureMobileIp, ArchKind::multi_tier()]
+}
+
+/// E3's route-update periods, ms.
+fn e3_periods() -> [u64; 5] {
+    [500, 1000, 2000, 4000, 8000]
+}
+
+/// E4's measured arms.
+fn e4_arms() -> [(&'static str, ArchKind); 2] {
+    [
+        ("hard", ArchKind::multi_tier_hard()),
+        ("semisoft", ArchKind::multi_tier()),
+    ]
+}
+
+/// E9's arms: RSMC on vs off.
+fn e9_arms() -> [ArchKind; 2] {
+    [ArchKind::multi_tier(), ArchKind::multi_tier_no_rsmc()]
+}
+
+/// E10's arms: the proposal vs both baselines.
+fn e10_arms() -> [ArchKind; 3] {
+    [
+        ArchKind::multi_tier(),
+        ArchKind::PureMobileIp,
+        ArchKind::FlatCellularIp,
+    ]
+}
+
+/// E11's populations: `(label, (pedestrians, cyclists, vehicles))`.
+fn e11_populations() -> [(&'static str, (u32, u32, u32)); 3] {
+    [
+        ("pedestrians", (8, 0, 0)),
+        ("cyclists", (0, 8, 0)),
+        ("vehicles", (0, 0, 4)),
+    ]
+}
+
+/// E11's architecture arms.
+fn e11_arms() -> [ArchKind; 4] {
+    [
+        ArchKind::multi_tier(),
+        ArchKind::multi_tier_hard(),
+        ArchKind::PureMobileIp,
+        ArchKind::FlatCellularIp,
+    ]
+}
+
+/// E12's factor-ablation arms.
+fn e12_arms() -> [(&'static str, HandoffFactors); 5] {
+    [
+        ("all three (paper)", HandoffFactors::all()),
+        ("signal only", HandoffFactors::signal_only()),
+        (
+            "no speed",
+            HandoffFactors {
+                speed: false,
+                signal: true,
+                resources: true,
+            },
+        ),
+        (
+            "no signal",
+            HandoffFactors {
+                speed: true,
+                signal: false,
+                resources: true,
+            },
+        ),
+        (
+            "no resources",
+            HandoffFactors {
+                speed: true,
+                signal: true,
+                resources: false,
+            },
+        ),
+    ]
 }
 
 /// Total event count and bit-exact per-run fingerprints for an
@@ -151,21 +363,10 @@ pub fn e1_multitier_coverage(effort: Effort, seed: u64) -> ExperimentResult {
     // must cover the first traversal (t ≈ 104–224 s) for the overlay to
     // have anything to rescue — hence the 240 s floor.
     let secs = e1_overlay_secs(effort);
-    let arms = [("terrestrial only", false), ("with satellite", true)];
-    let jobs = arms
-        .iter()
-        .map(|(label, satellite)| {
-            let mut s = Scenario::rural_corridor(arm_seed(seed, "E1", label, 0));
-            if *satellite {
-                s = s.with_satellite();
-            }
-            (s, secs)
-        })
-        .collect();
-    let reports = run_batch(jobs);
+    let reports = run_specs(seed, arm_specs("E1", effort));
     let (events, fingerprints) = digest(&reports);
     let mut sat = Table::new(["overlay", "loss", "outage samples", "inter-domain handoffs"]);
-    for ((label, _), r) in arms.iter().zip(&reports) {
+    for ((label, _), r) in e1_arms().iter().zip(&reports) {
         let inter: u64 = r
             .handoffs
             .completed
@@ -203,16 +404,7 @@ pub fn e1_multitier_coverage(effort: Effort, seed: u64) -> ExperimentResult {
 /// triangle-routing penalty, against the RSMC-optimized path.
 pub fn e2_mobileip(effort: Effort, seed: u64) -> ExperimentResult {
     let secs = effort.secs(300.0);
-    let arms = [ArchKind::PureMobileIp, ArchKind::multi_tier()];
-    let jobs = arms
-        .iter()
-        .map(|&arch| {
-            let s =
-                Scenario::commute_corridor(arm_seed(seed, "E2", arch.label(), 0)).with_arch(arch);
-            (s, secs)
-        })
-        .collect();
-    let mut reports = run_batch(jobs);
+    let mut reports = run_specs(seed, arm_specs("E2", effort));
     let (events, fingerprints) = digest(&reports);
     let multi = reports.pop().expect("two arms");
     let pure = reports.pop().expect("two arms");
@@ -268,19 +460,9 @@ pub fn e3_cip_routing(effort: Effort, seed: u64) -> ExperimentResult {
         "no-route drops",
         "paging drops",
     ]);
-    let periods = [500u64, 1000, 2000, 4000, 8000];
-    let jobs = periods
-        .iter()
-        .map(|&period_ms| {
-            let s = Scenario::single_domain(arm_seed(seed, "E3", &format!("{period_ms}ms"), 0))
-                .with_arch(ArchKind::FlatCellularIp)
-                .with_route_update(SimDuration::from_millis(period_ms));
-            (s, secs)
-        })
-        .collect();
-    let reports = run_batch(jobs);
+    let reports = run_specs(seed, arm_specs("E3", effort));
     let (events, fingerprints) = digest(&reports);
-    for (&period_ms, r) in periods.iter().zip(&reports) {
+    for (&period_ms, r) in e3_periods().iter().zip(&reports) {
         let q = r.aggregate_qos();
         let drops = |c| r.drops.get(&c).copied().unwrap_or(0);
         t.row([
@@ -355,20 +537,9 @@ pub fn e4_cip_handoff(effort: Effort, seed: u64) -> ExperimentResult {
         "lost pkts",
         "duplicates (bicast cost)",
     ]);
-    let arms = [
-        ("hard", ArchKind::multi_tier_hard()),
-        ("semisoft", ArchKind::multi_tier()),
-    ];
-    let jobs = arms
-        .iter()
-        .map(|(label, arch)| {
-            let s = Scenario::single_domain(arm_seed(seed, "E4", label, 0)).with_arch(*arch);
-            (s, secs)
-        })
-        .collect();
-    let reports = run_batch(jobs);
+    let reports = run_specs(seed, arm_specs("E4", effort));
     let (events, fingerprints) = digest(&reports);
-    for ((label, _), r) in arms.iter().zip(&reports) {
+    for ((label, _), r) in e4_arms().iter().zip(&reports) {
         let q = r.aggregate_qos();
         measured.row([
             label.to_string(),
@@ -535,13 +706,13 @@ fn handoff_table(r: &SimReport) -> Table {
 /// BS: the update travels over the shared BS, not the home network.
 pub fn e6_interdomain_same(effort: Effort, seed: u64) -> ExperimentResult {
     let secs = effort.secs(500.0);
-    let arch = ArchKind::multi_tier();
-    let r = Scenario::commute_corridor(arm_seed(seed, "E6", arch.label(), 0)).run_secs(secs);
-    let (events, fingerprints) = digest(std::slice::from_ref(&r));
+    let reports = run_specs(seed, arm_specs("E6", effort));
+    let r = &reports[0];
+    let (events, fingerprints) = digest(&reports);
     ExperimentResult {
         id: "E6",
         title: "Fig 3.2 — inter-domain handoff, same upper BS",
-        tables: vec![(format!("2 domains sharing an upper BS, {secs:.0}s"), handoff_table(&r))],
+        tables: vec![(format!("2 domains sharing an upper BS, {secs:.0}s"), handoff_table(r))],
         notes: vec![
             "expected shape: inter-domain (same upper) latency well below the different-upper case of E7 — no home-network round trip".into(),
         ],
@@ -555,15 +726,13 @@ pub fn e6_interdomain_same(effort: Effort, seed: u64) -> ExperimentResult {
 /// update detours via the home network.
 pub fn e7_interdomain_diff(effort: Effort, seed: u64) -> ExperimentResult {
     let secs = effort.secs(500.0);
-    let arch = ArchKind::multi_tier();
-    let r = Scenario::commute_corridor(arm_seed(seed, "E7", arch.label(), 0))
-        .without_shared_upper()
-        .run_secs(secs);
-    let (events, fingerprints) = digest(std::slice::from_ref(&r));
+    let reports = run_specs(seed, arm_specs("E7", effort));
+    let r = &reports[0];
+    let (events, fingerprints) = digest(&reports);
     ExperimentResult {
         id: "E7",
         title: "Fig 3.3 — inter-domain handoff, different upper BS",
-        tables: vec![(format!("2 domains with separate upper BSs, {secs:.0}s"), handoff_table(&r))],
+        tables: vec![(format!("2 domains with separate upper BSs, {secs:.0}s"), handoff_table(r))],
         notes: vec![
             "expected shape: different-upper latency includes the home-network round trip (tens of ms of WAN)".into(),
         ],
@@ -576,19 +745,13 @@ pub fn e7_interdomain_diff(effort: Effort, seed: u64) -> ExperimentResult {
 /// E8 — Fig 3.4: the three intra-domain handoff cases.
 pub fn e8_intradomain(effort: Effort, seed: u64) -> ExperimentResult {
     let secs = effort.secs(600.0);
-    let arch = ArchKind::multi_tier();
-    let r = Scenario::small_city(arm_seed(seed, "E8", arch.label(), 0))
-        .with_population(Population {
-            pedestrians: 6,
-            vehicles: 2,
-            cyclists: 3,
-        })
-        .run_secs(secs);
-    let (events, fingerprints) = digest(std::slice::from_ref(&r));
+    let reports = run_specs(seed, arm_specs("E8", effort));
+    let r = &reports[0];
+    let (events, fingerprints) = digest(&reports);
     ExperimentResult {
         id: "E8",
         title: "Fig 3.4 — intra-domain handoffs (macro→micro, micro→macro, micro→micro)",
-        tables: vec![(format!("small city, mixed population, {secs:.0}s"), handoff_table(&r))],
+        tables: vec![(format!("small city, mixed population, {secs:.0}s"), handoff_table(r))],
         notes: vec![
             "expected shape: all intra cases complete within the access network (≈ semisoft delay + tree climb), far below inter-domain costs".into(),
         ],
@@ -611,17 +774,9 @@ pub fn e9_rsmc(effort: Effort, seed: u64) -> ExperimentResult {
         "no-route drops",
         "paging drops",
     ]);
-    let archs = [ArchKind::multi_tier(), ArchKind::multi_tier_no_rsmc()];
-    let jobs = archs
-        .iter()
-        .map(|&arch| {
-            let s = Scenario::small_city(arm_seed(seed, "E9", arch.label(), 0)).with_arch(arch);
-            (s, secs)
-        })
-        .collect();
-    let reports = run_batch(jobs);
+    let reports = run_specs(seed, arm_specs("E9", effort));
     let (events, fingerprints) = digest(&reports);
-    for (&arch, r) in archs.iter().zip(&reports) {
+    for (&arch, r) in e9_arms().iter().zip(&reports) {
         let q = r.aggregate_qos();
         let drops = |c| r.drops.get(&c).copied().unwrap_or(0);
         t.row([
@@ -652,22 +807,11 @@ pub fn e9_rsmc(effort: Effort, seed: u64) -> ExperimentResult {
 pub fn e10_qos(effort: Effort, seed: u64) -> ExperimentResult {
     let secs = effort.secs(300.0);
     let reps = effort.replications();
-    let archs = [
-        ArchKind::multi_tier(),
-        ArchKind::PureMobileIp,
-        ArchKind::FlatCellularIp,
-    ];
+    let archs = e10_arms();
     // All (architecture, replication) runs fan out in one batch; each gets
     // its own (E10, arch, rep)-derived seed, so results are independent of
     // how the pool schedules them.
-    let mut jobs = Vec::new();
-    for arch in archs {
-        for rep in 0..reps {
-            let s = Scenario::small_city(arm_seed(seed, "E10", arch.label(), rep)).with_arch(arch);
-            jobs.push((s, secs));
-        }
-    }
-    let reports = run_batch(jobs);
+    let reports = run_specs(seed, arm_specs("E10", effort));
     let (events, fingerprints) = digest(&reports);
     let mut t = Table::new([
         "architecture",
@@ -723,54 +867,12 @@ pub fn e10_qos(effort: Effort, seed: u64) -> ExperimentResult {
 /// across population speeds.
 pub fn e11_loss(effort: Effort, seed: u64) -> ExperimentResult {
     let secs = effort.secs(300.0);
-    let populations = [
-        (
-            "pedestrians",
-            Population {
-                pedestrians: 8,
-                vehicles: 0,
-                cyclists: 0,
-            },
-        ),
-        (
-            "cyclists",
-            Population {
-                pedestrians: 0,
-                vehicles: 0,
-                cyclists: 8,
-            },
-        ),
-        (
-            "vehicles",
-            Population {
-                pedestrians: 0,
-                vehicles: 4,
-                cyclists: 0,
-            },
-        ),
-    ];
-    let archs = [
-        ArchKind::multi_tier(),
-        ArchKind::multi_tier_hard(),
-        ArchKind::PureMobileIp,
-        ArchKind::FlatCellularIp,
-    ];
+    let populations = e11_populations();
+    let archs = e11_arms();
     let reps = effort.replications();
     // One job per (population, architecture, replication); the arm label
     // in the seed path carries both the population and the architecture.
-    let mut jobs = Vec::new();
-    for (pname, pop) in populations {
-        for arch in archs {
-            for rep in 0..reps {
-                let arm = format!("{pname}/{}", arch.label());
-                let s = Scenario::small_city(arm_seed(seed, "E11", &arm, rep))
-                    .with_arch(arch)
-                    .with_population(pop);
-                jobs.push((s, secs));
-            }
-        }
-    }
-    let reports = run_batch(jobs);
+    let reports = run_specs(seed, arm_specs("E11", effort));
     let (events, fingerprints) = digest(&reports);
     let mut t = Table::new([
         "population",
@@ -822,34 +924,6 @@ pub fn e11_loss(effort: Effort, seed: u64) -> ExperimentResult {
 /// E12 — §3.2 ablation: which of the three handoff factors matter.
 pub fn e12_ablation(effort: Effort, seed: u64) -> ExperimentResult {
     let secs = effort.secs(300.0);
-    let arms: [(&str, HandoffFactors); 5] = [
-        ("all three (paper)", HandoffFactors::all()),
-        ("signal only", HandoffFactors::signal_only()),
-        (
-            "no speed",
-            HandoffFactors {
-                speed: false,
-                signal: true,
-                resources: true,
-            },
-        ),
-        (
-            "no signal",
-            HandoffFactors {
-                speed: true,
-                signal: false,
-                resources: true,
-            },
-        ),
-        (
-            "no resources",
-            HandoffFactors {
-                speed: true,
-                signal: true,
-                resources: false,
-            },
-        ),
-    ];
     let mut t = Table::new([
         "factors",
         "handoffs",
@@ -859,22 +933,9 @@ pub fn e12_ablation(effort: Effort, seed: u64) -> ExperimentResult {
         "outages",
         "loss",
     ]);
-    let jobs = arms
-        .iter()
-        .map(|(label, factors)| {
-            let s = Scenario::small_city(arm_seed(seed, "E12", label, 0))
-                .with_population(Population {
-                    pedestrians: 6,
-                    vehicles: 3,
-                    cyclists: 3,
-                })
-                .with_factors(*factors);
-            (s, secs)
-        })
-        .collect();
-    let reports = run_batch(jobs);
+    let reports = run_specs(seed, arm_specs("E12", effort));
     let (events, fingerprints) = digest(&reports);
-    for ((label, _), r) in arms.iter().zip(&reports) {
+    for ((label, _), r) in e12_arms().iter().zip(&reports) {
         let q = r.aggregate_qos();
         t.row([
             label.to_string(),
@@ -933,11 +994,10 @@ mod tests {
         // the with/without loss delta is nonzero.
         let secs = e1_overlay_secs(Effort::Quick);
         assert!(secs >= 240.0, "Quick horizon too short to reach the hole");
-        let terrestrial =
-            Scenario::rural_corridor(arm_seed(42, "E1", "terrestrial only", 0)).run_secs(secs);
-        let satellite = Scenario::rural_corridor(arm_seed(42, "E1", "with satellite", 0))
-            .with_satellite()
-            .run_secs(secs);
+        let [terrestrial_spec, satellite_spec] =
+            <[ScenarioSpec; 2]>::try_from(arm_specs("E1", Effort::Quick)).expect("two arms");
+        let terrestrial = terrestrial_spec.run(42);
+        let satellite = satellite_spec.run(42);
         assert!(
             terrestrial.handoffs.outage_samples > 0,
             "the macro hole was never hit"
@@ -953,13 +1013,26 @@ mod tests {
     }
 
     #[test]
-    fn arm_seeds_are_distinct_and_stable() {
-        let a = arm_seed(42, "E10", "multi-tier+rsmc", 0);
-        assert_eq!(a, arm_seed(42, "E10", "multi-tier+rsmc", 0));
-        assert_ne!(a, arm_seed(42, "E10", "multi-tier+rsmc", 1));
-        assert_ne!(a, arm_seed(42, "E10", "pure-mobile-ip", 0));
-        assert_ne!(a, arm_seed(42, "E11", "multi-tier+rsmc", 0));
-        assert_ne!(a, arm_seed(43, "E10", "multi-tier+rsmc", 0));
+    fn arm_spec_seeds_are_distinct_and_stable() {
+        // Every simulation arm across the whole suite resolves to a
+        // distinct world seed, and the derivation matches the historical
+        // (experiment, arm, replication) convention.
+        use mtnet_sim::rng::replication_seed;
+        let mut seen = std::collections::HashMap::new();
+        for id in crate::ALL_IDS {
+            for (i, spec) in arm_specs(id, Effort::Quick).iter().enumerate() {
+                let seed = spec.resolve_seed(42);
+                if let Some(prev) = seen.insert(seed, (id, i)) {
+                    panic!("seed collision: {id}[{i}] vs {prev:?}");
+                }
+            }
+        }
+        let e2 = &arm_specs("E2", Effort::Quick)[0];
+        assert_eq!(
+            e2.resolve_seed(42),
+            replication_seed(42, "E2", "pure-mobile-ip", 0)
+        );
+        assert_ne!(e2.resolve_seed(42), e2.resolve_seed(43));
     }
 
     #[test]

@@ -5,12 +5,17 @@
 //! binary (full-length runs, printed tables recorded in `EXPERIMENTS.md`)
 //! and the Criterion benches (short smoke-length runs).
 //!
-//! Every experiment's arms and replications execute **concurrently**
-//! through `mtnet_sim::runner::BatchRunner` (set `MTNET_THREADS=1` to
-//! force the sequential path), with per-run sub-seeds derived from the
-//! `(experiment, architecture, replication)` path via
-//! `mtnet_sim::rng::SeedTree` — so the printed tables are byte-identical
-//! at any thread count.
+//! Every experiment's arms and replications are declarative
+//! `mtnet_core::spec::ScenarioSpec`s (see [`experiments::arm_specs`])
+//! executed **concurrently** through `mtnet_sim::runner::BatchRunner`
+//! (set `MTNET_THREADS=1` to force the sequential path), with per-run
+//! sub-seeds derived from the `(experiment, architecture, replication)`
+//! path via `mtnet_sim::rng::SeedTree` — so the printed tables are
+//! byte-identical at any thread count.
+//!
+//! Beyond the fixed suite, the [`sweep`] module (and `sweep` binary)
+//! expands axis grids over any spec key and resumes interrupted or
+//! extended sweeps from the content-addressed [`store`].
 //!
 //! | id  | paper artifact | runner |
 //! |-----|----------------|--------|
@@ -31,7 +36,10 @@
 #![warn(missing_docs)]
 
 pub mod benchjson;
+pub mod cli;
 pub mod experiments;
+pub mod store;
+pub mod sweep;
 
 use mtnet_metrics::Table;
 

@@ -1,0 +1,383 @@
+//! Content-addressed, resumable on-disk result store for sweeps.
+//!
+//! One completed sweep cell = one file under the store directory, named
+//! by [`ResultStore::key`] — a 64-bit FNV-1a hash of the cell's
+//! **canonical spec text** (see `ScenarioSpec::render`) plus the master
+//! seed. Since the canonical text covers every field that can influence
+//! a run (geometry, population, traffic, protocol knobs, duration, seed
+//! path), two cells share a slot **iff** they would produce the same
+//! report — so re-invoking an interrupted or extended sweep recomputes
+//! only the cells that are actually missing.
+//!
+//! A stored cell carries the run's identity, its bit-exact
+//! `SimReport::fingerprint`, and a fixed set of extracted metrics with
+//! floats serialized as IEEE-754 bit patterns — a loaded cell therefore
+//! renders **byte-identically** to the run that produced it, and equals
+//! a direct (storeless) run of the same spec (asserted by
+//! `tests/sweep_store.rs`). Loads verify the stored spec text and master
+//! seed before trusting a slot, so a hash collision degrades to a
+//! recompute, never a wrong result.
+
+use mtnet_core::report::SimReport;
+use mtnet_core::spec::ScenarioSpec;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One extracted metric value: exact counters or bit-exact floats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A counter.
+    U(u64),
+    /// A float, serialized as its IEEE-754 bit pattern.
+    F(f64),
+}
+
+impl MetricValue {
+    /// The value as `f64` (counters converted).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            MetricValue::U(v) => v as f64,
+            MetricValue::F(v) => v,
+        }
+    }
+
+    fn render(self) -> String {
+        match self {
+            MetricValue::U(v) => format!("u {v}"),
+            MetricValue::F(v) => format!("f {:016x} # {v:?}", v.to_bits()),
+        }
+    }
+
+    fn parse(text: &str) -> Option<MetricValue> {
+        let text = text.split('#').next()?.trim();
+        let (kind, value) = text.split_once(' ')?;
+        match kind {
+            "u" => value.trim().parse().ok().map(MetricValue::U),
+            "f" => u64::from_str_radix(value.trim(), 16)
+                .ok()
+                .map(|bits| MetricValue::F(f64::from_bits(bits))),
+            _ => None,
+        }
+    }
+}
+
+/// The fixed metric surface extracted from every stored run — everything
+/// the sweep tables render, in a stable order.
+pub fn extract_metrics(report: &SimReport) -> Vec<(&'static str, MetricValue)> {
+    let q = report.aggregate_qos();
+    let h = &report.handoffs;
+    let drops = |c| report.drops.get(&c).copied().unwrap_or(0);
+    use mtnet_core::report::DropCause;
+    vec![
+        ("sent", MetricValue::U(q.sent)),
+        ("received", MetricValue::U(q.received)),
+        ("duplicates", MetricValue::U(q.duplicates)),
+        ("loss_rate", MetricValue::F(q.loss_rate)),
+        ("mean_delay_ms", MetricValue::F(q.mean_delay_ms)),
+        ("p95_delay_ms", MetricValue::F(q.p95_delay_ms)),
+        ("jitter_ms", MetricValue::F(q.jitter_ms)),
+        ("handoffs", MetricValue::U(h.total())),
+        ("handoff_latency_ms", MetricValue::F(h.latency_all().mean())),
+        ("ping_pong", MetricValue::U(h.ping_pong)),
+        ("rejected", MetricValue::U(h.rejected)),
+        ("fallback_used", MetricValue::U(h.fallback_used)),
+        ("outage_samples", MetricValue::U(h.outage_samples)),
+        (
+            "signaling_msgs",
+            MetricValue::U(report.signaling.total_messages()),
+        ),
+        (
+            "route_updates",
+            MetricValue::U(report.signaling.route_updates),
+        ),
+        (
+            "page_messages",
+            MetricValue::U(report.signaling.page_messages),
+        ),
+        ("drops_no_route", MetricValue::U(drops(DropCause::NoRoute))),
+        ("drops_paging", MetricValue::U(drops(DropCause::Paging))),
+        ("drops_outage", MetricValue::U(drops(DropCause::Outage))),
+        ("calls_accepted", MetricValue::U(report.calls_accepted)),
+        ("calls_blocked", MetricValue::U(report.calls_blocked)),
+        ("events", MetricValue::U(report.events_processed)),
+    ]
+}
+
+/// One completed sweep cell as stored on disk: the run's identity, its
+/// extracted metric surface and bit-exact fingerprint, plus the exact
+/// `(spec text, master seed)` pair it was computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRun {
+    /// Cell label (axis assignments + replication).
+    pub label: String,
+    /// The resolved world seed the run used.
+    pub seed: u64,
+    /// Replication index.
+    pub replication: u64,
+    /// Master seed the sweep ran under.
+    pub master_seed: u64,
+    /// Canonical spec text of the cell (the content address, with
+    /// `master_seed`).
+    pub spec_text: String,
+    /// Bit-exact `SimReport::fingerprint` of the run.
+    pub fingerprint: String,
+    /// Extracted metrics in [`extract_metrics`] order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+/// Header line of the store file format.
+const RUN_HEADER: &str = "mtnet-run v1";
+
+impl StoredRun {
+    /// Captures a finished run.
+    pub fn from_report(
+        label: &str,
+        spec: &ScenarioSpec,
+        master_seed: u64,
+        report: &SimReport,
+    ) -> StoredRun {
+        StoredRun {
+            label: label.into(),
+            seed: spec.resolve_seed(master_seed),
+            replication: spec.seed.replication(),
+            master_seed,
+            spec_text: spec.render(),
+            fingerprint: report.fingerprint(),
+            metrics: extract_metrics(report)
+                .into_iter()
+                .map(|(name, v)| (name.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// Looks up one metric by name.
+    pub fn metric(&self, name: &str) -> Option<MetricValue> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serializes to the store file format.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{RUN_HEADER}");
+        let _ = writeln!(out, "label = {}", self.label);
+        let _ = writeln!(out, "seed = {:016x}", self.seed);
+        let _ = writeln!(out, "replication = {}", self.replication);
+        let _ = writeln!(out, "master_seed = {}", self.master_seed);
+        for (name, value) in &self.metrics {
+            let _ = writeln!(out, "metric {name} = {}", value.render());
+        }
+        for line in self.spec_text.lines() {
+            let _ = writeln!(out, "spec | {line}");
+        }
+        for line in self.fingerprint.lines() {
+            let _ = writeln!(out, "fp | {line}");
+        }
+        out
+    }
+
+    /// Parses the store file format.
+    pub fn parse(text: &str) -> Result<StoredRun, String> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(RUN_HEADER) {
+            return Err(format!("missing {RUN_HEADER:?} header"));
+        }
+        let mut run = StoredRun {
+            label: String::new(),
+            seed: 0,
+            replication: 0,
+            master_seed: 0,
+            spec_text: String::new(),
+            fingerprint: String::new(),
+            metrics: Vec::new(),
+        };
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("spec | ") {
+                run.spec_text.push_str(rest);
+                run.spec_text.push('\n');
+            } else if let Some(rest) = line.strip_prefix("fp | ") {
+                run.fingerprint.push_str(rest);
+                run.fingerprint.push('\n');
+            } else if let Some(rest) = line.strip_prefix("metric ") {
+                let (name, value) = rest
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad metric line {line:?}"))?;
+                let value = MetricValue::parse(value.trim())
+                    .ok_or_else(|| format!("bad metric value {line:?}"))?;
+                run.metrics.push((name.trim().to_string(), value));
+            } else if let Some((key, value)) = line.split_once('=') {
+                let value = value.trim();
+                match key.trim() {
+                    "label" => run.label = value.to_string(),
+                    "seed" => {
+                        run.seed = u64::from_str_radix(value, 16)
+                            .map_err(|_| format!("bad seed {value:?}"))?;
+                    }
+                    "replication" => {
+                        run.replication = value
+                            .parse()
+                            .map_err(|_| format!("bad replication {value:?}"))?;
+                    }
+                    "master_seed" => {
+                        run.master_seed = value
+                            .parse()
+                            .map_err(|_| format!("bad master_seed {value:?}"))?;
+                    }
+                    other => return Err(format!("unknown key {other:?}")),
+                }
+            } else if !line.trim().is_empty() {
+                return Err(format!("unparseable line {line:?}"));
+            }
+        }
+        Ok(run)
+    }
+}
+
+/// The on-disk store: a directory of `<key>.run` files.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content address of a `(canonical spec text, master seed)`
+    /// pair: 16 hex digits of FNV-1a 64.
+    pub fn key(spec_text: &str, master_seed: u64) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut absorb = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        absorb(spec_text.as_bytes());
+        absorb(&master_seed.to_le_bytes());
+        format!("{h:016x}")
+    }
+
+    /// The file path a key maps to.
+    pub fn path_of(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.run"))
+    }
+
+    /// Loads the stored run for a spec, verifying the slot really holds
+    /// this `(spec text, master seed)` pair (collisions and corrupt
+    /// files degrade to a miss, i.e. a recompute).
+    pub fn load(&self, spec_text: &str, master_seed: u64) -> Option<StoredRun> {
+        let path = self.path_of(&Self::key(spec_text, master_seed));
+        let text = std::fs::read_to_string(path).ok()?;
+        let run = StoredRun::parse(&text).ok()?;
+        (run.spec_text == spec_text && run.master_seed == master_seed).then_some(run)
+    }
+
+    /// Persists a completed run under its content address. The write goes
+    /// through a temporary file + rename, so a killed sweep never leaves
+    /// a half-written slot that a resume would half-trust.
+    pub fn save(&self, run: &StoredRun) -> io::Result<PathBuf> {
+        let key = Self::key(&run.spec_text, run.master_seed);
+        let path = self.path_of(&key);
+        let tmp = self.dir.join(format!("{key}.tmp"));
+        std::fs::write(&tmp, run.render())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Number of completed cells currently stored.
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "run"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// True when no cells are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> ResultStore {
+        let dir =
+            std::env::temp_dir().join(format!("mtnet-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultStore::open(dir).expect("temp store")
+    }
+
+    fn sample_run() -> StoredRun {
+        let spec = ScenarioSpec::commute_corridor()
+            .with_duration_s(10.0)
+            .with_seed_path("store-test", "arm", 1);
+        let report = spec.run(42);
+        StoredRun::from_report("arm rep=1", &spec, 42, &report)
+    }
+
+    #[test]
+    fn stored_run_roundtrips() {
+        let run = sample_run();
+        let back = StoredRun::parse(&run.render()).expect("parse back");
+        assert_eq!(back, run);
+        // The float metrics are bit-exact across the round trip.
+        let loss = run.metric("loss_rate").unwrap().as_f64();
+        assert_eq!(
+            back.metric("loss_rate").unwrap().as_f64().to_bits(),
+            loss.to_bits()
+        );
+    }
+
+    #[test]
+    fn store_load_verifies_content() {
+        let store = tmp_store("verify");
+        let run = sample_run();
+        store.save(&run).expect("save");
+        assert_eq!(store.len(), 1);
+        let hit = store.load(&run.spec_text, 42).expect("hit");
+        assert_eq!(hit, run);
+        // Same key file, different master seed: must miss.
+        assert!(store.load(&run.spec_text, 43).is_none());
+        // Different spec text: must miss.
+        assert!(store.load("mtnet-spec v1\n", 42).is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn keys_are_stable_and_content_sensitive() {
+        let a = ResultStore::key("text", 1);
+        assert_eq!(a, ResultStore::key("text", 1));
+        assert_ne!(a, ResultStore::key("text", 2));
+        assert_ne!(a, ResultStore::key("other", 1));
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn corrupt_slot_degrades_to_miss() {
+        let store = tmp_store("corrupt");
+        let run = sample_run();
+        let path = store.save(&run).expect("save");
+        std::fs::write(&path, "garbage").expect("corrupt");
+        assert!(store.load(&run.spec_text, 42).is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

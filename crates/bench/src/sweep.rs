@@ -1,0 +1,361 @@
+//! The parameter-sweep engine: grid/list expansion of scenario-spec axes
+//! fanned through the parallel batch runner, backed by the resumable
+//! [`crate::store::ResultStore`].
+//!
+//! A sweep is a base [`ScenarioSpec`] (a named family or a parsed spec
+//! file) plus a list of **axes** — `key=v1,v2,…` assignments over any
+//! key the spec text format names (see `ScenarioSpec::set`). Cells are
+//! the Cartesian product of the axes times the replication count; each
+//! cell's seed is derived from the `["sweep", family, assignments]` path
+//! (`mtnet_sim::rng::seed_for_path`), so a cell's random numbers depend
+//! only on its own coordinates — never on which other cells the sweep
+//! happens to contain, which is what makes grid *extension* resumable:
+//! old cells keep their store slots, new cells compute fresh.
+//!
+//! Numeric axes support range syntax `lo..hi..step` (inclusive ends,
+//! integer steps), e.g. `domains=1..4..1`.
+
+use crate::store::{MetricValue, ResultStore, StoredRun};
+use crate::Effort;
+use mtnet_core::spec::{ScenarioSpec, SeedSpec};
+use mtnet_metrics::Table;
+use mtnet_sim::runner::BatchRunner;
+
+/// One sweep axis: a spec key and the values it takes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axis {
+    /// A key of the spec text format (`arch`, `domains`, …).
+    pub key: String,
+    /// The values the axis enumerates, in order.
+    pub values: Vec<String>,
+}
+
+/// Parses an `--axis` argument: `key=v1,v2,…` or `key=lo..hi..step`.
+pub fn parse_axis(arg: &str) -> Result<Axis, String> {
+    let (key, values) = arg
+        .split_once('=')
+        .ok_or_else(|| format!("axis {arg:?} is not key=v1,v2,…"))?;
+    let key = key.trim();
+    if key.is_empty() {
+        return Err(format!("axis {arg:?} has an empty key"));
+    }
+    let values = values.trim();
+    let expanded: Vec<String> = if let Some((lo, rest)) = values.split_once("..") {
+        // Range syntax lo..hi..step over integers, both ends inclusive.
+        let (hi, step) = rest.split_once("..").unwrap_or((rest, "1"));
+        let parse = |s: &str, what| {
+            s.trim()
+                .parse::<i64>()
+                .map_err(|_| format!("axis {arg:?}: {what} {s:?} is not an integer"))
+        };
+        let (lo, hi, step) = (parse(lo, "start")?, parse(hi, "end")?, parse(step, "step")?);
+        if step <= 0 {
+            return Err(format!("axis {arg:?}: step must be positive"));
+        }
+        (lo..=hi)
+            .step_by(step as usize)
+            .map(|v| v.to_string())
+            .collect()
+    } else {
+        values
+            .split(',')
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty())
+            .collect()
+    };
+    if expanded.is_empty() {
+        return Err(format!("axis {arg:?} has no values"));
+    }
+    Ok(Axis {
+        key: key.to_string(),
+        values: expanded,
+    })
+}
+
+/// A fully-described sweep: base spec, axes, replication count, effort.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Family name (labels, seed paths, summary lines).
+    pub family: String,
+    /// The spec every cell starts from. Its `duration_s` is scaled by
+    /// [`SweepPlan::effort`] after axis assignment.
+    pub base: ScenarioSpec,
+    /// Grid axes; empty means a single cell (the base itself).
+    pub axes: Vec<Axis>,
+    /// Independent replications per grid point (≥ 1).
+    pub replications: u64,
+    /// Duration scaling applied to every cell.
+    pub effort: Effort,
+}
+
+/// One expanded cell: the axis assignments and the ready-to-run spec.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// `key=value` assignments in axis order.
+    pub assignments: Vec<(String, String)>,
+    /// Replication index.
+    pub replication: u64,
+    /// Display / store label: assignments plus `rep=n`.
+    pub label: String,
+    /// The cell's spec (assignments applied, duration scaled, sweep seed
+    /// path installed).
+    pub spec: ScenarioSpec,
+}
+
+impl SweepPlan {
+    /// Expands the Cartesian product of the axes times the replication
+    /// count, in axis-major order (later axes vary fastest, replications
+    /// innermost).
+    pub fn cells(&self) -> Result<Vec<SweepCell>, String> {
+        if self.replications == 0 {
+            return Err("replications must be >= 1".into());
+        }
+        let mut grid: Vec<Vec<(String, String)>> = vec![Vec::new()];
+        for axis in &self.axes {
+            let mut next = Vec::with_capacity(grid.len() * axis.values.len());
+            for prefix in &grid {
+                for value in &axis.values {
+                    let mut assignments = prefix.clone();
+                    assignments.push((axis.key.clone(), value.clone()));
+                    next.push(assignments);
+                }
+            }
+            grid = next;
+        }
+        for axis in &self.axes {
+            // A seed axis would be silently overwritten by the sweep's own
+            // path derivation below — reject it loudly instead of running
+            // cells whose labels claim seeds they never used.
+            if axis.key == "seed" {
+                return Err(
+                    "\"seed\" cannot be a sweep axis: cell seeds derive from the \
+                            [sweep, family, assignments] path (vary --seed or --reps instead)"
+                        .into(),
+                );
+            }
+        }
+        let mut cells = Vec::with_capacity(grid.len() * self.replications as usize);
+        for assignments in grid {
+            let point_label = if assignments.is_empty() {
+                "base".to_string()
+            } else {
+                assignments
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            for rep in 0..self.replications {
+                let mut spec = self.base.clone();
+                for (key, value) in &assignments {
+                    spec.set(key, value)
+                        .map_err(|e| format!("cell {point_label}: {e}"))?;
+                }
+                spec.duration_s = self.effort.secs(spec.duration_s);
+                // The seed path names only the cell's own coordinates, so
+                // extending the grid or adding replications never reseeds
+                // existing cells.
+                spec.seed = SeedSpec::Path {
+                    path: vec!["sweep".into(), self.family.clone(), point_label.clone()],
+                    replication: rep,
+                };
+                spec.validate()
+                    .map_err(|e| format!("cell {point_label}: {e}"))?;
+                cells.push(SweepCell {
+                    assignments: assignments.clone(),
+                    replication: rep,
+                    label: format!("{point_label} rep={rep}"),
+                    spec,
+                });
+            }
+        }
+        Ok(cells)
+    }
+}
+
+/// What a sweep produced: the rendered table plus cache accounting.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One row per cell, axis columns then metrics.
+    pub table: Table,
+    /// Total cells in the expansion.
+    pub cells: usize,
+    /// Cells actually simulated this invocation.
+    pub computed: usize,
+    /// Cells answered from the result store.
+    pub loaded: usize,
+    /// Per-cell stored runs, in cell order (fresh and loaded alike).
+    pub runs: Vec<StoredRun>,
+}
+
+impl SweepOutcome {
+    /// The one-line summary the CLI prints and CI greps:
+    /// `sweep "<family>": N cells: computed X, loaded Y`.
+    pub fn summary(&self, family: &str) -> String {
+        format!(
+            "sweep \"{family}\": {} cells: computed {}, loaded {}",
+            self.cells, self.computed, self.loaded
+        )
+    }
+}
+
+fn fmt_metric(run: &StoredRun, name: &str) -> String {
+    match run.metric(name) {
+        Some(MetricValue::U(v)) => v.to_string(),
+        Some(MetricValue::F(v)) if name == "loss_rate" => format!("{:.3}%", v * 100.0),
+        Some(MetricValue::F(v)) => format!("{v:.1}"),
+        None => "-".into(),
+    }
+}
+
+/// The metric columns every sweep table carries.
+const TABLE_METRICS: [&str; 8] = [
+    "loss_rate",
+    "mean_delay_ms",
+    "p95_delay_ms",
+    "handoffs",
+    "rejected",
+    "outage_samples",
+    "signaling_msgs",
+    "events",
+];
+
+/// Runs a sweep: expands the plan, answers cells from the store where
+/// possible, simulates the rest through `runner` (in cell order), saves
+/// fresh results, and renders one table row per cell.
+pub fn run_sweep(
+    plan: &SweepPlan,
+    master_seed: u64,
+    store: Option<&ResultStore>,
+    runner: &BatchRunner,
+) -> Result<SweepOutcome, String> {
+    let cells = plan.cells()?;
+    // Resolve each cell against the store first…
+    let mut slots: Vec<Option<StoredRun>> = cells
+        .iter()
+        .map(|cell| store.and_then(|s| s.load(&cell.spec.render(), master_seed)))
+        .collect();
+    let loaded = slots.iter().filter(|s| s.is_some()).count();
+    // …then fan the misses through the worker pool in one batch.
+    let missing: Vec<usize> = (0..cells.len()).filter(|&i| slots[i].is_none()).collect();
+    let jobs: Vec<ScenarioSpec> = missing.iter().map(|&i| cells[i].spec.clone()).collect();
+    let reports = runner.run(jobs, move |_, spec| {
+        let report = spec.run(master_seed);
+        (spec, report)
+    });
+    for (&i, (spec, report)) in missing.iter().zip(reports) {
+        let run = StoredRun::from_report(&cells[i].label, &spec, master_seed, &report);
+        if let Some(s) = store {
+            s.save(&run).map_err(|e| format!("store write: {e}"))?;
+        }
+        slots[i] = Some(run);
+    }
+    // Render: axis key columns (+ rep), then the metric columns.
+    let mut header: Vec<String> = plan.axes.iter().map(|a| a.key.clone()).collect();
+    if header.is_empty() {
+        header.push("cell".into());
+    }
+    header.push("rep".into());
+    header.extend(TABLE_METRICS.iter().map(|m| m.to_string()));
+    let mut table = Table::new(header);
+    for (cell, slot) in cells.iter().zip(&slots) {
+        let run = slot.as_ref().expect("every cell resolved");
+        let mut row: Vec<String> = if cell.assignments.is_empty() {
+            vec!["base".into()]
+        } else {
+            cell.assignments.iter().map(|(_, v)| v.clone()).collect()
+        };
+        row.push(cell.replication.to_string());
+        row.extend(TABLE_METRICS.iter().map(|m| fmt_metric(run, m)));
+        table.row(row);
+    }
+    Ok(SweepOutcome {
+        cells: cells.len(),
+        computed: missing.len(),
+        loaded,
+        runs: slots.into_iter().flatten().collect(),
+        table,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_list_and_range_parse() {
+        let a = parse_axis("arch=multi-tier+rsmc, flat-cellular-ip").unwrap();
+        assert_eq!(a.key, "arch");
+        assert_eq!(a.values, vec!["multi-tier+rsmc", "flat-cellular-ip"]);
+        let r = parse_axis("domains=1..4..1").unwrap();
+        assert_eq!(r.values, vec!["1", "2", "3", "4"]);
+        let s = parse_axis("route_update_ms=500..2500..1000").unwrap();
+        assert_eq!(s.values, vec!["500", "1500", "2500"]);
+        assert!(parse_axis("noequals").is_err());
+        assert!(parse_axis("x=").is_err());
+        assert!(parse_axis("x=1..5..0").is_err());
+    }
+
+    #[test]
+    fn cells_expand_the_grid_with_stable_seeds() {
+        let plan = SweepPlan {
+            family: "dense-urban".into(),
+            base: ScenarioSpec::dense_urban(),
+            axes: vec![
+                parse_axis("arch=multi-tier+rsmc,flat-cellular-ip").unwrap(),
+                parse_axis("domains=1,2").unwrap(),
+            ],
+            replications: 2,
+            effort: Effort::Quick,
+        };
+        let cells = plan.cells().unwrap();
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        // Later axes vary fastest, replications innermost.
+        assert_eq!(cells[0].label, "arch=multi-tier+rsmc,domains=1 rep=0");
+        assert_eq!(cells[1].label, "arch=multi-tier+rsmc,domains=1 rep=1");
+        assert_eq!(cells[2].label, "arch=multi-tier+rsmc,domains=2 rep=0");
+        // Effort scaled the family's 300 s to the quick 30 s.
+        assert_eq!(cells[0].spec.duration_s, 30.0);
+        // A cell's seed is a function of its own coordinates only: the
+        // same cell inside a *larger* plan resolves identically.
+        let bigger = SweepPlan {
+            replications: 3,
+            ..plan.clone()
+        };
+        let again = bigger.cells().unwrap();
+        assert_eq!(
+            cells[0].spec.resolve_seed(42),
+            again[0].spec.resolve_seed(42)
+        );
+        // …and distinct cells get distinct seeds.
+        let seeds: std::collections::HashSet<u64> =
+            cells.iter().map(|c| c.spec.resolve_seed(42)).collect();
+        assert_eq!(seeds.len(), cells.len());
+    }
+
+    #[test]
+    fn seed_axis_is_rejected() {
+        let plan = SweepPlan {
+            family: "x".into(),
+            base: ScenarioSpec::small_city(),
+            axes: vec![parse_axis("seed=raw 1,raw 2").unwrap()],
+            replications: 1,
+            effort: Effort::Quick,
+        };
+        let err = plan.cells().unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn bad_axis_key_is_a_cell_error() {
+        let plan = SweepPlan {
+            family: "x".into(),
+            base: ScenarioSpec::small_city(),
+            axes: vec![parse_axis("warp=1,2").unwrap()],
+            replications: 1,
+            effort: Effort::Quick,
+        };
+        let err = plan.cells().unwrap_err();
+        assert!(err.contains("warp"), "{err}");
+    }
+}

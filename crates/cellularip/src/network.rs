@@ -58,6 +58,10 @@ pub struct CipNetwork {
     route_caches: Vec<Option<SoftStateCache<Addr, NodeId>>>,
     /// Per-node paging cache (coarser lifetime), same dense layout.
     paging_caches: Vec<Option<SoftStateCache<Addr, NodeId>>>,
+    /// Reused uplink-path buffer for the per-update climb loops
+    /// (route/paging updates arrive per active node per period — with
+    /// reuse they never touch the allocator after warm-up).
+    path_scratch: Vec<NodeId>,
     route_update_messages: u64,
     paging_update_messages: u64,
 }
@@ -70,6 +74,7 @@ impl CipNetwork {
             config,
             route_caches: Vec::new(),
             paging_caches: Vec::new(),
+            path_scratch: Vec::new(),
             route_update_messages: 0,
             paging_update_messages: 0,
         };
@@ -136,7 +141,8 @@ impl CipNetwork {
     /// Panics if `bs` is not in the tree.
     pub fn route_update(&mut self, mn: Addr, bs: NodeId, now: SimTime) -> usize {
         self.route_update_messages += 1;
-        let path = self.tree.uplink_path(bs);
+        let mut path = std::mem::take(&mut self.path_scratch);
+        self.tree.uplink_path_into(bs, &mut path);
         let mut came_from = bs; // at the attach BS the mapping is itself
         for &node in &path {
             self.route_cache_mut(node)
@@ -144,13 +150,16 @@ impl CipNetwork {
                 .refresh(mn, came_from, now);
             came_from = node;
         }
-        path.len()
+        let len = path.len();
+        self.path_scratch = path;
+        len
     }
 
     /// Processes a paging-update packet from an idle `mn` at `bs`.
     pub fn paging_update(&mut self, mn: Addr, bs: NodeId, now: SimTime) -> usize {
         self.paging_update_messages += 1;
-        let path = self.tree.uplink_path(bs);
+        let mut path = std::mem::take(&mut self.path_scratch);
+        self.tree.uplink_path_into(bs, &mut path);
         let mut came_from = bs;
         for &node in &path {
             self.paging_cache_mut(node)
@@ -158,7 +167,9 @@ impl CipNetwork {
                 .refresh(mn, came_from, now);
             came_from = node;
         }
-        path.len()
+        let len = path.len();
+        self.path_scratch = path;
+        len
     }
 
     /// Refreshes the routing-cache mapping `mn → came_from` at a single
@@ -206,10 +217,18 @@ impl CipNetwork {
     }
 
     /// The base station `mn` is currently routed to, if routing state is
-    /// live.
+    /// live. Allocation-free chain walk (the gateway-rescue and page
+    /// paths call this per rescued packet — see [`CipNetwork::downlink_path`]
+    /// for the materialized variant).
     pub fn locate(&self, mn: Addr, now: SimTime) -> Option<NodeId> {
-        self.downlink_path(mn, now)
-            .map(|p| *p.last().expect("path never empty"))
+        let mut cur = self.tree.gateway();
+        loop {
+            let next = *self.route_cache(cur)?.get(&mn, now)?;
+            if next == cur {
+                return Some(cur); // cur is the attach BS
+            }
+            cur = next;
+        }
     }
 
     /// The next downlink hop for `mn` at `node` (`Some(node)` itself means
@@ -221,11 +240,14 @@ impl CipNetwork {
     /// Clears the routing state for `mn` along the uplink path of `bs`
     /// (explicit teardown after a handoff, if the scheme uses one).
     pub fn clear_route(&mut self, mn: Addr, bs: NodeId) {
-        for node in self.tree.uplink_path(bs) {
+        let mut path = std::mem::take(&mut self.path_scratch);
+        self.tree.uplink_path_into(bs, &mut path);
+        for &node in &path {
             if let Some(c) = self.route_cache_mut(node) {
                 c.remove(&mn);
             }
         }
+        self.path_scratch = path;
     }
 
     /// Pages an idle `mn`: follows paging caches from the gateway; if the

@@ -74,14 +74,27 @@ impl CipTree {
     ///
     /// Panics if `bs` is not in the tree.
     pub fn uplink_path(&self, bs: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::new();
+        self.uplink_path_into(bs, &mut path);
+        path
+    }
+
+    /// [`CipTree::uplink_path`] into a caller-owned buffer (cleared
+    /// first) — the arena-reuse variant the per-update climb paths use so
+    /// control-plane traffic stays off the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bs` is not in the tree.
+    pub fn uplink_path_into(&self, bs: NodeId, path: &mut Vec<NodeId>) {
         assert!(self.contains(bs), "unknown base station {bs}");
-        let mut path = vec![bs];
+        path.clear();
+        path.push(bs);
         let mut cur = bs;
         while let Some(p) = self.parent(cur) {
             path.push(p);
             cur = p;
         }
-        path
     }
 
     /// Depth of `bs` (gateway = 0). Allocation-free parent walk.

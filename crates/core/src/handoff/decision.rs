@@ -43,6 +43,46 @@ impl HandoffFactors {
             resources: false,
         }
     }
+
+    /// Canonical textual form for scenario-spec files: the enabled factors
+    /// joined with `+` (`"speed+signal+resources"`), or `"none"`.
+    pub fn canonical(&self) -> String {
+        let parts: Vec<&str> = [
+            ("speed", self.speed),
+            ("signal", self.signal),
+            ("resources", self.resources),
+        ]
+        .iter()
+        .filter(|(_, on)| *on)
+        .map(|(name, _)| *name)
+        .collect();
+        if parts.is_empty() {
+            "none".into()
+        } else {
+            parts.join("+")
+        }
+    }
+
+    /// Parses the [`HandoffFactors::canonical`] form.
+    pub fn parse_label(s: &str) -> Option<HandoffFactors> {
+        let mut f = HandoffFactors {
+            speed: false,
+            signal: false,
+            resources: false,
+        };
+        if s == "none" {
+            return Some(f);
+        }
+        for part in s.split('+') {
+            match part {
+                "speed" if !f.speed => f.speed = true,
+                "signal" if !f.signal => f.signal = true,
+                "resources" if !f.resources => f.resources = true,
+                _ => return None,
+            }
+        }
+        Some(f)
+    }
 }
 
 impl Default for HandoffFactors {

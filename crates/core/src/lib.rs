@@ -46,6 +46,7 @@ pub mod mnld;
 pub mod report;
 pub mod rsmc;
 pub mod scenario;
+pub mod spec;
 pub mod tables;
 pub mod tier;
 pub mod world;
@@ -56,5 +57,6 @@ pub use hierarchy::{Domain, DomainId, Hierarchy};
 pub use messages::{MnId, MtMessage, Payload};
 pub use report::SimReport;
 pub use scenario::{ArchKind, Scenario};
+pub use spec::{ScenarioSpec, SeedSpec};
 pub use tables::CellTable;
 pub use tier::Tier;

@@ -1,17 +1,15 @@
 //! Scenario presets: the proposed architecture and its baselines over
 //! shared geographies and populations.
 
-use crate::handoff::{DecisionConfig, HandoffFactors};
+use crate::handoff::HandoffFactors;
 use crate::report::SimReport;
-use crate::world::{DomainSpec, FlowKind, World, WorldBuilder, WorldConfig};
+use crate::spec::ScenarioSpec;
+use crate::world::{World, WorldConfig};
 use mtnet_cellularip::HandoffKind;
-use mtnet_mobility::{LinearCommute, Point, RandomWaypoint, Rect, SpeedClass};
 use mtnet_sim::SimDuration;
 
-/// Width of one domain strip, meters.
+/// Width of one domain strip, meters (mirrors the spec-layer default).
 const DOMAIN_WIDTH: f64 = 3_000.0;
-/// The street row's y coordinate.
-const STREET_Y: f64 = 1_500.0;
 
 /// Which architecture an experiment arm runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +56,36 @@ impl ArchKind {
         }
     }
 
+    /// Canonical, bijective textual form for scenario-spec files. Unlike
+    /// [`ArchKind::label`] (a display label that collapses the two
+    /// no-RSMC variants), every architecture renders distinctly, so
+    /// `parse_label(canonical(a)) == a` for all values.
+    pub fn canonical(&self) -> &'static str {
+        match self {
+            ArchKind::MultiTier {
+                rsmc: false,
+                semisoft: false,
+            } => "multi-tier-no-rsmc(hard)",
+            other => other.label(),
+        }
+    }
+
+    /// Parses either canonical form or display label.
+    pub fn parse_label(s: &str) -> Option<ArchKind> {
+        match s {
+            "multi-tier+rsmc" => Some(ArchKind::multi_tier()),
+            "multi-tier(hard)" => Some(ArchKind::multi_tier_hard()),
+            "multi-tier-no-rsmc" => Some(ArchKind::multi_tier_no_rsmc()),
+            "multi-tier-no-rsmc(hard)" => Some(ArchKind::MultiTier {
+                rsmc: false,
+                semisoft: false,
+            }),
+            "pure-mobile-ip" => Some(ArchKind::PureMobileIp),
+            "flat-cellular-ip" => Some(ArchKind::FlatCellularIp),
+            _ => None,
+        }
+    }
+
     /// Short display label for experiment tables.
     pub fn label(&self) -> &'static str {
         match self {
@@ -75,7 +103,7 @@ impl ArchKind {
         }
     }
 
-    fn apply(self, cfg: &mut WorldConfig) {
+    pub(crate) fn apply(self, cfg: &mut WorldConfig) {
         match self {
             ArchKind::MultiTier { rsmc, semisoft } => {
                 cfg.has_macro = true;
@@ -325,117 +353,44 @@ impl Scenario {
         self.n_domains as f64 * DOMAIN_WIDTH
     }
 
-    /// Builds the world.
-    pub fn build(&self) -> World {
-        let mut cfg = WorldConfig {
-            seed: self.seed,
+    /// The equivalent declarative [`ScenarioSpec`] (raw seed, so the
+    /// master seed is irrelevant). Durations default to the spec base;
+    /// callers that run the scenario set them explicitly.
+    ///
+    /// Millisecond-resolution overrides survive the conversion exactly;
+    /// sub-millisecond override precision (never used by the presets or
+    /// runners) is rounded **up** to the next millisecond — never down,
+    /// so a tiny override cannot degenerate to a 0 ms period that would
+    /// reschedule at the same simulated instant forever.
+    pub fn to_spec(&self) -> ScenarioSpec {
+        let ms = |d: SimDuration| d.as_nanos().div_ceil(1_000_000) as u64;
+        ScenarioSpec {
+            name: "scenario".into(),
+            seed: crate::spec::SeedSpec::Raw(self.seed),
+            arch: self.arch,
+            n_domains: self.n_domains as u32,
+            micro_per_domain: self.micro_per_domain as u32,
+            share_upper: self.share_upper,
+            macro_hole: self.macro_hole,
+            satellite: self.satellite,
+            pedestrians: self.population.pedestrians as u32,
+            cyclists: self.population.cyclists as u32,
+            vehicles: self.population.vehicles as u32,
+            voice_every: u32::from(self.voice),
+            video_every: if self.video { 3 } else { 0 },
+            web_every: if self.web { 4 } else { 0 },
             factors: self.factors,
-            decision: DecisionConfig::default(),
-            ..WorldConfig::default()
-        };
-        self.arch.apply(&mut cfg);
-        if let Some(p) = self.route_update_override {
-            cfg.route_update_period = Some(p);
+            route_update_ms: self.route_update_override.map(ms),
+            semisoft_delay_ms: self.semisoft_delay_override.map(ms),
+            table_lifetime_ms: self.table_lifetime_override.map(ms),
+            ..ScenarioSpec::base()
         }
-        if let Some(d) = self.semisoft_delay_override {
-            if matches!(cfg.handoff_kind, HandoffKind::Semisoft { .. }) {
-                cfg.handoff_kind = HandoffKind::Semisoft { delay: d };
-            }
-        }
-        if let Some(l) = self.table_lifetime_override {
-            cfg.table_lifetime = l;
-        }
-        let mut b = WorldBuilder::new(cfg);
-        for d in 0..self.n_domains {
-            // Consecutive pairs share a region/upper BS: (0,1), (2,3), …
-            // unless sharing is disabled (every domain its own upper).
-            let region = if self.share_upper {
-                (d / 2) as u32
-            } else {
-                d as u32
-            };
-            let paired = if self.share_upper {
-                d + 1 < self.n_domains || d % 2 == 1
-            } else {
-                true
-            };
-            b.add_domain(DomainSpec {
-                center: Point::new(DOMAIN_WIDTH / 2.0 + d as f64 * DOMAIN_WIDTH, STREET_Y),
-                n_micro: self.micro_per_domain,
-                micro_spacing: 400.0,
-                region: paired.then_some(region),
-                macro_radio: !(self.macro_hole && d == self.n_domains / 2),
-                satellite: false,
-            });
-        }
-        if self.satellite {
-            // One LEO footprint over the whole corridor, its own domain.
-            b.add_domain(DomainSpec {
-                center: Point::new(self.corridor_width() / 2.0, STREET_Y),
-                n_micro: 0,
-                micro_spacing: 400.0,
-                region: None,
-                macro_radio: true,
-                satellite: true,
-            });
-        }
-        let flow_plan = |i: usize| {
-            let mut flows = Vec::new();
-            if self.voice {
-                flows.push(FlowKind::Voice);
-            }
-            if self.video && i.is_multiple_of(3) {
-                flows.push(FlowKind::Video);
-            }
-            if self.web && i.is_multiple_of(4) {
-                flows.push(FlowKind::Web);
-            }
-            flows
-        };
-        let mut idx = 0usize;
-        for p in 0..self.population.pedestrians {
-            // Pedestrians wander the street row of one domain.
-            let d = p % self.n_domains;
-            let cx = DOMAIN_WIDTH / 2.0 + d as f64 * DOMAIN_WIDTH;
-            let area = Rect::new(
-                Point::new(cx - 800.0, STREET_Y - 250.0),
-                Point::new(cx + 800.0, STREET_Y + 250.0),
-            );
-            let start = Point::new(cx - 600.0 + (p as f64 * 163.0) % 1200.0, STREET_Y);
-            let model = RandomWaypoint::new(area, SpeedClass::Pedestrian)
-                .with_pause(SimDuration::from_secs(10))
-                .with_start(start);
-            b.add_mn(Box::new(model), &flow_plan(idx));
-            idx += 1;
-        }
-        for c in 0..self.population.cyclists {
-            // Cyclists shuttle along the micro row of one domain.
-            let d = c % self.n_domains;
-            let cx = DOMAIN_WIDTH / 2.0 + d as f64 * DOMAIN_WIDTH;
-            let span = 400.0 * (self.micro_per_domain.saturating_sub(1)) as f64;
-            let y = STREET_Y + 20.0 * (c as f64);
-            let model = LinearCommute::new(
-                Point::new(cx - span / 2.0, y),
-                Point::new(cx + span / 2.0, y),
-                6.0,
-            )
-            .round_trip();
-            b.add_mn(Box::new(model), &flow_plan(idx));
-            idx += 1;
-        }
-        for v in 0..self.population.vehicles {
-            // Vehicles shuttle the whole corridor at highway speed.
-            let y = STREET_Y + 50.0 * (v as f64 - 1.0);
-            let model = LinearCommute::new(
-                Point::new(400.0, y),
-                Point::new(self.corridor_width() - 400.0, y),
-                25.0,
-            )
-            .round_trip();
-            b.add_mn(Box::new(model), &flow_plan(idx));
-            idx += 1;
-        }
-        b.build()
+    }
+
+    /// Builds the world (via the declarative spec layer — see
+    /// [`World::from_spec`]).
+    pub fn build(&self) -> World {
+        World::from_spec(&self.to_spec(), 0)
     }
 
     /// Builds and runs for `secs` simulated seconds.

@@ -42,6 +42,10 @@ pub struct DomainSpec {
     pub n_micro: usize,
     /// Spacing between adjacent micro BSs, meters.
     pub micro_spacing: f64,
+    /// Tier of the street-row cells: [`CellKind::Micro`] for the paper's
+    /// geometry, [`CellKind::Pico`] for dense-urban in-building rows.
+    /// Either way the row is micro-tier-managed (Cellular IP).
+    pub micro_kind: CellKind,
     /// Domains sharing a region id share an upper-layer macro BS
     /// (`R3` in Fig 3.1) — required for the Fig 3.2 same-upper case.
     pub region: Option<u32>,
@@ -60,6 +64,7 @@ impl Default for DomainSpec {
             center: Point::new(1500.0, 1500.0),
             n_micro: 4,
             micro_spacing: 400.0,
+            micro_kind: CellKind::Micro,
             region: None,
             macro_radio: true,
             satellite: false,
@@ -263,7 +268,7 @@ impl WorldBuilder {
                     macro_cell
                 };
                 self.hierarchy.add_micro(cell, hierarchy_parent);
-                self.cells.add(Cell::new(cell, CellKind::Micro, pos, node));
+                self.cells.add(Cell::new(cell, spec.micro_kind, pos, node));
                 self.cell_node.insert(cell, node);
                 self.node_cell.insert(node, cell);
                 self.node_domain.insert(node, didx);

@@ -1764,6 +1764,15 @@ const _: () = {
 };
 
 impl World {
+    /// Builds the world a declarative [`crate::spec::ScenarioSpec`]
+    /// describes — the single assembly path every scenario preset,
+    /// experiment runner and sweep cell goes through. The spec's seed
+    /// derivation is resolved against `master_seed` (ignored for
+    /// [`crate::spec::SeedSpec::Raw`] seeds).
+    pub fn from_spec(spec: &crate::spec::ScenarioSpec, master_seed: u64) -> World {
+        spec.build(master_seed)
+    }
+
     /// Runs the world for `duration` and extracts the report.
     pub fn run(self, duration: SimDuration) -> SimReport {
         let kind = self.cfg.scheduler;

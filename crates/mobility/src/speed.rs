@@ -42,6 +42,17 @@ impl SpeedClass {
         (lo + hi) / 2.0
     }
 
+    /// Parses the stable textual label used by scenario-spec files and
+    /// sweep axes (the same strings [`SpeedClass`]'s `Display` renders).
+    pub fn parse_label(label: &str) -> Option<SpeedClass> {
+        match label {
+            "pedestrian" => Some(SpeedClass::Pedestrian),
+            "urban-vehicle" => Some(SpeedClass::UrbanVehicle),
+            "highway" => Some(SpeedClass::Highway),
+            _ => None,
+        }
+    }
+
     /// Classifies a raw speed into the nearest class.
     pub fn classify(speed_mps: f64) -> SpeedClass {
         if speed_mps < 3.5 {

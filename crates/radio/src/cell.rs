@@ -121,6 +121,18 @@ impl CellKind {
         }
     }
 
+    /// Parses the stable textual label used by scenario-spec files and
+    /// sweep axes (the same strings [`CellKind`]'s `Display` renders).
+    pub fn parse_label(label: &str) -> Option<CellKind> {
+        match label {
+            "pico" => Some(CellKind::Pico),
+            "micro" => Some(CellKind::Micro),
+            "macro" => Some(CellKind::Macro),
+            "satellite" => Some(CellKind::Satellite),
+            _ => None,
+        }
+    }
+
     /// True if `self` is a smaller (lower) tier than `other`.
     pub fn is_below(self, other: CellKind) -> bool {
         self.rank() < other.rank()

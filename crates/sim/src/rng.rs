@@ -277,11 +277,22 @@ impl SeedTree {
 /// the standard derivation the batch runner and the experiment harness
 /// share. Pure in its arguments: scheduling order cannot perturb it.
 pub fn replication_seed(master_seed: u64, experiment: &str, architecture: &str, rep: u64) -> u64 {
-    SeedTree::new(master_seed)
-        .label(experiment)
-        .label(architecture)
-        .index(rep)
-        .seed()
+    seed_for_path(master_seed, &[experiment, architecture], rep)
+}
+
+/// The sub-seed for an arbitrary-depth label path plus a replication
+/// index — the generalization of [`replication_seed`] that scenario specs
+/// and sweep cells use (`["E10", "multi-tier+rsmc"]` for an experiment
+/// arm, `["sweep", family, cell-label]` for a sweep cell). Equal paths
+/// give equal seeds; any segment difference decorrelates the streams, and
+/// `seed_for_path(m, &[e, a], r) == replication_seed(m, e, a, r)` by
+/// construction.
+pub fn seed_for_path<S: AsRef<str>>(master_seed: u64, path: &[S], rep: u64) -> u64 {
+    let mut tree = SeedTree::new(master_seed);
+    for segment in path {
+        tree = tree.label(segment.as_ref());
+    }
+    tree.index(rep).seed()
 }
 
 impl RngCore for RngStream {
@@ -456,6 +467,29 @@ mod tests {
         let a = SeedTree::new(1).label("x").index(0).seed();
         let b = SeedTree::new(2).label("x").index(0).seed();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn seed_for_path_generalizes_replication_seed() {
+        assert_eq!(
+            seed_for_path(42, &["E10", "multi-tier+rsmc"], 3),
+            replication_seed(42, "E10", "multi-tier+rsmc", 3)
+        );
+        // Deeper paths are their own namespaces.
+        let sweep = seed_for_path(42, &["sweep", "dense-urban", "arch=pico"], 0);
+        assert_eq!(
+            sweep,
+            seed_for_path(42, &["sweep", "dense-urban", "arch=pico"], 0)
+        );
+        assert_ne!(
+            sweep,
+            seed_for_path(42, &["sweep", "dense-urban", "arch=pico"], 1)
+        );
+        assert_ne!(sweep, seed_for_path(42, &["sweep", "dense-urban"], 0));
+        assert_ne!(
+            sweep,
+            seed_for_path(43, &["sweep", "dense-urban", "arch=pico"], 0)
+        );
     }
 
     #[test]

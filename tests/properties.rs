@@ -592,3 +592,123 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // ---------------------------------------------------------------
+    // Scenario-spec text format: the canonical rendering is lossless.
+    // parse(render(spec)) == spec over arbitrary field combinations —
+    // including awkward names (spaces, quotes, backslashes), arbitrary
+    // seed paths, raw-bit floats, and every enum variant. This is the
+    // contract the content-addressed sweep store keys on.
+    // ---------------------------------------------------------------
+    #[test]
+    fn scenario_spec_text_roundtrips(
+        identity in (
+            "[a-zA-Z0-9 _()+\"\\\\]{0,12}",
+            0u8..2,
+            0u64..u64::MAX,
+            proptest::collection::vec("[a-zA-Z0-9 /+\"\\\\]{1,10}", 1..4),
+            0u64..1000,
+        ),
+        shape in (
+            0.5f64..5000.0,
+            0usize..6,
+            1u32..6,
+            0u32..12,
+            0usize..4,
+            10.0f64..2000.0,
+        ),
+        geometry in (
+            500.0f64..10_000.0,
+            -500.0f64..5000.0,
+            0u8..2,
+            0u8..2,
+            0u8..2,
+        ),
+        population in (
+            0u32..30,
+            0u32..30,
+            0u32..30,
+            0usize..3,
+            0.0f64..100.0,
+            0.5f64..20.0,
+        ),
+        traffic in (
+            1.0f64..50.0,
+            0u32..5,
+            0u32..5,
+            0u32..5,
+            0u8..8,
+        ),
+        overrides in (
+            (0u8..2, 1u64..100_000),
+            (0u8..2, 1u64..100_000),
+            (0u8..2, 1u64..100_000),
+            (0u8..2, 1u64..100_000),
+        ),
+    ) {
+        let (name, seed_kind, raw_seed, segments, replication) = identity;
+        let (duration_s, arch_pick, n_domains, micro_per_domain, micro_kind_pick, spacing) = shape;
+        let (width, street_y, share_upper, macro_hole, satellite) = geometry;
+        let (pedestrians, cyclists, vehicles, class_pick, pause, cyclist_speed) = population;
+        let (vehicle_speed, voice_every, video_every, web_every, factors_bits) = traffic;
+        let (route_ms, semisoft_ms, lifetime_ms, paging_ms) = overrides;
+        use mtnet_core::scenario::ArchKind;
+        use mtnet_core::spec::{ScenarioSpec, SeedSpec};
+
+        let archs = [
+            ArchKind::multi_tier(),
+            ArchKind::multi_tier_hard(),
+            ArchKind::multi_tier_no_rsmc(),
+            ArchKind::MultiTier { rsmc: false, semisoft: false },
+            ArchKind::PureMobileIp,
+            ArchKind::FlatCellularIp,
+        ];
+        let opt = |(on, ms): (u8, u64)| (on == 1).then_some(ms);
+        let spec = ScenarioSpec {
+            name,
+            seed: if seed_kind == 0 {
+                SeedSpec::Raw(raw_seed)
+            } else {
+                SeedSpec::Path { path: segments, replication }
+            },
+            duration_s,
+            arch: archs[arch_pick],
+            n_domains,
+            micro_per_domain,
+            micro_kind: CellKind::ALL[micro_kind_pick],
+            micro_spacing_m: spacing,
+            domain_width_m: width,
+            street_y_m: street_y,
+            share_upper: share_upper == 1,
+            macro_hole: macro_hole == 1,
+            satellite: satellite == 1,
+            pedestrians,
+            cyclists,
+            vehicles,
+            pedestrian_class: mtnet_mobility::SpeedClass::ALL[class_pick],
+            pedestrian_pause_s: pause,
+            cyclist_speed_mps: cyclist_speed,
+            vehicle_speed_mps: vehicle_speed,
+            voice_every,
+            video_every,
+            web_every,
+            factors: HandoffFactors {
+                speed: factors_bits & 1 != 0,
+                signal: factors_bits & 2 != 0,
+                resources: factors_bits & 4 != 0,
+            },
+            route_update_ms: opt(route_ms),
+            semisoft_delay_ms: opt(semisoft_ms),
+            table_lifetime_ms: opt(lifetime_ms),
+            paging_update_ms: opt(paging_ms),
+        };
+        let text = spec.render();
+        let back = ScenarioSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        prop_assert_eq!(&back, &spec, "round-trip drifted\n{}", text);
+        // Rendering is canonical: a second render of the parsed value is
+        // byte-identical, so the store key is stable across round trips.
+        prop_assert_eq!(back.render(), text);
+    }
+}
