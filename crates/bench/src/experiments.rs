@@ -1,4 +1,5 @@
-//! The twelve experiment runners. Each reproduces one paper artifact;
+//! The thirteen experiment runners. Each reproduces one paper artifact
+//! (E13 adds the resilience family the paper only argues qualitatively);
 //! see `EXPERIMENTS.md` for the recorded outputs and the paper-vs-measured
 //! discussion.
 //!
@@ -19,7 +20,9 @@ use mtnet_core::hierarchy::Hierarchy;
 use mtnet_core::location::LocationDirectory;
 use mtnet_core::report::SimReport;
 use mtnet_core::scenario::ArchKind;
-use mtnet_core::spec::ScenarioSpec;
+use mtnet_core::spec::{
+    CellOutage, EclipseWindow, FaultSpec, LinkFlap, RsmcFailover, ScenarioSpec,
+};
 use mtnet_core::tier::Tier;
 use mtnet_metrics::{fmt_f64, Replicates, Summary, Table};
 use mtnet_net::{Addr, NodeId};
@@ -185,6 +188,29 @@ pub fn arm_specs(id: &str, effort: Effort) -> Vec<ScenarioSpec> {
                     .with_seed_path("E12", label, 0)
             })
             .collect(),
+        "E13" => {
+            let mut specs: Vec<ScenarioSpec> = e13_arms()
+                .iter()
+                .map(|&arch| {
+                    ScenarioSpec::small_city()
+                        .with_arch(arch)
+                        .with_faults(e13_fault_schedule())
+                        .with_duration_s(effort.secs(300.0))
+                        .with_seed_path("E13", arch.label(), 0)
+                })
+                .collect();
+            // Overlay arm: the E1 rural corridor with the satellite tier,
+            // eclipsed exactly while the shuttle crosses the macro hole
+            // (t ≈ 104–224 s) — the horizon floor matches E1's.
+            specs.push(
+                ScenarioSpec::rural_corridor()
+                    .with_satellite()
+                    .with_faults(e13_eclipse_schedule())
+                    .with_duration_s(e1_overlay_secs(effort))
+                    .with_seed_path("E13", "satellite-eclipse", 0),
+            );
+            specs
+        }
         _ => Vec::new(),
     }
 }
@@ -275,6 +301,52 @@ fn e12_arms() -> [(&'static str, HandoffFactors); 5] {
             },
         ),
     ]
+}
+
+/// E13's architecture comparison arms, hit by the identical
+/// [`e13_fault_schedule`].
+fn e13_arms() -> [ArchKind; 2] {
+    [ArchKind::multi_tier(), ArchKind::PureMobileIp]
+}
+
+/// E13's shared infrastructure-fault schedule. Cell 1 is domain 0's
+/// macro umbrella — the only radio cell whose id means the same thing
+/// under both architectures (pure Mobile IP deploys no micro row). All
+/// windows land inside the Quick horizon (30 s).
+fn e13_fault_schedule() -> FaultSpec {
+    FaultSpec {
+        cell_outages: vec![CellOutage {
+            cell: 1,
+            start_s: 8.0,
+            end_s: 16.0,
+        }],
+        link_flaps: vec![LinkFlap {
+            domain: 1,
+            start_s: 5.0,
+            period_s: 8.0,
+            duty: 0.5,
+            jitter_s: 0.5,
+            count: 2,
+        }],
+        rsmc_failovers: vec![RsmcFailover {
+            domain: 2,
+            at_s: 18.0,
+            takeover_s: Some(5.0),
+        }],
+        eclipses: Vec::new(),
+    }
+}
+
+/// E13's satellite-overlay schedule: one eclipse swallowing part of the
+/// rural shuttle's macro-hole traversal.
+fn e13_eclipse_schedule() -> FaultSpec {
+    FaultSpec {
+        eclipses: vec![EclipseWindow {
+            start_s: 120.0,
+            end_s: 180.0,
+        }],
+        ..FaultSpec::default()
+    }
 }
 
 /// Total event count and bit-exact per-run fingerprints for an
@@ -953,6 +1025,60 @@ pub fn e12_ablation(effort: Effort, seed: u64) -> ExperimentResult {
         tables: vec![(format!("small city, mixed population, {secs:.0}s"), t)],
         notes: vec![
             "expected shape: dropping the speed factor strands fast nodes in micro cells (more handoffs); dropping signal raises ping-pong; dropping resources removes the fallback safety valve".into(),
+        ],
+        events,
+        analytic: false,
+        fingerprints,
+    }
+}
+
+/// E13 — resilience under infrastructure faults: the same outage, flap
+/// and failover schedule against the hierarchical architecture and pure
+/// Mobile IP, plus an eclipsed satellite overlay.
+pub fn e13_resilience(effort: Effort, seed: u64) -> ExperimentResult {
+    let secs = effort.secs(300.0);
+    let reports = run_specs(seed, arm_specs("E13", effort));
+    let (events, fingerprints) = digest(&reports);
+    let mut t = Table::new([
+        "arm",
+        "fault events",
+        "loss",
+        "outage drops",
+        "re-registrations",
+        "recoveries",
+        "recovery mean",
+        "recovery max",
+    ]);
+    let labels = ["multi-tier", "pure mobile-ip", "satellite eclipse"];
+    for (label, r) in labels.iter().zip(&reports) {
+        let q = r.aggregate_qos();
+        let f = &r.faults;
+        let rec = &f.recovery_latency_ms;
+        t.row([
+            label.to_string(),
+            f.total_transitions().to_string(),
+            pct(q.loss_rate),
+            f.outage_drops.to_string(),
+            f.reregistrations.to_string(),
+            rec.count().to_string(),
+            if rec.count() > 0 {
+                ms(rec.mean())
+            } else {
+                "-".into()
+            },
+            rec.max().map_or("-".into(), ms),
+        ]);
+    }
+    ExperimentResult {
+        id: "E13",
+        title: "Resilience — spec-driven outages, flaps, failover and eclipse",
+        tables: vec![(
+            format!("identical fault schedules per arm, {secs:.0}s (overlay arm: E1 horizon)"),
+            t,
+        )],
+        notes: vec![
+            "expected shape: the hierarchy re-converges via soft-state refresh (bounded recovery latency); pure Mobile IP pays a re-registration storm per restore".into(),
+            "the eclipse arm re-opens the E1 macro hole while the overlay is dark — loss climbs toward the terrestrial-only arm of E1".into(),
         ],
         events,
         analytic: false,

@@ -31,6 +31,7 @@
 //! | E10 | claim: improved QoS                  | [`experiments::e10_qos`] |
 //! | E11 | claim: reduced packet loss           | [`experiments::e11_loss`] |
 //! | E12 | §3.2 factor ablation                 | [`experiments::e12_ablation`] |
+//! | E13 | resilience under infrastructure faults | [`experiments::e13_resilience`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -119,8 +120,8 @@ impl ExperimentResult {
 }
 
 /// Every experiment id, in suite order.
-pub const ALL_IDS: [&str; 12] = [
-    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+pub const ALL_IDS: [&str; 13] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
 ];
 
 /// Runs a single experiment by id (case-insensitive); `None` for unknown
@@ -139,6 +140,7 @@ pub fn run_one(id: &str, effort: Effort, seed: u64) -> Option<ExperimentResult> 
         "E10" => experiments::e10_qos(effort, seed),
         "E11" => experiments::e11_loss(effort, seed),
         "E12" => experiments::e12_ablation(effort, seed),
+        "E13" => experiments::e13_resilience(effort, seed),
         _ => return None,
     };
     Some(r)

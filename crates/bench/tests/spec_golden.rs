@@ -1,4 +1,4 @@
-//! Golden tests pinning the declarative spec texts behind E1–E12.
+//! Golden tests pinning the declarative spec texts behind E1–E13.
 //!
 //! Every experiment arm is a `ScenarioSpec`; its canonical text is the
 //! content address the sweep store keys on and the contract the
@@ -83,7 +83,7 @@ paging_update_ms = none
 /// `(experiment, arm count, digest of concatenated canonical texts)` at
 /// Quick effort. The digest is the store's own content hash, so this is
 /// exactly "would every arm land in the same store slot as before".
-const QUICK_DIGESTS: [(&str, usize, &str); 12] = [
+const QUICK_DIGESTS: [(&str, usize, &str); 13] = [
     ("E1", 2, "080ec007d756b65d"),
     ("E2", 2, "6f980c280036295f"),
     ("E3", 5, "5b7701f6f0f24e8f"),
@@ -96,7 +96,45 @@ const QUICK_DIGESTS: [(&str, usize, &str); 12] = [
     ("E10", 9, "a35e178457aed7a1"),
     ("E11", 36, "df51789d3b35f1e5"),
     ("E12", 5, "9fb581ce7c347f11"),
+    ("E13", 3, "0f216fe32b22f303"),
 ];
+
+/// E13's first arm (multi-tier under the shared fault schedule) at Quick
+/// effort, in full — pins the `fault.*` grammar end to end.
+const E13_ARM0_QUICK: &str = "\
+mtnet-spec v1
+name = \"small-city\"
+seed = path \"E13\" \"multi-tier+rsmc\" rep 0
+duration_s = 30.0
+arch = multi-tier+rsmc
+domains = 3
+micro_per_domain = 4
+micro_kind = micro
+micro_spacing_m = 400.0
+domain_width_m = 3000.0
+street_y_m = 1500.0
+share_upper = on
+macro_hole = off
+satellite = off
+pedestrians = 6
+cyclists = 0
+vehicles = 3
+pedestrian_class = pedestrian
+pedestrian_pause_s = 10.0
+cyclist_speed_mps = 6.0
+vehicle_speed_mps = 25.0
+voice_every = 1
+video_every = 3
+web_every = 0
+factors = speed+signal+resources
+route_update_ms = none
+semisoft_delay_ms = none
+table_lifetime_ms = none
+paging_update_ms = none
+fault.cell_outages = 1:8.0:16.0
+fault.link_flaps = 1:5.0:8.0:0.5:0.5:2
+fault.rsmc_failover = 2:18.0:5.0
+";
 
 #[test]
 fn representative_arm_texts_are_pinned() {
@@ -113,6 +151,13 @@ fn representative_arm_texts_are_pinned() {
         E12_ARM2_QUICK,
         "E12 arm 2 drifted; fresh text:\n{}",
         e12[2].render()
+    );
+    let e13 = arm_specs("E13", Effort::Quick);
+    assert_eq!(
+        e13[0].render(),
+        E13_ARM0_QUICK,
+        "E13 arm 0 drifted; fresh text:\n{}",
+        e13[0].render()
     );
 }
 

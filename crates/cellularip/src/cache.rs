@@ -85,6 +85,13 @@ impl<K: Eq + Hash + Clone, V> SoftStateCache<K, V> {
         self.entries.remove(key).map(|(v, _)| v)
     }
 
+    /// Drops every entry at once — a node crash losing its soft state
+    /// wholesale. The refresh/expiration counters survive: they describe
+    /// the run, not the box.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Evicts entries that expired before `now`; returns how many.
     pub fn sweep(&mut self, now: SimTime) -> usize {
         let lifetime = self.lifetime;
@@ -177,6 +184,18 @@ mod tests {
         assert_eq!(c.remove(&"a"), Some(1));
         assert_eq!(c.get(&"a", secs(0)), None);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let mut c = cache();
+        c.refresh("a", 1, secs(0));
+        c.refresh("b", 2, secs(1));
+        c.sweep(secs(5)); // "a" expires: counters now (2, 1)
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&"b", secs(1)), None);
+        assert_eq!(c.counters(), (2, 1), "history survives the crash");
     }
 
     #[test]

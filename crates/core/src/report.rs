@@ -114,6 +114,59 @@ impl HandoffStats {
     }
 }
 
+/// Fault-injection activity and resilience metrics.
+///
+/// All-zero (the default) when the scenario injects no faults, and in that
+/// case omitted from [`SimReport::fingerprint`] entirely — fault
+/// accounting is strictly opt-in, so fault-free fingerprints are
+/// byte-identical to those produced before the subsystem existed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultStats {
+    /// Cell-outage transitions applied (downs + restores).
+    pub cell_transitions: u64,
+    /// Wired-link flap transitions applied (downs + restores).
+    pub link_transitions: u64,
+    /// RSMC crash events applied.
+    pub rsmc_kills: u64,
+    /// RSMC standby takeovers completed.
+    pub rsmc_takeovers: u64,
+    /// Satellite eclipse transitions applied (starts + ends).
+    pub eclipse_transitions: u64,
+    /// Data packets lost while at least one injected fault was active.
+    pub outage_drops: u64,
+    /// Mobile IP registration requests sent while a fault was active or a
+    /// restore was still awaiting its first delivery — the
+    /// re-registration storm a failover triggers.
+    pub reregistrations: u64,
+    /// Recovery latency per restoring transition: time from the restore to
+    /// the next successful data delivery anywhere in the world, ms.
+    pub recovery_latency_ms: Summary,
+}
+
+impl FaultStats {
+    /// True when no fault machinery ever fired.
+    pub fn is_quiet(&self) -> bool {
+        self.cell_transitions == 0
+            && self.link_transitions == 0
+            && self.rsmc_kills == 0
+            && self.rsmc_takeovers == 0
+            && self.eclipse_transitions == 0
+            && self.outage_drops == 0
+            && self.reregistrations == 0
+            && self.recovery_latency_ms.count() == 0
+    }
+
+    /// Total fault transitions of every category (CI smoke's "nonzero
+    /// fault events fired" assertion).
+    pub fn total_transitions(&self) -> u64 {
+        self.cell_transitions
+            + self.link_transitions
+            + self.rsmc_kills
+            + self.rsmc_takeovers
+            + self.eclipse_transitions
+    }
+}
+
 /// Everything one simulation run produces.
 #[derive(Debug, Default)]
 pub struct SimReport {
@@ -127,6 +180,8 @@ pub struct SimReport {
     pub signaling: SignalingStats,
     /// Data-packet drops by cause.
     pub drops: BTreeMap<DropCause, u64>,
+    /// Fault-injection activity (all-zero unless the spec injects faults).
+    pub faults: FaultStats,
     /// New-call admissions blocked (channel pools).
     pub calls_blocked: u64,
     /// New-call admissions accepted.
@@ -250,6 +305,28 @@ impl SimReport {
             "calls: accepted={} blocked={}",
             self.calls_accepted, self.calls_blocked
         );
+        // Fault section only when the machinery fired: fault-free runs
+        // (including runs of specs with an *empty* faults section) must
+        // fingerprint identically to pre-fault-subsystem runs.
+        if !self.faults.is_quiet() {
+            let f = &self.faults;
+            let _ = writeln!(
+                out,
+                "faults: cells={} links={} kills={} takeovers={} eclipses={} outage_drops={} rereg={}",
+                f.cell_transitions,
+                f.link_transitions,
+                f.rsmc_kills,
+                f.rsmc_takeovers,
+                f.eclipse_transitions,
+                f.outage_drops,
+                f.reregistrations,
+            );
+            let _ = writeln!(
+                out,
+                "fault recovery: {}",
+                summary_line(&f.recovery_latency_ms)
+            );
+        }
         out
     }
 }
@@ -378,6 +455,26 @@ mod tests {
         // Any metric change must move the fingerprint.
         r.signaling.route_updates += 1;
         assert_ne!(a, r.fingerprint());
+    }
+
+    #[test]
+    fn fault_section_is_strictly_opt_in() {
+        let mut r = SimReport::default();
+        let quiet = r.fingerprint();
+        assert!(
+            !quiet.contains("faults:"),
+            "quiet fault stats must leave the fingerprint untouched: {quiet}"
+        );
+        assert!(r.faults.is_quiet());
+        r.faults.cell_transitions = 2;
+        r.faults.outage_drops = 7;
+        r.faults.recovery_latency_ms.extend([12.5]);
+        assert!(!r.faults.is_quiet());
+        assert_eq!(r.faults.total_transitions(), 2);
+        let loud = r.fingerprint();
+        assert!(loud.contains("faults: cells=2"), "{loud}");
+        assert!(loud.contains("fault recovery: n=1"), "{loud}");
+        assert!(loud.starts_with(&quiet), "fault lines append, not reorder");
     }
 
     #[test]

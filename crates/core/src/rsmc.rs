@@ -104,6 +104,15 @@ impl Rsmc {
         ]
     }
 
+    /// Crash/failover flush (fault injection): the RSMC loses its combined
+    /// location cache and authentication registry, exactly as a cold
+    /// standby taking over would start. The statistics counters survive —
+    /// they describe the run, not the box.
+    pub fn flush(&mut self) {
+        self.location.clear();
+        self.authenticated.clear();
+    }
+
     /// The cell currently (or recently) serving `mn`, if the location
     /// cache still holds it.
     pub fn locate(&self, mn: Addr, now: SimTime) -> Option<CellId> {
@@ -183,6 +192,22 @@ mod tests {
         assert_eq!(r.locate(mn, SimTime::from_secs(180)), None, "expired");
         assert_eq!(r.tracked(SimTime::from_secs(100)), 1);
         assert_eq!(r.sweep(SimTime::from_secs(180)), 1);
+    }
+
+    #[test]
+    fn flush_loses_state_but_not_history() {
+        let mut r = rsmc();
+        let mn = addr("10.0.2.1");
+        r.authenticate(mn);
+        r.on_route_update(mn, CellId(3), SimTime::ZERO, 2);
+        r.flush();
+        assert!(!r.is_authenticated(mn), "auth registry gone");
+        assert_eq!(r.locate(mn, SimTime::ZERO), None, "location cache gone");
+        assert_eq!(r.counters().0, 2, "notification history survives");
+        assert_eq!(r.counters().1, 1, "auth history survives");
+        // The standby re-learns from scratch: next sighting notifies again.
+        assert_eq!(r.authenticate(mn), Rsmc::AUTH_DELAY);
+        assert_eq!(r.on_route_update(mn, CellId(3), SimTime::ZERO, 2).len(), 2);
     }
 
     #[test]

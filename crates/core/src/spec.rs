@@ -74,6 +74,173 @@ impl SeedSpec {
     }
 }
 
+/// One administrative cell-outage window: the BS stops answering every
+/// measurement path from `start_s` to `end_s`, then comes back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellOutage {
+    /// Cell id, in build order: each domain allocates its macro (or
+    /// satellite) cell first, then its micro row left to right; a shared
+    /// upper BS claims one id when its region first appears.
+    pub cell: u32,
+    /// Outage start, seconds of simulated time.
+    pub start_s: f64,
+    /// Restore time, seconds (must exceed `start_s`).
+    pub end_s: f64,
+}
+
+/// A periodic up/down flap schedule for one domain's wide-area uplink
+/// (the Internet ↔ RSMC duplex link pair).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFlap {
+    /// Domain index whose uplink flaps (the satellite overlay, when
+    /// deployed, is the last domain).
+    pub domain: u32,
+    /// Nominal time of the first down transition, seconds.
+    pub start_s: f64,
+    /// Flap period, seconds.
+    pub period_s: f64,
+    /// Fraction of each period spent down, strictly inside (0, 1).
+    pub duty: f64,
+    /// Per-transition jitter bound, seconds: every down/up edge shifts
+    /// late by a seeded uniform draw in `[0, jitter_s)`. Must stay below
+    /// `period_s * min(duty, 1 - duty)` so the edge stream remains
+    /// strictly ordered and paired.
+    pub jitter_s: f64,
+    /// Number of down/up cycles.
+    pub count: u32,
+}
+
+/// An RSMC crash, optionally followed by a standby takeover.
+///
+/// While dead the RSMC answers nothing — registrations, replies and
+/// inter-domain updates addressed to it die at the gateway, and its
+/// location/authentication soft state is flushed (the standby starts
+/// cold). Plain packet routing through the gateway router survives: the
+/// fault is control-plane death, not a line cut.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RsmcFailover {
+    /// Domain index whose RSMC dies.
+    pub domain: u32,
+    /// Crash time, seconds.
+    pub at_s: f64,
+    /// Standby takeover delay, seconds after the crash; `None` keeps the
+    /// RSMC dead for the rest of the run.
+    pub takeover_s: Option<f64>,
+}
+
+/// A satellite eclipse window: every satellite-tier cell stops answering
+/// RSSI probes from `start_s` to `end_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EclipseWindow {
+    /// Eclipse start, seconds.
+    pub start_s: f64,
+    /// Eclipse end, seconds (must exceed `start_s`).
+    pub end_s: f64,
+}
+
+/// The spec's fault-injection section: deterministic infrastructure
+/// failure schedules compiled into the world's fault plan at build time.
+///
+/// Empty by default, rendered only when non-empty — a spec with an empty
+/// `faults` section is byte-identical (text and fingerprint) to one that
+/// predates the subsystem.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// BS outage windows.
+    pub cell_outages: Vec<CellOutage>,
+    /// Wired-uplink flap schedules.
+    pub link_flaps: Vec<LinkFlap>,
+    /// RSMC crash / takeover events.
+    pub rsmc_failovers: Vec<RsmcFailover>,
+    /// Satellite eclipse windows.
+    pub eclipses: Vec<EclipseWindow>,
+}
+
+impl FaultSpec {
+    /// True when no fault of any category is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.cell_outages.is_empty()
+            && self.link_flaps.is_empty()
+            && self.rsmc_failovers.is_empty()
+            && self.eclipses.is_empty()
+    }
+
+    /// Consistency checks against the spec's domain count (the satellite
+    /// overlay counts as one extra domain).
+    fn validate(&self, total_domains: u32) -> Result<(), SpecError> {
+        for o in &self.cell_outages {
+            let ok = o.start_s.is_finite()
+                && o.end_s.is_finite()
+                && o.start_s >= 0.0
+                && o.start_s < o.end_s;
+            if !ok {
+                return Err(err(format!(
+                    "cell outage for cell {} needs finite 0 <= start < end",
+                    o.cell
+                )));
+            }
+        }
+        for f in &self.link_flaps {
+            if f.domain >= total_domains {
+                return Err(err(format!(
+                    "link flap domain {} out of range ({total_domains} domains)",
+                    f.domain
+                )));
+            }
+            if f.count == 0 {
+                return Err(err("link flap count must be >= 1"));
+            }
+            let finite = f.start_s.is_finite()
+                && f.period_s.is_finite()
+                && f.duty.is_finite()
+                && f.jitter_s.is_finite();
+            if !finite
+                || f.start_s < 0.0
+                || f.period_s <= 0.0
+                || !(f.duty > 0.0 && f.duty < 1.0)
+                || f.jitter_s < 0.0
+            {
+                return Err(err(
+                    "link flap needs start >= 0, period > 0, duty in (0,1), jitter >= 0, all finite",
+                ));
+            }
+            // Jittered edges must stay inside their half-period, so the
+            // expanded down/up stream is strictly monotone and paired.
+            if f.jitter_s >= f.period_s * f.duty.min(1.0 - f.duty) {
+                return Err(err(
+                    "link flap jitter must be < period * min(duty, 1-duty) to keep edges ordered",
+                ));
+            }
+        }
+        for r in &self.rsmc_failovers {
+            if r.domain >= total_domains {
+                return Err(err(format!(
+                    "rsmc failover domain {} out of range ({total_domains} domains)",
+                    r.domain
+                )));
+            }
+            if !(r.at_s.is_finite() && r.at_s >= 0.0) {
+                return Err(err("rsmc failover time must be non-negative and finite"));
+            }
+            if let Some(t) = r.takeover_s {
+                if !(t.is_finite() && t > 0.0) {
+                    return Err(err("rsmc takeover delay must be positive and finite"));
+                }
+            }
+        }
+        for e in &self.eclipses {
+            let ok = e.start_s.is_finite()
+                && e.end_s.is_finite()
+                && e.start_s >= 0.0
+                && e.start_s < e.end_s;
+            if !ok {
+                return Err(err("eclipse window needs finite 0 <= start < end"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A complete, declarative description of one simulation run.
 ///
 /// Defaults (via the presets and [`ScenarioSpec::base`]) reproduce the
@@ -141,6 +308,8 @@ pub struct ScenarioSpec {
     pub table_lifetime_ms: Option<u64>,
     /// Overrides the idle-node paging-update period, ms.
     pub paging_update_ms: Option<u64>,
+    /// Fault-injection schedules (empty by default; see [`FaultSpec`]).
+    pub faults: FaultSpec,
 }
 
 /// A parse/assignment error: which line (1-based, 0 for non-line errors)
@@ -184,6 +353,15 @@ fn quote(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// [`tokens`] with `none` meaning "no entries" — every `fault.*` key
+/// accepts it so a sweep axis can carry an off arm.
+fn fault_tokens(value: &str) -> Result<Vec<String>, SpecError> {
+    if value.trim() == "none" {
+        return Ok(Vec::new());
+    }
+    tokens(value)
 }
 
 /// Splits a value into whitespace-separated tokens, honoring quoting.
@@ -306,6 +484,7 @@ impl ScenarioSpec {
             semisoft_delay_ms: None,
             table_lifetime_ms: None,
             paging_update_ms: None,
+            faults: FaultSpec::default(),
         }
     }
 
@@ -522,6 +701,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Replaces the fault-injection schedules.
+    pub fn with_faults(mut self, faults: FaultSpec) -> ScenarioSpec {
+        self.faults = faults;
+        self
+    }
+
     // ------------------------------------------------------------------
     // Canonical text format.
     // ------------------------------------------------------------------
@@ -598,6 +783,55 @@ impl ScenarioSpec {
             "paging_update_ms = {}",
             render_opt_ms(self.paging_update_ms)
         );
+        // Fault lines render only when non-empty, so fault-free canonical
+        // texts (and their store keys) are byte-identical to those
+        // produced before the fault subsystem existed.
+        if !self.faults.cell_outages.is_empty() {
+            let toks: Vec<String> = self
+                .faults
+                .cell_outages
+                .iter()
+                .map(|o| format!("{}:{:?}:{:?}", o.cell, o.start_s, o.end_s))
+                .collect();
+            let _ = writeln!(out, "fault.cell_outages = {}", toks.join(" "));
+        }
+        if !self.faults.link_flaps.is_empty() {
+            let toks: Vec<String> = self
+                .faults
+                .link_flaps
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}:{:?}:{:?}:{:?}:{:?}:{}",
+                        f.domain, f.start_s, f.period_s, f.duty, f.jitter_s, f.count
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "fault.link_flaps = {}", toks.join(" "));
+        }
+        if !self.faults.rsmc_failovers.is_empty() {
+            let toks: Vec<String> = self
+                .faults
+                .rsmc_failovers
+                .iter()
+                .map(|r| {
+                    let takeover = r
+                        .takeover_s
+                        .map_or_else(|| "none".to_string(), |t| format!("{t:?}"));
+                    format!("{}:{:?}:{takeover}", r.domain, r.at_s)
+                })
+                .collect();
+            let _ = writeln!(out, "fault.rsmc_failover = {}", toks.join(" "));
+        }
+        if !self.faults.eclipses.is_empty() {
+            let toks: Vec<String> = self
+                .faults
+                .eclipses
+                .iter()
+                .map(|e| format!("{:?}:{:?}", e.start_s, e.end_s))
+                .collect();
+            let _ = writeln!(out, "fault.eclipses = {}", toks.join(" "));
+        }
         out
     }
 
@@ -712,6 +946,86 @@ impl ScenarioSpec {
             "semisoft_delay_ms" => self.semisoft_delay_ms = parse_opt_ms(value)?,
             "table_lifetime_ms" => self.table_lifetime_ms = parse_opt_ms(value)?,
             "paging_update_ms" => self.paging_update_ms = parse_opt_ms(value)?,
+            "faults" => {
+                // Sweep-axis escape hatch: clear every schedule at once.
+                if value != "none" {
+                    return Err(err(
+                        "faults = none clears all schedules; use fault.* keys to add them",
+                    ));
+                }
+                self.faults = FaultSpec::default();
+            }
+            // Each fault.* key also accepts `none` to clear just that
+            // schedule — the natural "off" arm of a sweep axis.
+            "fault.cell_outages" => {
+                let mut outages = Vec::new();
+                for tok in fault_tokens(value)? {
+                    let parts: Vec<&str> = tok.split(':').collect();
+                    let [cell, start, end] = parts[..] else {
+                        return Err(err("fault.cell_outages = <cell>:<start_s>:<end_s> …"));
+                    };
+                    outages.push(CellOutage {
+                        cell: parse_u32(cell)?,
+                        start_s: parse_f64(start)?,
+                        end_s: parse_f64(end)?,
+                    });
+                }
+                self.faults.cell_outages = outages;
+            }
+            "fault.link_flaps" => {
+                let mut flaps = Vec::new();
+                for tok in fault_tokens(value)? {
+                    let parts: Vec<&str> = tok.split(':').collect();
+                    let [domain, start, period, duty, jitter, count] = parts[..] else {
+                        return Err(err("fault.link_flaps = \
+                             <domain>:<start_s>:<period_s>:<duty>:<jitter_s>:<count> …"));
+                    };
+                    flaps.push(LinkFlap {
+                        domain: parse_u32(domain)?,
+                        start_s: parse_f64(start)?,
+                        period_s: parse_f64(period)?,
+                        duty: parse_f64(duty)?,
+                        jitter_s: parse_f64(jitter)?,
+                        count: parse_u32(count)?,
+                    });
+                }
+                self.faults.link_flaps = flaps;
+            }
+            "fault.rsmc_failover" => {
+                let mut failovers = Vec::new();
+                for tok in fault_tokens(value)? {
+                    let parts: Vec<&str> = tok.split(':').collect();
+                    let [domain, at, takeover] = parts[..] else {
+                        return Err(err(
+                            "fault.rsmc_failover = <domain>:<at_s>:<takeover_s|none> …",
+                        ));
+                    };
+                    failovers.push(RsmcFailover {
+                        domain: parse_u32(domain)?,
+                        at_s: parse_f64(at)?,
+                        takeover_s: if takeover == "none" {
+                            None
+                        } else {
+                            Some(parse_f64(takeover)?)
+                        },
+                    });
+                }
+                self.faults.rsmc_failovers = failovers;
+            }
+            "fault.eclipses" => {
+                let mut eclipses = Vec::new();
+                for tok in fault_tokens(value)? {
+                    let parts: Vec<&str> = tok.split(':').collect();
+                    let [start, end] = parts[..] else {
+                        return Err(err("fault.eclipses = <start_s>:<end_s> …"));
+                    };
+                    eclipses.push(EclipseWindow {
+                        start_s: parse_f64(start)?,
+                        end_s: parse_f64(end)?,
+                    });
+                }
+                self.faults.eclipses = eclipses;
+            }
             other => return Err(err(format!("unknown key {other:?}"))),
         }
         Ok(())
@@ -748,6 +1062,8 @@ impl ScenarioSpec {
                 "population {population} exceeds the 250-node home subnet"
             )));
         }
+        self.faults
+            .validate(self.n_domains + u32::from(self.satellite))?;
         Ok(())
     }
 
@@ -893,7 +1209,12 @@ impl ScenarioSpec {
             b.add_mn(Box::new(model), &flow_plan(idx));
             idx += 1;
         }
-        b.build()
+        let mut world = b.build();
+        // Fault schedules compile against the concrete world (cell ids,
+        // link ids, domain indices) — and against the resolved world
+        // seed, so the jitter draws are part of the determinism contract.
+        world.install_fault_plan(&self.faults);
+        world
     }
 
     /// Builds and runs for the spec's duration.
@@ -986,6 +1307,121 @@ mod tests {
         assert_eq!(spec.micro_kind, CellKind::Pico);
         assert_eq!(spec.route_update_ms, None);
         assert!(spec.set("warp_factor", "9").is_err());
+    }
+
+    fn faulted_spec() -> ScenarioSpec {
+        ScenarioSpec::small_city().with_faults(FaultSpec {
+            cell_outages: vec![CellOutage {
+                cell: 2,
+                start_s: 10.0,
+                end_s: 30.5,
+            }],
+            link_flaps: vec![LinkFlap {
+                domain: 1,
+                start_s: 5.0,
+                period_s: 20.0,
+                duty: 0.25,
+                jitter_s: 1.5,
+                count: 3,
+            }],
+            rsmc_failovers: vec![
+                RsmcFailover {
+                    domain: 0,
+                    at_s: 40.0,
+                    takeover_s: Some(12.0),
+                },
+                RsmcFailover {
+                    domain: 2,
+                    at_s: 60.0,
+                    takeover_s: None,
+                },
+            ],
+            eclipses: vec![EclipseWindow {
+                start_s: 100.0,
+                end_s: 140.0,
+            }],
+        })
+    }
+
+    #[test]
+    fn faults_render_parse_roundtrip() {
+        let spec = faulted_spec();
+        let text = spec.render();
+        assert!(text.contains("fault.cell_outages = 2:10.0:30.5"), "{text}");
+        assert!(
+            text.contains("fault.link_flaps = 1:5.0:20.0:0.25:1.5:3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fault.rsmc_failover = 0:40.0:12.0 2:60.0:none"),
+            "{text}"
+        );
+        assert!(text.contains("fault.eclipses = 100.0:140.0"), "{text}");
+        let back = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn empty_faults_render_nothing() {
+        let spec = ScenarioSpec::small_city();
+        assert!(spec.faults.is_empty());
+        assert!(!spec.render().contains("fault"), "empty section is silent");
+        // `faults = none` clears schedules without leaving a trace.
+        let mut faulted = faulted_spec();
+        faulted.set("faults", "none").unwrap();
+        assert_eq!(faulted.render(), spec.render());
+    }
+
+    #[test]
+    fn fault_validation_rejects_bad_schedules() {
+        let mut spec = ScenarioSpec::small_city();
+        spec.faults.cell_outages = vec![CellOutage {
+            cell: 0,
+            start_s: 30.0,
+            end_s: 10.0,
+        }];
+        assert!(spec.validate().is_err(), "inverted window");
+        spec.faults.cell_outages.clear();
+        spec.faults.link_flaps = vec![LinkFlap {
+            domain: 99,
+            start_s: 0.0,
+            period_s: 10.0,
+            duty: 0.5,
+            jitter_s: 0.0,
+            count: 1,
+        }];
+        assert!(spec.validate().is_err(), "domain out of range");
+        spec.faults.link_flaps[0].domain = 0;
+        spec.faults.link_flaps[0].jitter_s = 5.0;
+        assert!(spec.validate().is_err(), "jitter >= half-period");
+        spec.faults.link_flaps[0].jitter_s = 4.9;
+        assert!(spec.validate().is_ok());
+        spec.faults.rsmc_failovers = vec![RsmcFailover {
+            domain: 0,
+            at_s: 10.0,
+            takeover_s: Some(0.0),
+        }];
+        assert!(spec.validate().is_err(), "zero takeover delay");
+    }
+
+    #[test]
+    fn fault_keys_are_sweep_axes() {
+        let mut spec = ScenarioSpec::small_city();
+        spec.set("fault.cell_outages", "1:5.0:9.0 3:20.0:25.0")
+            .unwrap();
+        assert_eq!(spec.faults.cell_outages.len(), 2);
+        assert_eq!(spec.faults.cell_outages[1].cell, 3);
+        spec.set("fault.rsmc_failover", "0:15.0:none").unwrap();
+        assert_eq!(spec.faults.rsmc_failovers[0].takeover_s, None);
+        assert!(spec.set("fault.link_flaps", "not-a-flap").is_err());
+        assert!(spec.set("faults", "all-of-them").is_err());
+        // Per-key `none` clears just that schedule — the off arm of a
+        // sweep axis.
+        spec.set("fault.cell_outages", "none").unwrap();
+        assert!(spec.faults.cell_outages.is_empty());
+        assert_eq!(spec.faults.rsmc_failovers.len(), 1, "others untouched");
+        spec.set("fault.rsmc_failover", "none").unwrap();
+        assert!(spec.faults.is_empty());
     }
 
     #[test]

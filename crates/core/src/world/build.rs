@@ -284,6 +284,7 @@ impl WorldBuilder {
             cip,
             semisoft: mtnet_cellularip::SemisoftController::new(),
             rsmc_node,
+            rsmc_alive: true,
         });
         didx
     }
@@ -451,6 +452,9 @@ impl WorldBuilder {
             arena: crate::arena::PacketArena::new(),
             measure_scratch: Vec::new(),
             candidate_scratch: Vec::new(),
+            fault_plan: Vec::new(),
+            active_faults: 0,
+            pending_recovery: Vec::new(),
             report: SimReport::default(),
         }
     }

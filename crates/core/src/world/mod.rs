@@ -35,9 +35,10 @@ use mtnet_mobileip::{
 };
 use mtnet_mobility::Trajectory;
 use mtnet_net::{
-    Addr, FlowId, NodeId, PacketId, Prefix, RouteCache, Topology, TransmitOutcome, TunnelKind,
+    Addr, FlowId, LinkId, NodeId, PacketId, Prefix, RouteCache, Topology, TransmitOutcome,
+    TunnelKind,
 };
-use mtnet_radio::{CallKind, CellId, CellMap, Measurement};
+use mtnet_radio::{CallKind, CellId, CellKind, CellMap, Measurement};
 use mtnet_sim::FxHashMap;
 use mtnet_sim::{Context, Model, RngStream, SchedulerKind, SimDuration, SimTime, Simulator};
 use mtnet_traffic::{ArrivalProcess, Cbr, FlowQos, OnOffVbr, ParetoWeb};
@@ -119,6 +120,11 @@ pub(crate) struct DomainState {
     pub(crate) cip: CipNetwork,
     pub(crate) semisoft: SemisoftController,
     pub(crate) rsmc_node: NodeId,
+    /// False while a fault-injected RSMC crash is outstanding: the dead
+    /// RSMC answers no control traffic and tracks no locations until the
+    /// standby takes over (plain gateway routing keeps working — the
+    /// fault is control-plane death, not a line cut).
+    pub(crate) rsmc_alive: bool,
 }
 
 /// An in-flight handoff (decided, radio not yet retuned).
@@ -226,6 +232,49 @@ pub enum Ev {
     Attach(MnId),
     /// Periodic cache sweep.
     Sweep,
+    /// A scheduled fault transition fires: the index into the world's
+    /// compiled fault plan (see `World::install_fault_plan`).
+    Fault(usize),
+}
+
+/// One compiled fault transition. Spec-level schedules (windows, flap
+/// series) expand into these concrete, time-sorted edges at build time,
+/// once cell ids, link ids and domain indices exist.
+#[derive(Debug, Clone)]
+pub(crate) enum FaultAction {
+    /// Administrative BS outage edge.
+    Cell {
+        /// Affected cell.
+        cell: CellId,
+        /// True takes the cell down, false restores it.
+        down: bool,
+    },
+    /// Wired-uplink flap edge: both directions of the duplex pair.
+    Link {
+        /// Internet → RSMC direction.
+        fwd: LinkId,
+        /// RSMC → Internet direction.
+        rev: LinkId,
+        /// True downs the pair, false restores it.
+        down: bool,
+    },
+    /// RSMC crash: the control plane dies and its soft state flushes.
+    RsmcKill {
+        /// Domain index.
+        domain: usize,
+    },
+    /// Standby RSMC takeover: the control plane returns, cold.
+    RsmcTakeover {
+        /// Domain index.
+        domain: usize,
+    },
+    /// Satellite eclipse edge over every satellite-tier cell.
+    Eclipse {
+        /// The satellite cells (captured at compile time).
+        cells: Vec<CellId>,
+        /// True starts the eclipse, false ends it.
+        down: bool,
+    },
 }
 
 /// The simulation world (see module docs).
@@ -292,6 +341,15 @@ pub struct World {
     /// Reused handoff-candidate buffer (same lifecycle as
     /// `measure_scratch`).
     candidate_scratch: Vec<Candidate>,
+    /// Compiled fault plan, time-sorted; `Ev::Fault(i)` indexes into it.
+    /// Empty unless the spec's `faults` section scheduled something.
+    pub(crate) fault_plan: Vec<(SimTime, FaultAction)>,
+    /// Injected faults currently active (down edges applied minus restore
+    /// edges applied); data drops while nonzero count as outage losses.
+    active_faults: u32,
+    /// Restore instants awaiting their first successful data delivery —
+    /// the recovery-latency measurement points.
+    pending_recovery: Vec<SimTime>,
     pub(crate) report: SimReport,
 }
 
@@ -404,14 +462,14 @@ impl World {
         };
         let Some(next) = self.wired_next_hop(node, dst) else {
             if is_data {
-                self.report.count_drop(DropCause::NoRoute);
+                self.count_data_drop(DropCause::NoRoute);
             }
             self.arena.free(pkt);
             return;
         };
         let Some(link) = self.topo.link_between(node, next) else {
             if is_data {
-                self.report.count_drop(DropCause::NoRoute);
+                self.count_data_drop(DropCause::NoRoute);
             }
             self.arena.free(pkt);
             return;
@@ -435,7 +493,7 @@ impl World {
             }
             TransmitOutcome::Dropped => {
                 if is_data {
-                    self.report.count_drop(DropCause::QueueOverflow);
+                    self.count_data_drop(DropCause::QueueOverflow);
                 }
                 self.arena.free(pkt);
             }
@@ -511,6 +569,196 @@ impl World {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Compiles the spec's fault schedules into the time-sorted plan
+    /// `World::run` turns into `Ev::Fault` events.
+    ///
+    /// Runs after the builder so the schedules resolve against concrete
+    /// ids: cell outages to [`CellId`]s, link flaps to the domain's
+    /// Internet ↔ RSMC duplex [`LinkId`] pair, eclipses to the built
+    /// satellite-cell set. Flap jitter draws come from a child stream of
+    /// the world seed, so the expanded plan is a pure function of
+    /// `(spec, master seed)` — the determinism contract extends to
+    /// faults unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell outage names a cell the world never built (domain
+    /// indices are range-checked earlier by spec validation).
+    pub(crate) fn install_fault_plan(&mut self, faults: &crate::spec::FaultSpec) {
+        if faults.is_empty() {
+            return;
+        }
+        fn at(secs: f64) -> SimTime {
+            SimTime::ZERO + SimDuration::from_secs_f64(secs)
+        }
+        let mut plan: Vec<(SimTime, FaultAction)> = Vec::new();
+        for o in &faults.cell_outages {
+            let cell = CellId(o.cell);
+            assert!(
+                self.cells.cell(cell).is_some(),
+                "fault.cell_outages names unknown cell {} (world has {})",
+                o.cell,
+                self.cells.len()
+            );
+            plan.push((at(o.start_s), FaultAction::Cell { cell, down: true }));
+            plan.push((at(o.end_s), FaultAction::Cell { cell, down: false }));
+        }
+        let jitter_root = RngStream::from_seed(self.cfg.seed);
+        for (i, f) in faults.link_flaps.iter().enumerate() {
+            let rsmc_node = self.domains[f.domain as usize].rsmc_node;
+            let internet = self
+                .topo
+                .node_by_addr("1.0.0.1".parse().expect("static addr"))
+                .expect("internet node exists");
+            let fwd = self
+                .topo
+                .link_between(internet, rsmc_node)
+                .expect("domain uplink exists");
+            let rev = self
+                .topo
+                .link_between(rsmc_node, internet)
+                .expect("domain uplink exists");
+            let mut rng = jitter_root.child(&format!("faults/flap{i}"));
+            for k in 0..f.count {
+                let base = f.start_s + f64::from(k) * f.period_s;
+                // Jitter < period * min(duty, 1-duty) (spec-validated), so
+                // down_k < up_k < down_{k+1} always: edges stay paired.
+                let down_at = base + rng.next_f64() * f.jitter_s;
+                let up_at = base + f.duty * f.period_s + rng.next_f64() * f.jitter_s;
+                plan.push((
+                    at(down_at),
+                    FaultAction::Link {
+                        fwd,
+                        rev,
+                        down: true,
+                    },
+                ));
+                plan.push((
+                    at(up_at),
+                    FaultAction::Link {
+                        fwd,
+                        rev,
+                        down: false,
+                    },
+                ));
+            }
+        }
+        for r in &faults.rsmc_failovers {
+            let domain = r.domain as usize;
+            plan.push((at(r.at_s), FaultAction::RsmcKill { domain }));
+            if let Some(t) = r.takeover_s {
+                plan.push((at(r.at_s + t), FaultAction::RsmcTakeover { domain }));
+            }
+        }
+        if !faults.eclipses.is_empty() {
+            let sats: Vec<CellId> = self
+                .cells
+                .cells()
+                .filter(|c| c.kind() == CellKind::Satellite)
+                .map(|c| c.id())
+                .collect();
+            for e in &faults.eclipses {
+                plan.push((
+                    at(e.start_s),
+                    FaultAction::Eclipse {
+                        cells: sats.clone(),
+                        down: true,
+                    },
+                ));
+                plan.push((
+                    at(e.end_s),
+                    FaultAction::Eclipse {
+                        cells: sats.clone(),
+                        down: false,
+                    },
+                ));
+            }
+        }
+        // Stable sort: same-instant edges apply in category order
+        // (cells, links, failovers, eclipses) — fixed, so deterministic.
+        plan.sort_by_key(|(t, _)| *t);
+        self.fault_plan = plan;
+    }
+
+    /// Applies one compiled fault edge. No-op edges (an already-down cell
+    /// downed again by an overlapping window, an eclipse with no
+    /// satellites) count nothing, which keeps the active-fault balance
+    /// and the quiet-report guarantee exact.
+    fn handle_fault(&mut self, ctx: &mut Context<'_, Ev>, idx: usize) {
+        let now = ctx.now();
+        let action = self.fault_plan[idx].1.clone();
+        match action {
+            FaultAction::Cell { cell, down } => {
+                if self.cells.set_cell_down(cell, down) {
+                    self.report.faults.cell_transitions += 1;
+                    self.note_fault_edge(now, down);
+                }
+            }
+            FaultAction::Link { fwd, rev, down } => {
+                // `set_link_up` bumps the topology generation on every
+                // applied transition — including the restore, which is
+                // what evicts route-cache trees resolved mid-outage.
+                let a = self.topo.set_link_up(fwd, !down).expect("known link");
+                let b = self.topo.set_link_up(rev, !down).expect("known link");
+                if a || b {
+                    self.report.faults.link_transitions += 1;
+                    self.note_fault_edge(now, down);
+                }
+            }
+            FaultAction::RsmcKill { domain } => {
+                if self.domains[domain].rsmc_alive {
+                    self.domains[domain].rsmc_alive = false;
+                    self.domains[domain].rsmc.flush();
+                    self.report.faults.rsmc_kills += 1;
+                    self.note_fault_edge(now, true);
+                }
+            }
+            FaultAction::RsmcTakeover { domain } => {
+                if !self.domains[domain].rsmc_alive {
+                    self.domains[domain].rsmc_alive = true;
+                    self.report.faults.rsmc_takeovers += 1;
+                    self.note_fault_edge(now, false);
+                }
+            }
+            FaultAction::Eclipse { cells, down } => {
+                let mut changed = false;
+                for cell in cells {
+                    changed |= self.cells.set_cell_down(cell, down);
+                }
+                if changed {
+                    self.report.faults.eclipse_transitions += 1;
+                    self.note_fault_edge(now, down);
+                }
+            }
+        }
+    }
+
+    /// Bookkeeping common to every applied fault edge: down edges open
+    /// the outage-attribution window, restore edges close it and arm a
+    /// recovery-latency measurement.
+    fn note_fault_edge(&mut self, now: SimTime, down: bool) {
+        if down {
+            self.active_faults += 1;
+        } else {
+            self.active_faults = self.active_faults.saturating_sub(1);
+            self.pending_recovery.push(now);
+        }
+    }
+
+    /// Records a data-packet drop, attributing it to the open fault
+    /// window when one exists. Every drop in the world routes through
+    /// here (or [`World::drop_packet`], which calls it).
+    fn count_data_drop(&mut self, cause: DropCause) {
+        if self.active_faults > 0 {
+            self.report.faults.outage_drops += 1;
+        }
+        self.report.count_drop(cause);
+    }
+
+    // ------------------------------------------------------------------
     // Packet handling
     // ------------------------------------------------------------------
 
@@ -572,7 +820,7 @@ impl World {
                     self.air_down(ctx, cell, mn, pkt);
                 } else {
                     if payload.is_data() {
-                        self.report.count_drop(DropCause::NoRoute);
+                        self.count_data_drop(DropCause::NoRoute);
                     }
                     self.arena.free(pkt);
                 }
@@ -664,6 +912,12 @@ impl World {
         }
         // RSMC / gateway processing.
         if let Some(didx) = self.rsmc_node_domain.get(&node).copied() {
+            if !self.domains[didx].rsmc_alive {
+                // Crashed control plane: the box forwards as a plain
+                // gateway (handled before we got here) but answers no
+                // signaling until the standby takes over.
+                return;
+            }
             match payload {
                 Payload::Mip(MipMessage::Request(req)) => {
                     // FA leg: relay to the HA or deny locally.
@@ -800,7 +1054,7 @@ impl World {
     /// carried application data.
     fn drop_packet(&mut self, pkt: PacketRef, cause: DropCause) {
         if self.arena.get(pkt).payload.is_data() {
-            self.report.count_drop(cause);
+            self.count_data_drop(cause);
         }
         self.arena.free(pkt);
     }
@@ -909,7 +1163,7 @@ impl World {
         mn: Addr,
         now: SimTime,
     ) {
-        if !self.cfg.rsmc_enabled {
+        if !self.cfg.rsmc_enabled || !self.domains[didx].rsmc_alive {
             return;
         }
         let Some(cell) = self.domains[didx]
@@ -1098,7 +1352,7 @@ impl World {
     ) {
         let now = ctx.now();
         let mn_addr = self.arena.get(pkt).dst;
-        if self.cfg.rsmc_enabled {
+        if self.cfg.rsmc_enabled && self.domains[didx].rsmc_alive {
             if let Some(cell) = self.domains[didx].rsmc.locate(mn_addr, now) {
                 // Source-routed forward down the tree, delivered straight
                 // over the located BS's air interface (the BS's own
@@ -1193,7 +1447,7 @@ impl World {
         let reachable = attached_ok && radio_ok;
         if !reachable {
             if payload.is_data() {
-                self.report.count_drop(DropCause::WirelessDetached);
+                self.count_data_drop(DropCause::WirelessDetached);
             }
             return;
         }
@@ -1206,6 +1460,16 @@ impl World {
                         .record_received(seq, created_at, now, payload_bytes);
                 }
                 self.mns[mn.0 as usize].cip.touch(now);
+                // First delivered data packet after a restore closes every
+                // armed recovery-latency measurement.
+                if !self.pending_recovery.is_empty() {
+                    for t in std::mem::take(&mut self.pending_recovery) {
+                        self.report
+                            .faults
+                            .recovery_latency_ms
+                            .record(now.saturating_since(t).as_millis_f64());
+                    }
+                }
             }
             Payload::Mip(MipMessage::Reply(reply)) => {
                 let action = self.mns[mn.0 as usize].mip.on_reply(&reply, now);
@@ -1225,6 +1489,9 @@ impl World {
     fn perform_mn_action(&mut self, ctx: &mut Context<'_, Ev>, mn: MnId, action: MnAction) {
         if let MnAction::SendRequest(req) = action {
             self.report.signaling.mip_requests += 1;
+            if self.active_faults > 0 || !self.pending_recovery.is_empty() {
+                self.report.faults.reregistrations += 1;
+            }
             // In pure Mobile IP the FA is the serving BS itself; in the
             // multi-tier architecture it is the domain's RSMC. Either way
             // the request is addressed to the care-of address.
@@ -1500,8 +1767,10 @@ impl World {
                     }),
                     gw_addr,
                 );
-                // RSMC authentication on first entry to the domain.
-                if self.cfg.rsmc_enabled {
+                // RSMC authentication on first entry to the domain — a
+                // crashed RSMC cannot authenticate; the standby redoes it
+                // on the next attach after takeover.
+                if self.cfg.rsmc_enabled && self.domains[didx].rsmc_alive {
                     let _auth_delay = self.domains[didx].rsmc.authenticate(mn_addr);
                 }
             }
@@ -1748,6 +2017,7 @@ impl Model for World {
             Ev::FlowNext(fidx) => self.handle_flow_next(ctx, fidx),
             Ev::Attach(mn) => self.handle_attach(ctx, mn),
             Ev::Sweep => self.handle_sweep(ctx),
+            Ev::Fault(idx) => self.handle_fault(ctx, idx),
         }
     }
 }
@@ -1794,6 +2064,12 @@ impl World {
             sim.schedule_at(SimTime::from_millis(500 + f as u64 * 11), Ev::FlowNext(f));
         }
         sim.schedule_at(SimTime::from_secs(5), Ev::Sweep);
+        // Fault edges last: same-instant ties against periodic machinery
+        // resolve by schedule order, which this fixes once for every run.
+        let fault_times: Vec<SimTime> = sim.model().fault_plan.iter().map(|(t, _)| *t).collect();
+        for (idx, t) in fault_times.into_iter().enumerate() {
+            sim.schedule_at(t, Ev::Fault(idx));
+        }
         sim.run_until(SimTime::ZERO + duration);
         let events = sim.events_processed();
         let mut world = sim.into_model();

@@ -128,6 +128,9 @@ pub struct Link {
     max_backlog: SimDuration,
     busy_until: SimTime,
     stats: LinkStats,
+    /// Administrative state: a downed link (fault injection) refuses all
+    /// traffic until restored.
+    up: bool,
 }
 
 impl Link {
@@ -143,7 +146,22 @@ impl Link {
             max_backlog: config.serialization(config.queue_bytes),
             busy_until: SimTime::ZERO,
             stats: LinkStats::default(),
+            up: true,
         }
+    }
+
+    /// Whether the link is administratively up (links start up; fault
+    /// injection takes them down and back).
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Sets the administrative state. A downed link drops every offered
+    /// packet; routing must be recomputed by the owner (see
+    /// [`crate::Topology::set_link_up`], which also bumps the topology
+    /// generation).
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
     }
 
     /// The static configuration.
@@ -167,6 +185,10 @@ impl Link {
     /// Returns the delivery time at the far end, or `Dropped` if the
     /// drop-tail queue is full.
     pub fn transmit(&mut self, now: SimTime, wire_bytes: u32) -> TransmitOutcome {
+        if !self.up {
+            self.stats.dropped_packets += 1;
+            return TransmitOutcome::Dropped;
+        }
         let max_backlog = self.max_backlog;
         let backlog = self.backlog(now);
         if backlog > max_backlog {
@@ -296,6 +318,22 @@ mod tests {
     #[test]
     fn drop_rate_zero_when_unused() {
         assert_eq!(LinkStats::default().drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn down_link_drops_everything_until_restored() {
+        let mut l = one_mbps();
+        assert!(l.is_up());
+        l.set_up(false);
+        assert!(!l.is_up());
+        assert_eq!(l.transmit(SimTime::ZERO, 100), TransmitOutcome::Dropped);
+        assert_eq!(l.stats().dropped_packets, 1);
+        assert_eq!(l.stats().tx_packets, 0);
+        l.set_up(true);
+        assert!(matches!(
+            l.transmit(SimTime::from_millis(1), 100),
+            TransmitOutcome::Delivered { .. }
+        ));
     }
 
     #[test]

@@ -248,6 +248,29 @@ mod tests {
     }
 
     #[test]
+    fn routes_resolved_during_an_outage_do_not_survive_restoration() {
+        // Regression: the cache tree built *while* a link is down encodes
+        // the detour. If restoring the link failed to bump the topology
+        // generation, those stale detour next-hops would be served
+        // forever. Both edges of the down window must invalidate.
+        let (mut t, a, b, c) = line_plus_slow_direct();
+        let mut cache = RouteCache::new();
+        assert_eq!(cache.next_hop(&t, a, c), Some(b));
+        let ab = t.link_between(a, b).unwrap();
+        t.set_link_up(ab, false).unwrap();
+        // Resolved mid-outage: the slow direct link is all that's left.
+        assert_eq!(cache.next_hop(&t, a, c), Some(c));
+        t.set_link_up(ab, true).unwrap();
+        // Restoration must evict the detour tree: fresh Dijkstra agrees.
+        assert_eq!(cache.next_hop(&t, a, c), t.next_hop_on_path(a, c));
+        assert_eq!(cache.next_hop(&t, a, c), Some(b));
+        assert_eq!(
+            cache.path_delay(&t, a, c),
+            Some(SimDuration::from_millis(2))
+        );
+    }
+
+    #[test]
     fn caches_one_tree_per_source() {
         let (t, a, b, _) = line_plus_slow_direct();
         let mut cache = RouteCache::new();

@@ -90,9 +90,12 @@ struct LinkEntry {
 pub struct Topology {
     nodes: Vec<NodeEntry>,
     links: Vec<LinkEntry>,
-    /// Structure version: bumped by every node/link addition so shortest-
-    /// path caches can invalidate lazily. Link *state* (queues, stats) is
-    /// not structure — it never affects Dijkstra weights.
+    /// Structure version: bumped by every mutation that can change
+    /// shortest paths — node/link additions and administrative up/down
+    /// transitions (see [`set_link_up`](Topology::set_link_up)) — so
+    /// shortest-path caches can invalidate lazily. Link *traffic* state
+    /// (queues, stats) is not structure — it never affects Dijkstra
+    /// weights.
     generation: u64,
     /// O(1) reverse index for [`node_by_addr`](Topology::node_by_addr);
     /// first-added node wins on duplicate addresses.
@@ -106,8 +109,8 @@ impl Topology {
     }
 
     /// Structure version. Any mutation that can change shortest paths
-    /// (adding nodes or links) bumps it; [`crate::RouteCache`] compares
-    /// generations to invalidate lazily.
+    /// (adding nodes or links, taking a link down or up) bumps it;
+    /// [`crate::RouteCache`] compares generations to invalidate lazily.
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -200,6 +203,30 @@ impl Topology {
             .ok_or(TopologyError::UnknownLink(id))
     }
 
+    /// Sets a link's administrative state, bumping the topology
+    /// generation on every **actual** transition — down *and*, crucially,
+    /// back up. Routes resolved while the link was down are just as stale
+    /// after restoration as routes resolved before the failure; a bump on
+    /// both edges of the window keeps [`crate::RouteCache`] honest in each
+    /// direction. Returns whether the state changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownLink`] for an id that was never
+    /// added.
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) -> Result<bool, TopologyError> {
+        let entry = self
+            .links
+            .get_mut(id.0 as usize)
+            .ok_or(TopologyError::UnknownLink(id))?;
+        if entry.link.is_up() == up {
+            return Ok(false);
+        }
+        entry.link.set_up(up);
+        self.generation += 1;
+        Ok(true)
+    }
+
     /// Endpoints of a link as `(from, to)`.
     pub fn link_endpoints(&self, id: LinkId) -> Result<(NodeId, NodeId), TopologyError> {
         self.links
@@ -231,12 +258,11 @@ impl Topology {
                 _ => {}
             }
             for &(v, lid) in &self.nodes[u.0 as usize].out {
-                let w = self.links[lid.0 as usize]
-                    .link
-                    .config()
-                    .propagation
-                    .as_nanos()
-                    .max(1);
+                let link = &self.links[lid.0 as usize].link;
+                if !link.is_up() {
+                    continue; // downed links carry no routes
+                }
+                let w = link.config().propagation.as_nanos().max(1);
                 let nd = d.saturating_add(w);
                 let better = match best[v.0 as usize] {
                     None => true,
@@ -466,6 +492,53 @@ mod tests {
         );
         let e = TopologyError::NoLink(NodeId(1), NodeId(2));
         assert!(e.to_string().contains("no link"));
+    }
+
+    #[test]
+    fn downed_link_is_routed_around_and_restored() {
+        let (mut t, a, b, c) = line_plus_slow_direct();
+        // Fast path a-b-c wins while healthy.
+        assert_eq!(t.next_hop_on_path(a, c), Some(b));
+        let ab = t.link_between(a, b).unwrap();
+        assert!(t.set_link_up(ab, false).unwrap());
+        // Only the slow direct path remains.
+        assert_eq!(t.next_hop_on_path(a, c), Some(c));
+        assert!(t.set_link_up(ab, true).unwrap());
+        assert_eq!(t.next_hop_on_path(a, c), Some(b));
+    }
+
+    #[test]
+    fn set_link_up_bumps_generation_on_both_transitions_only() {
+        let (mut t, a, b, _) = line_plus_slow_direct();
+        let ab = t.link_between(a, b).unwrap();
+        let g0 = t.generation();
+        // No-op transitions must not invalidate caches.
+        assert!(!t.set_link_up(ab, true).unwrap());
+        assert_eq!(t.generation(), g0);
+        assert!(t.set_link_up(ab, false).unwrap());
+        assert_eq!(t.generation(), g0 + 1);
+        assert!(!t.set_link_up(ab, false).unwrap());
+        assert_eq!(t.generation(), g0 + 1);
+        // The restore edge bumps too: routes resolved during the outage
+        // are stale the moment the link returns.
+        assert!(t.set_link_up(ab, true).unwrap());
+        assert_eq!(t.generation(), g0 + 2);
+        assert!(matches!(
+            t.set_link_up(LinkId(999), false),
+            Err(TopologyError::UnknownLink(_))
+        ));
+    }
+
+    #[test]
+    fn fully_partitioned_node_is_unreachable() {
+        let mut t = Topology::new();
+        let a = t.add_node(addr(1));
+        let b = t.add_node(addr(2));
+        let (f, r) = t.connect(a, b, LinkConfig::backbone());
+        t.set_link_up(f, false).unwrap();
+        t.set_link_up(r, false).unwrap();
+        assert_eq!(t.next_hop_on_path(a, b), None);
+        assert_eq!(t.hop_count(a, b), None);
     }
 
     #[test]

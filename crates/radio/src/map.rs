@@ -94,6 +94,11 @@ pub struct CellMap {
     path_loss: PathLoss,
     /// Extra seed decorrelating shadowing between experiment repetitions.
     shadow_seed: u64,
+    /// Administrative outage flags, dense by id (fault injection: BS
+    /// outages, satellite eclipses). A downed cell stays placed — its
+    /// geometry, channels and grid entries survive — but every
+    /// measurement path reports it silent until restored.
+    down: Vec<bool>,
     grid: GridIndex,
     /// Structure-of-arrays mirror of the static per-cell fields, in id
     /// order — the batched measurement path streams these flat lanes
@@ -139,6 +144,7 @@ impl CellMap {
             count: 0,
             path_loss: PathLoss::default(),
             shadow_seed,
+            down: Vec::new(),
             grid: GridIndex::default(),
             soa: CellSoa::default(),
         }
@@ -152,6 +158,7 @@ impl CellMap {
             count: 0,
             path_loss: PathLoss::clean(3.5),
             shadow_seed: 0,
+            down: Vec::new(),
             grid: GridIndex::default(),
             soa: CellSoa::default(),
         }
@@ -173,6 +180,7 @@ impl CellMap {
         let idx = id.0 as usize;
         if self.cells.len() <= idx {
             self.cells.resize_with(idx + 1, || None);
+            self.down.resize(idx + 1, false);
         }
         assert!(self.cells[idx].is_none(), "duplicate cell id {id}");
         self.grid.insert(&cell);
@@ -206,6 +214,34 @@ impl CellMap {
     /// is already id-ordered).
     pub fn cells(&self) -> impl Iterator<Item = &Cell> {
         self.cells.iter().flatten()
+    }
+
+    /// Whether `cell` is administratively down (unknown ids read as up).
+    pub fn is_cell_down(&self, id: CellId) -> bool {
+        self.down.get(id.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Sets a cell's administrative outage state. While down, the cell is
+    /// invisible to every measurement path — the `measure_one`-derived
+    /// scans, [`CellMap::measure_batch`], and the per-packet
+    /// [`CellMap::rssi_if_covered`] probe all report silence — so a cell
+    /// is never simultaneously "placed" and "audible-while-failed". The
+    /// raw physics probe [`CellMap::rssi_dbm`] is deliberately untouched:
+    /// outage is an administrative condition, not a propagation one.
+    /// Returns whether the state changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell id is unknown.
+    pub fn set_cell_down(&mut self, id: CellId, down: bool) -> bool {
+        assert!(
+            self.cell(id).is_some(),
+            "set_cell_down: unknown cell id {id}"
+        );
+        let slot = &mut self.down[id.0 as usize];
+        let changed = *slot != down;
+        *slot = down;
+        changed
     }
 
     /// Received power of `cell` at `at`, in dBm.
@@ -248,6 +284,9 @@ impl CellMap {
     /// the per-packet air-interface reachability probe.
     pub fn rssi_if_covered(&self, cell: CellId, at: Point) -> Option<f64> {
         let c = self.cell(cell)?;
+        if self.down[cell.0 as usize] {
+            return None;
+        }
         let ground = c.center().distance(at);
         if ground > c.radius_m() {
             return None;
@@ -259,6 +298,9 @@ impl CellMap {
     /// filter, footprint check, or sensitivity floor.
     fn measure_one(&self, cell: CellId, at: Point, tier: Option<CellKind>) -> Option<Measurement> {
         let c = self.cell(cell).expect("indexed cell exists");
+        if self.down[cell.0 as usize] {
+            return None;
+        }
         if !tier.is_none_or(|t| c.kind() == t) {
             return None;
         }
@@ -331,7 +373,10 @@ impl CellMap {
                 continue;
             }
             // Exact scalar path for the survivors — same ops, same bits
-            // as `measure_one`.
+            // as `measure_one` (including the outage gate).
+            if self.down[self.soa.id[i].0 as usize] {
+                continue;
+            }
             if !tier.is_none_or(|t| self.soa.kind[i] == t) {
                 continue;
             }
@@ -574,6 +619,34 @@ mod tests {
         assert!(!map.is_empty());
         let ids: Vec<CellId> = map.cells().map(|c| c.id()).collect();
         assert_eq!(ids, vec![CellId(0), CellId(1), CellId(2)]);
+    }
+
+    #[test]
+    fn downed_cell_is_silent_on_every_measurement_path() {
+        let mut map = two_micro_one_macro();
+        let p = Point::new(10.0, 0.0);
+        assert!(!map.is_cell_down(CellId(0)));
+        assert!(map.set_cell_down(CellId(0), true));
+        assert!(!map.set_cell_down(CellId(0), true), "no-op repeat");
+        assert!(map.is_cell_down(CellId(0)));
+        // All scan paths agree the cell is gone…
+        let full = map.measure_full_scan(p, None);
+        let grid = map.measure(p, None);
+        let mut batch = Vec::new();
+        map.measure_batch(p, None, &mut batch);
+        assert_eq!(full, grid);
+        assert_eq!(full, batch);
+        assert!(full.iter().all(|m| m.cell != CellId(0)));
+        // …including the per-packet probe and best-cell selection…
+        assert_eq!(map.rssi_if_covered(CellId(0), p), None);
+        assert_ne!(map.best_cell(p, Some(CellKind::Micro)), Some(CellId(0)));
+        // …while the cell itself stays placed (geometry + channels).
+        assert!(map.cell(CellId(0)).is_some());
+        assert_eq!(map.len(), 3);
+        // Restoration brings it back verbatim.
+        assert!(map.set_cell_down(CellId(0), false));
+        assert_eq!(map.best_cell(p, Some(CellKind::Micro)), Some(CellId(0)));
+        assert!(map.rssi_if_covered(CellId(0), p).is_some());
     }
 
     #[test]

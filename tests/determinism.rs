@@ -10,6 +10,7 @@
 
 use mtnet_core::report::RunReport;
 use mtnet_core::scenario::{ArchKind, Scenario};
+use mtnet_core::spec::ScenarioSpec;
 use mtnet_sim::rng::replication_seed;
 use mtnet_sim::runner::BatchRunner;
 
@@ -81,6 +82,99 @@ fn different_replications_actually_differ() {
         "replications 0 and 1 of the same arm must not coincide"
     );
     assert_ne!(batch[0].seed, batch[1].seed);
+}
+
+// ----------------------------------------------------------------------
+// Determinism under faults: the contract extends unchanged to runs whose
+// spec schedules infrastructure faults (outage windows, jittered link
+// flaps, RSMC failover).
+// ----------------------------------------------------------------------
+
+/// A small-city spec with every fault category scheduled inside the
+/// 12 s horizon, duplicated per architecture so the batch exercises the
+/// fault path on both code shapes.
+fn faulted_jobs() -> Vec<ScenarioSpec> {
+    use mtnet_core::spec::{CellOutage, FaultSpec, LinkFlap, RsmcFailover};
+    let faults = FaultSpec {
+        cell_outages: vec![CellOutage {
+            cell: 1,
+            start_s: 2.0,
+            end_s: 6.0,
+        }],
+        link_flaps: vec![LinkFlap {
+            domain: 0,
+            start_s: 1.0,
+            period_s: 4.0,
+            duty: 0.5,
+            jitter_s: 0.5,
+            count: 2,
+        }],
+        rsmc_failovers: vec![RsmcFailover {
+            domain: 2,
+            at_s: 7.0,
+            takeover_s: Some(2.0),
+        }],
+        eclipses: Vec::new(),
+    };
+    [ArchKind::multi_tier(), ArchKind::PureMobileIp]
+        .into_iter()
+        .map(|arch| {
+            ScenarioSpec::small_city()
+                .with_arch(arch)
+                .with_faults(faults.clone())
+                .with_duration_s(SECS)
+                .with_seed_path("faults", arch.label(), 0)
+        })
+        .collect()
+}
+
+fn run_specs(threads: usize, jobs: Vec<ScenarioSpec>) -> Vec<String> {
+    BatchRunner::new(threads)
+        .run(jobs, |_, spec| spec.run(MASTER_SEED))
+        .iter()
+        .map(|r| r.fingerprint())
+        .collect()
+}
+
+#[test]
+fn faulted_runs_are_byte_identical_across_thread_counts() {
+    let seq = run_specs(1, faulted_jobs());
+    let par = run_specs(4, faulted_jobs());
+    assert_eq!(seq, par);
+    // The faults actually fired (fingerprints carry the faults section);
+    // a silently inert schedule would make this test vacuous.
+    for fp in &seq {
+        assert!(fp.contains("\nfaults: "), "no fault section in:\n{fp}");
+    }
+}
+
+#[test]
+fn repeated_faulted_batches_are_byte_identical() {
+    assert_eq!(run_specs(3, faulted_jobs()), run_specs(3, faulted_jobs()));
+}
+
+#[test]
+fn a_faulted_run_is_unaffected_by_its_batch_mates() {
+    let batch = run_specs(4, faulted_jobs());
+    let lone = run_specs(1, vec![faulted_jobs().remove(1)]);
+    assert_eq!(batch[1], lone[0]);
+}
+
+#[test]
+fn an_empty_fault_section_is_a_no_op() {
+    // A spec with `faults` left default must fingerprint identically to
+    // one that never mentions faults at all — fault support is strictly
+    // opt-in, and E1–E12 results cannot move.
+    use mtnet_core::spec::FaultSpec;
+    let bare = ScenarioSpec::small_city()
+        .with_duration_s(SECS)
+        .with_seed_path("noop", "bare", 0);
+    let with_empty = bare.clone().with_faults(FaultSpec::default());
+    assert_eq!(bare.render(), with_empty.render(), "empty faults render");
+    let a = bare.run(MASTER_SEED).fingerprint();
+    let b = with_empty.run(MASTER_SEED).fingerprint();
+    assert_eq!(a, b);
+    assert!(!a.contains("faults:"), "quiet report grew a fault section");
 }
 
 #[test]

@@ -77,7 +77,7 @@ proptest! {
         for i in 0..n {
             topo.add_node(Addr(0x0a00_0000 | i));
         }
-        let mut add = |topo: &mut Topology, a: u32, b: u32, ms: u64| {
+        let add = |topo: &mut Topology, a: u32, b: u32, ms: u64| {
             if a != b {
                 topo.add_link(NodeId(a), NodeId(b), LinkConfig {
                     propagation: SimDuration::from_millis(ms),
@@ -646,6 +646,15 @@ proptest! {
             (0u8..2, 1u64..100_000),
             (0u8..2, 1u64..100_000),
         ),
+        fault_shapes in (
+            prop::collection::vec((0u32..40, 0.0f64..500.0, 0.001f64..200.0), 0..3),
+            prop::collection::vec(
+                (0u32..100, 0.0f64..500.0, 0.5f64..60.0, 0.05f64..0.95, 0.0f64..0.99, 1u32..5),
+                0..3,
+            ),
+            prop::collection::vec((0u32..100, 0.0f64..500.0, 0u8..2, 0.001f64..60.0), 0..3),
+            prop::collection::vec((0.0f64..500.0, 0.001f64..200.0), 0..2),
+        ),
     ) {
         let (name, seed_kind, raw_seed, segments, replication) = identity;
         let (duration_s, arch_pick, n_domains, micro_per_domain, micro_kind_pick, spacing) = shape;
@@ -653,8 +662,11 @@ proptest! {
         let (pedestrians, cyclists, vehicles, class_pick, pause, cyclist_speed) = population;
         let (vehicle_speed, voice_every, video_every, web_every, factors_bits) = traffic;
         let (route_ms, semisoft_ms, lifetime_ms, paging_ms) = overrides;
+        let (outage_shapes, flap_shapes, failover_shapes, eclipse_shapes) = fault_shapes;
         use mtnet_core::scenario::ArchKind;
-        use mtnet_core::spec::{ScenarioSpec, SeedSpec};
+        use mtnet_core::spec::{
+            CellOutage, EclipseWindow, FaultSpec, LinkFlap, RsmcFailover, ScenarioSpec, SeedSpec,
+        };
 
         let archs = [
             ArchKind::multi_tier(),
@@ -665,6 +677,45 @@ proptest! {
             ArchKind::FlatCellularIp,
         ];
         let opt = |(on, ms): (u8, u64)| (on == 1).then_some(ms);
+        // Arbitrary-but-valid fault schedules: windows are nonempty, flap
+        // domains stay in range, and jitter respects the validation bound
+        // jitter < period * min(duty, 1 - duty).
+        let faults = FaultSpec {
+            cell_outages: outage_shapes
+                .iter()
+                .map(|&(cell, start_s, width_s)| CellOutage {
+                    cell,
+                    start_s,
+                    end_s: start_s + width_s,
+                })
+                .collect(),
+            link_flaps: flap_shapes
+                .iter()
+                .map(|&(dom, start_s, period_s, duty, jitter_frac, count)| LinkFlap {
+                    domain: dom % n_domains,
+                    start_s,
+                    period_s,
+                    duty,
+                    jitter_s: jitter_frac * period_s * duty.min(1.0 - duty),
+                    count,
+                })
+                .collect(),
+            rsmc_failovers: failover_shapes
+                .iter()
+                .map(|&(dom, at_s, has_takeover, takeover_s)| RsmcFailover {
+                    domain: dom % n_domains,
+                    at_s,
+                    takeover_s: (has_takeover == 1).then_some(takeover_s),
+                })
+                .collect(),
+            eclipses: eclipse_shapes
+                .iter()
+                .map(|&(start_s, width_s)| EclipseWindow {
+                    start_s,
+                    end_s: start_s + width_s,
+                })
+                .collect(),
+        };
         let spec = ScenarioSpec {
             name,
             seed: if seed_kind == 0 {
@@ -702,6 +753,7 @@ proptest! {
             semisoft_delay_ms: opt(semisoft_ms),
             table_lifetime_ms: opt(lifetime_ms),
             paging_update_ms: opt(paging_ms),
+            faults,
         };
         let text = spec.render();
         let back = ScenarioSpec::parse(&text)
@@ -710,5 +762,100 @@ proptest! {
         // Rendering is canonical: a second render of the parsed value is
         // byte-identical, so the store key is stable across round trips.
         prop_assert_eq!(back.render(), text);
+    }
+
+    // ---------------------------------------------------------------
+    // Link flaps: under the spec validation bound
+    // jitter < period * min(duty, 1 - duty), the expanded edge stream is
+    // strictly monotone and down/up edges pair exactly — for ANY jitter
+    // draws in [0, 1). This is the invariant the fault engine's plan
+    // compiler relies on (its draws come from a seeded child stream).
+    // ---------------------------------------------------------------
+    #[test]
+    fn link_flap_edges_are_monotone_and_paired(
+        start_s in 0.0f64..1000.0,
+        period_s in 0.01f64..500.0,
+        duty in 0.01f64..0.99,
+        jitter_frac in 0.0f64..0.999,
+        count in 1u32..50,
+        draws in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 50),
+    ) {
+        let jitter_s = jitter_frac * period_s * duty.min(1.0 - duty);
+        let mut edges = Vec::new();
+        for k in 0..count {
+            let (j_down, j_up) = draws[k as usize];
+            let base = start_s + f64::from(k) * period_s;
+            edges.push((base + j_down * jitter_s, true));
+            edges.push((base + duty * period_s + j_up * jitter_s, false));
+        }
+        let mut down_open = false;
+        for (i, w) in edges.windows(2).enumerate() {
+            prop_assert!(
+                w[0].0 < w[1].0,
+                "edge {i} not strictly before its successor: {edges:?}"
+            );
+        }
+        for &(_, down) in &edges {
+            prop_assert_ne!(down, down_open, "unpaired edge in {:?}", &edges);
+            down_open = down;
+        }
+        prop_assert!(!down_open, "stream must end restored");
+    }
+
+    // ---------------------------------------------------------------
+    // Cell outages: arbitrary down/up toggle sequences never leave the
+    // CellMap inconsistent — a downed cell stays enumerable (present)
+    // but silent on every measurement path (absent from coverage), an
+    // up cell measures exactly as if the outage never happened, and
+    // `set_cell_down` reports exactly the real state changes.
+    // ---------------------------------------------------------------
+    #[test]
+    fn cell_outage_toggles_keep_cellmap_consistent(
+        cells in prop::collection::vec(
+            (-10_000.0f64..10_000.0, -10_000.0f64..10_000.0, 0usize..4),
+            1..12,
+        ),
+        toggles in prop::collection::vec((0usize..12, any::<bool>()), 1..40),
+        probe in (-12_000.0f64..12_000.0, -12_000.0f64..12_000.0),
+    ) {
+        let kinds = [CellKind::Pico, CellKind::Micro, CellKind::Macro, CellKind::Satellite];
+        let mut map = CellMap::new(5);
+        let mut reference = CellMap::new(5);
+        for (i, &(x, y, k)) in cells.iter().enumerate() {
+            let cell = Cell::new(CellId(i as u32), kinds[k], Point::new(x, y), NodeId(i as u32));
+            map.add(cell.clone());
+            reference.add(cell);
+        }
+        let at = Point::new(probe.0, probe.1);
+        let mut down = vec![false; cells.len()];
+        for &(pick, to_down) in &toggles {
+            let idx = pick % cells.len();
+            let id = CellId(idx as u32);
+            let changed = map.set_cell_down(id, to_down);
+            prop_assert_eq!(changed, down[idx] != to_down, "change report lies");
+            down[idx] = to_down;
+            prop_assert_eq!(map.is_cell_down(id), to_down);
+            // Present: every cell stays enumerable regardless of state.
+            prop_assert_eq!(map.cells().count(), cells.len());
+            // Absent from coverage: measurements see exactly the up set.
+            let measured = map.measure(at, None);
+            for m in &measured {
+                prop_assert!(!down[m.cell.0 as usize], "downed cell answered a probe");
+            }
+            let expected_up: Vec<_> = reference
+                .measure(at, None)
+                .into_iter()
+                .filter(|m| !down[m.cell.0 as usize])
+                .collect();
+            prop_assert_eq!(&measured, &expected_up, "up cells must measure unperturbed");
+            for (i, &d) in down.iter().enumerate() {
+                let rssi = map.rssi_if_covered(CellId(i as u32), at);
+                if d {
+                    prop_assert!(rssi.is_none(), "downed cell covered the probe");
+                } else {
+                    prop_assert_eq!(rssi, reference.rssi_if_covered(CellId(i as u32), at));
+                }
+            }
+        }
     }
 }
