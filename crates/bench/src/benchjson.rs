@@ -25,6 +25,10 @@ pub struct BenchRow {
     /// True for experiments that run no discrete-event simulation (their
     /// wall time is noise, so the gate skips the wall comparison).
     pub analytic: bool,
+    /// Intra-world shards the suite ran with (1 = sequential engine).
+    /// Part of the row identity: the same experiment at different shard
+    /// counts produces distinct trajectory rows.
+    pub shards: u32,
     /// Worker threads the suite ran with.
     pub threads: usize,
 }
@@ -37,9 +41,16 @@ impl BenchRow {
         } else {
             ""
         };
+        // `shards` is elided at 1 so pre-sharding trajectory files and
+        // their committed rows stay byte-identical.
+        let shards = if self.shards != 1 {
+            format!(", \"shards\": {}", self.shards)
+        } else {
+            String::new()
+        };
         format!(
             "  {{\"experiment\": \"{}\", \"effort\": \"{}\", \"wall_ms\": {:.1}, \"events\": {}, \
-             \"events_per_sec\": {}{analytic}, \"threads\": {}}}",
+             \"events_per_sec\": {}{analytic}{shards}, \"threads\": {}}}",
             self.experiment,
             self.effort,
             self.wall_ms,
@@ -65,8 +76,17 @@ impl BenchRow {
             events: num_field(line, "events")? as u64,
             events_per_sec: num_field(line, "events_per_sec").unwrap_or(0.0) as u64,
             analytic: line.contains("\"analytic\": true"),
+            shards: num_field(line, "shards").map_or(1, |v| v as u32),
             threads: num_field(line, "threads")? as usize,
         })
+    }
+
+    /// True when `other` measures the same configuration — the identity
+    /// the merge and the regression gate match rows on.
+    pub fn same_config(&self, other: &BenchRow) -> bool {
+        self.experiment == other.experiment
+            && self.effort == other.effort
+            && self.shards == other.shards
     }
 }
 
@@ -101,18 +121,15 @@ pub fn render_file(rows: &[BenchRow]) -> String {
 }
 
 /// Merges freshly measured rows into an existing trajectory: a fresh row
-/// replaces the committed row with the same `(experiment, effort)`;
-/// other committed rows (e.g. the other effort level) are retained. The
-/// result is sorted Full-before-Quick, suite order, totals last, so
-/// regeneration is deterministic.
+/// replaces the committed row with the same `(experiment, effort,
+/// shards)`; other committed rows (e.g. the other effort level, or other
+/// shard counts) are retained. The result is sorted Full-before-Quick,
+/// suite order, shard count, totals last, so regeneration is
+/// deterministic.
 pub fn merge(existing: Vec<BenchRow>, fresh: Vec<BenchRow>) -> Vec<BenchRow> {
     let mut rows: Vec<BenchRow> = existing
         .into_iter()
-        .filter(|old| {
-            !fresh
-                .iter()
-                .any(|new| new.experiment == old.experiment && new.effort == old.effort)
-        })
+        .filter(|old| !fresh.iter().any(|new| new.same_config(old)))
         .collect();
     rows.extend(fresh);
     rows.sort_by_key(|r| {
@@ -123,6 +140,7 @@ pub fn merge(existing: Vec<BenchRow>, fresh: Vec<BenchRow>) -> Vec<BenchRow> {
                 _ => 2,
             },
             suite_order(&r.experiment),
+            r.shards,
         )
     });
     rows
@@ -144,7 +162,8 @@ fn suite_order(experiment: &str) -> usize {
 pub enum GateOutcome {
     /// Within bounds (wall delta in percent, negative = faster).
     Ok(f64),
-    /// No committed row with this `(experiment, effort)` — informational.
+    /// No committed row with this `(experiment, effort, shards)` —
+    /// informational.
     NoBaseline,
     /// Event count differs from the committed value: determinism drift.
     EventDrift {
@@ -171,10 +190,7 @@ pub const WALL_FLOOR_MS: f64 = 50.0;
 /// `tolerance_pct` (analytic and sub-[`WALL_FLOOR_MS`] rows skip the
 /// wall comparison — their timings are noise).
 pub fn gate_row(fresh: &BenchRow, committed: &[BenchRow], tolerance_pct: f64) -> GateOutcome {
-    let Some(base) = committed
-        .iter()
-        .find(|c| c.experiment == fresh.experiment && c.effort == fresh.effort)
-    else {
+    let Some(base) = committed.iter().find(|c| c.same_config(fresh)) else {
         return GateOutcome::NoBaseline;
     };
     if base.events != fresh.events {
@@ -210,6 +226,7 @@ mod tests {
                 0
             },
             analytic: false,
+            shards: 1,
             threads: 1,
         }
     }
@@ -237,6 +254,47 @@ mod tests {
         assert_eq!(parsed.events, 684_735);
         assert_eq!(parsed.events_per_sec, 0);
         assert!(!parsed.analytic);
+    }
+
+    #[test]
+    fn shards_round_trip_and_single_shard_rows_stay_legacy_shaped() {
+        let mut sharded = row("E11", "Quick", 80.0, 5_000);
+        sharded.shards = 4;
+        let line = sharded.to_json_line();
+        assert!(line.contains("\"shards\": 4"));
+        assert_eq!(BenchRow::parse(&line).expect("parses"), sharded);
+
+        // shards == 1 is elided so pre-sharding files are byte-identical,
+        // and rows without the field parse back to 1.
+        let seq = row("E11", "Quick", 80.0, 5_000);
+        let line = seq.to_json_line();
+        assert!(!line.contains("shards"));
+        assert_eq!(BenchRow::parse(&line).expect("parses").shards, 1);
+    }
+
+    #[test]
+    fn shard_counts_are_distinct_trajectory_rows() {
+        let mut sharded = row("E11", "Quick", 70.0, 5_000);
+        sharded.shards = 2;
+        let committed = vec![row("E11", "Quick", 80.0, 5_000), sharded.clone()];
+
+        // The gate matches each fresh row against its own shard count.
+        let mut fresh = sharded.clone();
+        fresh.wall_ms = 72.0;
+        assert!(matches!(
+            gate_row(&fresh, &committed, 25.0),
+            GateOutcome::Ok(_)
+        ));
+        let mut unseen = fresh.clone();
+        unseen.shards = 8;
+        assert_eq!(gate_row(&unseen, &committed, 25.0), GateOutcome::NoBaseline);
+
+        // The merge replaces only the matching shard count and sorts
+        // ascending within an experiment.
+        let merged = merge(committed, vec![fresh]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!((merged[0].shards, merged[0].wall_ms), (1, 80.0));
+        assert_eq!((merged[1].shards, merged[1].wall_ms), (2, 72.0));
     }
 
     #[test]

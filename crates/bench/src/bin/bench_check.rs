@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Compares a freshly measured `experiments --bench-json` trajectory
-//! against the committed one, matching rows on `(experiment, effort)`:
+//! against the committed one, matching rows on `(experiment, effort,
+//! shards)`:
 //!
 //! * **Event counts must be exactly equal** — any difference means the
 //!   simulation's behavior changed (the determinism tripwire), which a
@@ -20,7 +21,8 @@
 //!   that is how new experiments enter the trajectory.
 //!
 //! `--update` regenerates the committed file in place instead of gating:
-//! fresh rows are merged over their `(experiment, effort)` counterparts
+//! fresh rows are merged over their `(experiment, effort, shards)`
+//! counterparts
 //! (rows the fresh run did not measure are kept), replacing the
 //! hand-edit workflow for refreshing `BENCH.json` after an intentional
 //! behavior or performance change.
@@ -63,11 +65,7 @@ fn main() {
     if update {
         let replaced = fresh
             .iter()
-            .filter(|f| {
-                committed
-                    .iter()
-                    .any(|c| c.experiment == f.experiment && c.effort == f.effort)
-            })
+            .filter(|f| committed.iter().any(|c| c.same_config(f)))
             .count();
         let added = fresh.len() - replaced;
         let merged = benchjson::merge(committed, fresh);
@@ -86,7 +84,12 @@ fn main() {
     let mut failures = 0usize;
     println!("bench_check: {fresh_path} vs {committed_path} (wall tolerance {tolerance:.0}%)");
     for row in &fresh {
-        let label = format!("{:>5} {:<5}", row.experiment, row.effort);
+        let shard_tag = if row.shards > 1 {
+            format!("x{}", row.shards)
+        } else {
+            "  ".to_string()
+        };
+        let label = format!("{:>5} {:<5} {shard_tag}", row.experiment, row.effort);
         match benchjson::gate_row(row, &committed, tolerance) {
             GateOutcome::Ok(delta) => {
                 println!(

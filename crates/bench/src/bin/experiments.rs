@@ -5,19 +5,22 @@
 //! cargo run -p mtnet-bench --bin experiments --release -- quick  # smoke runs
 //! cargo run -p mtnet-bench --bin experiments --release -- full E4 E9
 //! cargo run -p mtnet-bench --bin experiments --release -- quick E10 --threads 1
+//! cargo run -p mtnet-bench --bin experiments --release -- quick E11 --shards 2
 //! cargo run -p mtnet-bench --bin experiments --release -- --bench-json BENCH.json
 //! cargo run -p mtnet-bench --bin experiments --release -- --fingerprints fp.txt
 //! ```
 //!
 //! Experiment arms and replications run concurrently through
 //! `mtnet_sim::runner::BatchRunner`; `--threads N` (or `MTNET_THREADS=N`)
-//! pins the pool width, and `--threads 1` forces the sequential path. The
-//! printed tables are byte-identical at any thread count; per-experiment
+//! pins the pool width, and `--threads 1` forces the sequential path.
+//! `--shards N` (or `MTNET_SHARDS=N`) additionally splits each world
+//! across conservative time-window shards. The printed tables are
+//! byte-identical at any thread or shard count; per-experiment
 //! wall-clock timings go to stderr so stdout stays recordable.
 //!
 //! `--bench-json <path>` records the perf trajectory machine-readably: one
 //! JSON object per experiment with `{experiment, effort, wall_ms, events,
-//! threads}`. `--fingerprints <path>` dumps the bit-exact
+//! threads}` (plus `shards` when sharded). `--fingerprints <path>` dumps the bit-exact
 //! `SimReport::fingerprint` of every run — diffing two dumps proves a
 //! refactor changed nothing observable.
 
@@ -48,6 +51,7 @@ fn main() {
     let fingerprint_path =
         cli::take_value(&mut args, "--fingerprints").unwrap_or_else(|e| fail(&e));
     cli::apply_threads_flag(&mut args).unwrap_or_else(|e| fail(&e));
+    cli::apply_shards_flag(&mut args).unwrap_or_else(|e| fail(&e));
     // Every remaining argument must be an effort word or a known
     // experiment id — an unknown id or a stray flag must fail loudly, not
     // silently run nothing (or everything).
@@ -59,7 +63,8 @@ fn main() {
             "full" => effort = Effort::Full,
             a if a.starts_with('-') => {
                 fail(&format!(
-                    "unknown flag {a:?} (valid: --threads N, --bench-json PATH, --fingerprints PATH)"
+                    "unknown flag {a:?} (valid: --threads N, --shards N, --bench-json PATH, \
+                     --fingerprints PATH)"
                 ));
             }
             a => {
@@ -75,7 +80,13 @@ fn main() {
     }
     let seed = 42;
     let threads = BatchRunner::from_env().threads();
-    println!("mtnet experiment suite — effort: {effort:?}, seed: {seed}, threads: {threads}\n");
+    // Specs in the suite all default to one shard, so the effective
+    // count is the env override (set above by --shards) or 1.
+    let shards = mtnet_core::world::shard::shards_from_env().unwrap_or(1);
+    println!(
+        "mtnet experiment suite — effort: {effort:?}, seed: {seed}, threads: {threads}, \
+         shards: {shards}\n"
+    );
     let suite_start = Instant::now();
     let mut bench_rows = Vec::new();
     let mut fingerprint_dump = String::new();
@@ -95,6 +106,7 @@ fn main() {
             events: result.events,
             events_per_sec: events_per_sec(result.events, wall_ms),
             analytic: result.analytic,
+            shards,
             threads,
         });
         for (i, fp) in result.fingerprints.iter().enumerate() {
@@ -117,6 +129,7 @@ fn main() {
                 events: total_events,
                 events_per_sec: events_per_sec(total_events, total_wall),
                 analytic: false,
+                shards,
                 threads,
             });
         }

@@ -3,7 +3,8 @@
 //! flag extraction and the `--threads` pool-width knob, so the
 //! binaries cannot drift apart.
 
-use mtnet_sim::runner::THREADS_ENV;
+use mtnet_core::world::shard::{parse_shard_count, SHARDS_ENV};
+use mtnet_sim::runner::{parse_thread_count, THREADS_ENV};
 
 /// Extracts every `--flag <value>` occurrence, removing the consumed
 /// tokens. Errors when a final `--flag` has no value token.
@@ -39,18 +40,27 @@ pub fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
 }
 
 /// Consumes `--threads N` and pins the batch-runner pool width via the
-/// `MTNET_THREADS` environment variable. Rejects non-positive or
-/// non-numeric widths.
+/// `MTNET_THREADS` environment variable, validated by the same
+/// [`parse_thread_count`] the runner itself uses (`0` = one per core).
 pub fn apply_threads_flag(args: &mut Vec<String>) -> Result<(), String> {
     if let Some(threads) = take_value(args, "--threads")? {
-        match threads.parse::<usize>() {
-            Ok(n) if n > 0 => std::env::set_var(THREADS_ENV, n.to_string()),
-            _ => {
-                return Err(format!(
-                    "--threads needs a positive integer, got {threads:?}"
-                ))
-            }
-        }
+        let n = parse_thread_count(&threads)
+            .map_err(|_| format!("--threads needs a non-negative integer, got {threads:?}"))?;
+        std::env::set_var(THREADS_ENV, n.to_string());
+    }
+    Ok(())
+}
+
+/// Consumes `--shards N` and pins the intra-world shard count via the
+/// `MTNET_SHARDS` environment variable, validated by the same
+/// [`parse_shard_count`] the engine's own override path uses. The env
+/// override beats every spec's `shards` knob, so one flag shards the
+/// whole suite.
+pub fn apply_shards_flag(args: &mut Vec<String>) -> Result<(), String> {
+    if let Some(shards) = take_value(args, "--shards")? {
+        let n = parse_shard_count(&shards)
+            .map_err(|()| format!("--shards needs a positive integer, got {shards:?}"))?;
+        std::env::set_var(SHARDS_ENV, n.to_string());
     }
     Ok(())
 }
@@ -86,7 +96,18 @@ mod tests {
         assert!(take_switch(&mut a, "--no-store"));
         assert!(!take_switch(&mut a, "--no-store"));
         assert_eq!(a, ["rest"]);
-        assert!(apply_threads_flag(&mut args(&["--threads", "0"])).is_err());
         assert!(apply_threads_flag(&mut args(&["--threads", "zero"])).is_err());
+        assert!(apply_threads_flag(&mut args(&["--threads", "-1"])).is_err());
+    }
+
+    #[test]
+    fn shards_flag_rejects_malformed_values() {
+        // Only the rejection paths here — the accepting path mutates
+        // process-global environment, which the integration tests cover
+        // in a child process instead.
+        assert!(apply_shards_flag(&mut args(&["--shards", "two"])).is_err());
+        assert!(apply_shards_flag(&mut args(&["--shards", "0"])).is_err());
+        assert!(apply_shards_flag(&mut args(&["--shards", "-4"])).is_err());
+        assert!(apply_shards_flag(&mut args(&["--shards"])).is_err());
     }
 }

@@ -1,0 +1,94 @@
+//! End-to-end checks that a malformed `MTNET_THREADS` fails loudly
+//! (exit 2) on both parsing paths — the environment variable read by
+//! `BatchRunner::from_env` and the `--threads` flag — instead of being
+//! silently ignored on one of them. The `--shards` knob gets the same
+//! treatment, plus a cross-process proof that a sharded run's stdout is
+//! byte-identical to the sequential run's.
+
+use std::process::Command;
+
+fn experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+#[test]
+fn malformed_threads_env_exits_2() {
+    let out = experiments()
+        .args(["quick", "E1"])
+        .env("MTNET_THREADS", "lots")
+        .output()
+        .expect("spawn experiments binary");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("MTNET_THREADS"), "{stderr}");
+}
+
+#[test]
+fn malformed_threads_flag_exits_2() {
+    let out = experiments()
+        .args(["quick", "E1", "--threads", "lots"])
+        .output()
+        .expect("spawn experiments binary");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--threads"), "{stderr}");
+}
+
+#[test]
+fn malformed_shards_flag_exits_2() {
+    for bad in ["two", "0", "-4"] {
+        let out = experiments()
+            .args(["quick", "E1", "--shards", bad])
+            .output()
+            .expect("spawn experiments binary");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--shards {bad}: stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--shards"),
+            "--shards {bad} error does not name the flag"
+        );
+    }
+}
+
+#[test]
+fn sharded_suite_output_is_byte_identical_to_sequential() {
+    // The experiment table (stdout) carries every reported metric; the
+    // suite header is the only line that may differ between shard
+    // counts. `MTNET_THREADS=1` vs the flag path also cross-checks that
+    // `--shards` composes with `--threads`.
+    let run = |extra: &[&str]| -> Vec<String> {
+        let out = experiments()
+            .args(["quick", "E11", "--threads", "1"])
+            .args(extra)
+            .output()
+            .expect("spawn experiments binary");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .skip(1) // header names the shard count
+            .map(str::to_string)
+            .collect()
+    };
+    let sequential = run(&[]);
+    let sharded = run(&["--shards", "2"]);
+    assert!(!sequential.is_empty());
+    assert_eq!(sequential, sharded);
+}

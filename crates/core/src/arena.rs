@@ -141,6 +141,46 @@ impl PacketArena {
         pkt
     }
 
+    /// Removes a live packet by value, retiring its slot exactly as
+    /// [`PacketArena::free`] does. Used when a packet leaves this arena
+    /// entirely (cross-shard handoff) rather than ending its life here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    pub fn take(&mut self, r: PacketRef) -> Packet<Payload> {
+        let packet = self.get(r).clone();
+        self.free(r);
+        packet
+    }
+
+    /// Moves a whole packet into the arena: like [`PacketArena::alloc`]
+    /// but preserving the packet's id, hop count and encapsulation stack
+    /// verbatim. The counterpart of [`PacketArena::take`] on the
+    /// receiving side of a cross-shard handoff.
+    pub fn insert(&mut self, packet: Packet<Payload>) -> PacketRef {
+        self.live += 1;
+        match self.free.pop() {
+            Some(index) => {
+                let (generation, slot) = &mut self.slots[index as usize];
+                *slot = packet;
+                PacketRef {
+                    index,
+                    generation: *generation,
+                }
+            }
+            None => {
+                let index =
+                    u32::try_from(self.slots.len()).expect("fewer than 2^32 packets in flight");
+                self.slots.push((0, packet));
+                PacketRef {
+                    index,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
     /// Releases a packet: its slot (encap capacity included) becomes
     /// reusable and every outstanding handle to it goes stale.
     ///
@@ -258,6 +298,33 @@ mod tests {
         // The two are independent.
         arena.get_mut(d).decapsulate();
         assert_eq!(arena.get(r).encap.len(), 1);
+    }
+
+    #[test]
+    fn take_then_insert_is_a_faithful_transfer() {
+        let (mut src, r) = arena_with_one();
+        src.get_mut(r).record_hop();
+        src.get_mut(r)
+            .encapsulate(addr(3), addr(4), mtnet_net::TunnelKind::HomeAgent);
+        let packet = src.take(r);
+        assert_eq!(src.live(), 0);
+
+        let mut dst = PacketArena::new();
+        let r2 = dst.insert(packet);
+        assert_eq!(dst.live(), 1);
+        let p = dst.get(r2);
+        assert_eq!(p.id, PacketId(1));
+        assert_eq!(p.hops, 1);
+        assert_eq!(p.encap.len(), 1);
+        assert_eq!(p.payload_bytes, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PacketRef")]
+    fn take_retires_the_handle() {
+        let (mut arena, r) = arena_with_one();
+        let _ = arena.take(r);
+        let _ = arena.get(r);
     }
 
     #[test]

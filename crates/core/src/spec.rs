@@ -308,6 +308,9 @@ pub struct ScenarioSpec {
     pub table_lifetime_ms: Option<u64>,
     /// Overrides the idle-node paging-update period, ms.
     pub paging_update_ms: Option<u64>,
+    /// Intra-world parallel shards (1 = sequential engine). Any value
+    /// produces byte-identical results; see [`crate::world::shard`].
+    pub shards: u32,
     /// Fault-injection schedules (empty by default; see [`FaultSpec`]).
     pub faults: FaultSpec,
 }
@@ -484,6 +487,7 @@ impl ScenarioSpec {
             semisoft_delay_ms: None,
             table_lifetime_ms: None,
             paging_update_ms: None,
+            shards: 1,
             faults: FaultSpec::default(),
         }
     }
@@ -707,6 +711,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the intra-world shard count (1 = sequential engine). Results
+    /// are byte-identical at any value; see [`crate::world::shard`].
+    pub fn with_shards(mut self, shards: u32) -> ScenarioSpec {
+        self.shards = shards;
+        self
+    }
+
     // ------------------------------------------------------------------
     // Canonical text format.
     // ------------------------------------------------------------------
@@ -783,6 +794,13 @@ impl ScenarioSpec {
             "paging_update_ms = {}",
             render_opt_ms(self.paging_update_ms)
         );
+        // The shard count renders only when sharding is requested, so
+        // single-shard canonical texts (and their store keys) are
+        // byte-identical to those produced before the parallel engine
+        // existed.
+        if self.shards != 1 {
+            let _ = writeln!(out, "shards = {}", self.shards);
+        }
         // Fault lines render only when non-empty, so fault-free canonical
         // texts (and their store keys) are byte-identical to those
         // produced before the fault subsystem existed.
@@ -946,6 +964,7 @@ impl ScenarioSpec {
             "semisoft_delay_ms" => self.semisoft_delay_ms = parse_opt_ms(value)?,
             "table_lifetime_ms" => self.table_lifetime_ms = parse_opt_ms(value)?,
             "paging_update_ms" => self.paging_update_ms = parse_opt_ms(value)?,
+            "shards" => self.shards = parse_u32(value)?,
             "faults" => {
                 // Sweep-axis escape hatch: clear every schedule at once.
                 if value != "none" {
@@ -1054,6 +1073,9 @@ impl ScenarioSpec {
         }
         if self.n_domains == 0 {
             return Err(err("domains must be >= 1"));
+        }
+        if self.shards == 0 {
+            return Err(err("shards must be >= 1"));
         }
         let population =
             u64::from(self.pedestrians) + u64::from(self.cyclists) + u64::from(self.vehicles);
@@ -1217,10 +1239,19 @@ impl ScenarioSpec {
         world
     }
 
-    /// Builds and runs for the spec's duration.
+    /// Builds and runs for the spec's duration. The spec's shard count —
+    /// overridable via the `MTNET_SHARDS` environment variable (see
+    /// [`crate::world::shard::shards_from_env`]) — selects between the
+    /// sequential engine and the conservative-window parallel engine;
+    /// both produce byte-identical reports.
     pub fn run(&self, master_seed: u64) -> SimReport {
-        self.build(master_seed)
-            .run(SimDuration::from_secs_f64(self.duration_s))
+        let duration = SimDuration::from_secs_f64(self.duration_s);
+        let shards = crate::world::shard::shards_from_env().unwrap_or(self.shards);
+        if shards > 1 {
+            crate::world::run_sharded(|| self.build(master_seed), duration, shards)
+        } else {
+            self.build(master_seed).run(duration)
+        }
     }
 
     /// Builds and runs, wrapping the result with the run's identity

@@ -455,6 +455,8 @@ impl WorldBuilder {
             fault_plan: Vec::new(),
             active_faults: 0,
             pending_recovery: Vec::new(),
+            shard: None,
+            replicated_events: 0,
             report: SimReport::default(),
         }
     }

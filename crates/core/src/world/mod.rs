@@ -12,8 +12,10 @@
 //! under test.
 
 mod build;
+pub mod shard;
 
 pub use build::{DomainSpec, FlowKind, WorldBuilder};
+pub use shard::run_sharded;
 
 use crate::arena::{PacketArena, PacketRef};
 use crate::handoff::{
@@ -350,6 +352,15 @@ pub struct World {
     /// Restore instants awaiting their first successful data delivery —
     /// the recovery-latency measurement points.
     pending_recovery: Vec<SimTime>,
+    /// Sharded-execution context: `None` under the sequential engine,
+    /// `Some` on a replica run by [`shard::run_sharded`] (switches
+    /// `forward_wired` into diverting boundary crossings to the outbox).
+    pub(crate) shard: Option<shard::ShardCtx>,
+    /// Executions of replicated event classes (sweeps, fault edges) —
+    /// the duplicates the sharded merge subtracts from the event count.
+    /// Maintained (cheaply) under the sequential engine too, but unused
+    /// there.
+    pub(crate) replicated_events: u64,
     pub(crate) report: SimReport,
 }
 
@@ -482,6 +493,24 @@ impl World {
         {
             TransmitOutcome::Delivered { at } => {
                 self.arena.get_mut(pkt).record_hop();
+                // Sharded execution: a hop to a node another shard owns
+                // leaves this replica entirely — the packet travels by
+                // value through the outbox and lands in the owner's
+                // queue at the next window edge (see `shard`).
+                if self.shard.as_ref().is_some_and(|s| s.diverts(next)) {
+                    let packet = self.arena.take(pkt);
+                    self.shard
+                        .as_mut()
+                        .expect("checked above")
+                        .outbox
+                        .push(shard::Crossing {
+                            at,
+                            node: next,
+                            from: node,
+                            packet,
+                        });
+                    return;
+                }
                 ctx.schedule_at(
                     at,
                     Ev::Pkt {
@@ -688,6 +717,8 @@ impl World {
     /// satellites) count nothing, which keeps the active-fault balance
     /// and the quiet-report guarantee exact.
     fn handle_fault(&mut self, ctx: &mut Context<'_, Ev>, idx: usize) {
+        // Fault edges are replicated on every shard (see `shard`).
+        self.replicated_events += 1;
         let now = ctx.now();
         let action = self.fault_plan[idx].1.clone();
         match action {
@@ -1955,6 +1986,8 @@ impl World {
     }
 
     fn handle_sweep(&mut self, ctx: &mut Context<'_, Ev>) {
+        // Sweeps are replicated on every shard (see `shard`).
+        self.replicated_events += 1;
         let now = ctx.now();
         ctx.schedule_in(SimDuration::from_secs(5), Ev::Sweep);
         self.locdir.sweep(now);
@@ -2044,6 +2077,10 @@ impl World {
     }
 
     /// Runs the world for `duration` and extracts the report.
+    ///
+    /// The initial schedule below is mirrored (with ownership filters) by
+    /// `shard::into_replica` — keep the two in sync, the sharded engine's
+    /// bit-exactness depends on identical program order.
     pub fn run(self, duration: SimDuration) -> SimReport {
         let kind = self.cfg.scheduler;
         let mut sim = Simulator::new(self).with_scheduler(kind);
@@ -2072,15 +2109,16 @@ impl World {
         }
         sim.run_until(SimTime::ZERO + duration);
         let events = sim.events_processed();
-        let mut world = sim.into_model();
-        world.report.duration = duration;
-        world.report.events_processed = events;
-        world.report.flows = world
-            .flows
-            .iter()
-            .map(|f| (f.flow, f.qos.clone()))
-            .collect();
-        world.report
+        sim.into_model().finish_report(duration, events)
+    }
+
+    /// Extracts the final report from a finished world: the shared tail
+    /// of the sequential [`World::run`] and each sharded replica.
+    fn finish_report(mut self, duration: SimDuration, events: u64) -> SimReport {
+        self.report.duration = duration;
+        self.report.events_processed = events;
+        self.report.flows = self.flows.iter().map(|f| (f.flow, f.qos.clone())).collect();
+        self.report
     }
 
     /// Runs the world and wraps the report with the run's identity — the

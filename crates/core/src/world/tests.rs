@@ -658,3 +658,46 @@ fn downed_macro_reroutes_or_drops_but_never_serves() {
     // outage window attributes its data drops.
     assert!(report.aggregate_qos().received > 0, "world kept serving");
 }
+
+// ----------------------------------------------------------------------
+// Sharded execution (conservative time-window parallelism)
+// ----------------------------------------------------------------------
+
+#[test]
+fn sharded_run_is_byte_identical_to_sequential() {
+    let spec = crate::spec::ScenarioSpec::small_city().with_duration_s(12.0);
+    let duration = SimDuration::from_secs_f64(12.0);
+    let sequential = spec.build(42).run(duration).fingerprint();
+    // Requested counts above the two ownership groups clamp; all must
+    // reproduce the sequential fingerprint bit for bit.
+    for shards in [2u32, 4, 8] {
+        let sharded = run_sharded(|| spec.build(42), duration, shards).fingerprint();
+        assert_eq!(sequential, sharded, "shards={shards}");
+    }
+    // shards <= 1 falls through to the sequential engine.
+    let one = run_sharded(|| spec.build(42), duration, 1).fingerprint();
+    assert_eq!(sequential, one);
+}
+
+#[test]
+fn sharded_run_is_byte_identical_under_faults() {
+    // Fault edges are replicated on every shard: link state, cell state
+    // and every resilience metric must still merge exactly.
+    let spec = faulted_city_spec().with_duration_s(20.0);
+    let duration = SimDuration::from_secs(20);
+    let sequential = spec.build(42).run(duration).fingerprint();
+    let sharded = run_sharded(|| spec.build(42), duration, 2).fingerprint();
+    assert_eq!(sequential, sharded);
+    assert!(
+        sequential.contains("faults: cells=2"),
+        "fault machinery fired in the comparison:\n{sequential}"
+    );
+}
+
+#[test]
+fn spec_shards_knob_selects_the_parallel_engine() {
+    let spec = crate::spec::ScenarioSpec::small_city().with_duration_s(10.0);
+    let sequential = spec.run(42).fingerprint();
+    let sharded = spec.clone().with_shards(4).run(42).fingerprint();
+    assert_eq!(sequential, sharded);
+}

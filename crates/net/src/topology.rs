@@ -369,6 +369,24 @@ impl Topology {
             e.link.reset();
         }
     }
+
+    /// Minimum propagation delay over links whose endpoints `group`
+    /// assigns to different groups — the conservative lookahead of a
+    /// partitioned simulation: nothing executed in one group can reach
+    /// another sooner than this. Administrative link state is ignored
+    /// (a downed boundary link may come back up mid-window), and queue
+    /// and transmission delays only ever *add* to propagation, so the
+    /// bound is safe. `None` when no link crosses the partition.
+    pub fn min_cross_partition_delay(
+        &self,
+        group: impl Fn(NodeId) -> u32,
+    ) -> Option<mtnet_sim::SimDuration> {
+        self.links
+            .iter()
+            .filter(|e| group(e.from) != group(e.to))
+            .map(|e| e.link.config().propagation)
+            .min()
+    }
 }
 
 #[cfg(test)]
@@ -539,6 +557,17 @@ mod tests {
         t.set_link_up(r, false).unwrap();
         assert_eq!(t.next_hop_on_path(a, b), None);
         assert_eq!(t.hop_count(a, b), None);
+    }
+
+    #[test]
+    fn min_cross_partition_delay_picks_the_boundary_minimum() {
+        let (t, a, _, _) = line_plus_slow_direct();
+        // Put `a` alone in group 1: crossings are a-b (1 ms, duplex) and
+        // a-c (50 ms, duplex).
+        let d = t.min_cross_partition_delay(|n| u32::from(n == a));
+        assert_eq!(d, Some(SimDuration::from_millis(1)));
+        // Everything in one group: no crossing.
+        assert_eq!(t.min_cross_partition_delay(|_| 0), None);
     }
 
     #[test]

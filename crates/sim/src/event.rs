@@ -8,13 +8,16 @@ use std::cmp::Ordering;
 ///
 /// Tokens are unique for the lifetime of a [`crate::Scheduler`]; cancelling a
 /// token that already fired (or was already cancelled) is a harmless no-op.
-/// The token is the event's sequence number — its identity in the
-/// scheduler's `(time, seq)` total order. Cancellation locates the event
-/// by seq (O(pending); see [`crate::Scheduler::cancel`]), keeping the
-/// schedule/pop fast path free of per-event cancellation bookkeeping.
+/// The token carries the event's identity in the scheduler's
+/// `(time, seq)` total order: the sequence number names the event, and
+/// the (clamp-adjusted) firing time lets the calendar backend jump
+/// straight to the event's bucket on cancellation instead of walking
+/// every bucket (see [`crate::Scheduler::cancel`]) — the schedule/pop
+/// fast path still carries no per-event cancellation bookkeeping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventToken {
     pub(crate) seq: u64,
+    pub(crate) time: SimTime,
 }
 
 /// A scheduled event: payload plus its firing time and tie-break sequence.

@@ -50,10 +50,24 @@ impl BatchRunner {
         BatchRunner { threads }
     }
 
-    /// A runner sized from the environment: [`THREADS_ENV`] if set to a
-    /// positive integer, otherwise one worker per available core.
+    /// A runner sized from the environment: [`THREADS_ENV`] if set,
+    /// otherwise one worker per available core. A malformed variable is
+    /// an error — use this in binaries that want to surface it.
+    pub fn try_from_env() -> Result<Self, String> {
+        match std::env::var(THREADS_ENV) {
+            Ok(v) if !v.trim().is_empty() => Ok(Self::new(parse_thread_count(&v)?)),
+            _ => Ok(Self::new(0)),
+        }
+    }
+
+    /// [`BatchRunner::try_from_env`], failing loudly: a malformed
+    /// [`THREADS_ENV`] prints the error and exits with status 2 rather
+    /// than being silently ignored.
     pub fn from_env() -> Self {
-        Self::new(parse_threads(std::env::var(THREADS_ENV).ok().as_deref()))
+        Self::try_from_env().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// The number of worker threads this runner uses.
@@ -120,13 +134,14 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Parses a thread-count override; `None`, empty, non-numeric, or `0`
-/// fall back to [`available_threads`].
-fn parse_threads(var: Option<&str>) -> usize {
-    match var.and_then(|v| v.trim().parse::<usize>().ok()) {
-        Some(n) if n > 0 => n,
-        _ => 0, // BatchRunner::new(0) resolves to available_threads()
-    }
+/// The one validated thread-count parser every consumer of
+/// [`THREADS_ENV`] (and the harness `--threads` flag) shares: a
+/// non-negative integer, where `0` means "one worker per available
+/// core". Anything else is an error naming the expected form.
+pub fn parse_thread_count(value: &str) -> Result<usize, String> {
+    value.trim().parse::<usize>().map_err(|_| {
+        format!("{THREADS_ENV} must be a non-negative integer (0 = one per core), got {value:?}")
+    })
 }
 
 #[cfg(test)]
@@ -188,12 +203,14 @@ mod tests {
     }
 
     #[test]
-    fn parse_threads_fallbacks() {
-        assert_eq!(parse_threads(Some("3")), 3);
-        assert_eq!(parse_threads(Some(" 12 ")), 12);
-        assert_eq!(parse_threads(Some("0")), 0);
-        assert_eq!(parse_threads(Some("lots")), 0);
-        assert_eq!(parse_threads(None), 0);
+    fn parse_thread_count_is_strict() {
+        assert_eq!(parse_thread_count("3"), Ok(3));
+        assert_eq!(parse_thread_count(" 12 "), Ok(12));
+        assert_eq!(parse_thread_count("0"), Ok(0));
+        let err = parse_thread_count("lots").unwrap_err();
+        assert!(err.contains(THREADS_ENV) && err.contains("lots"), "{err}");
+        assert!(parse_thread_count("-2").is_err());
+        assert!(parse_thread_count("1.5").is_err());
     }
 
     #[test]

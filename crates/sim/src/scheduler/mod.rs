@@ -69,9 +69,10 @@ impl<E> KeyQueue<E> {
         }
     }
 
-    fn cancel(&mut self, seq: u64) -> Option<E> {
+    fn cancel(&mut self, seq: u64, time: SimTime) -> Option<E> {
         match self {
-            KeyQueue::Calendar(q) => q.cancel(seq),
+            // The calendar jumps to the bucket the firing time names.
+            KeyQueue::Calendar(q) => q.cancel(seq, time),
             KeyQueue::Heap(q) => q.cancel(seq),
         }
     }
@@ -85,11 +86,12 @@ impl<E> KeyQueue<E> {
 /// in timing-wheel buckets and makes push/pop O(1) amortized; the binary
 /// heap remains as the O(log n) reference.
 ///
-/// Cancellation by [`EventToken`] is O(pending): nothing in a simulation
-/// event loop cancels, so the design trades cancellation speed for a
-/// schedule/pop fast path with no per-event bookkeeping. Cancelling a
-/// token that already fired (or was already cancelled) is recognized and
-/// rejected rather than corrupting [`Scheduler::len`].
+/// Cancellation by [`EventToken`] carries no per-event bookkeeping on
+/// the schedule/pop fast path: the token's firing time steers the
+/// calendar backend to the single bucket the event can occupy (the heap
+/// reference still walks its slab). Cancelling a token that already
+/// fired (or was already cancelled) is recognized and rejected rather
+/// than corrupting [`Scheduler::len`].
 ///
 /// ```
 /// use mtnet_sim::{Scheduler, SimTime};
@@ -184,7 +186,7 @@ impl<E> Scheduler<E> {
         self.scheduled_total += 1;
         self.live += 1;
         self.queue.push(time, seq, event);
-        EventToken { seq }
+        EventToken { seq, time }
     }
 
     /// Schedules `event` after the given delay from now.
@@ -196,16 +198,18 @@ impl<E> Scheduler<E> {
     /// tokens that never existed, already fired, or were already cancelled
     /// are rejected without perturbing the event count.
     ///
-    /// O(pending): the event is located by its sequence number. The
-    /// trade is deliberate — no per-event cancellation bookkeeping on the
-    /// schedule/pop fast path, which dominates simulation run time, in
-    /// exchange for a linear walk on an operation model code never issues
-    /// per-event.
+    /// The token's firing time pins the search: the calendar backend
+    /// probes the one bucket that time names (plus the overflow ladder)
+    /// instead of walking every bucket, so tearing down a large set of
+    /// pending timers — e.g. a spec-driven fault plan — stays linear in
+    /// the number of cancellations rather than quadratic. The heap
+    /// backend remains an O(pending) slab walk; it is the reference, not
+    /// the event-loop backend.
     pub fn cancel(&mut self, token: EventToken) -> bool {
         if token.seq >= self.next_seq {
             return false;
         }
-        match self.queue.cancel(token.seq) {
+        match self.queue.cancel(token.seq, token.time) {
             Some(_) => {
                 self.live -= 1;
                 self.cancelled_total += 1;
@@ -327,7 +331,10 @@ mod tests {
     fn cancel_unknown_token_rejected() {
         both(|kind| {
             let mut q: Scheduler<()> = Scheduler::with_kind(kind);
-            assert!(!q.cancel(EventToken { seq: 99 }));
+            assert!(!q.cancel(EventToken {
+                seq: 99,
+                time: SimTime::ZERO
+            }));
         });
     }
 

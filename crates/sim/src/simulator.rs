@@ -106,6 +106,13 @@ impl<M: Model> Simulator<M> {
         self.scheduler.len()
     }
 
+    /// Firing time of the earliest pending event, if any. Lets an outer
+    /// coordinator (e.g. a conservative-window parallel driver) pick the
+    /// next safe horizon without popping anything.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.scheduler.peek_time()
+    }
+
     /// Schedules an event from outside the model (initial conditions).
     pub fn schedule_at(&mut self, time: SimTime, event: M::Event) -> EventToken {
         self.scheduler.schedule_at(time, event)
@@ -233,6 +240,20 @@ mod tests {
         let mut sim = metronome().with_event_budget(100);
         assert_eq!(sim.run(), RunOutcome::EventBudgetExhausted);
         assert_eq!(sim.events_processed(), 100);
+    }
+
+    #[test]
+    fn next_event_time_peeks_without_popping() {
+        let mut sim = metronome();
+        assert_eq!(sim.next_event_time(), Some(SimTime::ZERO));
+        assert_eq!(sim.pending_events(), 1);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_secs(3)));
+        let mut empty = Simulator::new(Metronome {
+            ticks: 0,
+            period: SimDuration::from_secs(1),
+        });
+        assert_eq!(empty.next_event_time(), None);
     }
 
     #[test]

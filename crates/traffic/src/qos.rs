@@ -142,6 +142,16 @@ impl FlowQos {
         SimDuration::from_nanos(self.jitter_ns as u64)
     }
 
+    /// Overwrites the sent-side counters from `other`, keeping every
+    /// receive-side figure untouched. Used when the send and receive
+    /// ends of one flow were tracked by different replicas of the same
+    /// world (sharded execution): the sink replica's tracker adopts the
+    /// source replica's sent count and the result equals a single
+    /// tracker that saw both ends.
+    pub fn adopt_sent(&mut self, other: &FlowQos) {
+        self.sent = other.sent;
+    }
+
     /// Merges another tracker (e.g. summing per-handoff windows).
     pub fn merge(&mut self, other: &FlowQos) {
         self.sent += other.sent;
@@ -295,6 +305,25 @@ mod tests {
         assert_eq!(m.sent(), 2);
         assert_eq!(m.received(), 1);
         assert_eq!(m.loss_rate(), 0.5);
+    }
+
+    #[test]
+    fn adopt_sent_reunites_a_split_flow() {
+        // Source end tracked by one replica, sink end by another.
+        let mut source_end = FlowQos::new();
+        let mut sink_end = FlowQos::new();
+        for seq in 0..10u64 {
+            source_end.record_sent(seq, ms(seq * 20), 160);
+            if seq < 7 {
+                sink_end.record_received(seq, ms(seq * 20), ms(seq * 20 + 40), 160);
+            }
+        }
+        sink_end.adopt_sent(&source_end);
+        let r = sink_end.report(SimDuration::from_secs(1));
+        assert_eq!(r.sent, 10);
+        assert_eq!(r.received, 7);
+        assert!((r.loss_rate - 0.3).abs() < 1e-12);
+        assert!(r.mean_delay_ms > 0.0, "receive side untouched");
     }
 
     #[test]

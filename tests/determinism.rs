@@ -177,6 +177,67 @@ fn an_empty_fault_section_is_a_no_op() {
     assert!(!a.contains("faults:"), "quiet report grew a fault section");
 }
 
+// ----------------------------------------------------------------------
+// Determinism under intra-world sharding: splitting one world across
+// conservative time-window shards (`spec.shards` / `MTNET_SHARDS`) is a
+// pure execution strategy — fingerprints must match the sequential
+// engine byte-for-byte at every shard × thread combination, including
+// when batch workers and shard threads are live at the same time.
+// ----------------------------------------------------------------------
+
+fn sharded(jobs: Vec<ScenarioSpec>, shards: u32) -> Vec<ScenarioSpec> {
+    jobs.into_iter().map(|s| s.with_shards(shards)).collect()
+}
+
+#[test]
+fn sharded_runs_are_byte_identical_across_architectures() {
+    let jobs = |shards: u32| -> Vec<ScenarioSpec> {
+        [
+            ArchKind::multi_tier(),
+            ArchKind::PureMobileIp,
+            ArchKind::FlatCellularIp,
+        ]
+        .into_iter()
+        .map(|arch| {
+            ScenarioSpec::small_city()
+                .with_arch(arch)
+                .with_duration_s(SECS)
+                .with_seed_path("shard", arch.label(), 0)
+                .with_shards(shards)
+        })
+        .collect()
+    };
+    let baseline = run_specs(1, jobs(1));
+    for shards in [2u32, 4] {
+        for threads in [1usize, 4] {
+            assert_eq!(
+                baseline,
+                run_specs(threads, jobs(shards)),
+                "shards={shards} threads={threads} diverged from the sequential engine"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_faulted_runs_match_sequential() {
+    // The fault schedule is replicated on every shard; outage drops and
+    // failover handling must still merge to the sequential figures.
+    let baseline = run_specs(1, faulted_jobs());
+    let shard2 = run_specs(4, sharded(faulted_jobs(), 2));
+    assert_eq!(baseline, shard2);
+    for fp in &shard2 {
+        assert!(fp.contains("\nfaults: "), "no fault section in:\n{fp}");
+    }
+}
+
+#[test]
+fn repeated_sharded_batches_are_byte_identical() {
+    let a = run_specs(3, sharded(faulted_jobs(), 2));
+    let b = run_specs(3, sharded(faulted_jobs(), 2));
+    assert_eq!(a, b);
+}
+
 #[test]
 fn run_reports_carry_their_identity() {
     let batch = run_jobs(2, e10_style_jobs());

@@ -753,6 +753,9 @@ proptest! {
             semisoft_delay_ms: opt(semisoft_ms),
             table_lifetime_ms: opt(lifetime_ms),
             paging_update_ms: opt(paging_ms),
+            // Derived, not a fresh strategy: covers both the elided
+            // (shards = 1) and rendered (shards > 1) forms.
+            shards: (raw_seed % 4 + 1) as u32,
             faults,
         };
         let text = spec.render();
