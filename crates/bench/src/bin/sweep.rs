@@ -1,11 +1,15 @@
 //! Parameter sweeps over declarative scenario specs, with a resumable
-//! content-addressed result store.
+//! content-addressed result store and a crash-safe multi-worker mode.
 //!
 //! ```text
 //! sweep --family dense-urban --effort quick \
 //!       --axis arch=multi-tier+rsmc,flat-cellular-ip --axis domains=1,2 \
 //!       --reps 2 --seed 42 --store .mtnet-store
 //! sweep --spec my-scenario.mtspec --axis route_update_ms=500..4500..1000
+//! sweep --family dense-urban --effort quick --axis domains=1,2 --workers 3
+//! sweep --family dense-urban --effort quick --axis domains=1,2 \
+//!       --worker-id box1 --store /shared/.mtnet-store   # one worker per machine
+//! sweep --family dense-urban --effort quick --axis domains=1,2 --reps 4 --report
 //! sweep --list-families
 //! ```
 //!
@@ -15,20 +19,43 @@
 //! the missing cells. `--no-store` forces a stateless run. The final
 //! line (`sweep "<family>": N cells: computed X, loaded Y`) is the
 //! machine-checkable resume contract CI greps.
+//!
+//! **Multi-worker mode** (`--workers N`, or standalone `--worker-id`
+//! processes sharing one `--store` directory) drains the grid through
+//! the lease protocol of `mtnet_bench::coord`: atomic `<key>.lease`
+//! claims with heartbeats, work-stealing reclaim of cells abandoned by
+//! killed workers (stale heartbeat), jittered exponential backoff on
+//! contention, and quarantine (`<key>.poison`) of cells reclaimed more
+//! than `--max-reclaims` times. The fleet's final pass prints the grid
+//! table plus `computed/loaded/quarantined/missing` counts and exits 0
+//! only when the grid is complete (3 = quarantined cells, 1 = missing
+//! cells — resume by re-invoking). `--lease-timeout-ms` (env
+//! `MTNET_LEASE_TIMEOUT_MS`) tunes crash-detection latency.
+//!
+//! **Report mode** (`--report`) aggregates a finished grid without
+//! computing anything: one row per grid point, mean ± 95% CI over its
+//! replications for every table metric.
 
+use mtnet_bench::coord::{self, CoordConfig};
 use mtnet_bench::store::ResultStore;
 use mtnet_bench::sweep::{parse_axis, run_sweep, Axis, SweepPlan};
 use mtnet_bench::{cli, Effort};
 use mtnet_core::spec::ScenarioSpec;
 use mtnet_sim::runner::BatchRunner;
+use std::collections::HashSet;
 
 fn usage() -> ! {
     eprintln!(
         "usage: sweep --family <name> | --spec <file>  [--axis key=v1,v2|lo..hi..step]...\n\
          \x20      [--reps N] [--effort quick|full] [--seed N]\n\
          \x20      [--store DIR | --no-store] [--threads N] [--list-families]\n\
+         \x20      [--workers N | --worker-id ID] [--lease-timeout-ms MS] [--max-reclaims K]\n\
+         \x20      [--report]\n\
          axes assign any scenario-spec key (see ScenarioSpec::set); cells already\n\
-         in the store are loaded instead of recomputed"
+         in the store are loaded instead of recomputed. --workers N drains the grid\n\
+         with N crash-safe worker processes (leases + heartbeats in the store dir);\n\
+         --worker-id runs one such worker standalone (share --store across machines);\n\
+         --report renders mean ± 95% CI per grid point from a finished store"
     );
     std::process::exit(2)
 }
@@ -39,7 +66,9 @@ fn fail(msg: &str) -> ! {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Raw argv is kept verbatim for respawning worker children.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = raw.clone();
     if cli::take_switch(&mut args, "--list-families") {
         println!("available scenario families:");
         for (name, preset) in ScenarioSpec::families() {
@@ -86,9 +115,38 @@ fn main() {
     let no_store = cli::take_switch(&mut args, "--no-store");
     let store_dir = take(&mut args, "--store").unwrap_or_else(|| ".mtnet-store".into());
     cli::apply_threads_flag(&mut args).unwrap_or_else(|e| fail(&e));
+    // Multi-worker / report knobs. The flags pin env vars validated by
+    // the same parsers the env-reading path uses, so a malformed
+    // MTNET_SWEEP_WORKERS or MTNET_LEASE_TIMEOUT_MS fails identically.
+    let report_mode = cli::take_switch(&mut args, "--report");
+    let worker_id = take(&mut args, "--worker-id");
+    cli::apply_workers_flag(&mut args).unwrap_or_else(|e| fail(&e));
+    cli::apply_lease_timeout_flag(&mut args).unwrap_or_else(|e| fail(&e));
+    let max_reclaims = take(&mut args, "--max-reclaims").map(|v| {
+        coord::parse_max_reclaims(&v).unwrap_or_else(|e| fail(&format!("--max-reclaims: {e}")))
+    });
+    let workers = coord::workers_from_env().unwrap_or_else(|e| fail(&e));
+    let lease_timeout_ms = coord::lease_timeout_from_env().unwrap_or_else(|e| fail(&e));
     if !args.is_empty() {
         eprintln!("sweep: unrecognized arguments: {}", args.join(" "));
         usage();
+    }
+    let coord_cfg = {
+        let mut cfg = CoordConfig::default();
+        if let Some(ms) = lease_timeout_ms {
+            cfg.lease_timeout_ms = ms;
+        }
+        if let Some(k) = max_reclaims {
+            cfg.max_reclaims = k;
+        }
+        cfg
+    };
+    // The coordinated modes are meaningless without a shared store.
+    if no_store && (report_mode || worker_id.is_some() || workers.is_some()) {
+        fail("--no-store cannot be combined with --report, --workers or --worker-id");
+    }
+    if report_mode && (worker_id.is_some() || workers.is_some()) {
+        fail("--report is an analysis pass; it cannot be combined with --workers or --worker-id");
     }
 
     let (family, base) = match (family_arg, spec_file) {
@@ -113,14 +171,86 @@ fn main() {
         replications: reps,
         effort,
     };
-    let store = if no_store {
-        None
-    } else {
-        Some(
-            ResultStore::open(&store_dir)
-                .unwrap_or_else(|e| fail(&format!("cannot open store {store_dir}: {e}"))),
-        )
+    let open_store = || {
+        ResultStore::open(&store_dir)
+            .unwrap_or_else(|e| fail(&format!("cannot open store {store_dir}: {e}")))
     };
+
+    // ---- report mode: aggregate a finished grid, compute nothing ----
+    if report_mode {
+        let store = open_store();
+        let outcome = coord::report_sweep(&plan, master_seed, &store).unwrap_or_else(|e| fail(&e));
+        print!("{}", outcome.table);
+        println!("{}", outcome.summary(&family, reps));
+        return;
+    }
+
+    // ---- standalone worker: one lease-protocol worker, shared store ----
+    if let Some(id) = worker_id {
+        let owner = format!("{id}@{}", std::process::id());
+        let store = open_store();
+        println!(
+            "mtnet sweep worker — id: {owner}, family: {family}, seed: {master_seed}, \
+             lease timeout: {} ms, max reclaims: {}, store: {store_dir}",
+            coord_cfg.lease_timeout_ms, coord_cfg.max_reclaims,
+        );
+        let outcome = coord::run_worker(&plan, master_seed, &store, coord_cfg, &owner)
+            .unwrap_or_else(|e| fail(&e));
+        println!("{}", outcome.summary(&owner));
+        std::process::exit(if outcome.quarantined > 0 { 3 } else { 0 });
+    }
+
+    // ---- fleet mode: spawn N workers, wait, report the grid ----
+    if let Some(n) = workers {
+        let store = open_store();
+        let preexisting: HashSet<String> = store.keys().into_iter().collect();
+        println!(
+            "mtnet sweep fleet — family: {family}, seed: {master_seed}, workers: {n}, \
+             lease timeout: {} ms, max reclaims: {}, store: {store_dir}",
+            coord_cfg.lease_timeout_ms, coord_cfg.max_reclaims,
+        );
+        // Children get the parent's argv minus the fleet flag, plus
+        // their worker identity; the env override is scrubbed so a
+        // child never becomes a second fleet parent.
+        let child_args = cli::strip_value_flag(&raw, "--workers");
+        let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+        let children: Vec<std::process::Child> = (0..n)
+            .map(|i| {
+                std::process::Command::new(&exe)
+                    .args(&child_args)
+                    .arg("--worker-id")
+                    .arg(format!("w{i}"))
+                    .env_remove(coord::WORKERS_ENV)
+                    .spawn()
+                    .unwrap_or_else(|e| fail(&format!("spawn worker w{i}: {e}")))
+            })
+            .collect();
+        let mut failures = 0;
+        for (i, mut child) in children.into_iter().enumerate() {
+            match child.wait() {
+                Ok(status) if status.success() => {}
+                Ok(status) => {
+                    eprintln!("sweep: worker w{i} exited with {status}");
+                    failures += 1;
+                }
+                Err(e) => {
+                    eprintln!("sweep: worker w{i} wait failed: {e}");
+                    failures += 1;
+                }
+            }
+        }
+        let report = coord::collect_grid(&plan, master_seed, &store, &preexisting)
+            .unwrap_or_else(|e| fail(&e));
+        print!("{}", report.table);
+        println!("{}", report.summary(&family));
+        if failures > 0 {
+            eprintln!("sweep: {failures} of {n} workers failed (resume by re-invoking)");
+        }
+        std::process::exit(report.exit_code());
+    }
+
+    // ---- classic single-process sweep ----
+    let store = if no_store { None } else { Some(open_store()) };
     let runner = BatchRunner::from_env();
     println!(
         "mtnet sweep — family: {family}, effort: {effort:?}, seed: {master_seed}, threads: {}, store: {}",

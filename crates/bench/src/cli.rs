@@ -3,6 +3,7 @@
 //! flag extraction and the `--threads` pool-width knob, so the
 //! binaries cannot drift apart.
 
+use crate::coord::{parse_timeout_ms, parse_worker_count, LEASE_TIMEOUT_ENV, WORKERS_ENV};
 use mtnet_core::world::shard::{parse_shard_count, SHARDS_ENV};
 use mtnet_sim::runner::{parse_thread_count, THREADS_ENV};
 
@@ -65,6 +66,42 @@ pub fn apply_shards_flag(args: &mut Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Consumes `--workers N` and pins the sweep worker count via the
+/// `MTNET_SWEEP_WORKERS` environment variable, validated by the same
+/// [`parse_worker_count`] the env-reading path uses — a malformed flag
+/// and a malformed env value fail through one code path.
+pub fn apply_workers_flag(args: &mut Vec<String>) -> Result<(), String> {
+    if let Some(workers) = take_value(args, "--workers")? {
+        let n = parse_worker_count(&workers).map_err(|e| format!("--workers: {e}"))?;
+        std::env::set_var(WORKERS_ENV, n.to_string());
+    }
+    Ok(())
+}
+
+/// Consumes `--lease-timeout-ms N` and pins the lease timeout via the
+/// `MTNET_LEASE_TIMEOUT_MS` environment variable, validated by the same
+/// [`parse_timeout_ms`] the env-reading path uses.
+pub fn apply_lease_timeout_flag(args: &mut Vec<String>) -> Result<(), String> {
+    if let Some(timeout) = take_value(args, "--lease-timeout-ms")? {
+        let ms = parse_timeout_ms(&timeout).map_err(|e| format!("--lease-timeout-ms: {e}"))?;
+        std::env::set_var(LEASE_TIMEOUT_ENV, ms.to_string());
+    }
+    Ok(())
+}
+
+/// A copy of `args` with every `--flag <value>` pair removed — for
+/// rebuilding a child process's argv from the parent's raw argv.
+pub fn strip_value_flag(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = args.to_vec();
+    while let Some(pos) = out.iter().position(|a| a == flag) {
+        out.remove(pos);
+        if pos < out.len() {
+            out.remove(pos);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +135,29 @@ mod tests {
         assert_eq!(a, ["rest"]);
         assert!(apply_threads_flag(&mut args(&["--threads", "zero"])).is_err());
         assert!(apply_threads_flag(&mut args(&["--threads", "-1"])).is_err());
+    }
+
+    #[test]
+    fn workers_and_lease_timeout_flags_reject_malformed_values() {
+        // Only rejection paths here (accepting paths mutate the process
+        // environment; the sweep binary's integration tests cover them
+        // in child processes).
+        assert!(apply_workers_flag(&mut args(&["--workers", "two"])).is_err());
+        assert!(apply_workers_flag(&mut args(&["--workers", "0"])).is_err());
+        assert!(apply_workers_flag(&mut args(&["--workers", "-3"])).is_err());
+        assert!(apply_workers_flag(&mut args(&["--workers"])).is_err());
+        assert!(apply_lease_timeout_flag(&mut args(&["--lease-timeout-ms", "soon"])).is_err());
+        assert!(apply_lease_timeout_flag(&mut args(&["--lease-timeout-ms", "0"])).is_err());
+        assert!(apply_lease_timeout_flag(&mut args(&["--lease-timeout-ms"])).is_err());
+    }
+
+    #[test]
+    fn strip_value_flag_removes_pairs_without_touching_the_rest() {
+        let a = args(&["--workers", "3", "--seed", "42", "--workers", "4"]);
+        assert_eq!(strip_value_flag(&a, "--workers"), args(&["--seed", "42"]));
+        // A trailing valueless flag strips cleanly too.
+        let b = args(&["--seed", "42", "--workers"]);
+        assert_eq!(strip_value_flag(&b, "--workers"), args(&["--seed", "42"]));
     }
 
     #[test]

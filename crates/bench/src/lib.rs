@@ -15,7 +15,11 @@
 //!
 //! Beyond the fixed suite, the [`sweep`] module (and `sweep` binary)
 //! expands axis grids over any spec key and resumes interrupted or
-//! extended sweeps from the content-addressed [`store`].
+//! extended sweeps from the content-addressed [`store`]; the [`coord`]
+//! module adds the crash-safe multi-worker layer (`sweep --workers N`
+//! or standalone `--worker-id` processes on a shared store directory):
+//! lease files with heartbeats, work-stealing reclaim of dead workers'
+//! cells, and quarantine of cells that keep killing their owners.
 //!
 //! | id  | paper artifact | runner |
 //! |-----|----------------|--------|
@@ -38,6 +42,7 @@
 
 pub mod benchjson;
 pub mod cli;
+pub mod coord;
 pub mod experiments;
 pub mod store;
 pub mod sweep;

@@ -22,6 +22,8 @@ use mtnet_core::report::SimReport;
 use mtnet_core::spec::ScenarioSpec;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// One extracted metric value: exact counters or bit-exact floats.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -242,12 +244,50 @@ pub struct ResultStore {
     dir: PathBuf,
 }
 
+/// Per-process sequence for temp-file names: concurrent saves of the
+/// same key from different threads (or the coordinator's lease writes)
+/// must never share a temp path.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// How old an orphaned `*.tmp` file must be before the startup sweep
+/// garbage-collects it. Live writers hold a temp file for milliseconds
+/// (write + rename), so a minute-old temp can only be the leftover of a
+/// crashed worker.
+const ORPHAN_TMP_MAX_AGE: Duration = Duration::from_secs(60);
+
 impl ResultStore {
-    /// Opens (creating if needed) a store directory.
+    /// Opens (creating if needed) a store directory, garbage-collecting
+    /// temp files orphaned by crashed workers (older than a minute — a
+    /// live writer holds its temp for milliseconds, never that long).
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(ResultStore { dir })
+        let store = ResultStore { dir };
+        let _ = store.gc_orphan_tmps(ORPHAN_TMP_MAX_AGE);
+        Ok(store)
+    }
+
+    /// Removes `*.tmp` files older than `max_age`, returning how many
+    /// were collected. Races with concurrent removers are benign (a
+    /// missing file is already collected).
+    pub fn gc_orphan_tmps(&self, max_age: Duration) -> io::Result<usize> {
+        let mut collected = 0;
+        for entry in std::fs::read_dir(&self.dir)?.flatten() {
+            let path = entry.path();
+            if !path.extension().is_some_and(|x| x == "tmp") {
+                continue;
+            }
+            let old_enough = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|mtime| mtime.elapsed().ok())
+                .is_some_and(|age| age >= max_age);
+            if old_enough && std::fs::remove_file(&path).is_ok() {
+                collected += 1;
+            }
+        }
+        Ok(collected)
     }
 
     /// The store directory.
@@ -287,14 +327,38 @@ impl ResultStore {
 
     /// Persists a completed run under its content address. The write goes
     /// through a temporary file + rename, so a killed sweep never leaves
-    /// a half-written slot that a resume would half-trust.
+    /// a half-written slot that a resume would half-trust. The temp name
+    /// is unique per process × save (pid + sequence), so two workers
+    /// writing the same key concurrently never collide on the temp file
+    /// — last rename wins, and both renames carry identical bytes.
     pub fn save(&self, run: &StoredRun) -> io::Result<PathBuf> {
         let key = Self::key(&run.spec_text, run.master_seed);
         let path = self.path_of(&key);
-        let tmp = self.dir.join(format!("{key}.tmp"));
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!("{key}.{}-{seq}.tmp", std::process::id()));
         std::fs::write(&tmp, run.render())?;
         std::fs::rename(&tmp, &path)?;
         Ok(path)
+    }
+
+    /// The keys of every completed cell currently stored (stems of the
+    /// `*.run` files), in directory order.
+    pub fn keys(&self) -> Vec<String> {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "run"))
+                    .filter_map(|e| {
+                        e.path()
+                            .file_stem()
+                            .map(|s| s.to_string_lossy().into_owned())
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Number of completed cells currently stored.
@@ -369,6 +433,69 @@ mod tests {
         assert_ne!(a, ResultStore::key("text", 2));
         assert_ne!(a, ResultStore::key("other", 1));
         assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn concurrent_saves_of_one_key_never_collide_on_temp_files() {
+        // Regression: the temp name used to be the fixed `{key}.tmp`, so
+        // two workers saving the same key raced write-vs-rename and one
+        // save failed with NotFound. Unique temp names make every save
+        // succeed and leave a valid slot.
+        let store = tmp_store("tmp-collision");
+        let run = sample_run();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (store, run) = (&store, &run);
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        store.save(run).expect("concurrent save");
+                    }
+                });
+            }
+        });
+        let hit = store.load(&run.spec_text, 42).expect("slot valid");
+        assert_eq!(hit, run);
+        // No temp debris survives the racing saves.
+        let tmps = std::fs::read_dir(store.dir())
+            .expect("read dir")
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .count();
+        assert_eq!(tmps, 0, "every temp file must be renamed away");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn orphaned_tmp_files_are_garbage_collected_by_age() {
+        let store = tmp_store("gc");
+        let orphan = store.dir().join("deadbeef01234567.999-0.tmp");
+        let keeper = store.dir().join("feedface01234567.run");
+        std::fs::write(&orphan, "half-written").expect("plant orphan");
+        std::fs::write(&keeper, "not a tmp").expect("plant run");
+        // Too young to collect under the startup age guard…
+        assert_eq!(
+            store.gc_orphan_tmps(ORPHAN_TMP_MAX_AGE).expect("gc"),
+            0,
+            "a fresh temp may belong to a live writer"
+        );
+        assert!(orphan.exists());
+        // …but an explicit zero-age sweep (what a crashed worker's
+        // minute-old debris looks like) removes it, and only it.
+        assert_eq!(store.gc_orphan_tmps(Duration::ZERO).expect("gc"), 1);
+        assert!(!orphan.exists());
+        assert!(keeper.exists());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn keys_lists_run_stems() {
+        let store = tmp_store("keys");
+        assert!(store.keys().is_empty());
+        let run = sample_run();
+        store.save(&run).expect("save");
+        let key = ResultStore::key(&run.spec_text, 42);
+        assert_eq!(store.keys(), vec![key]);
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]

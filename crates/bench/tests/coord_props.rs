@@ -1,0 +1,79 @@
+//! Property tests on the multi-worker coordinator's on-disk formats:
+//! the lease and quarantine-record files must round-trip render→parse
+//! exactly (they are the fleet's only shared state), and the staleness
+//! predicate must behave monotonically around its boundary — reclaim
+//! decisions made by different workers at different instants must never
+//! disagree about an *earlier* instant.
+
+use mtnet_bench::coord::{Lease, Poison};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lease_roundtrips_for_arbitrary_fields(
+        owner in "[-a-zA-Z0-9@._]{1,24}",
+        pid in 1u32..=u32::MAX,
+        claimed in 0u64..=u64::MAX / 2,
+        beat_delta in 0u64..=1_000_000,
+        reclaims in 0u32..=1_000,
+        label in "[-a-z0-9=,+. ]{0,40}",
+    ) {
+        // Labels are axis assignments: they contain `=`, `,`, spaces —
+        // everything the line-oriented format must not trip over. The
+        // format trims value whitespace, so edge spaces are normalized.
+        let lease = Lease {
+            owner,
+            pid,
+            claimed_ms: claimed,
+            heartbeat_ms: claimed + beat_delta,
+            reclaims,
+            label: label.trim().to_string(),
+        };
+        let back = Lease::parse(&lease.render());
+        prop_assert_eq!(back.as_ref(), Ok(&lease), "render:\n{}", lease.render());
+    }
+
+    #[test]
+    fn poison_roundtrips_for_arbitrary_fields(
+        failures in 1u32..=10_000,
+        last_owner in "[-a-zA-Z0-9@._]{1,24}",
+        label in "[-a-z0-9=,+. ]{0,40}",
+        when in 0u64..=u64::MAX / 2,
+    ) {
+        let poison = Poison {
+            failures,
+            last_owner,
+            label: label.trim().to_string(),
+            quarantined_ms: when,
+        };
+        let back = Poison::parse(&poison.render());
+        prop_assert_eq!(back.as_ref(), Ok(&poison), "render:\n{}", poison.render());
+    }
+
+    #[test]
+    fn staleness_is_monotonic_in_time_and_tight_at_the_boundary(
+        heartbeat in 0u64..=u64::MAX / 4,
+        timeout in 1u64..=u64::MAX / 4,
+        probe in 0u64..=u64::MAX / 2,
+    ) {
+        let lease = Lease {
+            owner: "w".into(),
+            pid: 1,
+            claimed_ms: heartbeat,
+            heartbeat_ms: heartbeat,
+            reclaims: 0,
+            label: String::new(),
+        };
+        // Exact boundary: live at heartbeat+timeout, stale one past it.
+        prop_assert!(!lease.is_stale(heartbeat + timeout, timeout));
+        prop_assert!(lease.is_stale(heartbeat + timeout + 1, timeout));
+        // Monotonicity: once stale at t, stale at every t' >= t.
+        if lease.is_stale(probe, timeout) {
+            prop_assert!(lease.is_stale(probe.saturating_add(1), timeout));
+            prop_assert!(lease.is_stale(probe.saturating_add(timeout), timeout));
+        }
+        // And never stale at or before the heartbeat itself (skew-safe).
+        prop_assert!(!lease.is_stale(heartbeat, timeout));
+        prop_assert!(!lease.is_stale(heartbeat.saturating_sub(timeout), timeout));
+    }
+}

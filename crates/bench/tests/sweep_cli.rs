@@ -1,0 +1,164 @@
+//! End-to-end hardening checks on the `sweep` binary's multi-worker
+//! flags: malformed `--workers` / `--lease-timeout-ms` values must fail
+//! loudly (exit 2, error naming the flag) on both parsing paths — the
+//! command-line flag and the environment override it pins — and the
+//! coordinated modes must reject incoherent combinations instead of
+//! silently ignoring one side.
+
+use std::process::Command;
+
+fn sweep() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sweep"))
+}
+
+/// A syntactically complete invocation that would simulate if parsing
+/// succeeded; every test below corrupts exactly one knob. `--no-store`
+/// keeps the happy path from ever touching a store directory, except in
+/// the coordinated modes (which require a store and reject it).
+const BASE: &[&str] = &["--family", "dense-urban", "--effort", "quick", "--no-store"];
+
+fn assert_exit_2(out: std::process::Output, must_name: &str, what: &str) {
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{what}: stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(must_name),
+        "{what}: error does not name {must_name}:\n{stderr}"
+    );
+}
+
+#[test]
+fn malformed_workers_flag_exits_2() {
+    for bad in ["three", "0", "-2", "1.5", ""] {
+        let out = sweep()
+            .args(BASE)
+            .args(["--workers", bad])
+            .output()
+            .expect("spawn sweep binary");
+        assert_exit_2(out, "--workers", &format!("--workers {bad:?}"));
+    }
+}
+
+#[test]
+fn malformed_workers_env_exits_2() {
+    let out = sweep()
+        .args(BASE)
+        .env("MTNET_SWEEP_WORKERS", "lots")
+        .output()
+        .expect("spawn sweep binary");
+    assert_exit_2(out, "MTNET_SWEEP_WORKERS", "env override");
+}
+
+#[test]
+fn malformed_lease_timeout_flag_exits_2() {
+    for bad in ["soon", "0", "-1", "2.5"] {
+        let out = sweep()
+            .args(BASE)
+            .args(["--lease-timeout-ms", bad])
+            .output()
+            .expect("spawn sweep binary");
+        assert_exit_2(
+            out,
+            "--lease-timeout-ms",
+            &format!("--lease-timeout-ms {bad:?}"),
+        );
+    }
+}
+
+#[test]
+fn malformed_lease_timeout_env_exits_2() {
+    let out = sweep()
+        .args(BASE)
+        .env("MTNET_LEASE_TIMEOUT_MS", "never")
+        .output()
+        .expect("spawn sweep binary");
+    assert_exit_2(out, "MTNET_LEASE_TIMEOUT_MS", "env override");
+}
+
+#[test]
+fn malformed_max_reclaims_flag_exits_2() {
+    let out = sweep()
+        .args(BASE)
+        .args(["--max-reclaims", "many"])
+        .output()
+        .expect("spawn sweep binary");
+    assert_exit_2(out, "--max-reclaims", "--max-reclaims many");
+}
+
+#[test]
+fn coordinated_modes_require_a_store() {
+    for coordinated in [
+        &["--workers", "2"] as &[&str],
+        &["--worker-id", "w0"],
+        &["--report"],
+    ] {
+        let out = sweep()
+            .args(BASE) // includes --no-store
+            .args(coordinated)
+            .output()
+            .expect("spawn sweep binary");
+        assert_exit_2(
+            out,
+            "--no-store",
+            &format!("{coordinated:?} with --no-store"),
+        );
+    }
+}
+
+#[test]
+fn report_mode_rejects_worker_flags() {
+    for conflicting in [&["--workers", "2"] as &[&str], &["--worker-id", "w0"]] {
+        let out = sweep()
+            .args(["--family", "dense-urban", "--effort", "quick", "--report"])
+            .args(conflicting)
+            .output()
+            .expect("spawn sweep binary");
+        assert_exit_2(out, "--report", &format!("--report with {conflicting:?}"));
+    }
+}
+
+#[test]
+fn flag_beats_env_when_both_are_set() {
+    // A malformed env value must not shadow a valid flag: the flag pins
+    // the env var for itself and any respawned children, so the bad
+    // inherited value is overwritten before anything reads it.
+    let out = sweep()
+        .args([
+            "--family",
+            "commute-corridor",
+            "--axis",
+            "vehicles=1",
+            "--workers",
+            "1",
+        ])
+        .args(["--effort", "quick", "--reps", "1", "--seed", "42"])
+        .args([
+            "--store",
+            &std::env::temp_dir()
+                .join(format!("mtnet-sweepcli-{}", std::process::id()))
+                .to_string_lossy(),
+        ])
+        .env("MTNET_SWEEP_WORKERS", "not-a-number")
+        .env("MTNET_LEASE_TIMEOUT_MS", "also-bad")
+        .args(["--lease-timeout-ms", "10000"])
+        .output()
+        .expect("spawn sweep binary");
+    let _ = std::fs::remove_dir_all(
+        std::env::temp_dir().join(format!("mtnet-sweepcli-{}", std::process::id())),
+    );
+    assert!(
+        out.status.success(),
+        "stderr: {}\nstdout: {}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("computed 1, loaded 0, quarantined 0, missing 0"),
+        "{stdout}"
+    );
+}
