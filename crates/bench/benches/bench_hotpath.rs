@@ -227,6 +227,83 @@ fn bench_measure_batch(c: &mut Criterion) {
     }
 }
 
+/// The explicit lane widths head to head on the SoA sweep — the speedup
+/// side of the lane-width half of the `measure_batch ≡ full scan`
+/// property. Scalar is the exact original loop; W4/W8 are the portable
+/// vector pre-filters feeding the same scalar tail.
+fn bench_rssi_lanes(c: &mut Criterion) {
+    use mtnet_radio::LaneSelect;
+    let n = 1_000usize;
+    let map = build_cells_n(n);
+    let extent = (n as f64).sqrt().ceil() * 400.0;
+    let probe = |k: u64| {
+        mtnet_mobility::Point::new(
+            (k % 37) as f64 / 37.0 * extent,
+            (k % 53) as f64 / 53.0 * extent,
+        )
+    };
+    let mut group = c.benchmark_group(format!("rssi_lanes_{n}cells"));
+    group.sample_size(20);
+    for (name, sel) in [
+        ("scalar_x10k", LaneSelect::Scalar),
+        ("w4_x10k", LaneSelect::W4),
+        ("w8_x10k", LaneSelect::W8),
+    ] {
+        group.bench_function(name, |b| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                let mut audible = 0usize;
+                for k in 0..BATCH {
+                    map.measure_batch_lanes(probe(k), None, &mut scratch, sel);
+                    audible += scratch.len();
+                }
+                black_box(audible)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Serial pops vs batched run-taking over a tie-heavy schedule — the
+/// speedup side of the `batched_runs_equal_serial_pops` property. Every
+/// instant carries an 8-way tie, the shape type-batched dispatch
+/// amortizes.
+fn bench_dispatch(c: &mut Criterion) {
+    let fill = |q: &mut Scheduler<u64>| {
+        for i in 0..4_096u64 {
+            q.schedule_at(SimTime::from_nanos(i / 8 * 1_000), i);
+        }
+    };
+    let mut group = c.benchmark_group("dispatch_4096events");
+    group.sample_size(20);
+    group.bench_function("serial_pops", |b| {
+        b.iter(|| {
+            let mut q = Scheduler::with_kind(SchedulerKind::Calendar);
+            fill(&mut q);
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc ^= e.into_event();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("batched_runs", |b| {
+        b.iter(|| {
+            let mut q = Scheduler::with_kind(SchedulerKind::Calendar);
+            fill(&mut q);
+            let mut acc = 0u64;
+            let mut run = Vec::new();
+            while q.take_run_at_or_before(SimTime::MAX, u64::MAX, &mut run) > 0 {
+                for e in run.drain(..) {
+                    acc ^= e;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 /// Scheduler backends head to head on the event loop's own access
 /// pattern: a hold model (pop one, push one at `now + delay`) over a
 /// standing population, the delays mixing packet-scale gaps with
@@ -273,6 +350,8 @@ criterion_group!(
     bench_next_hop,
     bench_measure,
     bench_measure_batch,
+    bench_rssi_lanes,
+    bench_dispatch,
     bench_scheduler,
     bench_flow_lookup
 );

@@ -31,6 +31,10 @@ pub struct BenchRow {
     pub shards: u32,
     /// Worker threads the suite ran with.
     pub threads: usize,
+    /// True when the binary was built by the profile-guided-optimization
+    /// lane (`scripts/pgo_build`). Part of the row identity: PGO rows
+    /// form their own trajectory next to the stock-build rows.
+    pub pgo: bool,
 }
 
 impl BenchRow {
@@ -48,9 +52,12 @@ impl BenchRow {
         } else {
             String::new()
         };
+        // Like `shards`, `pgo` is elided at its default so stock rows
+        // stay byte-identical with earlier trajectory files.
+        let pgo = if self.pgo { ", \"pgo\": true" } else { "" };
         format!(
             "  {{\"experiment\": \"{}\", \"effort\": \"{}\", \"wall_ms\": {:.1}, \"events\": {}, \
-             \"events_per_sec\": {}{analytic}{shards}, \"threads\": {}}}",
+             \"events_per_sec\": {}{analytic}{shards}{pgo}, \"threads\": {}}}",
             self.experiment,
             self.effort,
             self.wall_ms,
@@ -78,6 +85,7 @@ impl BenchRow {
             analytic: line.contains("\"analytic\": true"),
             shards: num_field(line, "shards").map_or(1, |v| v as u32),
             threads: num_field(line, "threads")? as usize,
+            pgo: line.contains("\"pgo\": true"),
         })
     }
 
@@ -87,6 +95,7 @@ impl BenchRow {
         self.experiment == other.experiment
             && self.effort == other.effort
             && self.shards == other.shards
+            && self.pgo == other.pgo
     }
 }
 
@@ -141,6 +150,7 @@ pub fn merge(existing: Vec<BenchRow>, fresh: Vec<BenchRow>) -> Vec<BenchRow> {
             },
             suite_order(&r.experiment),
             r.shards,
+            r.pgo,
         )
     });
     rows
@@ -228,6 +238,7 @@ mod tests {
             analytic: false,
             shards: 1,
             threads: 1,
+            pgo: false,
         }
     }
 
@@ -295,6 +306,28 @@ mod tests {
         assert_eq!(merged.len(), 2);
         assert_eq!((merged[0].shards, merged[0].wall_ms), (1, 80.0));
         assert_eq!((merged[1].shards, merged[1].wall_ms), (2, 72.0));
+    }
+
+    #[test]
+    fn pgo_rows_are_distinct_and_stock_rows_stay_legacy_shaped() {
+        let stock = row("suite", "Quick", 50.0, 5_000);
+        let mut pgo = stock.clone();
+        pgo.pgo = true;
+        pgo.wall_ms = 40.0;
+        let line = pgo.to_json_line();
+        assert!(line.contains("\"pgo\": true"));
+        assert_eq!(BenchRow::parse(&line).expect("parses"), pgo);
+        assert!(!stock.to_json_line().contains("pgo"));
+
+        // The gate and the merge treat the PGO lane as its own
+        // trajectory: a fresh PGO row never replaces or gates against
+        // the stock row.
+        let committed = vec![stock.clone()];
+        assert_eq!(gate_row(&pgo, &committed, 25.0), GateOutcome::NoBaseline);
+        let merged = merge(committed, vec![pgo.clone()]);
+        assert_eq!(merged.len(), 2);
+        assert!(!merged[0].pgo, "stock row retained and sorted first");
+        assert_eq!(merged[1], pgo);
     }
 
     #[test]

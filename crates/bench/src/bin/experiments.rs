@@ -20,9 +20,10 @@
 //!
 //! `--bench-json <path>` records the perf trajectory machine-readably: one
 //! JSON object per experiment with `{experiment, effort, wall_ms, events,
-//! threads}` (plus `shards` when sharded). `--fingerprints <path>` dumps the bit-exact
-//! `SimReport::fingerprint` of every run — diffing two dumps proves a
-//! refactor changed nothing observable.
+//! threads}` (plus `shards` when sharded, plus `pgo` when the binary was
+//! built by `scripts/pgo_build` and run with `--pgo`). `--fingerprints
+//! <path>` dumps the bit-exact `SimReport::fingerprint` of every run —
+//! diffing two dumps proves a refactor changed nothing observable.
 
 use mtnet_bench::benchjson::{self, BenchRow};
 use mtnet_bench::{cli, run_one, Effort, ALL_IDS};
@@ -50,6 +51,10 @@ fn main() {
     let bench_json = cli::take_value(&mut args, "--bench-json").unwrap_or_else(|e| fail(&e));
     let fingerprint_path =
         cli::take_value(&mut args, "--fingerprints").unwrap_or_else(|e| fail(&e));
+    // `--pgo` tags every emitted row as coming from the
+    // profile-guided-optimized artifact (`scripts/pgo_build`); PGO rows
+    // form their own trajectory in BENCH.json.
+    let pgo = cli::take_switch(&mut args, "--pgo");
     cli::apply_threads_flag(&mut args).unwrap_or_else(|e| fail(&e));
     cli::apply_shards_flag(&mut args).unwrap_or_else(|e| fail(&e));
     // Every remaining argument must be an effort word or a known
@@ -64,7 +69,7 @@ fn main() {
             a if a.starts_with('-') => {
                 fail(&format!(
                     "unknown flag {a:?} (valid: --threads N, --shards N, --bench-json PATH, \
-                     --fingerprints PATH)"
+                     --fingerprints PATH, --pgo)"
                 ));
             }
             a => {
@@ -108,6 +113,7 @@ fn main() {
             analytic: result.analytic,
             shards,
             threads,
+            pgo,
         });
         for (i, fp) in result.fingerprints.iter().enumerate() {
             let _ = writeln!(fingerprint_dump, "== {id} run {i} ==\n{fp}");
@@ -131,6 +137,7 @@ fn main() {
                 analytic: false,
                 shards,
                 threads,
+                pgo,
             });
         }
         // Merge into an existing trajectory (a Full file keeps its Quick

@@ -195,7 +195,10 @@ fn into_replica(mut world: World, plan: &ShardPlan, own: u32) -> Simulator<World
         outbox: Vec::new(),
     });
     let kind = world.cfg.scheduler;
-    let mut sim = Simulator::new(world).with_scheduler(kind);
+    let batched = dispatch_batching_from_env().unwrap_or(world.cfg.dispatch_batching);
+    let mut sim = Simulator::new(world)
+        .with_scheduler(kind)
+        .with_batched_dispatch(batched);
     let n_mns = sim.model().mns.len();
     let n_flows = sim.model().flows.len();
     if own == ACCESS {
@@ -369,6 +372,30 @@ pub fn shards_from_env() -> Option<u32> {
             parse_shard_count(&v)
                 .unwrap_or_else(|()| panic!("{SHARDS_ENV} must be a positive integer, got {v:?}")),
         ),
+        _ => None,
+    }
+}
+
+/// Environment variable overriding
+/// [`WorldConfig::dispatch_batching`](super::WorldConfig::dispatch_batching)
+/// for every world built in this process — the A/B lever the determinism
+/// smoke flips without recompiling.
+pub const DISPATCH_BATCH_ENV: &str = "MTNET_DISPATCH_BATCH";
+
+/// The strict [`DISPATCH_BATCH_ENV`] override: unset or empty means "use
+/// the config's value"; `0` forces batching off, `1` forces it on.
+///
+/// # Panics
+///
+/// Panics on anything else — a typo must not silently run a different
+/// dispatch path than the one asked for.
+pub fn dispatch_batching_from_env() -> Option<bool> {
+    match std::env::var(DISPATCH_BATCH_ENV) {
+        Ok(v) if !v.trim().is_empty() => match v.trim() {
+            "0" => Some(false),
+            "1" => Some(true),
+            _ => panic!("{DISPATCH_BATCH_ENV} must be 0 or 1, got {v:?}"),
+        },
         _ => None,
     }
 }

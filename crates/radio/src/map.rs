@@ -1,9 +1,22 @@
 //! Cell placement and best-server selection.
 
 use crate::cell::{Cell, CellId, CellKind};
+use crate::lanes::{self, LaneSelect};
 use crate::propagation::{PathLoss, SENSITIVITY_DBM};
 use mtnet_mobility::Point;
 use mtnet_sim::FxHashMap;
+
+/// Squared pre-filter radius for a cell footprint, conservatively
+/// widened: the cheap dx²+dy² lane carries at most a few ulp of error
+/// against the exact `hypot`, so the bound grows by 1e-9 relative —
+/// orders of magnitude beyond any rounding — and survivors are
+/// re-checked exactly. Cells rejected by this bound are *definitely*
+/// outside the footprint. Shared by every SoA the lane sweep runs over
+/// so the pre-filter admits the same set everywhere.
+fn widened_r2(radius_m: f64) -> f64 {
+    let r = radius_m * (1.0 + 1e-9);
+    r * r
+}
 
 /// One signal measurement of a cell at a location.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,8 +42,28 @@ pub struct Measurement {
 /// query scans — there are at most a handful of those per deployment.
 #[derive(Debug, Clone, Default)]
 struct GridIndex {
-    buckets: FxHashMap<(i32, i32), Vec<CellId>>,
+    buckets: FxHashMap<(i32, i32), BucketSoa>,
     broad: Vec<CellId>,
+}
+
+/// One grid bucket's members as flat position/radius lanes plus the id
+/// column, so a point query's candidate filter runs the same lane sweep
+/// as [`CellMap::measure_batch`] instead of chasing `Cell` structs.
+#[derive(Debug, Clone, Default)]
+struct BucketSoa {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    filter_r2: Vec<f64>,
+    id: Vec<CellId>,
+}
+
+impl BucketSoa {
+    fn push(&mut self, cell: &Cell) {
+        self.x.push(cell.center().x);
+        self.y.push(cell.center().y);
+        self.filter_r2.push(widened_r2(cell.radius_m()));
+        self.id.push(cell.id());
+    }
 }
 
 impl GridIndex {
@@ -58,20 +91,24 @@ impl GridIndex {
         let (bx1, by1) = Self::bucket_of(Point::new(c.x + r, c.y + r));
         for bx in bx0..=bx1 {
             for by in by0..=by1 {
-                self.buckets.entry((bx, by)).or_default().push(cell.id());
+                self.buckets.entry((bx, by)).or_default().push(cell);
             }
         }
     }
 
-    /// Ids of every cell whose footprint can contain `at` (a superset:
-    /// callers still check [`Cell::covers`]).
-    fn candidates(&self, at: Point) -> impl Iterator<Item = CellId> + '_ {
-        self.buckets
-            .get(&Self::bucket_of(at))
-            .into_iter()
-            .flatten()
-            .chain(self.broad.iter())
-            .copied()
+    /// Calls `f` with every cell whose footprint can contain `at` (a
+    /// superset: callers still make the exact coverage check). Bucket
+    /// members go through the lane pre-filter — an id is only reported
+    /// when its widened radius bound admits `at` — while the handful of
+    /// broad cells are always reported, in registration order after the
+    /// bucket, exactly where the old iterator yielded them.
+    fn for_each_candidate(&self, at: Point, sel: LaneSelect, mut f: impl FnMut(CellId)) {
+        if let Some(b) = self.buckets.get(&Self::bucket_of(at)) {
+            lanes::sweep(sel, &b.x, &b.y, &b.filter_r2, at.x, at.y, |i| f(b.id[i]));
+        }
+        for &id in &self.broad {
+            f(id);
+        }
     }
 }
 
@@ -108,13 +145,14 @@ pub struct CellMap {
 }
 
 /// Structure-of-arrays mirror for [`CellMap::measure_batch`]: one flat
-/// `f64` lane per static field, auto-vectorizable by the compiler.
+/// `f64` lane per static field, swept by the explicit lane code in
+/// [`crate::lanes`].
 #[derive(Debug, Default)]
 struct CellSoa {
     x: Vec<f64>,
     y: Vec<f64>,
     /// Squared nominal radius with a conservative margin, the pre-filter
-    /// bound (see [`CellMap::measure_batch`]).
+    /// bound (see [`widened_r2`]).
     filter_r2: Vec<f64>,
     id: Vec<CellId>,
     kind: Vec<CellKind>,
@@ -124,13 +162,7 @@ impl CellSoa {
     fn push(&mut self, cell: &Cell) {
         self.x.push(cell.center().x);
         self.y.push(cell.center().y);
-        // Conservative: the cheap dx²+dy² lane carries at most a few ulp
-        // of error against the exact `hypot`, so widen the radius bound
-        // by 1e-9 relative — orders of magnitude beyond any rounding —
-        // and let survivors be re-checked exactly. Cells rejected here
-        // are *definitely* outside the footprint.
-        let r = cell.radius_m() * (1.0 + 1e-9);
-        self.filter_r2.push(r * r);
+        self.filter_r2.push(widened_r2(cell.radius_m()));
         self.id.push(cell.id());
         self.kind.push(cell.kind());
     }
@@ -333,68 +365,88 @@ impl CellMap {
     /// per-event measurement costs no allocation once the buffer has grown
     /// to the deployment's audible-cell count.
     pub fn measure_into(&self, at: Point, tier: Option<CellKind>, out: &mut Vec<Measurement>) {
+        self.measure_into_lanes(at, tier, out, lanes::default_lanes());
+    }
+
+    fn measure_into_lanes(
+        &self,
+        at: Point,
+        tier: Option<CellKind>,
+        out: &mut Vec<Measurement>,
+        sel: LaneSelect,
+    ) {
         out.clear();
-        out.extend(
-            self.grid
-                .candidates(at)
-                .filter_map(|id| self.measure_one(id, at, tier)),
-        );
+        self.grid.for_each_candidate(at, sel, |id| {
+            out.extend(self.measure_one(id, at, tier));
+        });
         out.sort_by(|a, b| b.rssi_dbm.total_cmp(&a.rssi_dbm).then(a.cell.cmp(&b.cell)));
     }
 
     /// Batched variant of [`CellMap::measure_into`]: evaluates every
     /// cell's coverage in one pass over flat structure-of-arrays lanes
-    /// (x, y, squared radius) — a branch-light dx²+dy² sweep the compiler
-    /// auto-vectorizes — then runs the exact scalar radio math only for
-    /// the handful of cells whose footprint can contain `at`.
+    /// (x, y, squared radius) — an explicit `[f64; W]` chunk sweep with a
+    /// branch-free per-lane hit mask — then runs the exact scalar radio
+    /// math only for the handful of cells whose footprint can contain
+    /// `at`. Lane width comes from [`crate::lanes_from_env`] (default
+    /// [`LaneSelect::W4`]).
     ///
     /// Output is identical to [`CellMap::measure_into`] and
-    /// [`CellMap::measure_full_scan`] bit for bit: the lane sweep is a
-    /// *conservative* pre-filter (its radius bound is widened far beyond
-    /// its few-ulp rounding slack, so it never rejects a covered cell),
-    /// and every survivor goes through the same `hypot`/path-loss
-    /// arithmetic and the same `total_cmp` sort as the scalar paths.
-    /// Property tests hold all three pairwise equal; the experiment
-    /// harness uses this one for the per-sample handoff scans.
+    /// [`CellMap::measure_full_scan`] bit for bit, at every lane width:
+    /// the lane sweep is a *conservative* pre-filter (its radius bound
+    /// is widened far beyond its few-ulp rounding slack, so it never
+    /// rejects a covered cell), and every survivor goes through the same
+    /// `hypot`/path-loss arithmetic and the same `total_cmp` sort as the
+    /// scalar paths. Property tests hold all three pairwise equal at
+    /// every width; the experiment harness uses this one for the
+    /// per-sample handoff scans.
     pub fn measure_batch(&self, at: Point, tier: Option<CellKind>, out: &mut Vec<Measurement>) {
+        self.measure_batch_lanes(at, tier, out, lanes::default_lanes());
+    }
+
+    /// [`CellMap::measure_batch`] with an explicit lane width — the
+    /// entry point benches and property tests use to compare widths
+    /// inside one process (the env default is cached process-wide).
+    pub fn measure_batch_lanes(
+        &self,
+        at: Point,
+        tier: Option<CellKind>,
+        out: &mut Vec<Measurement>,
+        sel: LaneSelect,
+    ) {
         out.clear();
-        let (px, py) = (at.x, at.y);
         let n = self.soa.id.len();
-        let xs = &self.soa.x[..n];
-        let ys = &self.soa.y[..n];
-        let r2s = &self.soa.filter_r2[..n];
-        for i in 0..n {
-            // The vectorizable lane: squared ground distance vs the
-            // widened squared radius.
-            let dx = xs[i] - px;
-            let dy = ys[i] - py;
-            let d2 = dx * dx + dy * dy;
-            if d2 > r2s[i] {
-                continue;
-            }
-            // Exact scalar path for the survivors — same ops, same bits
-            // as `measure_one` (including the outage gate).
-            if self.down[self.soa.id[i].0 as usize] {
-                continue;
-            }
-            if !tier.is_none_or(|t| self.soa.kind[i] == t) {
-                continue;
-            }
-            let c = self.cell(self.soa.id[i]).expect("soa mirrors cells");
-            let ground = c.center().distance(at);
-            if ground > c.radius_m() {
-                continue;
-            }
-            let m = Measurement {
-                cell: c.id(),
-                kind: c.kind(),
-                rssi_dbm: self.rssi_from_ground(c, ground, at),
-                free_ratio: c.free_resource_ratio(),
-            };
-            if m.rssi_dbm >= SENSITIVITY_DBM {
-                out.push(m);
-            }
-        }
+        lanes::sweep(
+            sel,
+            &self.soa.x[..n],
+            &self.soa.y[..n],
+            &self.soa.filter_r2[..n],
+            at.x,
+            at.y,
+            |i| {
+                // Exact scalar path for the survivors — same ops, same
+                // bits as `measure_one` (including the outage gate).
+                if self.down[self.soa.id[i].0 as usize] {
+                    return;
+                }
+                if !tier.is_none_or(|t| self.soa.kind[i] == t) {
+                    return;
+                }
+                let c = self.cell(self.soa.id[i]).expect("soa mirrors cells");
+                let ground = c.center().distance(at);
+                if ground > c.radius_m() {
+                    return;
+                }
+                let m = Measurement {
+                    cell: c.id(),
+                    kind: c.kind(),
+                    rssi_dbm: self.rssi_from_ground(c, ground, at),
+                    free_ratio: c.free_resource_ratio(),
+                };
+                if m.rssi_dbm >= SENSITIVITY_DBM {
+                    out.push(m);
+                }
+            },
+        );
         out.sort_by(|a, b| b.rssi_dbm.total_cmp(&a.rssi_dbm).then(a.cell.cmp(&b.cell)));
     }
 
@@ -422,18 +474,25 @@ impl CellMap {
     }
 
     /// Strongest audible cell at `at`, optionally restricted to one tier.
-    /// Single pass over the grid bucket, no allocation.
+    /// Single lane-filtered pass over the grid bucket, no allocation.
     pub fn best_cell(&self, at: Point, tier: Option<CellKind>) -> Option<CellId> {
+        self.best_cell_lanes(at, tier, lanes::default_lanes())
+    }
+
+    fn best_cell_lanes(
+        &self,
+        at: Point,
+        tier: Option<CellKind>,
+        sel: LaneSelect,
+    ) -> Option<CellId> {
         let mut best: Option<Measurement> = None;
-        for m in self
-            .grid
-            .candidates(at)
-            .filter_map(|id| self.measure_one(id, at, tier))
-        {
-            if best.as_ref().is_none_or(|b| Self::outranks(&m, b)) {
-                best = Some(m);
+        self.grid.for_each_candidate(at, sel, |id| {
+            if let Some(m) = self.measure_one(id, at, tier) {
+                if best.as_ref().is_none_or(|b| Self::outranks(&m, b)) {
+                    best = Some(m);
+                }
             }
-        }
+        });
         best.map(|m| m.cell)
     }
 
@@ -452,20 +511,29 @@ impl CellMap {
         hysteresis_db: f64,
         tier: Option<CellKind>,
     ) -> Option<CellId> {
+        self.best_cell_hysteresis_lanes(at, current, hysteresis_db, tier, lanes::default_lanes())
+    }
+
+    fn best_cell_hysteresis_lanes(
+        &self,
+        at: Point,
+        current: CellId,
+        hysteresis_db: f64,
+        tier: Option<CellKind>,
+        sel: LaneSelect,
+    ) -> Option<CellId> {
         let mut best: Option<Measurement> = None;
         let mut current_rssi: Option<f64> = None;
-        for m in self
-            .grid
-            .candidates(at)
-            .filter_map(|id| self.measure_one(id, at, tier))
-        {
-            if m.cell == current {
-                current_rssi = Some(m.rssi_dbm);
+        self.grid.for_each_candidate(at, sel, |id| {
+            if let Some(m) = self.measure_one(id, at, tier) {
+                if m.cell == current {
+                    current_rssi = Some(m.rssi_dbm);
+                }
+                if best.as_ref().is_none_or(|b| Self::outranks(&m, b)) {
+                    best = Some(m);
+                }
             }
-            if best.as_ref().is_none_or(|b| Self::outranks(&m, b)) {
-                best = Some(m);
-            }
-        }
+        });
         match (best, current_rssi) {
             (None, _) => None,
             (Some(best), None) => Some(best.cell), // lost current entirely
@@ -647,6 +715,69 @@ mod tests {
         assert!(map.set_cell_down(CellId(0), false));
         assert_eq!(map.best_cell(p, Some(CellKind::Micro)), Some(CellId(0)));
         assert!(map.rssi_if_covered(CellId(0), p).is_some());
+    }
+
+    /// A deployment big enough that 4- and 8-wide chunks, remainders and
+    /// the broad (satellite) list all participate: a 7×5 micro lattice
+    /// under three macros and one satellite overlay.
+    fn lattice_with_overlay() -> CellMap {
+        let mut map = CellMap::new(7);
+        let mut next = 0u32;
+        let mut add = |map: &mut CellMap, kind, p| {
+            let id = CellId(next);
+            next += 1;
+            map.add(Cell::new(id, kind, p, NodeId(id.0)));
+        };
+        for gx in 0..7 {
+            for gy in 0..5 {
+                add(
+                    &mut map,
+                    CellKind::Micro,
+                    Point::new(f64::from(gx) * 320.0, f64::from(gy) * 320.0),
+                );
+            }
+        }
+        for gx in 0..3 {
+            add(
+                &mut map,
+                CellKind::Macro,
+                Point::new(f64::from(gx) * 900.0, 600.0),
+            );
+        }
+        add(&mut map, CellKind::Satellite, Point::new(1_000.0, 800.0));
+        map
+    }
+
+    #[test]
+    fn every_lane_width_matches_the_full_scan_on_every_query_path() {
+        let mut map = lattice_with_overlay();
+        // An outage exercises the down-gate inside the survivor tail.
+        map.set_cell_down(CellId(12), true);
+        let mut batch = Vec::new();
+        let mut grid = Vec::new();
+        for step in 0..60 {
+            let at = Point::new(f64::from(step) * 37.5 - 100.0, f64::from(step % 7) * 151.0);
+            for tier in [None, Some(CellKind::Micro), Some(CellKind::Macro)] {
+                let reference = map.measure_full_scan(at, tier);
+                let best_ref = reference.first().map(|m| m.cell);
+                for sel in [LaneSelect::Scalar, LaneSelect::W4, LaneSelect::W8] {
+                    map.measure_batch_lanes(at, tier, &mut batch, sel);
+                    assert_eq!(batch, reference, "batch {sel:?} at {at:?}");
+                    map.measure_into_lanes(at, tier, &mut grid, sel);
+                    assert_eq!(grid, reference, "grid {sel:?} at {at:?}");
+                    assert_eq!(map.best_cell_lanes(at, tier, sel), best_ref, "{sel:?}");
+                    for current in [CellId(0), CellId(12), CellId(17)] {
+                        for hyst in [0.0, 6.0] {
+                            assert_eq!(
+                                map.best_cell_hysteresis_lanes(at, current, hyst, tier, sel),
+                                map.best_cell_hysteresis(at, current, hyst, tier),
+                                "hysteresis {sel:?} at {at:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,10 +14,43 @@ use std::cmp::Ordering;
 /// straight to the event's bucket on cancellation instead of walking
 /// every bucket (see [`crate::Scheduler::cancel`]) — the schedule/pop
 /// fast path still carries no per-event cancellation bookkeeping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// The token additionally carries an opaque backend placement hint
+/// (the heap backend's slab slot), letting that backend cancel with one
+/// slot probe instead of a slab walk. The hint is *not* part of the
+/// token's identity: equality, ordering and hashing cover `(seq, time)`
+/// only, so tokens for the same event compare equal across backends.
+#[derive(Debug, Clone, Copy)]
 pub struct EventToken {
     pub(crate) seq: u64,
     pub(crate) time: SimTime,
+    pub(crate) slot: u32,
+}
+
+impl PartialEq for EventToken {
+    fn eq(&self, other: &Self) -> bool {
+        (self.seq, self.time) == (other.seq, other.time)
+    }
+}
+
+impl Eq for EventToken {}
+
+impl std::hash::Hash for EventToken {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.seq, self.time).hash(state);
+    }
+}
+
+impl PartialOrd for EventToken {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventToken {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.seq, self.time).cmp(&(other.seq, other.time))
+    }
 }
 
 /// A scheduled event: payload plus its firing time and tie-break sequence.

@@ -18,6 +18,33 @@ pub trait Model {
     /// New events are scheduled through `ctx`; the engine executes them in
     /// `(time, scheduling-order)` order.
     fn handle_event(&mut self, ctx: &mut Context<'_, Self::Event>, event: Self::Event);
+
+    /// Handles a *run*: consecutive same-variant events at one simulated
+    /// instant, in scheduling order, delivered together by the
+    /// type-batched dispatch path (see
+    /// [`crate::Simulator::with_batched_dispatch`]).
+    ///
+    /// The default drains the buffer through [`Model::handle_event`] one
+    /// event at a time — semantically the engine's one-at-a-time loop,
+    /// so implementing `handle_event` alone is always correct. Models
+    /// with hot event types override this to hoist per-variant dispatch
+    /// out of the loop and warm caches across the run (e.g. touching an
+    /// arena slot per packet up front). Overrides must process every
+    /// event in buffer order and must not assume the run is a single
+    /// variant — the engine guarantees it, but arbitrary callers may
+    /// not.
+    ///
+    /// The engine considers every event in `run` fired the moment the
+    /// run is handed over: a handler cancelling a token for a later
+    /// event *in the same run* gets `false` where the one-at-a-time loop
+    /// would have suppressed the event. Models that cancel same-instant
+    /// events of their own type from handlers should keep batched
+    /// dispatch off.
+    fn handle_run(&mut self, ctx: &mut Context<'_, Self::Event>, run: &mut Vec<Self::Event>) {
+        for event in run.drain(..) {
+            self.handle_event(ctx, event);
+        }
+    }
 }
 
 /// Per-event execution context: the clock plus scheduling operations.

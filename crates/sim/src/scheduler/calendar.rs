@@ -355,6 +355,22 @@ impl<E> CalendarQueue<E> {
         Some((entry.time, entry.seq, entry.event))
     }
 
+    /// The earliest entry's firing time and a borrow of its payload —
+    /// the look-before-you-pop the type-batched run loop needs to stop
+    /// at a variant boundary without disturbing the queue. Caches the
+    /// position exactly like [`Self::peek_min`], so the `pop_min` that
+    /// follows a hit is O(1).
+    #[inline]
+    pub(crate) fn peek_min_event(&mut self) -> Option<(SimTime, &E)> {
+        self.peek_min()?;
+        let ((time, _), loc) = self.cached.expect("peek_min caches on success");
+        let entry = match loc {
+            MinLoc::Wheel(idx) => self.buckets[idx].last().expect("cached wheel min exists"),
+            MinLoc::Overflow => &self.overflow.peek().expect("cached overflow min exists").0,
+        };
+        Some((time, &entry.event))
+    }
+
     /// Removes the entry with sequence number `seq` scheduled at `time`,
     /// returning it if it was pending.
     ///

@@ -26,6 +26,10 @@ pub(crate) struct HeapQueue<E> {
     slots: Vec<Option<(u64, E)>>,
     /// Slots whose key has surfaced, ready for reuse.
     free: Vec<u32>,
+    /// Slots examined by `cancel` — the cost test pins cancellation at
+    /// one probe per call (no slab walk).
+    #[cfg(test)]
+    pub(crate) cancel_probes: u64,
 }
 
 impl<E> Default for HeapQueue<E> {
@@ -40,11 +44,15 @@ impl<E> HeapQueue<E> {
             heap: BinaryHeap::new(),
             slots: Vec::new(),
             free: Vec::new(),
+            #[cfg(test)]
+            cancel_probes: 0,
         }
     }
 
+    /// Pushes an entry and returns its slab slot — the placement hint
+    /// the token carries so [`HeapQueue::cancel`] is one probe.
     #[inline]
-    pub(crate) fn push(&mut self, time: SimTime, seq: u64, event: E) {
+    pub(crate) fn push(&mut self, time: SimTime, seq: u64, event: E) -> u32 {
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slots[s as usize] = Some((seq, event));
@@ -57,6 +65,7 @@ impl<E> HeapQueue<E> {
             }
         };
         self.heap.push(Reverse((time, seq, slot)));
+        slot
     }
 
     /// The `(time, seq)` key of the earliest live entry, purging
@@ -98,19 +107,40 @@ impl<E> HeapQueue<E> {
         self.pop_min()
     }
 
+    /// The earliest live entry's firing time and a borrow of its
+    /// payload — the look-before-you-pop the type-batched run loop
+    /// needs to stop at a variant boundary without disturbing the
+    /// queue.
+    #[inline]
+    pub(crate) fn peek_min_event(&mut self) -> Option<(SimTime, &E)> {
+        let (time, _) = self.peek_min()?;
+        let &Reverse((_, _, slot)) = self.heap.peek().expect("peek_min surfaced a live head");
+        let (_, event) = self.slots[slot as usize]
+            .as_ref()
+            .expect("peek_min leaves a live head");
+        Some((time, event))
+    }
+
     /// Removes the entry with sequence number `seq`, returning it if it
-    /// was pending. O(n) over the slab — cancellation is off the hot
-    /// path; see [`super::Scheduler::cancel`].
-    pub(crate) fn cancel(&mut self, seq: u64) -> Option<E> {
-        for slot in &mut self.slots {
-            if slot.as_ref().is_some_and(|(s, _)| *s == seq) {
-                let (_, event) = slot.take().expect("just matched");
+    /// was pending. `slot` is the placement hint [`HeapQueue::push`]
+    /// returned for this entry: one probe validates that the slot still
+    /// holds this seq (slots recycle only after their key surfaces, and
+    /// seqs are never reused, so a stale hint can only mismatch — never
+    /// alias another live entry with the same seq).
+    pub(crate) fn cancel(&mut self, seq: u64, slot: u32) -> Option<E> {
+        #[cfg(test)]
+        {
+            self.cancel_probes += 1;
+        }
+        match self.slots.get_mut(slot as usize) {
+            Some(s) if s.as_ref().is_some_and(|(stored, _)| *stored == seq) => {
+                let (_, event) = s.take().expect("just matched");
                 // The dangling heap key surfaces (and frees the slot) in
                 // peek_min/pop_min.
-                return Some(event);
+                Some(event)
             }
+            _ => None,
         }
-        None
     }
 }
 
@@ -134,10 +164,10 @@ mod tests {
     #[test]
     fn cancel_by_seq_and_slot_reuse() {
         let mut q = HeapQueue::new();
-        q.push(SimTime::from_secs(1), 0, 10);
+        let s0 = q.push(SimTime::from_secs(1), 0, 10);
         q.push(SimTime::from_secs(2), 1, 11);
-        assert_eq!(q.cancel(0), Some(10));
-        assert_eq!(q.cancel(0), None);
+        assert_eq!(q.cancel(0, s0), Some(10));
+        assert_eq!(q.cancel(0, s0), None);
         assert_eq!(
             q.peek_min(),
             Some((SimTime::from_secs(2), 1)),
@@ -148,5 +178,53 @@ mod tests {
         q.push(SimTime::from_secs(3), 2, 12);
         q.push(SimTime::from_secs(3), 3, 13);
         assert_eq!(q.slots.len(), 2);
+    }
+
+    #[test]
+    fn stale_or_forged_hints_never_cancel_the_wrong_entry() {
+        let mut q = HeapQueue::new();
+        let s0 = q.push(SimTime::from_secs(1), 0, 10);
+        assert_eq!(q.pop_min().map(|(_, _, e)| e), Some(10));
+        // Slot 0 is recycled by a new entry; the old token's hint now
+        // points at a different seq and must miss.
+        let s1 = q.push(SimTime::from_secs(2), 1, 11);
+        assert_eq!(s1, s0, "slot recycled");
+        assert_eq!(q.cancel(0, s0), None);
+        // Out-of-range hints are a miss, not a panic.
+        assert_eq!(q.cancel(1, 999), None);
+        assert_eq!(q.cancel(1, s1), Some(11));
+    }
+
+    /// The satellite contract: cancelling against a 10k-entry slab is
+    /// one slot probe per cancel, not an O(pending) seq-walk. Mirrors
+    /// the calendar backend's `cancel_cost_is_bucket_local_on_a_10k_wheel`.
+    #[test]
+    fn cancel_cost_is_one_probe_on_a_10k_slab() {
+        let n: u64 = 10_000;
+        let mut q = HeapQueue::new();
+        let slots: Vec<u32> = (0..n)
+            .map(|i| q.push(SimTime::from_nanos(1_000 + i * 7), i, i))
+            .collect();
+        q.cancel_probes = 0;
+        for (i, &slot) in slots.iter().enumerate() {
+            assert_eq!(q.cancel(i as u64, slot), Some(i as u64));
+        }
+        assert_eq!(
+            q.cancel_probes, n,
+            "each of the {n} cancels must probe exactly one slot"
+        );
+        assert_eq!(q.pop_min(), None, "everything was cancelled");
+    }
+
+    #[test]
+    fn peek_min_event_sees_the_live_head_through_cancelled_keys() {
+        let mut q = HeapQueue::new();
+        let s0 = q.push(SimTime::from_secs(1), 0, "cancelled");
+        q.push(SimTime::from_secs(1), 1, "head");
+        q.push(SimTime::from_secs(2), 2, "late");
+        q.cancel(0, s0);
+        assert_eq!(q.peek_min_event(), Some((SimTime::from_secs(1), &"head")));
+        assert_eq!(q.pop_min().map(|(_, _, e)| e), Some("head"));
+        assert_eq!(q.peek_min_event(), Some((SimTime::from_secs(2), &"late")));
     }
 }

@@ -37,10 +37,16 @@ enum KeyQueue<E> {
 }
 
 impl<E> KeyQueue<E> {
+    /// Pushes an entry, returning the backend's placement hint for the
+    /// token (the heap's slab slot; the calendar needs none — its hint
+    /// is the firing time itself).
     #[inline]
-    fn push(&mut self, time: SimTime, seq: u64, event: E) {
+    fn push(&mut self, time: SimTime, seq: u64, event: E) -> u32 {
         match self {
-            KeyQueue::Calendar(q) => q.push(time, seq, event),
+            KeyQueue::Calendar(q) => {
+                q.push(time, seq, event);
+                0
+            }
             KeyQueue::Heap(q) => q.push(time, seq, event),
         }
     }
@@ -69,11 +75,21 @@ impl<E> KeyQueue<E> {
         }
     }
 
-    fn cancel(&mut self, seq: u64, time: SimTime) -> Option<E> {
+    /// The earliest entry's firing time and a borrow of its payload.
+    #[inline]
+    fn peek_min_event(&mut self) -> Option<(SimTime, &E)> {
         match self {
-            // The calendar jumps to the bucket the firing time names.
+            KeyQueue::Calendar(q) => q.peek_min_event(),
+            KeyQueue::Heap(q) => q.peek_min_event(),
+        }
+    }
+
+    fn cancel(&mut self, seq: u64, time: SimTime, slot: u32) -> Option<E> {
+        match self {
+            // The calendar jumps to the bucket the firing time names;
+            // the heap probes the one slab slot the token's hint names.
             KeyQueue::Calendar(q) => q.cancel(seq, time),
-            KeyQueue::Heap(q) => q.cancel(seq),
+            KeyQueue::Heap(q) => q.cancel(seq, slot),
         }
     }
 }
@@ -185,8 +201,8 @@ impl<E> Scheduler<E> {
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.live += 1;
-        self.queue.push(time, seq, event);
-        EventToken { seq, time }
+        let slot = self.queue.push(time, seq, event);
+        EventToken { seq, time, slot }
     }
 
     /// Schedules `event` after the given delay from now.
@@ -198,18 +214,19 @@ impl<E> Scheduler<E> {
     /// tokens that never existed, already fired, or were already cancelled
     /// are rejected without perturbing the event count.
     ///
-    /// The token's firing time pins the search: the calendar backend
-    /// probes the one bucket that time names (plus the overflow ladder)
-    /// instead of walking every bucket, so tearing down a large set of
-    /// pending timers — e.g. a spec-driven fault plan — stays linear in
-    /// the number of cancellations rather than quadratic. The heap
-    /// backend remains an O(pending) slab walk; it is the reference, not
-    /// the event-loop backend.
+    /// The token pins the search: the calendar backend probes the one
+    /// bucket the firing time names (plus the overflow ladder) and the
+    /// heap backend the one slab slot the token's placement hint names,
+    /// so tearing down a large set of pending timers — e.g. a
+    /// spec-driven fault plan — stays linear in the number of
+    /// cancellations rather than quadratic on either backend. Events
+    /// already taken by [`Scheduler::take_run_at_or_before`] are
+    /// committed, exactly like a popped event.
     pub fn cancel(&mut self, token: EventToken) -> bool {
         if token.seq >= self.next_seq {
             return false;
         }
-        match self.queue.cancel(token.seq, token.time) {
+        match self.queue.cancel(token.seq, token.time, token.slot) {
             Some(_) => {
                 self.live -= 1;
                 self.cancelled_total += 1;
@@ -241,6 +258,47 @@ impl<E> Scheduler<E> {
     /// Firing time of the next event, if any, without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.queue.peek_min().map(|(time, _)| time)
+    }
+
+    /// Fills `out` with the next *run* — the maximal sequence of
+    /// consecutive same-variant events at the earliest pending timestamp
+    /// (capped at `max`) — and advances `now` to that timestamp.
+    /// Returns the run length; `0` means nothing fires at or before
+    /// `horizon`.
+    ///
+    /// This is the type-batched dispatch path. Both backends surface
+    /// same-time ties in seq order already, so the run is built by
+    /// popping directly while the next entry keeps the run's timestamp
+    /// and [`std::mem::discriminant`] — no staging buffer, no re-sort,
+    /// and the peek that stops the run leaves the backend's cached
+    /// position warm for the next call. Order is exactly the
+    /// one-at-a-time order: runs never reorder across a variant boundary
+    /// or a timestamp. Events in a returned run are committed (fired)
+    /// from the scheduler's point of view — exactly like popped events —
+    /// while everything not yet handed out stays resident and
+    /// cancellable.
+    pub fn take_run_at_or_before(&mut self, horizon: SimTime, max: u64, out: &mut Vec<E>) -> usize {
+        out.clear();
+        if max == 0 {
+            return 0;
+        }
+        let Some((time, _, first)) = self.queue.pop_min_at_or_before(horizon.as_nanos()) else {
+            return 0;
+        };
+        let disc = std::mem::discriminant(&first);
+        out.push(first);
+        while (out.len() as u64) < max {
+            match self.queue.peek_min_event() {
+                Some((t, ev)) if t == time && std::mem::discriminant(ev) == disc => {
+                    let (_, _, ev) = self.queue.pop_min().expect("just peeked a live entry");
+                    out.push(ev);
+                }
+                _ => break,
+            }
+        }
+        self.live -= out.len();
+        self.now = time;
+        out.len()
     }
 }
 
@@ -333,7 +391,8 @@ mod tests {
             let mut q: Scheduler<()> = Scheduler::with_kind(kind);
             assert!(!q.cancel(EventToken {
                 seq: 99,
-                time: SimTime::ZERO
+                time: SimTime::ZERO,
+                slot: 0,
             }));
         });
     }
@@ -432,6 +491,131 @@ mod tests {
             q.cancel(a);
             assert_eq!(q.scheduled_total(), 2);
             assert_eq!(q.cancelled_total(), 1);
+        });
+    }
+
+    /// Two-variant payload for run-boundary tests.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum T {
+        A(u32),
+        B(u32),
+    }
+
+    #[test]
+    fn runs_split_at_variant_boundaries_in_seq_order() {
+        both(|kind| {
+            let mut q = Scheduler::with_kind(kind);
+            let t = SimTime::from_secs(1);
+            // Interleaved variants at one timestamp: runs must follow seq
+            // order exactly, never regroup across a boundary.
+            q.schedule_at(t, T::A(0));
+            q.schedule_at(t, T::A(1));
+            q.schedule_at(t, T::B(2));
+            q.schedule_at(t, T::A(3));
+            q.schedule_at(SimTime::from_secs(2), T::B(4));
+            let horizon = SimTime::from_secs(9);
+            let mut run = Vec::new();
+            assert_eq!(q.take_run_at_or_before(horizon, u64::MAX, &mut run), 2);
+            assert_eq!(run, [T::A(0), T::A(1)]);
+            assert_eq!(q.now(), t, "now advances with the first run");
+            assert_eq!(q.take_run_at_or_before(horizon, u64::MAX, &mut run), 1);
+            assert_eq!(run, [T::B(2)]);
+            assert_eq!(q.take_run_at_or_before(horizon, u64::MAX, &mut run), 1);
+            assert_eq!(run, [T::A(3)]);
+            // Next timestamp only after the tie set is exhausted.
+            assert_eq!(q.take_run_at_or_before(horizon, u64::MAX, &mut run), 1);
+            assert_eq!(run, [T::B(4)]);
+            assert_eq!(q.now(), SimTime::from_secs(2));
+            assert_eq!(q.take_run_at_or_before(horizon, u64::MAX, &mut run), 0);
+            assert!(q.is_empty());
+        });
+    }
+
+    #[test]
+    fn take_run_respects_horizon_and_budget_cap() {
+        both(|kind| {
+            let mut q = Scheduler::with_kind(kind);
+            let t = SimTime::from_secs(5);
+            for i in 0..6 {
+                q.schedule_at(t, T::A(i));
+            }
+            let mut run = Vec::new();
+            assert_eq!(
+                q.take_run_at_or_before(SimTime::from_secs(4), u64::MAX, &mut run),
+                0,
+                "nothing fires before the horizon"
+            );
+            // A budget cap of 4 leaves a live leftover tie set…
+            assert_eq!(q.take_run_at_or_before(t, 4, &mut run), 4);
+            assert_eq!(run, [T::A(0), T::A(1), T::A(2), T::A(3)]);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.peek_time(), Some(t), "leftovers stay visible");
+            // …which a later call resumes, even under a smaller budget.
+            assert_eq!(q.take_run_at_or_before(t, 1, &mut run), 1);
+            assert_eq!(run, [T::A(4)]);
+            assert_eq!(q.take_run_at_or_before(t, 1, &mut run), 1);
+            assert_eq!(run, [T::A(5)]);
+            assert!(q.is_empty());
+        });
+    }
+
+    #[test]
+    fn drained_but_undispatched_entries_stay_cancellable() {
+        both(|kind| {
+            let mut q = Scheduler::with_kind(kind);
+            let t = SimTime::from_secs(1);
+            q.schedule_at(t, T::A(0));
+            let doomed = q.schedule_at(t, T::A(1));
+            q.schedule_at(t, T::A(2));
+            let mut run = Vec::new();
+            // Budget 1 dispatches only A(0); the rest of the tie set
+            // stays resident in the backend.
+            assert_eq!(q.take_run_at_or_before(t, 1, &mut run), 1);
+            assert_eq!(run, [T::A(0)]);
+            assert!(q.cancel(doomed), "not-yet-dispatched is still live");
+            assert!(!q.cancel(doomed), "double cancel rejected");
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.cancelled_total(), 1);
+            assert_eq!(q.take_run_at_or_before(t, u64::MAX, &mut run), 1);
+            assert_eq!(run, [T::A(2)], "the cancelled entry never surfaces");
+            assert!(q.is_empty());
+        });
+    }
+
+    #[test]
+    fn pop_serves_tie_set_leftovers_before_later_pushes() {
+        both(|kind| {
+            let mut q = Scheduler::with_kind(kind);
+            let t = SimTime::from_secs(1);
+            q.schedule_at(t, T::A(0));
+            q.schedule_at(t, T::B(1));
+            let mut run = Vec::new();
+            assert_eq!(q.take_run_at_or_before(t, u64::MAX, &mut run), 1);
+            // New same-time work arrives while the tie set is partially
+            // dispatched: it files behind the leftovers (larger seq).
+            q.schedule_at(t, T::A(2));
+            // Mixed-mode consumption: plain pops must see the leftover
+            // B(1) first, then the newly pushed A(2).
+            assert_eq!(q.pop().unwrap().into_event(), T::B(1));
+            assert_eq!(q.pop_at_or_before(t).unwrap().into_event(), T::A(2));
+            assert!(q.is_empty());
+            assert_eq!(q.pop(), None);
+        });
+    }
+
+    #[test]
+    fn take_run_after_pop_consumption_sees_remaining_events() {
+        both(|kind| {
+            let mut q = Scheduler::with_kind(kind);
+            q.schedule_at(SimTime::from_secs(1), T::A(0));
+            q.schedule_at(SimTime::from_secs(2), T::B(1));
+            assert_eq!(q.pop().unwrap().into_event(), T::A(0));
+            let mut run = Vec::new();
+            assert_eq!(
+                q.take_run_at_or_before(SimTime::from_secs(2), u64::MAX, &mut run),
+                1
+            );
+            assert_eq!(run, [T::B(1)]);
         });
     }
 

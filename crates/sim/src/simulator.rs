@@ -29,6 +29,12 @@ pub struct Simulator<M: Model> {
     events_emitted: u64,
     event_budget: u64,
     stop_requested: bool,
+    /// Whether [`Simulator::run_until`] dispatches type-batched runs
+    /// (see [`Simulator::with_batched_dispatch`]).
+    batched: bool,
+    /// Reused run buffer for the batched loop — grows once to the
+    /// largest same-type run and then costs no allocation.
+    run_scratch: Vec<M::Event>,
 }
 
 impl<M: Model> Simulator<M> {
@@ -43,7 +49,23 @@ impl<M: Model> Simulator<M> {
             // zero-delay loops without ever tripping in legitimate runs.
             event_budget: u64::MAX,
             stop_requested: false,
+            batched: false,
+            run_scratch: Vec::new(),
         }
+    }
+
+    /// Switches [`Simulator::run_until`] between one-at-a-time dispatch
+    /// (`false`, the default and the property-tested reference) and
+    /// type-batched dispatch (`true`): same-timestamp events are drained
+    /// from the queue in one sweep and delivered to
+    /// [`Model::handle_run`] in consecutive same-variant runs. Execution
+    /// order is identical either way — batching amortizes dispatch, it
+    /// never reorders — with one documented exception for handlers that
+    /// cancel same-instant events of their own type (see
+    /// [`Model::handle_run`]).
+    pub fn with_batched_dispatch(mut self, batched: bool) -> Self {
+        self.batched = batched;
+        self
     }
 
     /// Caps the total number of events processed across all `run*` calls.
@@ -155,6 +177,9 @@ impl<M: Model> Simulator<M> {
     /// queue drains, the model requests a stop, or the event budget is
     /// exhausted. Time never advances past the last executed event.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        if self.batched {
+            return self.run_until_batched(horizon);
+        }
         self.stop_requested = false;
         loop {
             if self.events_processed >= self.event_budget {
@@ -169,6 +194,57 @@ impl<M: Model> Simulator<M> {
                 };
             };
             self.dispatch(entry);
+            if self.stop_requested {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+
+    /// The type-batched twin of the loop above: same termination rules,
+    /// same execution order, but events arrive in same-variant runs via
+    /// [`Model::handle_run`]. The budget caps each run's length, so an
+    /// exhausted budget leaves the rest of the tie set resident in the
+    /// scheduler for a later call to resume; stop requests take effect
+    /// at run granularity (the run that requested the stop completes —
+    /// a model needing event-granular stops runs unbatched).
+    fn run_until_batched(&mut self, horizon: SimTime) -> RunOutcome {
+        self.stop_requested = false;
+        loop {
+            if self.events_processed >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            let remaining = self.event_budget - self.events_processed;
+            let n = self
+                .scheduler
+                .take_run_at_or_before(horizon, remaining, &mut self.run_scratch);
+            if n == 0 {
+                return if self.scheduler.is_empty() {
+                    RunOutcome::QueueEmpty
+                } else {
+                    RunOutcome::HorizonReached
+                };
+            }
+            self.events_processed += n as u64;
+            #[cfg(feature = "runstats")]
+            {
+                use std::sync::atomic::{AtomicU64, Ordering};
+                static RUNS: AtomicU64 = AtomicU64::new(0);
+                static EVS: AtomicU64 = AtomicU64::new(0);
+                let r = RUNS.fetch_add(1, Ordering::Relaxed) + 1;
+                let e = EVS.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
+                if r % 1_000_000 == 0 {
+                    eprintln!(
+                        "[runstats] runs={r} events={e} avg={:.3}",
+                        e as f64 / r as f64
+                    );
+                }
+            }
+            let mut ctx = Context::new(
+                &mut self.scheduler,
+                &mut self.events_emitted,
+                &mut self.stop_requested,
+            );
+            self.model.handle_run(&mut ctx, &mut self.run_scratch);
             if self.stop_requested {
                 return RunOutcome::Stopped;
             }
@@ -277,6 +353,85 @@ mod tests {
         sim.run_until(SimTime::from_secs(2));
         let m = sim.into_model();
         assert_eq!(m.ticks, 3);
+    }
+
+    /// Records every handled event as `(now, tag)` and fans out new
+    /// work with same-instant ties — a trace-equality probe for the
+    /// batched loop.
+    struct Tracer {
+        trace: Vec<(SimTime, u32)>,
+        runs: Vec<usize>,
+    }
+
+    impl Model for Tracer {
+        type Event = u32;
+        fn handle_event(&mut self, ctx: &mut Context<'_, u32>, ev: u32) {
+            self.trace.push((ctx.now(), ev));
+            // Fan out: even tags spawn a same-instant odd tag and a
+            // later even one, so ties and cross-timestamp chains form.
+            if ev % 2 == 0 && ev < 40 {
+                ctx.schedule_now(ev + 1);
+                ctx.schedule_in(SimDuration::from_millis(u64::from(ev % 7) + 1), ev + 2);
+            }
+        }
+        fn handle_run(&mut self, ctx: &mut Context<'_, u32>, run: &mut Vec<u32>) {
+            self.runs.push(run.len());
+            for ev in run.drain(..) {
+                self.handle_event(ctx, ev);
+            }
+        }
+    }
+
+    fn traced(batched: bool) -> Simulator<Tracer> {
+        let mut sim = Simulator::new(Tracer {
+            trace: vec![],
+            runs: vec![],
+        })
+        .with_batched_dispatch(batched);
+        for i in 0..4 {
+            sim.schedule_at(
+                SimTime::from_millis(i),
+                u32::from(u16::try_from(i).unwrap()) * 2,
+            );
+        }
+        sim
+    }
+
+    #[test]
+    fn batched_dispatch_matches_the_reference_loop() {
+        let mut reference = traced(false);
+        assert_eq!(reference.run(), RunOutcome::QueueEmpty);
+        let mut batched = traced(true);
+        assert_eq!(batched.run(), RunOutcome::QueueEmpty);
+        assert_eq!(batched.model().trace, reference.model().trace);
+        assert_eq!(batched.events_processed(), reference.events_processed());
+        assert_eq!(batched.events_emitted(), reference.events_emitted());
+        assert_eq!(batched.now(), reference.now());
+        assert!(
+            reference.model().runs.is_empty(),
+            "the reference loop never calls handle_run"
+        );
+        let batched_total: usize = batched.model().runs.iter().sum();
+        assert_eq!(batched_total as u64, batched.events_processed());
+    }
+
+    #[test]
+    fn batched_budget_exhaustion_is_resumable_mid_tie_set() {
+        let mut sim = traced(true).with_event_budget(5);
+        assert_eq!(sim.run(), RunOutcome::EventBudgetExhausted);
+        assert_eq!(sim.events_processed(), 5);
+        let mut reference = traced(false);
+        reference.run();
+        // The first five handled events match the reference prefix even
+        // though the budget cut a run short…
+        assert_eq!(sim.model().trace, reference.model().trace[..5]);
+        // …and lifting the budget finishes the identical tail.
+        let mut sim = Simulator {
+            event_budget: u64::MAX,
+            ..sim
+        };
+        assert_eq!(sim.run(), RunOutcome::QueueEmpty);
+        assert_eq!(sim.model().trace, reference.model().trace);
     }
 
     #[test]

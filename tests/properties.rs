@@ -10,9 +10,17 @@ use mtnet_core::tier::Tier;
 use mtnet_metrics::{Histogram, Summary};
 use mtnet_mobility::Point;
 use mtnet_net::{Addr, LinkConfig, NodeId, Prefix, RouteCache, RoutingTable, Topology};
-use mtnet_radio::{CallKind, Cell, CellId, CellKind, CellMap, ChannelPool};
+use mtnet_radio::{CallKind, Cell, CellId, CellKind, CellMap, ChannelPool, LaneSelect};
 use mtnet_sim::{RngStream, Scheduler, SimDuration, SimTime};
 use proptest::prelude::*;
+
+/// Two-variant event for the batched-dispatch property: runs must split
+/// at variant boundaries, so the payload needs more than one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchEv {
+    A(usize),
+    B(usize),
+}
 
 proptest! {
     // ---------------------------------------------------------------
@@ -469,7 +477,7 @@ proptest! {
                     let d = SimDuration::from_nanos((raw % 1_000_000) / 64 * 64);
                     let (tc, th) = (cal.schedule_in(d, i), heap.schedule_in(d, i));
                     prop_assert_eq!(tc, th, "tokens diverged");
-                    tokens.push(tc);
+                    tokens.push((tc, th));
                 }
                 // Far-future schedule: exercises the overflow ladder and
                 // its interplay with the wheel cursor.
@@ -477,7 +485,7 @@ proptest! {
                     let d = SimDuration::from_nanos(raw % 20_000_000_000);
                     let (tc, th) = (cal.schedule_in(d, i), heap.schedule_in(d, i));
                     prop_assert_eq!(tc, th, "tokens diverged");
-                    tokens.push(tc);
+                    tokens.push((tc, th));
                 }
                 // Pop and compare everything observable.
                 3 => {
@@ -499,11 +507,14 @@ proptest! {
                     }
                 }
                 // Cancel a remembered token (possibly already fired or
-                // already cancelled — verdicts must agree).
+                // already cancelled — verdicts must agree). Each backend
+                // gets the token *it* issued: tokens compare equal by
+                // `(seq, time)` but also carry a backend-private
+                // placement hint that makes heap cancellation one probe.
                 _ => {
                     if !tokens.is_empty() {
-                        let tok = tokens[(raw as usize) % tokens.len()];
-                        prop_assert_eq!(cal.cancel(tok), heap.cancel(tok));
+                        let (tc, th) = tokens[(raw as usize) % tokens.len()];
+                        prop_assert_eq!(cal.cancel(tc), heap.cancel(th));
                     }
                 }
             }
@@ -519,6 +530,90 @@ proptest! {
             prop_assert_eq!(ec.time(), eh.time());
             prop_assert_eq!(ec.into_event(), eh.into_event());
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Type-batched dispatch: consuming a scheduler through
+    // `take_run_at_or_before` yields exactly the event sequence serial
+    // pops yield, under arbitrary schedule/cancel/consume interleavings
+    // and budget caps, on both backends. Runs never mix variants.
+    // ---------------------------------------------------------------
+    #[test]
+    fn batched_runs_equal_serial_pops(
+        ops in prop::collection::vec((0u8..8, any::<u64>()), 1..300),
+        kind_pick in 0usize..2,
+    ) {
+        use mtnet_sim::SchedulerKind;
+        let kind = [SchedulerKind::Calendar, SchedulerKind::Heap][kind_pick];
+        let mut serial = Scheduler::with_kind(kind);
+        let mut batched = Scheduler::with_kind(kind);
+        let mut tokens = Vec::new();
+        let mut run = Vec::new();
+        for (i, &(op, raw)) in ops.iter().enumerate() {
+            match op {
+                // Schedule with heavy quantization → same-instant ties,
+                // mixed variants.
+                0..=3 => {
+                    let d = SimDuration::from_nanos((raw % 500_000) / 1024 * 1024);
+                    let ev = if raw % 2 == 0 { BatchEv::A(i) } else { BatchEv::B(i) };
+                    let (ts, tb) = (serial.schedule_in(d, ev), batched.schedule_in(d, ev));
+                    prop_assert_eq!(ts, tb, "tokens diverged");
+                    tokens.push((ts, tb));
+                }
+                // Cancel a remembered token: drained-but-untaken batch
+                // entries must stay cancellable, so verdicts agree even
+                // when the cancel lands mid-tie-set.
+                4 | 5 => {
+                    if !tokens.is_empty() {
+                        let (ts, tb) = tokens[(raw as usize) % tokens.len()];
+                        prop_assert_eq!(
+                            serial.cancel(ts), batched.cancel(tb),
+                            "cancel verdicts diverged at op {}", i
+                        );
+                    }
+                }
+                // Take one run (budget-capped), then pop the same count
+                // serially: same events, same order, same instant.
+                _ => {
+                    let horizon = batched.now() + SimDuration::from_nanos(raw % 1_000_000);
+                    let max = raw % 5 + 1;
+                    let n = batched.take_run_at_or_before(horizon, max, &mut run);
+                    prop_assert!(n as u64 <= max, "run overran its budget");
+                    if n == 0 {
+                        prop_assert!(
+                            serial.pop_at_or_before(horizon).is_none(),
+                            "serial found an event the batch missed at op {}", i
+                        );
+                    } else {
+                        prop_assert!(
+                            run.iter().all(|e| {
+                                std::mem::discriminant(e) == std::mem::discriminant(&run[0])
+                            }),
+                            "a run mixed variants"
+                        );
+                        for (j, ev) in run.iter().enumerate() {
+                            let popped = serial.pop_at_or_before(horizon);
+                            prop_assert!(popped.is_some(), "serial ran dry at {}/{}", j, n);
+                            let popped = popped.unwrap();
+                            prop_assert_eq!(popped.time(), batched.now(), "run instant diverged");
+                            prop_assert_eq!(&popped.into_event(), ev);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(serial.len(), batched.len(), "len diverged after op {}", i);
+        }
+        // Drain both to the end through their own consumption paths.
+        loop {
+            let n = batched.take_run_at_or_before(SimTime::MAX, u64::MAX, &mut run);
+            if n == 0 { break; }
+            for ev in run.iter() {
+                let popped = serial.pop();
+                prop_assert!(popped.is_some(), "tail lengths diverged");
+                prop_assert_eq!(&popped.unwrap().into_event(), ev);
+            }
+        }
+        prop_assert!(serial.pop().is_none(), "serial tail outlived the batched one");
     }
 
     // ---------------------------------------------------------------
@@ -559,6 +654,17 @@ proptest! {
             map.measure_batch(at, tier, &mut batch);
             let scan = map.measure_full_scan(at, tier);
             prop_assert_eq!(&batch, &scan, "batch and scan disagree at {:?}", at);
+            // Every explicit lane width is bit-identical too — the SIMD
+            // pre-filter may only discard cells the exact scalar tail
+            // would also discard, at any vector width.
+            let mut lane_out = Vec::new();
+            for sel in [LaneSelect::Scalar, LaneSelect::W4, LaneSelect::W8] {
+                map.measure_batch_lanes(at, tier, &mut lane_out, sel);
+                prop_assert_eq!(
+                    &lane_out, &scan,
+                    "lane width {:?} diverged from the full scan at {:?}", sel, at
+                );
+            }
             // Hysteresis: rebuild the decision from the (batch) list and
             // hold it against the single-pass implementation, for both a
             // current cell drawn from the deployment and a ghost.
