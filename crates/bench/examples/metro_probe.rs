@@ -1,0 +1,60 @@
+//! Metro-tier tuning probe: runs `ScenarioSpec::metro()` with `key=value`
+//! overrides from the command line and prints wall time, event count,
+//! events/s, peak RSS and page-fault counts — the quickest way to answer
+//! "what does this knob cost at scale" without editing an experiment.
+//! Set `MTNET_EVPROF=1` for a per-event-type cost breakdown.
+//!
+//! ```text
+//! cargo run --release --example metro_probe -- duration_s=12 pedestrians=10000 domains=8
+//! ```
+use mtnet_core::spec::ScenarioSpec;
+
+fn vm_hwm_bytes() -> Option<u64> {
+    let s = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in s.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches(" kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// (minor, major) page faults of this process so far.
+fn faults() -> (u64, u64) {
+    let s = std::fs::read_to_string("/proc/self/stat").unwrap();
+    let rest = s.rsplit(") ").next().unwrap();
+    let f: Vec<&str> = rest.split_whitespace().collect();
+    (f[7].parse().unwrap(), f[9].parse().unwrap())
+}
+
+fn main() {
+    let mut spec = ScenarioSpec::metro().with_seed_path("E14", "metro", 0);
+    for arg in std::env::args().skip(1) {
+        let (k, v) = arg.split_once('=').expect("key=value");
+        spec.set(k, v).expect("valid override");
+    }
+    spec.validate().expect("valid spec");
+    let t0 = std::time::Instant::now();
+    let world = spec.build(42);
+    let built = t0.elapsed();
+    let f0 = faults();
+    let t1 = std::time::Instant::now();
+    let report = world.run(mtnet_sim::SimDuration::from_secs_f64(spec.duration_s));
+    let ran = t1.elapsed();
+    let f1 = faults();
+    eprintln!(
+        "build {:.2}s  run {:.2}s  events {}  ev/s {:.2}M  rss {:.0} MiB  minflt {}  majflt {}",
+        built.as_secs_f64(),
+        ran.as_secs_f64(),
+        report.events_processed,
+        report.events_processed as f64 / ran.as_secs_f64() / 1e6,
+        vm_hwm_bytes().unwrap_or(0) as f64 / (1024.0 * 1024.0),
+        f1.0 - f0.0,
+        f1.1 - f0.1,
+    );
+    let prof = mtnet_core::world::evprof::report();
+    if !prof.is_empty() {
+        eprint!("{prof}");
+    }
+}

@@ -35,6 +35,11 @@ pub struct BenchRow {
     /// lane (`scripts/pgo_build`). Part of the row identity: PGO rows
     /// form their own trajectory next to the stock-build rows.
     pub pgo: bool,
+    /// Peak resident-set size of the run, in bytes (`crate::rss`), or
+    /// `None` where the platform can't measure it. Elided from the JSON
+    /// when absent so older trajectory files keep their exact shape. The
+    /// metro tier's "one box's RAM" claim is gated on this column.
+    pub max_rss_bytes: Option<u64>,
 }
 
 impl BenchRow {
@@ -55,9 +60,13 @@ impl BenchRow {
         // Like `shards`, `pgo` is elided at its default so stock rows
         // stay byte-identical with earlier trajectory files.
         let pgo = if self.pgo { ", \"pgo\": true" } else { "" };
+        let rss = match self.max_rss_bytes {
+            Some(b) => format!(", \"max_rss_bytes\": {b}"),
+            None => String::new(),
+        };
         format!(
             "  {{\"experiment\": \"{}\", \"effort\": \"{}\", \"wall_ms\": {:.1}, \"events\": {}, \
-             \"events_per_sec\": {}{analytic}{shards}{pgo}, \"threads\": {}}}",
+             \"events_per_sec\": {}{analytic}{shards}{pgo}{rss}, \"threads\": {}}}",
             self.experiment,
             self.effort,
             self.wall_ms,
@@ -86,6 +95,7 @@ impl BenchRow {
             shards: num_field(line, "shards").map_or(1, |v| v as u32),
             threads: num_field(line, "threads")? as usize,
             pgo: line.contains("\"pgo\": true"),
+            max_rss_bytes: num_field(line, "max_rss_bytes").map(|v| v as u64),
         })
     }
 
@@ -184,6 +194,9 @@ pub enum GateOutcome {
     },
     /// Wall time regressed beyond the tolerance (delta in percent).
     WallRegression(f64),
+    /// Peak RSS regressed beyond the memory tolerance (delta in
+    /// percent). Wall time was within bounds.
+    RssRegression(f64),
     /// Wall comparison skipped (analytic row or sub-floor baseline);
     /// events still matched.
     WallSkipped,
@@ -194,12 +207,27 @@ pub const WALL_TOLERANCE_PCT: f64 = 25.0;
 /// Committed rows faster than this are pure noise: events are still
 /// checked, wall time is not.
 pub const WALL_FLOOR_MS: f64 = 50.0;
+/// Peak-RSS regression tolerance, in percent. Memory is far less noisy
+/// than wall time, but allocator retention between in-process runs
+/// (`crate::rss`) still wobbles the small rows — hence the floor below.
+pub const RSS_TOLERANCE_PCT: f64 = 30.0;
+/// Committed rows whose peak RSS is below this are dominated by
+/// allocator noise and binary overhead; their memory comparison is
+/// skipped.
+pub const RSS_FLOOR_BYTES: u64 = 128 << 20;
 
 /// Gates one fresh row against the committed rows. Event counts must be
 /// exactly equal (the determinism tripwire); wall time may regress up to
 /// `tolerance_pct` (analytic and sub-[`WALL_FLOOR_MS`] rows skip the
-/// wall comparison — their timings are noise).
-pub fn gate_row(fresh: &BenchRow, committed: &[BenchRow], tolerance_pct: f64) -> GateOutcome {
+/// wall comparison — their timings are noise); peak RSS, where both rows
+/// carry it and the baseline is at least [`RSS_FLOOR_BYTES`], may
+/// regress up to `rss_tolerance_pct`.
+pub fn gate_row(
+    fresh: &BenchRow,
+    committed: &[BenchRow],
+    tolerance_pct: f64,
+    rss_tolerance_pct: f64,
+) -> GateOutcome {
     let Some(base) = committed.iter().find(|c| c.same_config(fresh)) else {
         return GateOutcome::NoBaseline;
     };
@@ -209,14 +237,23 @@ pub fn gate_row(fresh: &BenchRow, committed: &[BenchRow], tolerance_pct: f64) ->
             fresh: fresh.events,
         };
     }
-    if fresh.analytic || base.analytic || base.wall_ms < WALL_FLOOR_MS {
-        return GateOutcome::WallSkipped;
+    let wall_checked = !(fresh.analytic || base.analytic || base.wall_ms < WALL_FLOOR_MS);
+    let wall_delta_pct = (fresh.wall_ms - base.wall_ms) / base.wall_ms * 100.0;
+    if wall_checked && wall_delta_pct > tolerance_pct {
+        return GateOutcome::WallRegression(wall_delta_pct);
     }
-    let delta_pct = (fresh.wall_ms - base.wall_ms) / base.wall_ms * 100.0;
-    if delta_pct > tolerance_pct {
-        GateOutcome::WallRegression(delta_pct)
+    if let (Some(fresh_rss), Some(base_rss)) = (fresh.max_rss_bytes, base.max_rss_bytes) {
+        if base_rss >= RSS_FLOOR_BYTES {
+            let delta_pct = (fresh_rss as f64 - base_rss as f64) / base_rss as f64 * 100.0;
+            if delta_pct > rss_tolerance_pct {
+                return GateOutcome::RssRegression(delta_pct);
+            }
+        }
+    }
+    if wall_checked {
+        GateOutcome::Ok(wall_delta_pct)
     } else {
-        GateOutcome::Ok(delta_pct)
+        GateOutcome::WallSkipped
     }
 }
 
@@ -239,6 +276,7 @@ mod tests {
             shards: 1,
             threads: 1,
             pgo: false,
+            max_rss_bytes: None,
         }
     }
 
@@ -293,12 +331,15 @@ mod tests {
         let mut fresh = sharded.clone();
         fresh.wall_ms = 72.0;
         assert!(matches!(
-            gate_row(&fresh, &committed, 25.0),
+            gate_row(&fresh, &committed, 25.0, RSS_TOLERANCE_PCT),
             GateOutcome::Ok(_)
         ));
         let mut unseen = fresh.clone();
         unseen.shards = 8;
-        assert_eq!(gate_row(&unseen, &committed, 25.0), GateOutcome::NoBaseline);
+        assert_eq!(
+            gate_row(&unseen, &committed, 25.0, RSS_TOLERANCE_PCT),
+            GateOutcome::NoBaseline
+        );
 
         // The merge replaces only the matching shard count and sorts
         // ascending within an experiment.
@@ -323,7 +364,10 @@ mod tests {
         // trajectory: a fresh PGO row never replaces or gates against
         // the stock row.
         let committed = vec![stock.clone()];
-        assert_eq!(gate_row(&pgo, &committed, 25.0), GateOutcome::NoBaseline);
+        assert_eq!(
+            gate_row(&pgo, &committed, 25.0, RSS_TOLERANCE_PCT),
+            GateOutcome::NoBaseline
+        );
         let merged = merge(committed, vec![pgo.clone()]);
         assert_eq!(merged.len(), 2);
         assert!(!merged[0].pgo, "stock row retained and sorted first");
@@ -346,7 +390,7 @@ mod tests {
         let committed = vec![row("E1", "Full", 60.0, 100)];
         let fresh = row("E1", "Full", 60.0, 101);
         assert_eq!(
-            gate_row(&fresh, &committed, WALL_TOLERANCE_PCT),
+            gate_row(&fresh, &committed, WALL_TOLERANCE_PCT, RSS_TOLERANCE_PCT),
             GateOutcome::EventDrift {
                 committed: 100,
                 fresh: 101
@@ -358,11 +402,11 @@ mod tests {
     fn gate_tolerates_wall_within_bounds_and_flags_beyond() {
         let committed = vec![row("E1", "Full", 100.0, 100)];
         assert!(matches!(
-            gate_row(&row("E1", "Full", 120.0, 100), &committed, 25.0),
+            gate_row(&row("E1", "Full", 120.0, 100), &committed, 25.0, RSS_TOLERANCE_PCT),
             GateOutcome::Ok(delta) if (delta - 20.0).abs() < 1e-9
         ));
         assert!(matches!(
-            gate_row(&row("E1", "Full", 130.0, 100), &committed, 25.0),
+            gate_row(&row("E1", "Full", 130.0, 100), &committed, 25.0, RSS_TOLERANCE_PCT),
             GateOutcome::WallRegression(delta) if (delta - 30.0).abs() < 1e-9
         ));
     }
@@ -371,12 +415,22 @@ mod tests {
     fn gate_skips_wall_for_noise_rows_but_still_checks_events() {
         let committed = vec![row("E5", "Full", 2.5, 100)];
         assert_eq!(
-            gate_row(&row("E5", "Full", 50.0, 100), &committed, 25.0),
+            gate_row(
+                &row("E5", "Full", 50.0, 100),
+                &committed,
+                25.0,
+                RSS_TOLERANCE_PCT
+            ),
             GateOutcome::WallSkipped,
             "2.5ms baseline is under the wall floor"
         );
         assert!(matches!(
-            gate_row(&row("E5", "Full", 2.5, 99), &committed, 25.0),
+            gate_row(
+                &row("E5", "Full", 2.5, 99),
+                &committed,
+                25.0,
+                RSS_TOLERANCE_PCT
+            ),
             GateOutcome::EventDrift { .. }
         ));
     }
@@ -384,8 +438,69 @@ mod tests {
     #[test]
     fn gate_reports_missing_baseline() {
         assert_eq!(
-            gate_row(&row("E9", "Quick", 1.0, 1), &[], 25.0),
+            gate_row(&row("E9", "Quick", 1.0, 1), &[], 25.0, RSS_TOLERANCE_PCT),
             GateOutcome::NoBaseline
         );
+    }
+
+    #[test]
+    fn max_rss_round_trips_and_is_elided_when_absent() {
+        let mut r = row("E14", "Quick", 4_000.0, 9_000_000);
+        r.max_rss_bytes = Some(1_409_286_144);
+        let line = r.to_json_line();
+        assert!(line.contains("\"max_rss_bytes\": 1409286144"));
+        assert_eq!(BenchRow::parse(&line).expect("parses"), r);
+
+        let bare = row("E1", "Full", 60.0, 100);
+        let line = bare.to_json_line();
+        assert!(!line.contains("max_rss_bytes"), "absent column is elided");
+        assert_eq!(BenchRow::parse(&line).expect("parses").max_rss_bytes, None);
+    }
+
+    #[test]
+    fn gate_flags_rss_regression_beyond_tolerance() {
+        let gib = 1u64 << 30;
+        let mut base = row("E14", "Full", 30_000.0, 9_000_000);
+        base.max_rss_bytes = Some(gib);
+        let committed = vec![base];
+
+        let mut fresh = row("E14", "Full", 30_000.0, 9_000_000);
+        fresh.max_rss_bytes = Some(gib + gib / 4); // +25%: inside 30%
+        assert!(matches!(
+            gate_row(&fresh, &committed, 25.0, RSS_TOLERANCE_PCT),
+            GateOutcome::Ok(_)
+        ));
+        fresh.max_rss_bytes = Some(2 * gib); // +100%
+        assert!(matches!(
+            gate_row(&fresh, &committed, 25.0, RSS_TOLERANCE_PCT),
+            GateOutcome::RssRegression(delta) if (delta - 100.0).abs() < 1e-9
+        ));
+        // Wall problems outrank memory problems.
+        fresh.wall_ms = 60_000.0;
+        assert!(matches!(
+            gate_row(&fresh, &committed, 25.0, RSS_TOLERANCE_PCT),
+            GateOutcome::WallRegression(_)
+        ));
+    }
+
+    #[test]
+    fn gate_skips_rss_below_floor_or_when_either_side_lacks_it() {
+        // Small baseline: allocator noise, skipped even at 10x.
+        let mut small = row("E1", "Full", 100.0, 100);
+        small.max_rss_bytes = Some(16 << 20);
+        let committed = vec![small.clone()];
+        let mut fresh = small.clone();
+        fresh.max_rss_bytes = Some(160 << 20);
+        assert!(matches!(
+            gate_row(&fresh, &committed, 25.0, RSS_TOLERANCE_PCT),
+            GateOutcome::Ok(_)
+        ));
+
+        // Legacy baseline without the column: nothing to compare.
+        let committed = vec![row("E1", "Full", 100.0, 100)];
+        assert!(matches!(
+            gate_row(&fresh, &committed, 25.0, RSS_TOLERANCE_PCT),
+            GateOutcome::Ok(_)
+        ));
     }
 }

@@ -17,6 +17,10 @@
 //!   before failing. Analytic rows and rows whose committed wall time is
 //!   under 50 ms are pure timer noise: their wall comparison is skipped,
 //!   their event equality still enforced.
+//! * **Peak RSS** (`max_rss_bytes`), where both rows record it and the
+//!   committed value is at least 128 MiB, may regress up to 30%
+//!   (override with `BENCH_CHECK_RSS_TOLERANCE`, in percent) — the
+//!   memory-diet tripwire guarding the metro tier's footprint.
 //! * Fresh rows with no committed counterpart are reported, not failed —
 //!   that is how new experiments enter the trajectory.
 //!
@@ -47,6 +51,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(benchjson::WALL_TOLERANCE_PCT);
+    let rss_tolerance = std::env::var("BENCH_CHECK_RSS_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(benchjson::RSS_TOLERANCE_PCT);
     let read = |path: &str| -> Vec<benchjson::BenchRow> {
         match std::fs::read_to_string(path) {
             Ok(text) => benchjson::parse_file(&text),
@@ -82,7 +90,10 @@ fn main() {
     }
 
     let mut failures = 0usize;
-    println!("bench_check: {fresh_path} vs {committed_path} (wall tolerance {tolerance:.0}%)");
+    println!(
+        "bench_check: {fresh_path} vs {committed_path} \
+         (wall tolerance {tolerance:.0}%, rss tolerance {rss_tolerance:.0}%)"
+    );
     for row in &fresh {
         let shard_tag = if row.shards > 1 {
             format!("x{}", row.shards)
@@ -90,7 +101,7 @@ fn main() {
             "  ".to_string()
         };
         let label = format!("{:>5} {:<5} {shard_tag}", row.experiment, row.effort);
-        match benchjson::gate_row(row, &committed, tolerance) {
+        match benchjson::gate_row(row, &committed, tolerance, rss_tolerance) {
             GateOutcome::Ok(delta) => {
                 println!(
                     "  {label} ok      events {:>12}  wall {delta:+6.1}%",
@@ -118,6 +129,12 @@ fn main() {
             }
             GateOutcome::WallRegression(delta) => {
                 println!("  {label} FAIL    wall regression {delta:+.1}% (> {tolerance:.0}%)");
+                failures += 1;
+            }
+            GateOutcome::RssRegression(delta) => {
+                println!(
+                    "  {label} FAIL    peak-RSS regression {delta:+.1}% (> {rss_tolerance:.0}%)"
+                );
                 failures += 1;
             }
         }

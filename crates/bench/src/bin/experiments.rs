@@ -20,13 +20,16 @@
 //!
 //! `--bench-json <path>` records the perf trajectory machine-readably: one
 //! JSON object per experiment with `{experiment, effort, wall_ms, events,
-//! threads}` (plus `shards` when sharded, plus `pgo` when the binary was
-//! built by `scripts/pgo_build` and run with `--pgo`). `--fingerprints
+//! events_per_sec, max_rss_bytes, threads}` (plus `shards` when sharded,
+//! plus `pgo` when the binary was built by `scripts/pgo_build` and run
+//! with `--pgo`; `max_rss_bytes` is each run's own peak RSS, measured by
+//! rebasing the kernel watermark between runs, and is absent on platforms
+//! without `/proc`). `--fingerprints
 //! <path>` dumps the bit-exact `SimReport::fingerprint` of every run —
 //! diffing two dumps proves a refactor changed nothing observable.
 
 use mtnet_bench::benchjson::{self, BenchRow};
-use mtnet_bench::{cli, run_one, Effort, ALL_IDS};
+use mtnet_bench::{cli, rss, run_one, Effort, ALL_IDS};
 use mtnet_sim::runner::BatchRunner;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -99,9 +102,13 @@ fn main() {
         if !filter.is_empty() && !filter.iter().any(|f| f.eq_ignore_ascii_case(id)) {
             continue;
         }
+        // Rebase the kernel's peak-RSS watermark so each row reports its
+        // own run's peak, not the largest experiment before it.
+        rss::reset_peak();
         let start = Instant::now();
         let result = run_one(id, effort, seed).expect("known id");
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let max_rss_bytes = rss::peak_bytes();
         println!("{}", result.render());
         eprintln!("[{id}: {:.2}s]", wall_ms / 1e3);
         bench_rows.push(BenchRow {
@@ -114,6 +121,7 @@ fn main() {
             shards,
             threads,
             pgo,
+            max_rss_bytes,
         });
         for (i, fp) in result.fingerprints.iter().enumerate() {
             let _ = writeln!(fingerprint_dump, "== {id} run {i} ==\n{fp}");
@@ -128,6 +136,9 @@ fn main() {
         if filter.is_empty() {
             let total_events: u64 = bench_rows.iter().map(|r| r.events).sum();
             let total_wall: f64 = bench_rows.iter().map(|r| r.wall_ms).sum();
+            // Suite memory = the largest single row: rows run
+            // sequentially, so their peaks never stack.
+            let suite_rss = bench_rows.iter().filter_map(|r| r.max_rss_bytes).max();
             bench_rows.push(BenchRow {
                 experiment: "suite".into(),
                 effort: format!("{effort:?}"),
@@ -138,6 +149,7 @@ fn main() {
                 shards,
                 threads,
                 pgo,
+                max_rss_bytes: suite_rss,
             });
         }
         // Merge into an existing trajectory (a Full file keeps its Quick

@@ -34,7 +34,10 @@
 //!
 //! **Report mode** (`--report`) aggregates a finished grid without
 //! computing anything: one row per grid point, mean ± 95% CI over its
-//! replications for every table metric.
+//! replications for every table metric. It shares the fleet's exit
+//! contract — 0 only for a complete grid, 3 when quarantined cells
+//! degraded the aggregate (each named on its own `quarantined:` line),
+//! 1 when cells are missing.
 
 use mtnet_bench::coord::{self, CoordConfig};
 use mtnet_bench::store::ResultStore;
@@ -182,7 +185,12 @@ fn main() {
         let outcome = coord::report_sweep(&plan, master_seed, &store).unwrap_or_else(|e| fail(&e));
         print!("{}", outcome.table);
         println!("{}", outcome.summary(&family, reps));
-        return;
+        for label in &outcome.quarantined_cells {
+            println!("  quarantined: ({label})");
+        }
+        // Same contract as the fleet: a degraded aggregate must not look
+        // like a clean one to CI (3 = quarantined, 1 = missing).
+        std::process::exit(outcome.exit_code());
     }
 
     // ---- standalone worker: one lease-protocol worker, shared store ----

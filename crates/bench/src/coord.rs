@@ -818,6 +818,10 @@ pub struct ReportOutcome {
     pub complete: usize,
     /// Cells quarantined.
     pub quarantined: usize,
+    /// Labels of the quarantined cells (`axis=value,... rep=n`), in
+    /// expansion order — a degraded report must name what it is missing,
+    /// not just count it.
+    pub quarantined_cells: Vec<String>,
     /// Cells neither complete nor quarantined.
     pub missing: usize,
 }
@@ -830,6 +834,19 @@ impl ReportOutcome {
             "sweep report \"{family}\": {} points x {reps} reps: complete {}, quarantined {}, missing {}",
             self.points, self.complete, self.quarantined, self.missing
         )
+    }
+
+    /// The process exit code, same contract as [`GridReport::exit_code`]:
+    /// 0 for a fully complete grid, 1 when cells are missing (resume the
+    /// fleet), 3 when quarantined cells degraded the aggregate.
+    pub fn exit_code(&self) -> i32 {
+        if self.missing > 0 {
+            1
+        } else if self.quarantined > 0 {
+            3
+        } else {
+            0
+        }
     }
 }
 
@@ -863,6 +880,7 @@ pub fn report_sweep(
     // innermost, so a point's cells are contiguous).
     let mut points: Vec<(Vec<(String, String)>, Replicates, usize, usize)> = Vec::new();
     let (mut complete, mut quarantined, mut missing) = (0, 0, 0);
+    let mut quarantined_cells = Vec::new();
     for cell in &cells {
         if points.last().map(|(a, ..)| a) != Some(&cell.assignments) {
             points.push((cell.assignments.clone(), Replicates::new(), 0, 0));
@@ -879,6 +897,7 @@ pub fn report_sweep(
         } else if load_poison(store.dir(), &key).is_some() {
             quarantined += 1;
             point.3 += 1;
+            quarantined_cells.push(cell.label.clone());
         } else {
             missing += 1;
         }
@@ -910,6 +929,7 @@ pub fn report_sweep(
         points: points.len(),
         complete,
         quarantined,
+        quarantined_cells,
         missing,
     })
 }
@@ -1155,6 +1175,52 @@ mod tests {
         std::fs::remove_file(store.path_of(&ResultStore::key(&victim_text, 42))).expect("rm");
         let partial = report_sweep(&plan, 42, &store).expect("partial report");
         assert_eq!((partial.complete, partial.missing), (3, 1));
+        assert_eq!(report.exit_code(), 0, "complete grid reports clean");
+        assert_eq!(partial.exit_code(), 1, "missing cells mean resume");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn report_on_all_poison_grid_exits_3_and_names_the_cells() {
+        let store = tmp_store("allpoison");
+        let plan = SweepPlan {
+            family: "commute-corridor".into(),
+            base: ScenarioSpec::commute_corridor().with_duration_s(100.0),
+            axes: vec![parse_axis("vehicles=1,2").unwrap()],
+            replications: 2,
+            effort: Effort::Quick,
+        };
+        let cells = plan.cells().expect("cells");
+        // Quarantine every cell without computing anything, the way the
+        // lease protocol would after repeated worker deaths.
+        for cell in &cells {
+            let key = ResultStore::key(&cell.spec.render(), 42);
+            let poison = Poison {
+                failures: 3,
+                last_owner: "dead@1".into(),
+                label: cell.label.clone(),
+                quarantined_ms: 1_700_000_000_000,
+            };
+            std::fs::write(poison_path(store.dir(), &key), poison.render()).expect("plant poison");
+        }
+        let report = report_sweep(&plan, 42, &store).expect("report");
+        assert_eq!(
+            (report.complete, report.quarantined, report.missing),
+            (0, 4, 0)
+        );
+        assert_eq!(report.exit_code(), 3, "all-poison grid must exit 3");
+        let labels: Vec<String> = cells.iter().map(|c| c.label.clone()).collect();
+        assert_eq!(
+            report.quarantined_cells, labels,
+            "the report must name every quarantined cell"
+        );
+        // Quarantine outranks nothing here — but with one cell also
+        // missing, missing wins (exit 1 means "resume first").
+        let key0 = ResultStore::key(&cells[0].spec.render(), 42);
+        std::fs::remove_file(poison_path(store.dir(), &key0)).expect("rm poison");
+        let mixed = report_sweep(&plan, 42, &store).expect("mixed report");
+        assert_eq!((mixed.quarantined, mixed.missing), (3, 1));
+        assert_eq!(mixed.exit_code(), 1);
         let _ = std::fs::remove_dir_all(store.dir());
     }
 }

@@ -211,6 +211,20 @@ pub fn arm_specs(id: &str, effort: Effort) -> Vec<ScenarioSpec> {
             );
             specs
         }
+        "E14" => {
+            // The metro tier scales with effort: Full is the headline
+            // 10^6-subscriber world; Quick is the same knobs at CI size
+            // (10k nodes, 8 domains) so the suite and the smoke test
+            // stay bounded. Both run the identical code paths — SoA
+            // tables, aggregate QoS, modular stagger, load curve.
+            let base = match effort {
+                Effort::Quick => ScenarioSpec::metro_smoke(),
+                Effort::Full => ScenarioSpec::metro(),
+            };
+            vec![base
+                .with_duration_s(effort.secs(120.0))
+                .with_seed_path("E14", "metro", 0)]
+        }
         _ => Vec::new(),
     }
 }
@@ -1086,6 +1100,97 @@ pub fn e13_resilience(effort: Effort, seed: u64) -> ExperimentResult {
     }
 }
 
+/// E14 — the metro tier: a million-subscriber world carried with
+/// O(active) state. Per-node state lives in SoA columns, RSMC
+/// authentication is an epoch tag on the node's own row, the MNLD is a
+/// dense table, and every delivered packet's delay streams into one
+/// constant-memory aggregate histogram instead of per-flow
+/// distributions. The table reports the per-tier admission pressure and
+/// the aggregate delay percentiles the streaming accumulators exist for.
+pub fn e14_metro(effort: Effort, seed: u64) -> ExperimentResult {
+    let specs = arm_specs("E14", effort);
+    let spec = specs[0].clone();
+    let secs = spec.duration_s;
+    let subscribers = spec.pedestrians + spec.cyclists + spec.vehicles;
+    let flows = if spec.voice_every > 0 {
+        subscribers.div_ceil(spec.voice_every)
+    } else {
+        0
+    };
+    // Deployed radio cells: each domain's street row + its macro (or the
+    // satellite's single footprint), plus one shared upper BS per
+    // consecutive domain pair.
+    let cells = spec.n_domains * (1 + spec.micro_per_domain)
+        + if spec.share_upper {
+            spec.n_domains / 2
+        } else {
+            0
+        }
+        + u32::from(spec.satellite);
+    let reports = run_specs(seed, specs);
+    let (events, fingerprints) = digest(&reports);
+    let r = &reports[0];
+    let agg = r
+        .aggregate
+        .as_ref()
+        .expect("metro specs enable aggregate QoS");
+    let q = r.aggregate_qos();
+    let p = |pct: f64| ms(agg.delay_ms.percentile(pct).unwrap_or(0.0));
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["subscribers".into(), subscribers.to_string()]);
+    t.row(["radio cells".into(), cells.to_string()]);
+    t.row(["voice flows (active set)".into(), flows.to_string()]);
+    t.row(["simulated".into(), format!("{secs:.0}s")]);
+    t.row(["events processed".into(), r.events_processed.to_string()]);
+    t.row(["packets delivered".into(), agg.count().to_string()]);
+    t.row(["aggregate delay p50".into(), p(50.0)]);
+    t.row(["aggregate delay p95".into(), p(95.0)]);
+    t.row(["aggregate delay p99".into(), p(99.0)]);
+    t.row(["loss".into(), pct(q.loss_rate)]);
+    t.row(["handoffs".into(), r.handoffs.total().to_string()]);
+    t.row(["handoffs rejected".into(), r.handoffs.rejected.to_string()]);
+    t.row([
+        "fallback (other tier)".into(),
+        r.handoffs.fallback_used.to_string(),
+    ]);
+    t.row([
+        "route updates".into(),
+        r.signaling.route_updates.to_string(),
+    ]);
+    t.row([
+        "paging updates".into(),
+        r.signaling.paging_updates.to_string(),
+    ]);
+    t.row([
+        "location messages".into(),
+        r.signaling.location_messages.to_string(),
+    ]);
+    ExperimentResult {
+        id: "E14",
+        title: "Metro tier — 10^6 subscribers, O(active) state, streaming QoS",
+        tables: vec![(
+            format!(
+                "{} domains + satellite overlay, commute-hour load curve, {secs:.0}s",
+                spec.n_domains
+            ),
+            t,
+        )],
+        notes: vec![
+            "state scales with the active set: per-flow delay histograms collapse into one \
+             2048-bucket aggregate; RSMC auth and MNLD rows are O(population) columns, not \
+             O(subscribers) side maps"
+                .into(),
+            "expected shape: idle subscribers cost only their periodic ticks (5 s move samples, \
+             60 s location/paging); the pico street rows absorb the active calls and the macro \
+             umbrella takes the overflow"
+                .into(),
+        ],
+        events,
+        analytic: false,
+        fingerprints,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1178,5 +1283,43 @@ mod tests {
             rendered
         };
         assert_eq!(run_with(1), run_with(4));
+    }
+
+    #[test]
+    fn fingerprints_bit_identical_across_threads_and_shards() {
+        // Parity surface of the metro-tier memory work: the SoA node
+        // tables, O(active) RSMC/MNLD caches, and streaming metrics must
+        // not let execution layout leak into results. Every (threads,
+        // shards) combination must reproduce the sequential single-shard
+        // fingerprints bit for bit — on an E1-class legacy world and on a
+        // metro-tier world (idle camping + aggregate QoS exercise the new
+        // paths).
+        use std::sync::atomic::Ordering;
+        let arms = || {
+            let mut specs = arm_specs("E1", Effort::Quick);
+            specs.push(
+                ScenarioSpec::metro_smoke()
+                    .with_duration_s(30.0)
+                    .with_seed_path("parity", "metro", 0),
+            );
+            specs
+        };
+        let run_with = |threads: usize, shards: u32| -> Vec<String> {
+            TEST_THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+            let specs: Vec<ScenarioSpec> =
+                arms().into_iter().map(|s| s.with_shards(shards)).collect();
+            let reports = run_specs(42, specs);
+            TEST_THREAD_OVERRIDE.store(0, Ordering::Relaxed);
+            reports.iter().map(|r| r.fingerprint()).collect()
+        };
+        let reference = run_with(1, 1);
+        assert!(reference.len() >= 3, "E1 arms plus the metro world");
+        for (threads, shards) in [(1usize, 2u32), (4, 1), (4, 2)] {
+            assert_eq!(
+                run_with(threads, shards),
+                reference,
+                "threads={threads} shards={shards}"
+            );
+        }
     }
 }

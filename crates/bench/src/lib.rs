@@ -36,6 +36,7 @@
 //! | E11 | claim: reduced packet loss           | [`experiments::e11_loss`] |
 //! | E12 | §3.2 factor ablation                 | [`experiments::e12_ablation`] |
 //! | E13 | resilience under infrastructure faults | [`experiments::e13_resilience`] |
+//! | E14 | metro tier: 10^6 subscribers, O(active) state | [`experiments::e14_metro`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +45,7 @@ pub mod benchjson;
 pub mod cli;
 pub mod coord;
 pub mod experiments;
+pub mod rss;
 pub mod store;
 pub mod sweep;
 
@@ -125,8 +127,8 @@ impl ExperimentResult {
 }
 
 /// Every experiment id, in suite order.
-pub const ALL_IDS: [&str; 13] = [
-    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+pub const ALL_IDS: [&str; 14] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
 ];
 
 /// Runs a single experiment by id (case-insensitive); `None` for unknown
@@ -146,6 +148,7 @@ pub fn run_one(id: &str, effort: Effort, seed: u64) -> Option<ExperimentResult> 
         "E11" => experiments::e11_loss(effort, seed),
         "E12" => experiments::e12_ablation(effort, seed),
         "E13" => experiments::e13_resilience(effort, seed),
+        "E14" => experiments::e14_metro(effort, seed),
         _ => return None,
     };
     Some(r)

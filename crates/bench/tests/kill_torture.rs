@@ -308,15 +308,21 @@ fn poisoned_cell_is_quarantined_then_heals_to_identical_bytes() {
         assert_eq!(bytes, &reference_slot.1, "{name} diverged");
     }
 
-    // The report degrades gracefully: the poisoned point reports q1.
+    // The report degrades gracefully — the poisoned point reports q1 —
+    // but shares the fleet's exit contract: a degraded aggregate exits 3
+    // and names the quarantined cell.
     let report = sweep_cmd(&spec_file, &store_dir)
         .arg("--report")
         .output()
         .expect("report");
-    assert!(report.status.success());
+    assert_eq!(report.status.code(), Some(3), "degraded report exits 3");
     let report_out = String::from_utf8_lossy(&report.stdout);
     assert!(report_out.contains("(q1)"), "{report_out}");
     assert!(report_out.contains("quarantined 1"), "{report_out}");
+    assert!(
+        report_out.contains(&format!("quarantined: ({poisoned_label}")),
+        "the quarantined cell is named:\n{report_out}"
+    );
 
     // Lifting the quarantine heals the grid: the once-poisoned cell is
     // reclaimed-then-completed, and the whole store matches a run that

@@ -1,4 +1,4 @@
-//! Golden tests pinning the declarative spec texts behind E1–E13.
+//! Golden tests pinning the declarative spec texts behind E1–E14.
 //!
 //! Every experiment arm is a `ScenarioSpec`; its canonical text is the
 //! content address the sweep store keys on and the contract the
@@ -83,7 +83,7 @@ paging_update_ms = none
 /// `(experiment, arm count, digest of concatenated canonical texts)` at
 /// Quick effort. The digest is the store's own content hash, so this is
 /// exactly "would every arm land in the same store slot as before".
-const QUICK_DIGESTS: [(&str, usize, &str); 13] = [
+const QUICK_DIGESTS: [(&str, usize, &str); 14] = [
     ("E1", 2, "080ec007d756b65d"),
     ("E2", 2, "6f980c280036295f"),
     ("E3", 5, "5b7701f6f0f24e8f"),
@@ -97,6 +97,7 @@ const QUICK_DIGESTS: [(&str, usize, &str); 13] = [
     ("E11", 36, "df51789d3b35f1e5"),
     ("E12", 5, "9fb581ce7c347f11"),
     ("E13", 3, "0f216fe32b22f303"),
+    ("E14", 1, "874e5836f83e6d26"),
 ];
 
 /// E13's first arm (multi-tier under the shared fault schedule) at Quick

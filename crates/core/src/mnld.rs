@@ -6,10 +6,17 @@
 //! RSMC for each node plus movement history, which the home network uses
 //! to answer "which domain should this location query go to" and which the
 //! experiments use to count inter-domain movements.
+//!
+//! Records are keyed by the dense [`MnId`] and stored in a flat column
+//! that grows to the highest id ever reported — an `Option<MnldEntry>`
+//! row per node instead of the former `HashMap<Addr, _>`: at metro scale
+//! (10^6 subscribers) the column is one contiguous ~24 MB allocation with
+//! O(1) branch-free probes, and a node that never roams costs exactly its
+//! (empty) row.
 
 use crate::hierarchy::DomainId;
+use crate::messages::MnId;
 use mtnet_net::Addr;
-use mtnet_sim::FxHashMap;
 use mtnet_sim::SimTime;
 
 /// One MNLD record.
@@ -26,7 +33,9 @@ pub struct MnldEntry {
 /// The location database.
 #[derive(Debug, Default)]
 pub struct Mnld {
-    entries: FxHashMap<Addr, MnldEntry>,
+    /// Dense per-node records, indexed by [`MnId`]; grows on demand.
+    entries: Vec<Option<MnldEntry>>,
+    tracked: usize,
     updates: u64,
     domain_changes: u64,
     queries: u64,
@@ -41,27 +50,32 @@ impl Mnld {
 
     /// Records that `mn` is now in `domain` behind `rsmc`. Returns `true`
     /// if this was a *domain change* (an inter-domain movement).
-    pub fn update(&mut self, mn: Addr, domain: DomainId, rsmc: Addr, now: SimTime) -> bool {
+    pub fn update(&mut self, mn: MnId, domain: DomainId, rsmc: Addr, now: SimTime) -> bool {
         self.updates += 1;
-        let changed = self.entries.get(&mn).is_none_or(|e| e.domain != domain);
+        let idx = mn.0 as usize;
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, None);
+        }
+        let slot = &mut self.entries[idx];
+        let changed = slot.is_none_or(|e| e.domain != domain);
         if changed {
             self.domain_changes += 1;
         }
-        self.entries.insert(
-            mn,
-            MnldEntry {
-                domain,
-                rsmc,
-                updated_at: now,
-            },
-        );
+        if slot.is_none() {
+            self.tracked += 1;
+        }
+        *slot = Some(MnldEntry {
+            domain,
+            rsmc,
+            updated_at: now,
+        });
         changed
     }
 
     /// Looks up the last-known location of `mn`.
-    pub fn query(&mut self, mn: Addr) -> Option<MnldEntry> {
+    pub fn query(&mut self, mn: MnId) -> Option<MnldEntry> {
         self.queries += 1;
-        let hit = self.entries.get(&mn).copied();
+        let hit = self.entries.get(mn.0 as usize).copied().flatten();
         if hit.is_some() {
             self.query_hits += 1;
         }
@@ -69,18 +83,18 @@ impl Mnld {
     }
 
     /// Read-only peek without statistics (internal checks).
-    pub fn peek(&self, mn: Addr) -> Option<&MnldEntry> {
-        self.entries.get(&mn)
+    pub fn peek(&self, mn: MnId) -> Option<&MnldEntry> {
+        self.entries.get(mn.0 as usize).and_then(Option::as_ref)
     }
 
     /// Number of tracked nodes.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.tracked
     }
 
     /// True if no nodes are tracked.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.tracked == 0
     }
 
     /// `(updates, domain_changes, queries, query_hits)` counters.
@@ -105,32 +119,22 @@ mod tests {
     #[test]
     fn first_update_is_a_domain_change() {
         let mut m = Mnld::new();
-        assert!(m.update(
-            addr("10.0.2.1"),
-            DomainId(0),
-            addr("20.0.0.1"),
-            SimTime::ZERO
-        ));
+        assert!(m.update(MnId(0), DomainId(0), addr("20.0.0.1"), SimTime::ZERO));
         assert_eq!(m.len(), 1);
     }
 
     #[test]
     fn same_domain_refresh_is_not_a_change() {
         let mut m = Mnld::new();
-        m.update(
-            addr("10.0.2.1"),
-            DomainId(0),
-            addr("20.0.0.1"),
-            SimTime::ZERO,
-        );
+        m.update(MnId(0), DomainId(0), addr("20.0.0.1"), SimTime::ZERO);
         assert!(!m.update(
-            addr("10.0.2.1"),
+            MnId(0),
             DomainId(0),
             addr("20.0.0.1"),
             SimTime::from_secs(5)
         ));
         assert!(m.update(
-            addr("10.0.2.1"),
+            MnId(0),
             DomainId(1),
             addr("20.1.0.1"),
             SimTime::from_secs(9)
@@ -141,29 +145,19 @@ mod tests {
     #[test]
     fn query_statistics() {
         let mut m = Mnld::new();
-        m.update(
-            addr("10.0.2.1"),
-            DomainId(0),
-            addr("20.0.0.1"),
-            SimTime::ZERO,
-        );
-        let e = m.query(addr("10.0.2.1")).unwrap();
+        m.update(MnId(0), DomainId(0), addr("20.0.0.1"), SimTime::ZERO);
+        let e = m.query(MnId(0)).unwrap();
         assert_eq!(e.domain, DomainId(0));
         assert_eq!(e.rsmc, addr("20.0.0.1"));
-        assert!(m.query(addr("10.0.9.9")).is_none());
+        assert!(m.query(MnId(99)).is_none());
         assert_eq!(m.counters(), (1, 1, 2, 1));
     }
 
     #[test]
     fn peek_does_not_count() {
         let mut m = Mnld::new();
-        m.update(
-            addr("10.0.2.1"),
-            DomainId(0),
-            addr("20.0.0.1"),
-            SimTime::ZERO,
-        );
-        assert!(m.peek(addr("10.0.2.1")).is_some());
+        m.update(MnId(0), DomainId(0), addr("20.0.0.1"), SimTime::ZERO);
+        assert!(m.peek(MnId(0)).is_some());
         assert_eq!(m.counters().2, 0);
         assert!(!m.is_empty());
     }
@@ -171,21 +165,22 @@ mod tests {
     #[test]
     fn updated_at_tracks_latest() {
         let mut m = Mnld::new();
+        m.update(MnId(0), DomainId(0), addr("20.0.0.1"), SimTime::ZERO);
         m.update(
-            addr("10.0.2.1"),
-            DomainId(0),
-            addr("20.0.0.1"),
-            SimTime::ZERO,
-        );
-        m.update(
-            addr("10.0.2.1"),
+            MnId(0),
             DomainId(0),
             addr("20.0.0.1"),
             SimTime::from_secs(7),
         );
-        assert_eq!(
-            m.peek(addr("10.0.2.1")).unwrap().updated_at,
-            SimTime::from_secs(7)
-        );
+        assert_eq!(m.peek(MnId(0)).unwrap().updated_at, SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn len_counts_distinct_rows_not_column_capacity() {
+        let mut m = Mnld::new();
+        // A high id grows the column but only one node is tracked.
+        m.update(MnId(1000), DomainId(2), addr("20.2.0.1"), SimTime::ZERO);
+        m.update(MnId(1000), DomainId(3), addr("20.3.0.1"), SimTime::ZERO);
+        assert_eq!(m.len(), 1);
     }
 }

@@ -1,7 +1,7 @@
 //! Aggregated experiment results: QoS, handoff and signaling statistics.
 
 use crate::handoff::HandoffType;
-use mtnet_metrics::Summary;
+use mtnet_metrics::{FixedHistogram, Summary};
 use mtnet_net::FlowId;
 use mtnet_sim::SimDuration;
 use mtnet_traffic::{FlowQos, QosReport};
@@ -167,6 +167,53 @@ impl FaultStats {
     }
 }
 
+/// World-level streaming delay accumulator for aggregate-QoS mode.
+///
+/// Metro-scale worlds keep per-flow trackers compact (no per-flow delay
+/// distribution — see [`mtnet_traffic::FlowQos::record_received_compact`])
+/// and stream every delivered packet's one-way delay into this single
+/// constant-memory pair instead: a fixed-bucket histogram for
+/// percentiles and a Welford summary for the mean and its confidence
+/// interval. Total metric state is O(1) in events and subscribers.
+#[derive(Debug, Clone)]
+pub struct AggregateQos {
+    /// One-way delay histogram, 1-ms buckets over 0–2048 ms.
+    pub delay_ms: FixedHistogram,
+    /// Online mean/variance of the same delays (drives the 95% CI).
+    pub delay_summary: Summary,
+}
+
+impl AggregateQos {
+    /// Millisecond range of the delay histogram (1-ms resolution).
+    pub const DELAY_UPPER_MS: f64 = 2048.0;
+
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        AggregateQos {
+            delay_ms: FixedHistogram::new(Self::DELAY_UPPER_MS),
+            delay_summary: Summary::new(),
+        }
+    }
+
+    /// Streams one delivered packet's one-way delay (milliseconds).
+    #[inline]
+    pub fn record(&mut self, delay_ms: f64) {
+        self.delay_ms.record(delay_ms);
+        self.delay_summary.record(delay_ms);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.delay_summary.count()
+    }
+}
+
+impl Default for AggregateQos {
+    fn default() -> Self {
+        AggregateQos::new()
+    }
+}
+
 /// Everything one simulation run produces.
 #[derive(Debug, Default)]
 pub struct SimReport {
@@ -188,6 +235,10 @@ pub struct SimReport {
     pub calls_accepted: u64,
     /// Events executed by the simulator (run-cost metric).
     pub events_processed: u64,
+    /// World-level delay accumulator; `Some` only in aggregate-QoS mode
+    /// (metro-scale worlds). Strictly opt-in: `None` leaves the
+    /// fingerprint byte-identical to reports predating the field.
+    pub aggregate: Option<AggregateQos>,
 }
 
 impl SimReport {
@@ -325,6 +376,20 @@ impl SimReport {
                 out,
                 "fault recovery: {}",
                 summary_line(&f.recovery_latency_ms)
+            );
+        }
+        // Aggregate-QoS section, appended last and only when the mode is
+        // on — per-flow-mode fingerprints stay byte-identical to those
+        // produced before the accumulator existed.
+        if let Some(agg) = &self.aggregate {
+            let _ = writeln!(out, "aggregate delay: {}", summary_line(&agg.delay_summary));
+            let p = |q: f64| bits(agg.delay_ms.percentile(q).unwrap_or(0.0));
+            let _ = writeln!(
+                out,
+                "aggregate delay pcts: p50={} p95={} p99={}",
+                p(50.0),
+                p(95.0),
+                p(99.0),
             );
         }
         out
@@ -475,6 +540,28 @@ mod tests {
         assert!(loud.contains("faults: cells=2"), "{loud}");
         assert!(loud.contains("fault recovery: n=1"), "{loud}");
         assert!(loud.starts_with(&quiet), "fault lines append, not reorder");
+    }
+
+    #[test]
+    fn aggregate_section_is_strictly_opt_in() {
+        let mut r = SimReport::default();
+        let plain = r.fingerprint();
+        assert!(
+            !plain.contains("aggregate delay"),
+            "per-flow mode must leave the fingerprint untouched: {plain}"
+        );
+        let mut agg = AggregateQos::new();
+        agg.record(12.0);
+        agg.record(40.0);
+        assert_eq!(agg.count(), 2);
+        r.aggregate = Some(agg);
+        let loud = r.fingerprint();
+        assert!(loud.contains("aggregate delay: n=2"), "{loud}");
+        assert!(loud.contains("aggregate delay pcts:"), "{loud}");
+        assert!(
+            loud.starts_with(&plain),
+            "aggregate lines append, not reorder"
+        );
     }
 
     #[test]

@@ -8,15 +8,23 @@
 //!
 //! In the reproduction the RSMC *is* the domain's Cellular IP gateway node;
 //! this type holds the added value over a plain gateway: the combined
-//! location cache (outliving fine-grained routing caches), the per-MN
-//! authentication registry, and the HA/CN notification generator.
+//! location cache (outliving fine-grained routing caches), the
+//! authentication epoch, and the HA/CN notification generator.
+//!
+//! Authentication is **epoch-tagged** rather than registry-backed: the
+//! RSMC publishes an [`epoch`](Rsmc::epoch) that bumps on every
+//! [`flush`](Rsmc::flush), and each mobile node records which
+//! `(domain, epoch)` it last authenticated against on its own table row.
+//! The observable behaviour is identical to the old per-RSMC
+//! `HashSet<Addr>` registry (authenticate once per node per domain,
+//! re-authenticate after a crash/failover flush) but the RSMC itself
+//! holds O(1) auth state instead of O(subscribers-ever-seen).
 
 use crate::messages::MtMessage;
 use mtnet_cellularip::SoftStateCache;
 use mtnet_net::Addr;
 use mtnet_radio::CellId;
 use mtnet_sim::{SimDuration, SimTime};
-use std::collections::HashSet;
 
 /// Per-domain RSMC state.
 #[derive(Debug)]
@@ -26,8 +34,9 @@ pub struct Rsmc {
     /// long (paging-scale), so the RSMC can still place a node whose
     /// routing caches lapsed.
     location: SoftStateCache<Addr, CellId>,
-    /// Authenticated mobile nodes.
-    authenticated: HashSet<Addr>,
+    /// Authentication epoch; bumped on flush so outstanding per-node
+    /// authentications (tagged with the old epoch) become invalid.
+    auth_epoch: u32,
     /// Correspondents to notify per MN is decided by the caller; the RSMC
     /// counts the notifications it generates.
     notifications_sent: u64,
@@ -48,7 +57,7 @@ impl Rsmc {
         Rsmc {
             addr,
             location: SoftStateCache::new(Self::LOCATION_LIFETIME),
-            authenticated: HashSet::new(),
+            auth_epoch: 0,
             notifications_sent: 0,
             auth_performed: 0,
             packets_forwarded: 0,
@@ -60,20 +69,19 @@ impl Rsmc {
         self.addr
     }
 
-    /// Authenticates `mn` if not yet known. Returns the processing delay
-    /// to charge (zero for already-authenticated nodes).
-    pub fn authenticate(&mut self, mn: Addr) -> SimDuration {
-        if self.authenticated.insert(mn) {
-            self.auth_performed += 1;
-            Self::AUTH_DELAY
-        } else {
-            SimDuration::ZERO
-        }
+    /// The current authentication epoch. A node whose recorded epoch for
+    /// this domain differs must (re-)authenticate and charge
+    /// [`Rsmc::AUTH_DELAY`].
+    pub fn epoch(&self) -> u32 {
+        self.auth_epoch
     }
 
-    /// True if `mn` has been authenticated in this domain.
-    pub fn is_authenticated(&self, mn: Addr) -> bool {
-        self.authenticated.contains(&mn)
+    /// Counts one identity verification actually performed (the caller
+    /// decided the node's recorded epoch was stale). Returns the
+    /// processing delay to charge.
+    pub fn note_auth_performed(&mut self) -> SimDuration {
+        self.auth_performed += 1;
+        Self::AUTH_DELAY
     }
 
     /// Processes a route-update arrival for `mn` now served by `cell`
@@ -105,12 +113,13 @@ impl Rsmc {
     }
 
     /// Crash/failover flush (fault injection): the RSMC loses its combined
-    /// location cache and authentication registry, exactly as a cold
-    /// standby taking over would start. The statistics counters survive —
-    /// they describe the run, not the box.
+    /// location cache and invalidates every outstanding authentication
+    /// (by bumping the epoch), exactly as a cold standby taking over
+    /// would start. The statistics counters survive — they describe the
+    /// run, not the box.
     pub fn flush(&mut self) {
         self.location.clear();
-        self.authenticated.clear();
+        self.auth_epoch += 1;
     }
 
     /// The cell currently (or recently) serving `mn`, if the location
@@ -157,14 +166,16 @@ mod tests {
     }
 
     #[test]
-    fn authentication_is_once_per_mn() {
+    fn auth_epoch_drives_once_per_mn_semantics() {
         let mut r = rsmc();
-        let mn = addr("10.0.2.1");
-        assert_eq!(r.authenticate(mn), Rsmc::AUTH_DELAY);
-        assert_eq!(r.authenticate(mn), SimDuration::ZERO, "cached identity");
-        assert!(r.is_authenticated(mn));
-        assert!(!r.is_authenticated(addr("10.0.2.2")));
+        assert_eq!(r.epoch(), 0);
+        // A node with a stale recorded epoch authenticates and is charged.
+        assert_eq!(r.note_auth_performed(), Rsmc::AUTH_DELAY);
         assert_eq!(r.counters().1, 1);
+        // The epoch is stable across ordinary operation, so a node whose
+        // recorded epoch matches skips authentication entirely (the world
+        // compares epochs and never calls note_auth_performed again).
+        assert_eq!(r.epoch(), 0);
     }
 
     #[test]
@@ -198,15 +209,16 @@ mod tests {
     fn flush_loses_state_but_not_history() {
         let mut r = rsmc();
         let mn = addr("10.0.2.1");
-        r.authenticate(mn);
+        r.note_auth_performed();
         r.on_route_update(mn, CellId(3), SimTime::ZERO, 2);
+        let epoch_before = r.epoch();
         r.flush();
-        assert!(!r.is_authenticated(mn), "auth registry gone");
+        assert_ne!(r.epoch(), epoch_before, "outstanding auths invalidated");
         assert_eq!(r.locate(mn, SimTime::ZERO), None, "location cache gone");
         assert_eq!(r.counters().0, 2, "notification history survives");
         assert_eq!(r.counters().1, 1, "auth history survives");
         // The standby re-learns from scratch: next sighting notifies again.
-        assert_eq!(r.authenticate(mn), Rsmc::AUTH_DELAY);
+        assert_eq!(r.note_auth_performed(), Rsmc::AUTH_DELAY);
         assert_eq!(r.on_route_update(mn, CellId(3), SimTime::ZERO, 2).len(), 2);
     }
 

@@ -32,7 +32,7 @@
 use crate::handoff::{DecisionConfig, HandoffFactors};
 use crate::report::{RunReport, SimReport};
 use crate::scenario::ArchKind;
-use crate::world::{DomainSpec, FlowKind, World, WorldBuilder, WorldConfig};
+use crate::world::{DomainSpec, FlowKind, LoadCurve, World, WorldBuilder, WorldConfig};
 use mtnet_cellularip::HandoffKind;
 use mtnet_mobility::{LinearCommute, Point, RandomWaypoint, Rect, SpeedClass};
 use mtnet_radio::CellKind;
@@ -308,6 +308,29 @@ pub struct ScenarioSpec {
     pub table_lifetime_ms: Option<u64>,
     /// Overrides the idle-node paging-update period, ms.
     pub paging_update_ms: Option<u64>,
+    /// Overrides the mobility measurement period, ms. Metro-scale worlds
+    /// stretch this (5 s and up) so a million slow pedestrians don't
+    /// burn the event budget re-measuring RSSI five times a second.
+    pub move_sample_ms: Option<u64>,
+    /// Overrides the §3.1 Location Message period, ms.
+    pub location_update_ms: Option<u64>,
+    /// World-level aggregate QoS: per-flow delay distributions collapse
+    /// into one constant-memory accumulator (see
+    /// `mtnet_core::report::AggregateQos`). Off by default; rendered
+    /// only when on, so pre-metro canonical texts are unchanged.
+    pub aggregate_qos: bool,
+    /// Commute-hour load curve `(period_s, off_peak_factor)`: flow
+    /// inter-arrival gaps stretch by up to `off_peak_factor` at the
+    /// period edges and run at full rate at the mid-period peak. A pure
+    /// function of simulated time, so determinism is untouched. `None`
+    /// (the default) leaves traffic flat.
+    pub load_curve: Option<(f64, f64)>,
+    /// Metro admission semantics: nodes without flows camp at paging
+    /// level instead of holding a traffic channel, so channel pools are
+    /// sized by the *active* population (Cellular IP's idle state). Off
+    /// by default — every node competes for a channel, the behaviour
+    /// E1–E13 are pinned to — and rendered only when on.
+    pub idle_camping: bool,
     /// Intra-world parallel shards (1 = sequential engine). Any value
     /// produces byte-identical results; see [`crate::world::shard`].
     pub shards: u32,
@@ -487,6 +510,11 @@ impl ScenarioSpec {
             semisoft_delay_ms: None,
             table_lifetime_ms: None,
             paging_update_ms: None,
+            move_sample_ms: None,
+            location_update_ms: None,
+            aggregate_qos: false,
+            load_curve: None,
+            idle_camping: false,
             shards: 1,
             faults: FaultSpec::default(),
         }
@@ -608,8 +636,56 @@ impl ScenarioSpec {
         }
     }
 
+    /// The metro tier (E14): 248 pico-dense domains under one satellite
+    /// overlay — ~2,500 cells — carrying a million pedestrian
+    /// subscribers of whom only the 1-in-100 with a voice flow are ever
+    /// traffic-active. Maintenance periods stretch to metro scale (5 s
+    /// move samples, 60 s location/paging), world-level aggregate QoS
+    /// replaces per-flow delay histograms, and a diurnal load curve
+    /// stretches arrival gaps 4x off-peak. This is the O(active) stress
+    /// case: state and throughput must be governed by the active set,
+    /// not the subscriber count.
+    ///
+    /// At full scale this builds a ~10^6-node world; use
+    /// [`ScenarioSpec::metro_smoke`] (or the E14 Quick arm) for CI-sized
+    /// runs.
+    pub fn metro() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "metro".into(),
+            duration_s: 120.0,
+            n_domains: 248,
+            micro_per_domain: 8,
+            micro_kind: CellKind::Pico,
+            micro_spacing_m: 200.0,
+            satellite: true,
+            pedestrians: 1_000_000,
+            voice_every: 100,
+            route_update_ms: Some(5_000),
+            paging_update_ms: Some(60_000),
+            move_sample_ms: Some(5_000),
+            location_update_ms: Some(60_000),
+            aggregate_qos: true,
+            load_curve: Some((120.0, 4.0)),
+            idle_camping: true,
+            ..ScenarioSpec::base()
+        }
+    }
+
+    /// The metro family at CI scale: identical knobs, two orders of
+    /// magnitude fewer nodes (10k over 8 domains). Same code paths —
+    /// SoA tables, aggregate QoS, load curve, modular stagger — small
+    /// enough for a smoke test.
+    pub fn metro_smoke() -> ScenarioSpec {
+        ScenarioSpec {
+            n_domains: 8,
+            pedestrians: 10_000,
+            load_curve: Some((12.0, 4.0)),
+            ..ScenarioSpec::metro()
+        }
+    }
+
     /// Every named scenario family, for CLI listings.
-    pub fn families() -> [(&'static str, fn() -> ScenarioSpec); 7] {
+    pub fn families() -> [(&'static str, fn() -> ScenarioSpec); 8] {
         [
             ("small-city", ScenarioSpec::small_city),
             ("commute-corridor", ScenarioSpec::commute_corridor),
@@ -618,6 +694,7 @@ impl ScenarioSpec {
             ("dense-urban", ScenarioSpec::dense_urban),
             ("highway-satellite", ScenarioSpec::highway_satellite),
             ("overload-mix", ScenarioSpec::overload_mix),
+            ("metro", ScenarioSpec::metro),
         ]
     }
 
@@ -794,6 +871,24 @@ impl ScenarioSpec {
             "paging_update_ms = {}",
             render_opt_ms(self.paging_update_ms)
         );
+        // The metro-tier knobs render only when set, so pre-metro
+        // canonical texts (and their store keys) are byte-identical to
+        // those produced before the E14 family existed.
+        if let Some(ms) = self.move_sample_ms {
+            let _ = writeln!(out, "move_sample_ms = {ms}");
+        }
+        if let Some(ms) = self.location_update_ms {
+            let _ = writeln!(out, "location_update_ms = {ms}");
+        }
+        if self.aggregate_qos {
+            let _ = writeln!(out, "aggregate_qos = on");
+        }
+        if self.idle_camping {
+            let _ = writeln!(out, "idle_camping = on");
+        }
+        if let Some((period_s, factor)) = self.load_curve {
+            let _ = writeln!(out, "load_curve = {period_s:?}:{factor:?}");
+        }
         // The shard count renders only when sharding is requested, so
         // single-shard canonical texts (and their store keys) are
         // byte-identical to those produced before the parallel engine
@@ -964,6 +1059,20 @@ impl ScenarioSpec {
             "semisoft_delay_ms" => self.semisoft_delay_ms = parse_opt_ms(value)?,
             "table_lifetime_ms" => self.table_lifetime_ms = parse_opt_ms(value)?,
             "paging_update_ms" => self.paging_update_ms = parse_opt_ms(value)?,
+            "move_sample_ms" => self.move_sample_ms = parse_opt_ms(value)?,
+            "location_update_ms" => self.location_update_ms = parse_opt_ms(value)?,
+            "aggregate_qos" => self.aggregate_qos = parse_bool(value)?,
+            "idle_camping" => self.idle_camping = parse_bool(value)?,
+            "load_curve" => {
+                if value == "none" {
+                    self.load_curve = None;
+                } else {
+                    let Some((period, factor)) = value.split_once(':') else {
+                        return Err(err("load_curve = <period_s>:<off_peak_factor> | none"));
+                    };
+                    self.load_curve = Some((parse_f64(period)?, parse_f64(factor)?));
+                }
+            }
             "shards" => self.shards = parse_u32(value)?,
             "faults" => {
                 // Sweep-axis escape hatch: clear every schedule at once.
@@ -1077,12 +1186,33 @@ impl ScenarioSpec {
         if self.shards == 0 {
             return Err(err("shards must be >= 1"));
         }
+        // Home addresses are allocated arithmetically, 250 per /24 under
+        // the (widened-as-needed) 10/8 home prefix — see
+        // `crate::world::mn::home_addr`. 16M is the last population whose
+        // subnet octets stay inside that prefix.
+        const MAX_POPULATION: u64 = 16_000_000;
         let population =
             u64::from(self.pedestrians) + u64::from(self.cyclists) + u64::from(self.vehicles);
-        if population > 250 {
+        if population > MAX_POPULATION {
             return Err(err(format!(
-                "population {population} exceeds the 250-node home subnet"
+                "population {population} exceeds the {MAX_POPULATION}-node home address space"
             )));
+        }
+        for (name, v) in [
+            ("move_sample_ms", self.move_sample_ms),
+            ("location_update_ms", self.location_update_ms),
+        ] {
+            if v == Some(0) {
+                return Err(err(format!("{name} must be >= 1 (a zero period hangs)")));
+            }
+        }
+        if let Some((period_s, factor)) = self.load_curve {
+            if !(period_s.is_finite() && period_s > 0.0) {
+                return Err(err("load_curve period must be positive and finite"));
+            }
+            if !(factor.is_finite() && factor >= 1.0) {
+                return Err(err("load_curve off-peak factor must be >= 1 and finite"));
+            }
         }
         self.faults
             .validate(self.n_domains + u32::from(self.satellite))?;
@@ -1134,6 +1264,20 @@ impl ScenarioSpec {
         }
         if let Some(ms) = self.paging_update_ms {
             cfg.cip_timers.paging_update = SimDuration::from_millis(ms);
+        }
+        if let Some(ms) = self.move_sample_ms {
+            cfg.move_sample = SimDuration::from_millis(ms);
+        }
+        if let Some(ms) = self.location_update_ms {
+            cfg.location_period = SimDuration::from_millis(ms);
+        }
+        cfg.aggregate_qos = self.aggregate_qos;
+        cfg.idle_camping = self.idle_camping;
+        if let Some((period_s, factor)) = self.load_curve {
+            cfg.load_curve = Some(LoadCurve {
+                period: SimDuration::from_secs_f64(period_s),
+                off_peak_factor: factor,
+            });
         }
         let n_domains = self.n_domains as usize;
         let width = self.domain_width_m;
@@ -1458,8 +1602,81 @@ mod tests {
     #[test]
     fn validate_catches_population_cap() {
         let mut spec = ScenarioSpec::base();
+        // 251 used to overflow the single home /24; dense arithmetic
+        // allocation (250 per /24 under 10/8) carries it — and a million
+        // more — without a map.
         spec.pedestrians = 251;
+        assert!(spec.validate().is_ok());
+        spec.pedestrians = 16_000_000;
+        assert!(spec.validate().is_ok());
+        spec.pedestrians = 16_000_001;
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn metro_knobs_render_parse_roundtrip_and_stay_opt_in() {
+        // Default specs render none of the metro keys — pre-metro
+        // canonical texts (and store keys) are unchanged.
+        let plain = ScenarioSpec::small_city().render();
+        for key in [
+            "move_sample_ms",
+            "location_update_ms",
+            "aggregate_qos",
+            "load_curve",
+            "idle_camping",
+        ] {
+            assert!(!plain.contains(key), "{key} leaked into a default spec");
+        }
+        let spec = ScenarioSpec::metro().with_seed_path("E14", "metro", 0);
+        let text = spec.render();
+        assert!(text.contains("move_sample_ms = 5000"), "{text}");
+        assert!(text.contains("location_update_ms = 60000"), "{text}");
+        assert!(text.contains("aggregate_qos = on"), "{text}");
+        assert!(text.contains("idle_camping = on"), "{text}");
+        assert!(text.contains("load_curve = 120.0:4.0"), "{text}");
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn metro_knobs_are_sweep_axes_and_validated() {
+        let mut spec = ScenarioSpec::small_city();
+        spec.set("aggregate_qos", "on").unwrap();
+        spec.set("move_sample_ms", "5000").unwrap();
+        spec.set("load_curve", "600.0:3.0").unwrap();
+        assert!(spec.aggregate_qos);
+        assert_eq!(spec.load_curve, Some((600.0, 3.0)));
+        assert!(spec.validate().is_ok());
+        spec.set("load_curve", "none").unwrap();
+        assert_eq!(spec.load_curve, None);
+        assert!(spec.set("load_curve", "sinusoid").is_err());
+
+        spec.move_sample_ms = Some(0);
+        assert!(spec.validate().is_err(), "zero period");
+        spec.move_sample_ms = None;
+        spec.load_curve = Some((0.0, 2.0));
+        assert!(spec.validate().is_err(), "zero curve period");
+        spec.load_curve = Some((60.0, 0.5));
+        assert!(spec.validate().is_err(), "sub-1 factor speeds traffic up");
+    }
+
+    #[test]
+    fn metro_smoke_runs_with_aggregate_qos() {
+        // A miniature metro arm (same knobs, tiny population) exercises
+        // the modular stagger (> 250 nodes), aggregate QoS and the load
+        // curve end to end.
+        let spec = ScenarioSpec {
+            n_domains: 2,
+            pedestrians: 500,
+            voice_every: 25,
+            load_curve: Some((10.0, 4.0)),
+            ..ScenarioSpec::metro()
+        }
+        .with_duration_s(10.0)
+        .with_seed_path("test", "metro-mini", 0);
+        let report = spec.run(42);
+        let agg = report.aggregate.as_ref().expect("aggregate enabled");
+        assert!(agg.count() > 0, "no delivered packets recorded");
+        assert!(report.fingerprint().contains("aggregate delay:"));
     }
 
     #[test]

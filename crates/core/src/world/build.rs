@@ -6,7 +6,8 @@
 //! Cellular IP trees and RSMCs, Mobile IP entities, and the mobile-node
 //! population with its multimedia flows.
 
-use super::{DomainState, MnSim, World, WorldConfig};
+use super::mn::MnTable;
+use super::{DomainState, World, WorldConfig};
 use crate::hierarchy::Hierarchy;
 use crate::location::LocationDirectory;
 use crate::messages::MnId;
@@ -91,8 +92,7 @@ pub struct WorldBuilder {
     ha: HomeAgent,
     cn_addr: Addr,
     bs_fas: FxHashMap<CellId, ForeignAgent>,
-    mns: Vec<MnSim>,
-    addr_to_mn: FxHashMap<Addr, MnId>,
+    mns: MnTable,
     flows: Vec<super::FlowSim>,
     next_cell: u32,
     master_rng: RngStream,
@@ -163,8 +163,7 @@ impl WorldBuilder {
             ha,
             cn_addr,
             bs_fas: FxHashMap::default(),
-            mns: Vec::new(),
-            addr_to_mn: FxHashMap::default(),
+            mns: MnTable::default(),
             flows: Vec::new(),
             next_cell: 0,
         }
@@ -289,31 +288,24 @@ impl WorldBuilder {
         didx
     }
 
-    /// Adds a mobile node with the given mobility model and flows.
+    /// Adds a mobile node with the given mobility model and flows. Home
+    /// addresses are arithmetic (dense, 250 per /24 from 10.0.2.1 — see
+    /// [`super::mn::home_addr`]); populations past the 10.0.0.0/16
+    /// capacity widen the home prefix to /8 at [`WorldBuilder::build`].
     pub fn add_mn(&mut self, model: Box<dyn MobilityModel + Send>, flows: &[FlowKind]) -> MnId {
         let idx = self.mns.len() as u32;
-        let id = MnId(idx);
-        let home = Addr::from_octets(10, 0, 2, (idx % 250) as u8 + 1);
-        assert!(
-            !self.addr_to_mn.contains_key(&home),
-            "more than 250 mobile nodes need a wider home subnet"
-        );
-        self.addr_to_mn.insert(home, id);
+        let home = super::mn::home_addr(idx);
         let ha_addr = self.ha.addr();
-        let mn = MnSim {
-            id,
+        let id = self.mns.push(
             home,
-            traj: Trajectory::new(model),
-            rng: self.master_rng.child(&format!("mn{idx}/mobility")),
-            mip: MobileNode::new(home, ha_addr),
-            cip: MnCipState::new(self.cfg.cip_timers, SimTime::ZERO),
-            attached: None,
-            pending: None,
-            prev_cell: None,
-            channel_cell: None,
-            last_paging_update: SimTime::ZERO,
-        };
-        self.mns.push(mn);
+            Trajectory::new(model),
+            self.master_rng.child(&format!("mn{idx}/mobility")),
+            MobileNode::new(home, ha_addr),
+            MnCipState::new(self.cfg.cip_timers, SimTime::ZERO),
+        );
+        if !flows.is_empty() {
+            self.mns.has_flow[id.0 as usize] = true;
+        }
         for kind in flows {
             let fidx = self.flows.len() as u64;
             let gen = match kind {
@@ -323,7 +315,7 @@ impl WorldBuilder {
             };
             self.flows.push(super::FlowSim {
                 flow: FlowId(fidx + 1),
-                mn: id,
+                mn: self.mns.handle(id),
                 gen,
                 qos: mtnet_traffic::FlowQos::new(),
                 seq: 0,
@@ -402,28 +394,53 @@ impl WorldBuilder {
             .enumerate()
             .map(|(i, f)| (f.flow, i))
             .collect();
-        // MN home addresses come from one dense /24 (see `add_mn`), so the
-        // per-hop owner probe can be mask-compare-index. `u32::MAX` is an
-        // unreachable sentinel: masked addresses always have a zero low
-        // byte.
-        let mn_net = self
-            .mns
-            .first()
-            .map_or(u32::MAX, |m| m.home.0 & 0xFFFF_FF00);
-        let mut mn_by_octet = vec![None; 256];
-        for (&addr, &mn) in &self.addr_to_mn {
-            assert_eq!(
-                addr.0 & 0xFFFF_FF00,
-                mn_net,
-                "MN home addresses must share one /24 for the dense index"
-            );
-            mn_by_octet[(addr.0 & 0xFF) as usize] = Some(mn);
+        // Metro populations overflow the default 10.0.0.0/16 home
+        // prefix; widen it to /8 so the HA still owns every arithmetic
+        // home address (routing only tests containment — nothing else
+        // reads the prefix length).
+        let mut ha = self.ha;
+        if self.mns.len() > super::mn::MAX_SLASH16_MNS {
+            let wide: Prefix = "10.0.0.0/8".parse().expect("static prefix");
+            ha = HomeAgent::new(ha.addr(), wide);
+            for p in &mut prefixes {
+                if p.1 == self.ha_node {
+                    p.0 = wide;
+                }
+            }
+            prefixes.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        }
+        // Per-length masked maps mirroring the sorted scan (see
+        // `World::prefix_probe`): one `(mask, network → owner)` pair per
+        // distinct prefix length, longest first.
+        let mut prefix_probe: Vec<(u32, FxHashMap<u32, NodeId>)> = Vec::new();
+        for &(p, owner) in &prefixes {
+            let mask = if p.len() == 0 {
+                0
+            } else {
+                u32::MAX << (32 - p.len())
+            };
+            match prefix_probe.last_mut() {
+                Some((m, owners)) if *m == mask => {
+                    owners.insert(p.network().0 & mask, owner);
+                }
+                _ => {
+                    let mut owners = FxHashMap::default();
+                    owners.insert(p.network().0 & mask, owner);
+                    prefix_probe.push((mask, owners));
+                }
+            }
+        }
+        let cn_route = vec![None; self.mns.len()];
+        let mut report = SimReport::default();
+        if self.cfg.aggregate_qos {
+            report.aggregate = Some(crate::report::AggregateQos::new());
         }
         World {
             cfg: self.cfg,
             topo: self.topo,
             routes: mtnet_net::RouteCache::new(),
             prefixes,
+            prefix_probe,
             cells: self.cells,
             cell_node,
             node_cell,
@@ -434,18 +451,16 @@ impl WorldBuilder {
             node_domain,
             rsmc_addr_domain,
             rsmc_node_domain,
-            ha: self.ha,
+            ha,
             ha_node: self.ha_node,
             cn_node: self.cn_node,
             cn_addr: self.cn_addr,
             mnld: Mnld::new(),
             bs_fas: self.bs_fas,
             mns: self.mns,
-            mn_net,
-            mn_by_octet,
             flows: self.flows,
             flow_index,
-            cn_route_cache: FxHashMap::default(),
+            cn_route,
             engine,
             pending_latency: FxHashMap::default(),
             next_packet_id: 0,
@@ -457,7 +472,7 @@ impl WorldBuilder {
             pending_recovery: Vec::new(),
             shard: None,
             replicated_events: 0,
-            report: SimReport::default(),
+            report,
         }
     }
 }

@@ -1,0 +1,237 @@
+//! Structure-of-arrays storage for the mobile-node population.
+//!
+//! A metro-scale world holds ~10^6 mobile nodes, of which only a small
+//! working set is hot at any instant (the nodes whose move sample,
+//! uplink tick or packet is being processed). The per-node state
+//! therefore lives in parallel columns — one `Vec` per field, indexed by
+//! the dense [`MnId`] — following the `CellMap` SoA lane idiom: each
+//! handler touches only the columns it needs, so a move sample streams
+//! through `traj`/`rng`/`attached` without dragging the Mobile IP state
+//! machine or the CIP timers through the cache.
+//!
+//! Two further rules keep the table a memory diet rather than just a
+//! transpose:
+//!
+//! * **Inactive nodes carry only their row.** Every per-MN map the world
+//!   used to key by *home address* (CN route cache, MNLD, RSMC auth
+//!   registry) is either a dense column here or epoch-tagged per-row
+//!   state — nothing grows O(subscribers) on the side.
+//! * **Addresses are arithmetic.** Home addresses are allocated densely
+//!   (250 per /24 starting at 10.0.2.1), so `MnId` ↔ `Addr` conversion
+//!   is a handful of integer ops in both directions — no map, no 256-slot
+//!   octet index, no per-/24 cap.
+
+use super::PendingAttach;
+use crate::messages::MnId;
+use mtnet_cellularip::MnCipState;
+use mtnet_mobileip::MobileNode;
+use mtnet_mobility::Trajectory;
+use mtnet_net::Addr;
+use mtnet_radio::CellId;
+use mtnet_sim::{RngStream, SimTime};
+
+/// Home addresses per /24 subnet (the last octet runs 1..=250, matching
+/// the historical single-subnet allocator bit for bit).
+const MN_PER_SUBNET: u32 = 250;
+
+/// First home address, 10.0.2.1 — subnet octets count up from here.
+const MN_BASE: u32 = (10 << 24) | (2 << 8) | 1;
+
+/// Largest population whose home addresses fit the default 10.0.0.0/16
+/// home prefix (subnet octet pairs 10.0.2.x .. 10.0.255.x). Beyond this
+/// the builder widens the home prefix to 10.0.0.0/8.
+pub(crate) const MAX_SLASH16_MNS: usize = 254 * MN_PER_SUBNET as usize;
+
+/// Home address of the `idx`-th mobile node. Dense: 250 nodes per /24,
+/// subnets counting up from 10.0.2.0/24 (identical to the historical
+/// allocator for the first 250 nodes).
+pub(crate) fn home_addr(idx: u32) -> Addr {
+    let subnet = 2 + idx / MN_PER_SUBNET;
+    Addr::from_octets(
+        10,
+        (subnet >> 8) as u8,
+        (subnet & 0xFF) as u8,
+        (idx % MN_PER_SUBNET) as u8 + 1,
+    )
+}
+
+/// Inverse of [`home_addr`]: the node owning `addr` in a population of
+/// `count`, or `None` for any address outside the allocated range. Pure
+/// arithmetic — this runs several times per forwarded packet.
+pub(crate) fn mn_of_home(addr: Addr, count: usize) -> Option<MnId> {
+    let off = addr.0.wrapping_sub(MN_BASE);
+    let rem = off & 0xFF;
+    if rem >= MN_PER_SUBNET {
+        return None; // last octet outside 1..=250, or below the base
+    }
+    let idx = (u64::from(off) >> 8) * u64::from(MN_PER_SUBNET) + u64::from(rem);
+    (idx < count as u64).then(|| MnId(idx as u32))
+}
+
+/// A generation-checked reference to a table row. Long-lived references
+/// (flow → source node) hold one of these instead of a bare [`MnId`]: if
+/// a future world recycles rows, a stale handle resolves to `None`
+/// instead of silently reading the successor's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MnHandle {
+    pub(crate) id: MnId,
+    gen: u32,
+}
+
+/// The mobile-node population, one column per field (see module docs).
+///
+/// Columns are `pub(crate)` and accessed positionally
+/// (`mns.attached[i]`); distinct columns borrow independently, which is
+/// exactly what the split-borrow sites (trajectory + its RNG stream)
+/// need.
+#[derive(Default)]
+pub(crate) struct MnTable {
+    pub(crate) home: Vec<Addr>,
+    pub(crate) traj: Vec<Trajectory>,
+    pub(crate) rng: Vec<RngStream>,
+    pub(crate) mip: Vec<MobileNode>,
+    pub(crate) cip: Vec<MnCipState>,
+    pub(crate) attached: Vec<Option<CellId>>,
+    pub(crate) pending: Vec<Option<PendingAttach>>,
+    /// Cell the node most recently left, for ping-pong detection.
+    pub(crate) prev_cell: Vec<Option<(CellId, SimTime)>>,
+    /// Cell whose channel pool this node currently occupies.
+    pub(crate) channel_cell: Vec<Option<CellId>>,
+    pub(crate) last_paging_update: Vec<SimTime>,
+    /// True when the node sources at least one traffic flow. Under
+    /// `WorldConfig::idle_camping` only these nodes go through channel
+    /// admission — the idle majority camps without holding a channel.
+    pub(crate) has_flow: Vec<bool>,
+    /// `(domain index, RSMC epoch)` pairs this node holds a valid
+    /// authentication for — at most one entry per visited domain. This
+    /// replaces the RSMCs' O(subscribers) `HashSet<Addr>` registries:
+    /// the RSMC only publishes its epoch (bumped on flush), the proof of
+    /// authentication rides on the node's own row.
+    pub(crate) auth: Vec<Vec<(u32, u32)>>,
+    /// Row generations backing [`MnHandle`] checks.
+    gen: Vec<u32>,
+}
+
+impl MnTable {
+    pub(crate) fn len(&self) -> usize {
+        self.home.len()
+    }
+
+    /// Appends a row; the caller supplies the identity/state columns,
+    /// the bookkeeping columns start empty.
+    pub(crate) fn push(
+        &mut self,
+        home: Addr,
+        traj: Trajectory,
+        rng: RngStream,
+        mip: MobileNode,
+        cip: MnCipState,
+    ) -> MnId {
+        let id = MnId(self.len() as u32);
+        self.home.push(home);
+        self.traj.push(traj);
+        self.rng.push(rng);
+        self.mip.push(mip);
+        self.cip.push(cip);
+        self.attached.push(None);
+        self.pending.push(None);
+        self.prev_cell.push(None);
+        self.channel_cell.push(None);
+        self.last_paging_update.push(SimTime::ZERO);
+        self.has_flow.push(false);
+        self.auth.push(Vec::new());
+        self.gen.push(0);
+        id
+    }
+
+    /// A generation-checked handle to row `id`.
+    pub(crate) fn handle(&self, id: MnId) -> MnHandle {
+        MnHandle {
+            id,
+            gen: self.gen[id.0 as usize],
+        }
+    }
+
+    /// The row a handle refers to, or `None` if the row was recycled
+    /// since the handle was taken.
+    pub(crate) fn resolve(&self, h: MnHandle) -> Option<MnId> {
+        (self.gen.get(h.id.0 as usize) == Some(&h.gen)).then_some(h.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_addresses_match_the_legacy_single_subnet_allocator() {
+        for idx in 0..250u32 {
+            assert_eq!(
+                home_addr(idx),
+                Addr::from_octets(10, 0, 2, (idx % 250) as u8 + 1),
+                "idx {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn home_addr_round_trips_at_metro_scale() {
+        let count = 1_000_000usize;
+        for idx in [0u32, 1, 249, 250, 251, 63_499, 63_500, 999_999] {
+            let addr = home_addr(idx);
+            assert_eq!(
+                mn_of_home(addr, count),
+                Some(MnId(idx)),
+                "idx {idx} -> {addr}"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_addresses_resolve_to_none() {
+        let count = 1_000_000usize;
+        for s in [
+            "10.0.0.1", // the HA
+            "10.0.2.0", // subnet base, last octet 0 is never allocated
+            "1.0.0.1",  // internet core
+            "20.0.0.1", // an RSMC
+            "30.0.0.2", // the CN
+            "21.3.0.1", // an upper BS
+            "9.255.255.255",
+        ] {
+            let addr: Addr = s.parse().unwrap();
+            assert_eq!(mn_of_home(addr, count), None, "{s}");
+        }
+        // In range only while the population covers it.
+        assert_eq!(mn_of_home(home_addr(250), 250), None);
+        assert_eq!(mn_of_home(home_addr(250), 251), Some(MnId(250)));
+    }
+
+    #[test]
+    fn slash16_capacity_boundary() {
+        // The last /16-resident address is 10.0.255.250.
+        let last = home_addr(MAX_SLASH16_MNS as u32 - 1);
+        assert_eq!(last, "10.0.255.250".parse().unwrap());
+        let first_outside = home_addr(MAX_SLASH16_MNS as u32);
+        assert_eq!(first_outside, "10.1.0.1".parse().unwrap());
+    }
+
+    #[test]
+    fn handles_are_generation_checked() {
+        let mut t = MnTable::default();
+        let id = t.push(
+            home_addr(0),
+            Trajectory::new(Box::new(mtnet_mobility::Stationary::new(
+                mtnet_mobility::Point::new(0.0, 0.0),
+            ))),
+            RngStream::from_seed(1),
+            MobileNode::new(home_addr(0), "10.0.0.1".parse().unwrap()),
+            MnCipState::new(mtnet_cellularip::CipTimers::default(), SimTime::ZERO),
+        );
+        let h = t.handle(id);
+        assert_eq!(t.resolve(h), Some(id));
+        // A bumped generation invalidates outstanding handles.
+        t.gen[id.0 as usize] += 1;
+        assert_eq!(t.resolve(h), None);
+    }
+}

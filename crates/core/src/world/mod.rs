@@ -12,10 +12,13 @@
 //! under test.
 
 mod build;
+pub(crate) mod mn;
 pub mod shard;
 
 pub use build::{DomainSpec, FlowKind, WorldBuilder};
 pub use shard::run_sharded;
+
+use mn::{MnHandle, MnTable};
 
 use crate::arena::{PacketArena, PacketRef};
 use crate::handoff::{
@@ -28,14 +31,11 @@ use crate::mnld::Mnld;
 use crate::report::{DropCause, SimReport};
 use crate::rsmc::Rsmc;
 use crate::tier::Tier;
-use mtnet_cellularip::{
-    CipNetwork, CipTimers, HandoffKind, MnCipState, MnMode, SemisoftController,
-};
+use mtnet_cellularip::{CipNetwork, CipTimers, HandoffKind, MnMode, SemisoftController};
 use mtnet_mobileip::{
-    AgentAdvertisement, ForeignAgent, HomeAgent, MipMessage, MnAction, MobileNode,
-    RegistrationReply, RegistrationRequest,
+    AgentAdvertisement, ForeignAgent, HomeAgent, MipMessage, MnAction, RegistrationReply,
+    RegistrationRequest,
 };
-use mtnet_mobility::Trajectory;
 use mtnet_net::{
     Addr, FlowId, LinkId, NodeId, PacketId, Prefix, RouteCache, Topology, TransmitOutcome,
     TunnelKind,
@@ -98,6 +98,48 @@ pub struct WorldConfig {
     /// timestamps). Overridable per-process via
     /// [`shard::DISPATCH_BATCH_ENV`].
     pub dispatch_batching: bool,
+    /// World-level aggregate QoS (metro scale): per-flow trackers skip
+    /// their delay distribution and every delivered packet's delay
+    /// streams into one constant-memory
+    /// [`crate::report::AggregateQos`] accumulator instead. Loss, jitter
+    /// and throughput stay per-flow either way.
+    pub aggregate_qos: bool,
+    /// Deterministic diurnal load curve stretching flow inter-arrival
+    /// gaps off-peak. `None` (the default) leaves traffic untouched.
+    pub load_curve: Option<LoadCurve>,
+    /// Metro-tier admission semantics: nodes without traffic flows camp
+    /// on their serving cell (paging-level attachment, Cellular IP's
+    /// idle state) instead of holding one of the cell's traffic
+    /// channels. Channel pools then track the *active* population only —
+    /// a million idle subscribers no longer exhaust ~10^4 channels. Off
+    /// by default: every node competes for a channel, the historical
+    /// behaviour E1–E13 are pinned to.
+    pub idle_camping: bool,
+}
+
+/// A commute-hour load curve: a pure function of simulated time that
+/// multiplies flow inter-arrival gaps, full load at the rush-hour peak
+/// (mid-period) and `off_peak_factor`-times-longer gaps at the trough.
+///
+/// Being a pure function of `now`, the curve is identical on every
+/// thread and shard — determinism is untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadCurve {
+    /// Length of one diurnal cycle (peak sits at half this).
+    pub period: SimDuration,
+    /// Gap multiplier at the trough; must be >= 1 (1 = flat).
+    pub off_peak_factor: f64,
+}
+
+impl LoadCurve {
+    /// The arrival-gap multiplier at `now`:
+    /// `1 + (off_peak_factor - 1) · cos²(π·t/period)` — 1.0 at the
+    /// mid-period peak, `off_peak_factor` at the period edges.
+    pub fn gap_multiplier(&self, now: SimTime) -> f64 {
+        let t = now.as_nanos() as f64 / self.period.as_nanos().max(1) as f64;
+        let c = (std::f64::consts::PI * t).cos();
+        1.0 + (self.off_peak_factor - 1.0) * c * c
+    }
 }
 
 impl Default for WorldConfig {
@@ -121,6 +163,9 @@ impl Default for WorldConfig {
             retune_delay: SimDuration::from_millis(10),
             scheduler: SchedulerKind::Calendar,
             dispatch_batching: false,
+            aggregate_qos: false,
+            load_curve: None,
+            idle_camping: false,
         }
     }
 }
@@ -143,11 +188,14 @@ pub(crate) struct DomainState {
 
 /// An in-flight handoff (decided, radio not yet retuned).
 #[derive(Debug, Clone, Copy)]
-struct PendingAttach {
+pub(crate) struct PendingAttach {
     target: CellId,
     old: Option<CellId>,
     htype: Option<HandoffType>,
     decided_at: SimTime,
+    /// False when the node is camping (idle, `idle_camping` worlds): the
+    /// attach completes without occupying a traffic channel.
+    holds_channel: bool,
 }
 
 /// Latency measurement awaiting its completion signal.
@@ -155,33 +203,6 @@ struct PendingAttach {
 struct PendingLatency {
     htype: HandoffType,
     decided_at: SimTime,
-}
-
-/// One mobile node in the world.
-pub(crate) struct MnSim {
-    pub(crate) id: MnId,
-    pub(crate) home: Addr,
-    pub(crate) traj: Trajectory,
-    pub(crate) rng: RngStream,
-    pub(crate) mip: MobileNode,
-    pub(crate) cip: MnCipState,
-    pub(crate) attached: Option<CellId>,
-    pending: Option<PendingAttach>,
-    /// Cell the node most recently left, for ping-pong detection.
-    prev_cell: Option<(CellId, SimTime)>,
-    /// Cell whose channel pool this node currently occupies.
-    channel_cell: Option<CellId>,
-    last_paging_update: SimTime,
-}
-
-impl std::fmt::Debug for MnSim {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MnSim")
-            .field("id", &self.id)
-            .field("home", &self.home)
-            .field("attached", &self.attached)
-            .finish()
-    }
 }
 
 enum FlowGen {
@@ -202,7 +223,8 @@ impl FlowGen {
 
 struct FlowSim {
     flow: FlowId,
-    mn: MnId,
+    /// Generation-checked reference to the flow's mobile node.
+    mn: MnHandle,
     gen: FlowGen,
     qos: FlowQos,
     seq: u64,
@@ -302,8 +324,18 @@ pub struct World {
     /// Prefix-owned address space (home network, per-domain subnets),
     /// sorted longest prefix first: destinations that are not topology
     /// nodes route toward the owner of the longest containing prefix
-    /// with a usable route.
+    /// with a usable route. The hot path reads only the derived
+    /// `prefix_probe`; the raw list feeds the routing-table equivalence
+    /// tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) prefixes: Vec<(Prefix, NodeId)>,
+    /// Per-length masked maps over `prefixes`, longest length first:
+    /// `network → owner`. Equal-length prefixes are disjoint, so probing
+    /// one map per distinct length in descending order visits containing
+    /// prefixes in exactly the sorted scan's order — O(distinct lengths)
+    /// per lookup instead of O(prefix count) (249 entries in a metro
+    /// world, walked per forwarded hop).
+    pub(crate) prefix_probe: Vec<(u32, FxHashMap<u32, NodeId>)>,
     pub(crate) cells: CellMap,
     /// BS node of each cell, indexed densely by cell id (per-packet hot).
     pub(crate) cell_node: Vec<Option<NodeId>>,
@@ -328,20 +360,18 @@ pub struct World {
     pub(crate) mnld: Mnld,
     /// Pure-Mobile-IP mode: one FA per BS.
     pub(crate) bs_fas: FxHashMap<CellId, ForeignAgent>,
-    pub(crate) mns: Vec<MnSim>,
-    /// The /24 network shared by every MN home address
-    /// (`WorldBuilder::add_mn` allocates them densely from one subnet;
-    /// `build` asserts it). `u32::MAX` when no MNs exist — no masked
-    /// address can equal it.
-    mn_net: u32,
-    /// MN id by home-address last octet — with `mn_net`, makes the
-    /// per-hop `mn_of` probe two arithmetic ops and an array read.
-    mn_by_octet: Vec<Option<MnId>>,
+    /// The mobile-node population, stored structure-of-arrays (one
+    /// column per field, indexed by [`MnId`]); home addresses are
+    /// arithmetic (`mn::home_addr`), so the per-hop `mn_of` probe is a
+    /// few integer ops with no side index.
+    pub(crate) mns: MnTable,
     flows: Vec<FlowSim>,
     /// FlowId → index into `flows`, so per-packet delivery is O(1).
     pub(crate) flow_index: FxHashMap<FlowId, usize>,
-    /// CN's route-optimization cache: mn → RSMC to tunnel to.
-    cn_route_cache: FxHashMap<Addr, Addr>,
+    /// CN's route-optimization state: the RSMC to tunnel to, a dense
+    /// column indexed by [`MnId`] (a node the CN was never told about
+    /// costs one `None`).
+    cn_route: Vec<Option<Addr>>,
     engine: HandoffEngine,
     pending_latency: FxHashMap<MnId, PendingLatency>,
     next_packet_id: u64,
@@ -465,8 +495,11 @@ impl World {
             // Unreachable host routes fell through to prefixes in the old
             // tables; preserve that.
         }
-        for &(prefix, owner) in &self.prefixes {
-            if !prefix.contains(dst) || owner == node {
+        for (mask, owners) in &self.prefix_probe {
+            let Some(&owner) = owners.get(&(dst.0 & mask)) else {
+                continue;
+            };
+            if owner == node {
                 continue; // a prefix owner holds no route to its own space
             }
             if let Some(hop) = self.routes.next_hop(&self.topo, node, owner) {
@@ -550,10 +583,10 @@ impl World {
     /// Transmits an uplink packet from `mn` via its serving BS; the packet
     /// enters the wired world at the BS node with `from: None`.
     fn air_up(&mut self, ctx: &mut Context<'_, Ev>, mn: MnId, payload: Payload, dst: Addr) {
-        let Some(cell) = self.mns[mn.0 as usize].attached else {
+        let Some(cell) = self.mns.attached[mn.0 as usize] else {
             return;
         };
-        let src = self.mns[mn.0 as usize].home;
+        let src = self.mns.home[mn.0 as usize];
         let bytes = payload.control_size_bytes();
         let pkt = self.alloc_packet(FlowId(0), 0, src, dst, bytes, ctx.now(), payload);
         let wire = self.arena.get(pkt).wire_bytes();
@@ -599,14 +632,11 @@ impl World {
     }
 
     /// The MN id owning a (home) address. Probed multiple times per
-    /// forwarded packet, hence the arithmetic fast path over the dense
-    /// home subnet (equivalent to `addr_to_mn.get`, which remains the
-    /// source of truth at build time).
+    /// forwarded packet; home addresses are allocated arithmetically
+    /// (`mn::home_addr`), so the probe is pure integer arithmetic with
+    /// no per-world index.
     fn mn_of(&self, addr: Addr) -> Option<MnId> {
-        if addr.0 & 0xFFFF_FF00 != self.mn_net {
-            return None;
-        }
-        self.mn_by_octet[(addr.0 & 0xFF) as usize]
+        mn::mn_of_home(addr, self.mns.len())
     }
 
     // ------------------------------------------------------------------
@@ -859,7 +889,7 @@ impl World {
                     self.forward_wired(ctx, node, pkt);
                     return;
                 };
-                if self.mns[mn.0 as usize].attached == Some(cell) {
+                if self.mns.attached[mn.0 as usize] == Some(cell) {
                     self.air_down(ctx, cell, mn, pkt);
                 } else {
                     if payload.is_data() {
@@ -907,9 +937,11 @@ impl World {
                         id: 0,
                     };
                     let _ = self.ha.process_registration(&synthetic, now);
-                    if let Some(didx) = self.rsmc_addr_domain.get(&rsmc).copied() {
+                    if let (Some(didx), Some(mnid)) =
+                        (self.rsmc_addr_domain.get(&rsmc).copied(), self.mn_of(mn))
+                    {
                         let dom = self.domains[didx].id;
-                        self.mnld.update(mn, dom, rsmc, now);
+                        self.mnld.update(mnid, dom, rsmc, now);
                     }
                 }
                 Payload::Mt(MtMessage::UpdateLocation { mn, new_cell }) => {
@@ -917,11 +949,12 @@ impl World {
                     // travels via the home network, which records the move
                     // and "replies new location information to the
                     // original domain".
-                    let prev_rsmc = self.mnld.peek(mn).map(|e| e.rsmc);
-                    if let Some(didx) = self.domain_idx_of_cell(new_cell) {
+                    let mnid = self.mn_of(mn);
+                    let prev_rsmc = mnid.and_then(|id| self.mnld.peek(id)).map(|e| e.rsmc);
+                    if let (Some(didx), Some(mnid)) = (self.domain_idx_of_cell(new_cell), mnid) {
                         let new_rsmc = self.domains[didx].rsmc.addr();
                         let dom = self.domains[didx].id;
-                        self.mnld.update(mn, dom, new_rsmc, now);
+                        self.mnld.update(mnid, dom, new_rsmc, now);
                         let synthetic = RegistrationRequest {
                             mn_home: mn,
                             coa: new_rsmc,
@@ -949,7 +982,9 @@ impl World {
         }
         if node == self.cn_node {
             if let Payload::Mt(MtMessage::RsmcNotify { mn, rsmc }) = payload {
-                self.cn_route_cache.insert(mn, rsmc);
+                if let Some(mnid) = self.mn_of(mn) {
+                    self.cn_route[mnid.0 as usize] = Some(rsmc);
+                }
             }
             return;
         }
@@ -1125,10 +1160,9 @@ impl World {
                 // passes the crossover between old and new attachments.
                 if let CipControl::Semisoft { mn } = control {
                     if let Some(mnid) = self.mn_of(mn) {
-                        let (old, target) = {
-                            let m = &self.mns[mnid.0 as usize];
-                            (m.attached, m.pending.map(|p| p.target))
-                        };
+                        let i = mnid.0 as usize;
+                        let (old, target) =
+                            (self.mns.attached[i], self.mns.pending[i].map(|p| p.target));
                         if let (Some(old), Some(target)) = (old, target) {
                             let old_node = self.node_of_cell(old);
                             let new_node = self.node_of_cell(target);
@@ -1434,7 +1468,7 @@ impl World {
                 // A flooded page wakes the node: it answers with a route
                 // update so subsequent packets flow.
                 if let Some(mnid) = self.mn_of(mn_addr) {
-                    if self.mns[mnid.0 as usize].attached.is_some() {
+                    if self.mns.attached[mnid.0 as usize].is_some() {
                         let dst = self.topo.addr_of(node);
                         self.report.signaling.route_updates += 1;
                         self.air_up(
@@ -1471,15 +1505,12 @@ impl World {
             (p.payload, p.flow, p.seq, p.created_at, p.payload_bytes)
         };
         self.arena.free(pkt);
-        let pos = {
-            let m = &mut self.mns[mn.0 as usize];
-            m.traj.position(now, &mut m.rng)
-        };
-        let m = &self.mns[mn.0 as usize];
+        let i = mn.0 as usize;
+        let pos = self.mns.traj[i].position(now, &mut self.mns.rng[i]);
         // Semisoft: the node effectively listens to both the old cell and
         // the pending target; FlowQos de-duplicates.
-        let attached_ok = m.attached == Some(cell)
-            || m.pending.map(|p| p.target) == Some(cell) && !self.cfg.mip_only;
+        let attached_ok = self.mns.attached[i] == Some(cell)
+            || self.mns.pending[i].map(|p| p.target) == Some(cell) && !self.cfg.mip_only;
         // Radio truth: the transmission only lands if the node is actually
         // inside the cell's radio range right now (one distance pass for
         // the footprint check and the path loss).
@@ -1498,11 +1529,23 @@ impl World {
             Payload::Data => {
                 let fidx = self.flow_index.get(&flow).copied();
                 if let Some(fidx) = fidx {
-                    self.flows[fidx]
-                        .qos
-                        .record_received(seq, created_at, now, payload_bytes);
+                    if let Some(agg) = self.report.aggregate.as_mut() {
+                        // Aggregate mode: the per-flow tracker stays
+                        // compact; the delay streams into the world-level
+                        // accumulator.
+                        let q = &mut self.flows[fidx].qos;
+                        if let Some(d) =
+                            q.record_received_compact(seq, created_at, now, payload_bytes)
+                        {
+                            agg.record(d.as_millis_f64());
+                        }
+                    } else {
+                        self.flows[fidx]
+                            .qos
+                            .record_received(seq, created_at, now, payload_bytes);
+                    }
                 }
-                self.mns[mn.0 as usize].cip.touch(now);
+                self.mns.cip[i].touch(now);
                 // First delivered data packet after a restore closes every
                 // armed recovery-latency measurement.
                 if !self.pending_recovery.is_empty() {
@@ -1515,14 +1558,14 @@ impl World {
                 }
             }
             Payload::Mip(MipMessage::Reply(reply)) => {
-                let action = self.mns[mn.0 as usize].mip.on_reply(&reply, now);
+                let action = self.mns.mip[i].on_reply(&reply, now);
                 debug_assert!(matches!(action, MnAction::None));
                 if reply.accepted() {
                     self.complete_latency_if(mn, now, |t| t.is_inter_domain());
                 }
             }
             Payload::Mip(MipMessage::Advertisement(adv)) => {
-                let action = self.mns[mn.0 as usize].mip.on_advertisement(&adv, now);
+                let action = self.mns.mip[i].on_advertisement(&adv, now);
                 self.perform_mn_action(ctx, mn, action);
             }
             _ => {}
@@ -1566,16 +1609,13 @@ impl World {
     fn handle_move_sample(&mut self, ctx: &mut Context<'_, Ev>, mn: MnId) {
         let now = ctx.now();
         ctx.schedule_in(self.cfg.move_sample, Ev::MoveSample(mn));
+        let i = mn.0 as usize;
         // A handoff already in flight: wait for it to complete.
-        if self.mns[mn.0 as usize].pending.is_some() {
+        if self.mns.pending[i].is_some() {
             return;
         }
-        let (pos, speed) = {
-            let m = &mut self.mns[mn.0 as usize];
-            let pos = m.traj.position(now, &mut m.rng);
-            let speed = m.traj.speed(now, &mut m.rng);
-            (pos, speed)
-        };
+        let pos = self.mns.traj[i].position(now, &mut self.mns.rng[i]);
+        let speed = self.mns.traj[i].speed(now, &mut self.mns.rng[i]);
         // Candidate set restricted by the deployed tiers. Both buffers are
         // scratch space owned by the world: the measurement pass and the
         // candidate list cost no allocation per sample.
@@ -1599,7 +1639,7 @@ impl World {
             }
         }
         self.measure_scratch = measurements;
-        let current = self.mns[mn.0 as usize].attached.map(|cell| {
+        let current = self.mns.attached[i].map(|cell| {
             let tier = Tier::of_cell(self.cells.cell(cell).expect("known cell").kind());
             let rssi = candidates
                 .iter()
@@ -1619,13 +1659,13 @@ impl World {
                 self.report.handoffs.outage_samples += 1;
                 // Coverage hole: the radio link is gone. Detach, release
                 // the channel, and let Mobile IP know the link dropped.
-                if self.mns[mn.0 as usize].attached.take().is_some() {
-                    if let Some(held) = self.mns[mn.0 as usize].channel_cell.take() {
+                if self.mns.attached[i].take().is_some() {
+                    if let Some(held) = self.mns.channel_cell[i].take() {
                         if let Some(c) = self.cells.cell_mut(held) {
                             c.channels_mut().release();
                         }
                     }
-                    self.mns[mn.0 as usize].mip.on_link_lost();
+                    self.mns.mip[i].on_link_lost();
                 }
             }
             HandoffDecision::Handoff {
@@ -1644,56 +1684,73 @@ impl World {
         fallback: Option<CellId>,
     ) {
         let now = ctx.now();
-        let old = self.mns[mn.0 as usize].attached;
+        let old = self.mns.attached[mn.0 as usize];
         let kind = if old.is_some() {
             CallKind::Handoff
         } else {
             CallKind::New
         };
+        // Idle camping: a node with no traffic flows attaches at
+        // paging level — no traffic channel, no admission, no
+        // call-accounting. The channel pools stay sized by the active
+        // population.
+        let holds_channel = !(self.cfg.idle_camping && !self.mns.has_flow[mn.0 as usize]);
         // Admission at the target; §3.2 fallback to the other tier.
-        let mut admitted = None;
-        for cand in [Some(target), fallback].into_iter().flatten() {
-            let ok = self
-                .cells
-                .cell_mut(cand)
-                .expect("known cell")
-                .channels_mut()
-                .admit(kind)
-                .is_ok();
-            if ok {
-                if admitted.is_none() && cand != target {
-                    self.report.handoffs.fallback_used += 1;
+        let granted = if holds_channel {
+            let mut admitted = None;
+            for cand in [Some(target), fallback].into_iter().flatten() {
+                let ok = self
+                    .cells
+                    .cell_mut(cand)
+                    .expect("known cell")
+                    .channels_mut()
+                    .admit(kind)
+                    .is_ok();
+                if ok {
+                    if admitted.is_none() && cand != target {
+                        self.report.handoffs.fallback_used += 1;
+                    }
+                    admitted = Some(cand);
+                    break;
+                } else if cand == target {
+                    self.report.handoffs.rejected += 1;
                 }
-                admitted = Some(cand);
-                break;
-            } else if cand == target {
-                self.report.handoffs.rejected += 1;
             }
-        }
-        let Some(granted) = admitted else {
+            let Some(granted) = admitted else {
+                if kind == CallKind::New {
+                    self.report.calls_blocked += 1;
+                }
+                return;
+            };
             if kind == CallKind::New {
-                self.report.calls_blocked += 1;
+                self.report.calls_accepted += 1;
             }
-            return;
+            granted
+        } else {
+            target
         };
-        if kind == CallKind::New {
-            self.report.calls_accepted += 1;
+        // Handoff request + accept over the air. A camping node
+        // re-associates silently (idle-state Cellular IP: no admission
+        // exchange, no per-move signaling — the periodic paging update
+        // is its only network traffic).
+        if holds_channel {
+            self.report.signaling.handoff_messages += 2;
+            self.report.signaling.control_bytes += 48;
         }
-        // Handoff request + accept over the air.
-        self.report.signaling.handoff_messages += 2;
-        self.report.signaling.control_bytes += 48;
 
         let htype = old.map(|o| classify(&self.hierarchy, o, granted));
-        self.mns[mn.0 as usize].pending = Some(PendingAttach {
+        self.mns.pending[mn.0 as usize] = Some(PendingAttach {
             target: granted,
             old,
             htype,
             decided_at: now,
+            holds_channel,
         });
 
         // Semisoft (micro-tier targets in CIP architectures): notify the
         // new path before retuning.
-        let semisoft_capable = !self.cfg.mip_only
+        let semisoft_capable = holds_channel
+            && !self.cfg.mip_only
             && old.is_some()
             && matches!(self.cfg.handoff_kind, HandoffKind::Semisoft { .. })
             && self.domain_idx_of_cell(granted).is_some()
@@ -1703,7 +1760,7 @@ impl World {
                 unreachable!()
             };
             // The semisoft packet climbs from the new BS immediately.
-            let mn_addr = self.mns[mn.0 as usize].home;
+            let mn_addr = self.mns.home[mn.0 as usize];
             let didx = self.domain_idx_of_cell(granted).expect("checked");
             let gw_addr = self.topo.addr_of(self.domains[didx].rsmc_node);
             let new_bs = self.node_of_cell(granted);
@@ -1736,43 +1793,61 @@ impl World {
 
     fn handle_attach(&mut self, ctx: &mut Context<'_, Ev>, mn: MnId) {
         let now = ctx.now();
-        let Some(pending) = self.mns[mn.0 as usize].pending.take() else {
+        let i = mn.0 as usize;
+        let Some(pending) = self.mns.pending[i].take() else {
             return;
         };
         let target = pending.target;
         let old = pending.old;
 
         // Ping-pong accounting.
-        if let Some((prev, left_at)) = self.mns[mn.0 as usize].prev_cell {
+        if let Some((prev, left_at)) = self.mns.prev_cell[i] {
             if prev == target && now.saturating_since(left_at) < SimDuration::from_secs(5) {
                 self.report.handoffs.ping_pong += 1;
             }
         }
         // Release the old channel.
-        if let Some(held) = self.mns[mn.0 as usize].channel_cell.take() {
+        if let Some(held) = self.mns.channel_cell[i].take() {
             if let Some(c) = self.cells.cell_mut(held) {
                 c.channels_mut().release();
             }
         }
-        self.mns[mn.0 as usize].channel_cell = Some(target);
-        if let Some(o) = old {
-            self.mns[mn.0 as usize].prev_cell = Some((o, now));
+        if pending.holds_channel {
+            self.mns.channel_cell[i] = Some(target);
         }
-        self.mns[mn.0 as usize].attached = Some(target);
-        self.mns[mn.0 as usize].cip.touch(now);
+        if let Some(o) = old {
+            self.mns.prev_cell[i] = Some((o, now));
+        }
+        self.mns.attached[i] = Some(target);
+        self.mns.cip[i].touch(now);
 
         if let Some(htype) = pending.htype {
             *self.report.handoffs.completed.entry(htype).or_insert(0) += 1;
-            self.pending_latency.insert(
-                mn,
-                PendingLatency {
-                    htype,
-                    decided_at: pending.decided_at,
-                },
-            );
+            // Camping re-associations send no route update, so their
+            // latency window would never close — the signaling latency
+            // metric is an active-set metric.
+            if pending.holds_channel {
+                self.pending_latency.insert(
+                    mn,
+                    PendingLatency {
+                        htype,
+                        decided_at: pending.decided_at,
+                    },
+                );
+            }
         }
 
-        let mn_addr = self.mns[mn.0 as usize].home;
+        // A camping node's attach completes here: the network learns of
+        // it only through the periodic paging update (`handle_uplink`) —
+        // no location messages, no route repair, no Mobile IP
+        // registration, no inter-domain updates. That is the idle-state
+        // contract that keeps per-move signaling and directory churn
+        // proportional to the *active* population.
+        if !pending.holds_channel {
+            return;
+        }
+
+        let mn_addr = self.mns.home[i];
         let new_didx = self.domain_idx_of_cell(target);
         let old_didx = old.and_then(|o| self.domain_idx_of_cell(o));
 
@@ -1812,9 +1887,19 @@ impl World {
                 );
                 // RSMC authentication on first entry to the domain — a
                 // crashed RSMC cannot authenticate; the standby redoes it
-                // on the next attach after takeover.
+                // on the next attach after takeover. The proof lives on the
+                // node's row as a (domain, epoch) pair; the RSMC only
+                // publishes its epoch (bumped on flush), so auth state on
+                // the RSMC side is O(1) rather than O(subscribers).
                 if self.cfg.rsmc_enabled && self.domains[didx].rsmc_alive {
-                    let _auth_delay = self.domains[didx].rsmc.authenticate(mn_addr);
+                    let epoch = self.domains[didx].rsmc.epoch();
+                    let key = (didx as u32, epoch);
+                    let auth = &mut self.mns.auth[i];
+                    if !auth.contains(&key) {
+                        auth.retain(|&(d, _)| d != key.0);
+                        auth.push(key);
+                        let _auth_delay = self.domains[didx].rsmc.note_auth_performed();
+                    }
                 }
             }
         }
@@ -1843,7 +1928,7 @@ impl World {
                     seq: 0,
                 }
             };
-            let action = self.mns[mn.0 as usize].mip.on_advertisement(&adv, now);
+            let action = self.mns.mip[i].on_advertisement(&adv, now);
             self.perform_mn_action(ctx, mn, action);
         }
 
@@ -1880,22 +1965,29 @@ impl World {
 
     fn handle_uplink(&mut self, ctx: &mut Context<'_, Ev>, mn: MnId) {
         let now = ctx.now();
-        let period = self
-            .cfg
-            .route_update_period
-            .unwrap_or(self.cfg.cip_timers.route_update);
+        let i = mn.0 as usize;
+        // A camping node's uplink exists only to refresh its paging-area
+        // state; ticking it faster than the paging period would burn
+        // O(subscribers) events to do nothing (see `World::camps`).
+        let period = if self.camps(i) {
+            self.cfg.cip_timers.paging_update
+        } else {
+            self.cfg
+                .route_update_period
+                .unwrap_or(self.cfg.cip_timers.route_update)
+        };
         ctx.schedule_in(period, Ev::Uplink(mn));
-        let Some(cell) = self.mns[mn.0 as usize].attached else {
+        let Some(cell) = self.mns.attached[i] else {
             return;
         };
-        let mn_addr = self.mns[mn.0 as usize].home;
+        let mn_addr = self.mns.home[i];
         // MIP retransmissions.
-        let action = self.mns[mn.0 as usize].mip.poll_retransmit(now);
+        let action = self.mns.mip[i].poll_retransmit(now);
         self.perform_mn_action(ctx, mn, action);
         // Periodic agent advertisements drive binding refresh: we fold the
         // advertisement into the maintenance tick (the MN state machine
         // only re-registers once the binding passes its half-life).
-        if let mtnet_mobileip::MnState::Registered { .. } = self.mns[mn.0 as usize].mip.state() {
+        if let mtnet_mobileip::MnState::Registered { .. } = self.mns.mip[i].state() {
             let fa_addr = if self.cfg.mip_only {
                 self.bs_of_cell(cell).map(|n| self.topo.addr_of(n))
             } else {
@@ -1909,7 +2001,7 @@ impl World {
                     max_lifetime: SimDuration::from_secs(300),
                     seq: 0,
                 };
-                let action = self.mns[mn.0 as usize].mip.on_advertisement(&adv, now);
+                let action = self.mns.mip[i].on_advertisement(&adv, now);
                 self.perform_mn_action(ctx, mn, action);
             }
         }
@@ -1921,7 +2013,16 @@ impl World {
             return;
         };
         let gw_addr = self.topo.addr_of(self.domains[didx].rsmc_node);
-        match self.mns[mn.0 as usize].cip.mode(now) {
+        // Camping nodes are idle by construction (no flows): route
+        // updates would advertise a data path nobody uses. Their CIP
+        // mode can still read Active right after creation (the activity
+        // timeout measures from t=0), so pin them to the paging branch.
+        let mode = if self.camps(i) {
+            MnMode::Idle
+        } else {
+            self.mns.cip[i].mode(now)
+        };
+        match mode {
             MnMode::Active => {
                 self.report.signaling.route_updates += 1;
                 self.air_up(
@@ -1935,9 +2036,9 @@ impl World {
                 );
             }
             MnMode::Idle => {
-                let since = now.saturating_since(self.mns[mn.0 as usize].last_paging_update);
+                let since = now.saturating_since(self.mns.last_paging_update[i]);
                 if since >= self.cfg.cip_timers.paging_update {
-                    self.mns[mn.0 as usize].last_paging_update = now;
+                    self.mns.last_paging_update[i] = now;
                     self.report.signaling.paging_updates += 1;
                     self.air_up(
                         ctx,
@@ -1956,10 +2057,10 @@ impl World {
         if self.cfg.mip_only {
             return;
         }
-        let Some(cell) = self.mns[mn.0 as usize].attached else {
+        let Some(cell) = self.mns.attached[mn.0 as usize] else {
             return;
         };
-        let mn_addr = self.mns[mn.0 as usize].home;
+        let mn_addr = self.mns.home[mn.0 as usize];
         self.report.signaling.location_messages += 1;
         self.report.signaling.control_bytes += 32;
         self.locdir
@@ -1973,8 +2074,19 @@ impl World {
             let arrival = f.gen.next(&mut f.rng);
             (f.mn, f.flow, arrival)
         };
-        ctx.schedule_in(arrival.gap, Ev::FlowNext(fidx));
-        let mn_addr = self.mns[mn.0 as usize].home;
+        // Diurnal load: stretch the gap by the curve's multiplier at the
+        // current instant (a pure function of `now` — deterministic).
+        let gap = match self.cfg.load_curve {
+            Some(curve) => SimDuration::from_nanos(
+                (arrival.gap.as_nanos() as f64 * curve.gap_multiplier(now)) as u64,
+            ),
+            None => arrival.gap,
+        };
+        ctx.schedule_in(gap, Ev::FlowNext(fidx));
+        let Some(mn) = self.mns.resolve(mn) else {
+            return;
+        };
+        let mn_addr = self.mns.home[mn.0 as usize];
         let seq = {
             let f = &mut self.flows[fidx];
             let s = f.seq;
@@ -1985,7 +2097,7 @@ impl World {
         let cn = self.cn_addr;
         let pkt = self.alloc_packet(flow_id, seq, cn, mn_addr, arrival.bytes, now, Payload::Data);
         // CN route optimization: tunnel straight to the last notified RSMC.
-        if let Some(&rsmc) = self.cn_route_cache.get(&mn_addr) {
+        if let Some(rsmc) = self.cn_route[mn.0 as usize] {
             self.arena
                 .get_mut(pkt)
                 .encapsulate(cn, rsmc, TunnelKind::Rsmc);
@@ -2059,12 +2171,8 @@ impl World {
         }
         self.handle_pkt(ctx, node, from, pkt);
     }
-}
 
-impl Model for World {
-    type Event = Ev;
-
-    fn handle_event(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+    fn handle_event_inner(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
         match event {
             Ev::Pkt { node, from, pkt } => self.dispatch_pkt(ctx, node, from, pkt),
             Ev::AirDown { mn, cell, pkt } => self.handle_air_down(ctx, mn, cell, pkt),
@@ -2076,6 +2184,21 @@ impl Model for World {
             Ev::Sweep => self.handle_sweep(ctx),
             Ev::Fault(idx) => self.handle_fault(ctx, idx),
         }
+    }
+}
+
+impl Model for World {
+    type Event = Ev;
+
+    fn handle_event(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+        if evprof::enabled() {
+            let slot = evprof::slot(&event);
+            let t0 = std::time::Instant::now();
+            self.handle_event_inner(ctx, event);
+            evprof::record(slot, t0.elapsed());
+            return;
+        }
+        self.handle_event_inner(ctx, event);
     }
 
     /// Batched dispatch: one pass warms the arena slots every packet in
@@ -2126,6 +2249,69 @@ impl World {
         spec.build(master_seed)
     }
 
+    /// Largest population the historical linear stagger formulas are kept
+    /// for, bit for bit. Every cataloged scenario (E1–E13) sits at or
+    /// below this; larger worlds fold the stagger back into each node's
+    /// own period so the first tick of node 10^6 is not parked days into
+    /// the run.
+    const LEGACY_STAGGER_MAX: usize = 250;
+
+    /// True when node `i` camps: under [`WorldConfig::idle_camping`] a
+    /// node that sources no traffic flow attends no channel, sends no
+    /// location messages and ticks its uplink at the *paging-update*
+    /// cadence — the network's per-idle-subscriber cost is one paging
+    /// message per paging period, nothing else.
+    pub(crate) fn camps(&self, i: usize) -> bool {
+        self.cfg.idle_camping && !self.mns.has_flow[i]
+    }
+
+    /// Initial `(MoveSample, Uplink, LocationTick)` times for node `i` —
+    /// the single source of truth shared by [`World::run`] and
+    /// `shard::into_replica` (bit-exactness across engines depends on
+    /// both using identical start times). A camping node gets no
+    /// `LocationTick` at all (`None`) and staggers its uplink over the
+    /// paging period instead of the route-update period — the O(idle)
+    /// event mass runs at paging cadence, not signaling cadence.
+    pub(crate) fn mn_start_times(&self, i: usize) -> (SimTime, SimTime, Option<SimTime>) {
+        let camps = self.camps(i);
+        let i = i as u64;
+        if self.mns.len() <= Self::LEGACY_STAGGER_MAX {
+            return (
+                SimTime::from_millis(i * 7),
+                SimTime::from_millis(100 + i * 13),
+                (!camps).then(|| SimTime::from_millis(200 + i * 17)),
+            );
+        }
+        // Metro scale: same prime strides, wrapped modulo each tick's own
+        // period so every node's first tick lands inside the first cycle.
+        let ms = |d: SimDuration| (d.as_nanos() / 1_000_000).max(1);
+        let move_ms = ms(self.cfg.move_sample);
+        let up_ms = if camps {
+            ms(self.cfg.cip_timers.paging_update)
+        } else {
+            ms(self
+                .cfg
+                .route_update_period
+                .unwrap_or(self.cfg.cip_timers.route_update))
+        };
+        let loc_ms = ms(self.cfg.location_period);
+        (
+            SimTime::from_millis((i * 7) % move_ms),
+            SimTime::from_millis(100 + (i * 13) % up_ms),
+            (!camps).then(|| SimTime::from_millis(200 + (i * 17) % loc_ms)),
+        )
+    }
+
+    /// Initial `FlowNext` time for flow `f`; see [`World::mn_start_times`].
+    pub(crate) fn flow_start_time(&self, f: usize) -> SimTime {
+        let f = f as u64;
+        if self.mns.len() <= Self::LEGACY_STAGGER_MAX {
+            SimTime::from_millis(500 + f * 11)
+        } else {
+            SimTime::from_millis(500 + (f * 11) % 2000)
+        }
+    }
+
     /// Runs the world for `duration` and extracts the report.
     ///
     /// The initial schedule below is mirrored (with ownership filters) by
@@ -2143,15 +2329,15 @@ impl World {
         for i in 0..n_mns {
             let mn = MnId(i as u32);
             // Stagger start times so nodes do not move in lockstep.
-            sim.schedule_at(SimTime::from_millis(i as u64 * 7), Ev::MoveSample(mn));
-            sim.schedule_at(SimTime::from_millis(100 + i as u64 * 13), Ev::Uplink(mn));
-            sim.schedule_at(
-                SimTime::from_millis(200 + i as u64 * 17),
-                Ev::LocationTick(mn),
-            );
+            let (t_move, t_up, t_loc) = sim.model().mn_start_times(i);
+            sim.schedule_at(t_move, Ev::MoveSample(mn));
+            sim.schedule_at(t_up, Ev::Uplink(mn));
+            if let Some(t_loc) = t_loc {
+                sim.schedule_at(t_loc, Ev::LocationTick(mn));
+            }
         }
         for f in 0..n_flows {
-            sim.schedule_at(SimTime::from_millis(500 + f as u64 * 11), Ev::FlowNext(f));
+            sim.schedule_at(sim.model().flow_start_time(f), Ev::FlowNext(f));
         }
         sim.schedule_at(SimTime::from_secs(5), Ev::Sweep);
         // Fault edges last: same-instant ties against periodic machinery
@@ -2195,3 +2381,74 @@ impl World {
 
 #[cfg(test)]
 mod tests;
+
+/// Opt-in event-handler profiling: set `MTNET_EVPROF=1` and every
+/// handler invocation accumulates wall time into a per-variant bucket;
+/// [`evprof::report`] renders the totals. Process-global (the counters
+/// sum across worlds), ~50ns of `Instant` overhead per event when
+/// enabled, a single cached-bool test when not — the tool of first
+/// resort when a metro-scale run's wall time needs explaining.
+#[doc(hidden)]
+pub mod evprof {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+
+    const N: usize = 10;
+    static COUNT: [AtomicU64; N] = [const { AtomicU64::new(0) }; N];
+    static NANOS: [AtomicU64; N] = [const { AtomicU64::new(0) }; N];
+    static ON: OnceLock<bool> = OnceLock::new();
+
+    pub(crate) fn enabled() -> bool {
+        *ON.get_or_init(|| std::env::var_os("MTNET_EVPROF").is_some())
+    }
+
+    pub(crate) fn slot(ev: &super::Ev) -> usize {
+        match ev {
+            super::Ev::Pkt { .. } => 0,
+            super::Ev::AirDown { .. } => 1,
+            super::Ev::MoveSample(_) => 2,
+            super::Ev::Uplink(_) => 3,
+            super::Ev::LocationTick(_) => 4,
+            super::Ev::FlowNext(_) => 5,
+            super::Ev::Attach(_) => 6,
+            super::Ev::Sweep => 7,
+            super::Ev::Fault(_) => 8,
+        }
+    }
+
+    pub(crate) fn record(slot: usize, d: std::time::Duration) {
+        COUNT[slot].fetch_add(1, Ordering::Relaxed);
+        NANOS[slot].fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn report() -> String {
+        const NAMES: [&str; N] = [
+            "Pkt",
+            "AirDown",
+            "MoveSample",
+            "Uplink",
+            "LocationTick",
+            "FlowNext",
+            "Attach",
+            "Sweep",
+            "Fault",
+            "?",
+        ];
+        let mut out = String::new();
+        for i in 0..N {
+            let c = COUNT[i].load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            let ns = NANOS[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "{:<14} {:>10}  total {:>8.3}s  avg {:>6}ns\n",
+                NAMES[i],
+                c,
+                ns as f64 / 1e9,
+                ns / c
+            ));
+        }
+        out
+    }
+}

@@ -204,17 +204,17 @@ fn into_replica(mut world: World, plan: &ShardPlan, own: u32) -> Simulator<World
     if own == ACCESS {
         for i in 0..n_mns {
             let mn = crate::messages::MnId(i as u32);
-            sim.schedule_at(SimTime::from_millis(i as u64 * 7), Ev::MoveSample(mn));
-            sim.schedule_at(SimTime::from_millis(100 + i as u64 * 13), Ev::Uplink(mn));
-            sim.schedule_at(
-                SimTime::from_millis(200 + i as u64 * 17),
-                Ev::LocationTick(mn),
-            );
+            let (t_move, t_up, t_loc) = sim.model().mn_start_times(i);
+            sim.schedule_at(t_move, Ev::MoveSample(mn));
+            sim.schedule_at(t_up, Ev::Uplink(mn));
+            if let Some(t_loc) = t_loc {
+                sim.schedule_at(t_loc, Ev::LocationTick(mn));
+            }
         }
     }
     if own == BACKBONE {
         for f in 0..n_flows {
-            sim.schedule_at(SimTime::from_millis(500 + f as u64 * 11), Ev::FlowNext(f));
+            sim.schedule_at(sim.model().flow_start_time(f), Ev::FlowNext(f));
         }
     }
     sim.schedule_at(SimTime::from_secs(5), Ev::Sweep);
@@ -316,6 +316,11 @@ fn merge(sims: Vec<Simulator<World>>, duration: SimDuration) -> SimReport {
             bb.faults.recovery_latency_ms.count(),
             0,
             "recovery latency is access-owned"
+        );
+        debug_assert_eq!(
+            bb.aggregate.as_ref().map_or(0, |a| a.count()),
+            0,
+            "aggregate delay is access-owned (receives land on ACCESS)"
         );
         for ((_, q), (_, bq)) in out.flows.iter_mut().zip(&bb.flows) {
             q.adopt_sent(bq);

@@ -238,7 +238,7 @@ fn channel_accounting_balances() {
     }
     sim.run_until(SimTime::from_secs(30));
     let world = sim.into_model();
-    let attached = world.mns.iter().filter(|m| m.attached.is_some()).count();
+    let attached = world.mns.attached.iter().filter(|a| a.is_some()).count();
     let in_use: u32 = world.cells.cells().map(|c| c.channels().in_use()).sum();
     assert_eq!(
         in_use as usize, attached,
@@ -283,14 +283,15 @@ fn vehicle_prefers_macro_pedestrian_prefers_micro() {
     sim.run_until(SimTime::from_secs(20));
     let world = sim.into_model();
     // Population layout: pedestrians first, then cyclists, then vehicles.
-    let ped = &world.mns[0];
-    let veh = &world.mns[scenario.population.total() - 1];
-    let tier_of = |m: &MnSim| {
-        m.attached
-            .map(|c| Tier::of_cell(world.cells.cell(c).expect("cell").kind()))
+    let tier_of = |i: usize| {
+        world.mns.attached[i].map(|c| Tier::of_cell(world.cells.cell(c).expect("cell").kind()))
     };
-    assert_eq!(tier_of(ped), Some(Tier::Micro), "pedestrian in micro tier");
-    assert_eq!(tier_of(veh), Some(Tier::Macro), "vehicle in macro tier");
+    assert_eq!(tier_of(0), Some(Tier::Micro), "pedestrian in micro tier");
+    assert_eq!(
+        tier_of(scenario.population.total() - 1),
+        Some(Tier::Macro),
+        "vehicle in macro tier"
+    );
 }
 
 #[test]
@@ -391,8 +392,7 @@ fn outage_detaches_and_releases_channel() {
     // Long enough to attach and then drive out of the strip.
     sim.run_until(SimTime::from_secs(120));
     let world = sim.into_model();
-    let m = &world.mns[0];
-    if m.attached.is_none() {
+    if world.mns.attached[0].is_none() {
         let in_use: u32 = world.cells.cells().map(|c| c.channels().in_use()).sum();
         assert_eq!(in_use, 0, "detached node must not hold a channel");
     }
@@ -491,12 +491,18 @@ fn persistent_indices_match_linear_scans() {
     }
     assert_eq!(world.rsmc_addr_domain.get(&world.cn_addr), None);
 
-    // MN owner probe ≡ scan over the population.
-    for m in &world.mns {
+    // MN owner probe ≡ scan over the population's home column.
+    for (i, &home) in world.mns.home.iter().enumerate() {
         assert_eq!(
-            world.mn_of(m.home),
-            world.mns.iter().find(|x| x.home == m.home).map(|x| x.id)
+            world.mn_of(home),
+            world
+                .mns
+                .home
+                .iter()
+                .position(|&h| h == home)
+                .map(|p| MnId(p as u32))
         );
+        assert_eq!(world.mn_of(home), Some(MnId(i as u32)));
     }
     assert_eq!(world.mn_of(world.cn_addr), None);
     assert_eq!(world.mn_of(world.ha.addr()), None);
@@ -533,7 +539,7 @@ fn route_cache_matches_routing_tables() {
     let mut dsts: Vec<Addr> = (0..world.topo.node_count() as u32)
         .map(|n| world.topo.addr_of(NodeId(n)))
         .collect();
-    dsts.extend(world.mns.iter().map(|m| m.home));
+    dsts.extend(world.mns.home.iter().copied());
     dsts.push(world.cn_addr);
     for node in 0..world.topo.node_count() as u32 {
         let node = NodeId(node);

@@ -10,6 +10,8 @@
 //!   replications (the cross-run layer over [`Summary`]).
 //! * [`Histogram`] — log-scale bucketed histogram with percentile queries
 //!   (HdrHistogram-style, base-2 with linear sub-buckets).
+//! * [`FixedHistogram`] — uniform fixed-bucket histogram with a constant
+//!   footprint, for world-level streaming accumulators.
 //! * [`TimeWeighted`] — integrates a piecewise-constant value over simulated
 //!   time (queue occupancy, channel usage, …).
 //! * [`TimeSeries`] — (t, value) samples with downsampling.
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod counter;
+mod fixed;
 mod histogram;
 mod replicates;
 mod series;
@@ -35,6 +38,7 @@ mod table;
 mod timeweighted;
 
 pub use counter::Counter;
+pub use fixed::FixedHistogram;
 pub use histogram::Histogram;
 pub use replicates::Replicates;
 pub use series::{SeriesPoint, TimeSeries};

@@ -92,16 +92,25 @@ impl MobilityModel for Stationary {
 }
 
 /// A trajectory: legs materialized on demand from a [`MobilityModel`],
-/// with position and speed queries at arbitrary (non-decreasing-friendly)
+/// with position and speed queries at (per-trajectory non-decreasing)
 /// times.
 ///
-/// Legs are cached, so queries may go backwards in time as well; memory is
-/// proportional to the trajectory horizon actually queried.
+/// Memory is **O(1) per trajectory**, not proportional to simulated
+/// time: simulation queries are non-decreasing, so once the cursor has
+/// moved far enough past a leg it is pruned from the cached window
+/// (the metro tier carries 10^6 of these — an ever-growing leg history
+/// would dominate the whole world's footprint). Queries may still go
+/// backwards *within* the retained window (same-instant re-queries,
+/// short replays); a query before the window is a caller bug and
+/// trips a debug assertion.
 pub struct Trajectory {
     model: Box<dyn MobilityModel + Send>,
     /// Cumulative end time of each cached leg.
     ends: Vec<SimTime>,
     legs: Vec<Leg>,
+    /// Start time of `legs[0]`: `SimTime::ZERO` until pruning discards
+    /// consumed history, then the end of the last pruned leg.
+    origin: SimTime,
     /// Index of the leg that answered the last query. Simulation queries
     /// are (per-trajectory) non-decreasing in time, so the next answer is
     /// almost always this leg or the one after — an O(1) forward step
@@ -122,19 +131,41 @@ impl std::fmt::Debug for Trajectory {
 }
 
 impl Trajectory {
+    /// Legs already consumed by the advancing cursor are pruned once this
+    /// many pile up. Large enough that a trajectory serving ordinary
+    /// monotone queries never reallocates after warm-up, small enough
+    /// that the retained window stays a few KiB per node.
+    const PRUNE_THRESHOLD: usize = 32;
+
     /// Wraps a model into an empty trajectory.
     pub fn new(model: Box<dyn MobilityModel + Send>) -> Self {
         Trajectory {
             model,
             ends: Vec::new(),
             legs: Vec::new(),
+            origin: SimTime::ZERO,
             cursor: 0,
         }
     }
 
+    /// Drops legs the cursor has fully passed. The current leg (and
+    /// everything after it) is always retained, so monotone and
+    /// same-instant queries are unaffected; only a query that travels
+    /// backwards past the retained window would notice — see the type
+    /// docs.
+    fn prune(&mut self) {
+        if self.cursor < Self::PRUNE_THRESHOLD {
+            return;
+        }
+        self.origin = self.ends[self.cursor - 1];
+        self.ends.drain(..self.cursor);
+        self.legs.drain(..self.cursor);
+        self.cursor = 0;
+    }
+
     /// Extends the cached legs to cover time `t`.
     fn materialize_to(&mut self, t: SimTime, rng: &mut RngStream) {
-        let mut horizon = self.ends.last().copied().unwrap_or(SimTime::ZERO);
+        let mut horizon = self.ends.last().copied().unwrap_or(self.origin);
         while horizon <= t {
             let current = self
                 .legs
@@ -154,15 +185,22 @@ impl Trajectory {
     /// to the last leg) — `partition_point(ends, e <= t)`, served from
     /// the monotone-query cursor when possible.
     fn leg_index_at(&mut self, t: SimTime) -> usize {
+        debug_assert!(
+            t >= self.origin,
+            "trajectory query at {t:?} is before the retained window \
+             (origin {:?}): backwards queries must stay within it",
+            self.origin
+        );
         let n = self.legs.len();
         let mut i = self.cursor.min(n - 1);
         let start = if i == 0 {
-            SimTime::ZERO
+            self.origin
         } else {
             self.ends[i - 1]
         };
         if t < start {
-            // Backwards query (tests, replays): full binary search.
+            // Backwards query (tests, short replays) within the retained
+            // window: full binary search.
             i = self.ends.partition_point(|e| *e <= t).min(n - 1);
         } else {
             while i < n - 1 && self.ends[i] <= t {
@@ -175,10 +213,11 @@ impl Trajectory {
 
     /// Position at time `t` (materializing legs as needed).
     pub fn position(&mut self, t: SimTime, rng: &mut RngStream) -> Point {
+        self.prune();
         self.materialize_to(t, rng);
         let i = self.leg_index_at(t);
         let leg_start = if i == 0 {
-            SimTime::ZERO
+            self.origin
         } else {
             self.ends[i - 1]
         };
@@ -187,6 +226,7 @@ impl Trajectory {
 
     /// Instantaneous speed (m/s) at time `t`.
     pub fn speed(&mut self, t: SimTime, rng: &mut RngStream) -> f64 {
+        self.prune();
         self.materialize_to(t, rng);
         let i = self.leg_index_at(t);
         self.legs[i].speed
@@ -306,6 +346,44 @@ mod tests {
         let early = traj.position(SimTime::from_secs(10), &mut r);
         assert!((late.x - 90.0).abs() < 1e-9);
         assert!((early.x - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_keeps_cache_bounded_and_answers_bit_exact() {
+        use crate::geometry::Rect;
+        use crate::speed::SpeedClass;
+        use crate::waypoint::RandomWaypoint;
+
+        let mk = || {
+            Trajectory::new(Box::new(
+                RandomWaypoint::new(Rect::square(1000.0), SpeedClass::Pedestrian)
+                    .with_pause(SimDuration::from_secs(5)),
+            ))
+        };
+        let (mut dense, mut sparse) = (mk(), mk());
+        let (mut rd, mut rs) = (rng(), rng());
+        // Dense queries every second prune the cache over and over; sparse
+        // checkpoint queries never trigger pruning between checkpoints. Both
+        // must materialize identical legs and answer bit for bit.
+        for secs in 0..=20_000u64 {
+            let t = SimTime::from_secs(secs);
+            let p = dense.position(t, &mut rd);
+            if secs % 1000 == 0 {
+                assert_eq!(p, sparse.position(t, &mut rs), "position at {t:?}");
+                assert_eq!(
+                    dense.speed(t, &mut rd),
+                    sparse.speed(t, &mut rs),
+                    "speed at {t:?}"
+                );
+            }
+        }
+        // A pedestrian crosses a 1 km square in minutes: 20 000 s of walking
+        // is thousands of legs. The dense cache must stay a small window.
+        assert!(
+            dense.cached_legs() < 2 * Trajectory::PRUNE_THRESHOLD,
+            "dense cache holds {} legs",
+            dense.cached_legs()
+        );
     }
 
     #[test]

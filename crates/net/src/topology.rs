@@ -100,6 +100,11 @@ pub struct Topology {
     /// O(1) reverse index for [`node_by_addr`](Topology::node_by_addr);
     /// first-added node wins on duplicate addresses.
     by_addr: FxHashMap<Addr, NodeId>,
+    /// O(1) index for [`link_between`](Topology::link_between);
+    /// first-added link wins on parallel edges (matching the adjacency
+    /// scan it replaces — hub nodes in metro worlds have hundreds of
+    /// out-links, and the lookup sits on the per-hop forwarding path).
+    by_pair: FxHashMap<(NodeId, NodeId), LinkId>,
 }
 
 impl Topology {
@@ -167,6 +172,7 @@ impl Topology {
             link: Link::new(config),
         });
         self.nodes[from.0 as usize].out.push((to, id));
+        self.by_pair.entry((from, to)).or_insert(id);
         self.generation += 1;
         id
     }
@@ -177,14 +183,10 @@ impl Topology {
         (self.add_link(a, b, config), self.add_link(b, a, config))
     }
 
-    /// The link from `from` to `to`, if one exists.
+    /// The link from `from` to `to`, if one exists (O(1); the
+    /// first-added link wins if parallel edges exist).
     pub fn link_between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
-        self.nodes
-            .get(from.0 as usize)?
-            .out
-            .iter()
-            .find(|(n, _)| *n == to)
-            .map(|&(_, l)| l)
+        self.by_pair.get(&(from, to)).copied()
     }
 
     /// Mutable access to a link's queue/statistics state.

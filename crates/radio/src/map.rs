@@ -169,6 +169,11 @@ impl CellSoa {
 }
 
 impl CellMap {
+    /// Largest deployment [`CellMap::measure_batch`] still full-sweeps;
+    /// bigger maps route batch measurements through the spatial grid
+    /// (bit-identical — see `measure_batch_lanes`).
+    const BATCH_FULL_SWEEP_MAX: usize = 256;
+
     /// Creates an empty map with default (shadowed urban) propagation.
     pub fn new(shadow_seed: u64) -> Self {
         CellMap {
@@ -413,6 +418,15 @@ impl CellMap {
         out: &mut Vec<Measurement>,
         sel: LaneSelect,
     ) {
+        // Metro-scale deployments: past a few hundred cells the full SoA
+        // sweep loses to the spatial grid (the sweep is O(cells) per
+        // sample; the grid visits one bucket plus the broad list). The
+        // two paths are property-tested pairwise bit-identical at every
+        // lane width, so the cutover is purely a speed decision.
+        if self.soa.id.len() > Self::BATCH_FULL_SWEEP_MAX {
+            self.measure_into_lanes(at, tier, out, sel);
+            return;
+        }
         out.clear();
         let n = self.soa.id.len();
         lanes::sweep(

@@ -177,6 +177,13 @@ impl<E> CalendarQueue<E> {
         self.rebuilds
     }
 
+    /// Total entry capacity across the wheel's buckets (test aid: pins
+    /// the drained-bucket release policy).
+    #[cfg(test)]
+    pub(crate) fn wheel_capacity(&self) -> usize {
+        self.buckets.iter().map(|b| b.capacity()).sum()
+    }
+
     fn n_buckets(&self) -> usize {
         self.mask + 1
     }
@@ -334,7 +341,9 @@ impl<E> CalendarQueue<E> {
         let entry = match loc {
             MinLoc::Wheel(idx) => {
                 self.wheel_len -= 1;
-                self.buckets[idx].pop().expect("cached wheel min exists")
+                let e = self.buckets[idx].pop().expect("cached wheel min exists");
+                Self::release_if_drained(&mut self.buckets[idx]);
+                e
             }
             MinLoc::Overflow => self.overflow.pop().expect("cached overflow min exists").0,
         };
@@ -398,6 +407,7 @@ impl<E> CalendarQueue<E> {
                 // `remove` (not swap_remove) keeps a sorted active bucket
                 // sorted; elsewhere order within the bucket is free.
                 let entry = bucket.remove(pos);
+                Self::release_if_drained(bucket);
                 self.wheel_len -= 1;
                 self.len -= 1;
                 self.cached = None;
@@ -426,6 +436,21 @@ impl<E> CalendarQueue<E> {
             return found;
         }
         None
+    }
+
+    /// Frees a drained bucket's backing allocation once it grew past the
+    /// minimal first-push capacity. Periodic timer populations (metro:
+    /// millions of ticks on 5 s / 60 s cadences) sweep an occupancy wave
+    /// across the wheel lap after lap; without this, every bucket the
+    /// wave ever touched would keep its spike capacity forever and the
+    /// wheel's footprint would grow linearly in simulated time (~40 B per
+    /// event at metro scale). Buckets that stay at the minimal capacity —
+    /// the active bucket oscillating under a same-instant packet chain —
+    /// are left alone, so the hot path never churns the allocator.
+    fn release_if_drained(bucket: &mut Vec<Entry<E>>) {
+        if bucket.is_empty() && bucket.capacity() > 4 {
+            *bucket = Vec::new();
+        }
     }
 
     /// Moves the cursor forward, never backward, resetting the
@@ -688,6 +713,38 @@ mod tests {
         assert_eq!(q.pop_min().map(|(_, s, _)| s), Some(1), "ladder second");
         assert_eq!(q.pop_min().map(|(_, s, _)| s), Some(3));
         assert_eq!(q.pop_min(), None);
+    }
+
+    #[test]
+    fn drained_buckets_release_spike_capacity() {
+        // Periodic timer populations sweep an occupancy wave across the
+        // wheel: each bucket fills with a spike of entries once per lap,
+        // drains, and is not refilled until the next lap. If a drained
+        // bucket kept its spike capacity, a wheel too large to lap within
+        // the run (metro: 2^20 buckets) would ratchet its footprint
+        // linearly in simulated time. Model one wave bucket directly: a
+        // same-bucket burst plus spread-out ballast, then drain the burst.
+        let mut q = CalendarQueue::new();
+        let n = 1_000u64;
+        for i in 0..n {
+            q.push(SimTime::from_nanos(1_000 + i), i, i); // one hot bucket
+        }
+        for i in 0..n {
+            // Ballast keeps `len` above the shrink-rebuild threshold
+            // while the burst drains.
+            q.push(SimTime::from_nanos(10_000_000 + i * 10_000), n + i, n + i);
+        }
+        let before = q.wheel_capacity();
+        for _ in 0..n {
+            q.pop_min().expect("burst entry");
+        }
+        let after = q.wheel_capacity();
+        assert_eq!(q.len(), n as usize, "only the burst was drained");
+        assert!(
+            after + 512 <= before,
+            "draining a {n}-entry bucket must release its allocation \
+             (capacity before {before}, after {after})"
+        );
     }
 
     #[test]

@@ -86,10 +86,30 @@ impl FlowQos {
         received_at: SimTime,
         bytes: u32,
     ) {
+        if let Some(delay) = self.record_received_compact(seq, sent_at, received_at, bytes) {
+            self.delay_ns.record(delay.as_nanos());
+            self.delay_summary.record(delay.as_millis_f64());
+        }
+    }
+
+    /// [`FlowQos::record_received`] minus the per-flow delay
+    /// distribution: counts, bytes and jitter update exactly as usual,
+    /// but the delay histogram and summary stay empty. Returns the
+    /// one-way delay when the packet counted as delivered (`None` for a
+    /// duplicate), so the caller can stream it into a shared world-level
+    /// accumulator instead — the aggregate-QoS mode metro-scale worlds
+    /// use to keep per-flow trackers at a constant few hundred bytes.
+    pub fn record_received_compact(
+        &mut self,
+        seq: u64,
+        sent_at: SimTime,
+        received_at: SimTime,
+        bytes: u32,
+    ) -> Option<SimDuration> {
         match self.highest_seq_received {
             Some(h) if seq == h => {
                 self.duplicates += 1;
-                return;
+                return None;
             }
             Some(h) if seq < h => {
                 self.out_of_order += 1;
@@ -104,8 +124,6 @@ impl FlowQos {
         self.bytes_received += u64::from(bytes);
 
         let delay = received_at.saturating_since(sent_at);
-        self.delay_ns.record(delay.as_nanos());
-        self.delay_summary.record(delay.as_millis_f64());
 
         // RFC 3550 jitter: J += (|D(i-1,i)| - J) / 16 where D is the
         // difference of one-way delays (transit times) of consecutive
@@ -116,6 +134,7 @@ impl FlowQos {
             self.jitter_ns += (d - self.jitter_ns) / 16.0;
         }
         self.last_delay_ns = Some(delay_ns);
+        Some(delay)
     }
 
     /// Packets sent so far.
@@ -324,6 +343,37 @@ mod tests {
         assert_eq!(r.received, 7);
         assert!((r.loss_rate - 0.3).abs() < 1e-12);
         assert!(r.mean_delay_ms > 0.0, "receive side untouched");
+    }
+
+    #[test]
+    fn compact_matches_full_except_delay_distribution() {
+        let mut full = FlowQos::new();
+        let mut compact = FlowQos::new();
+        for seq in [0u64, 1, 1, 3, 2] {
+            let t = ms(seq * 20);
+            let d = SimDuration::from_millis(10 + seq * 7);
+            full.record_sent(seq, t, 120);
+            compact.record_sent(seq, t, 120);
+            full.record_received(seq, t, t + d, 120);
+            let returned = compact.record_received_compact(seq, t, t + d, 120);
+            // Duplicates return None; delivered packets return the delay.
+            if seq == 1 && compact.duplicates > 0 && returned.is_none() {
+                continue;
+            }
+            assert_eq!(returned, Some(d));
+        }
+        let f = full.report(SimDuration::from_secs(1));
+        let c = compact.report(SimDuration::from_secs(1));
+        assert_eq!(c.sent, f.sent);
+        assert_eq!(c.received, f.received);
+        assert_eq!(c.duplicates, f.duplicates);
+        assert_eq!(c.out_of_order, f.out_of_order);
+        assert_eq!(c.jitter_ms, f.jitter_ms);
+        assert_eq!(c.throughput_bps, f.throughput_bps);
+        // The per-flow delay distribution is the one thing compact skips.
+        assert_eq!(c.mean_delay_ms, 0.0);
+        assert_eq!(c.p95_delay_ms, 0.0);
+        assert!(f.mean_delay_ms > 0.0);
     }
 
     #[test]

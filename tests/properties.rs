@@ -859,6 +859,14 @@ proptest! {
             semisoft_delay_ms: opt(semisoft_ms),
             table_lifetime_ms: opt(lifetime_ms),
             paging_update_ms: opt(paging_ms),
+            // Metro keys, derived like `shards`: raw_seed bits cover both
+            // the elided (default) and rendered forms of each.
+            move_sample_ms: (raw_seed & 1 != 0).then_some(raw_seed % 9_000 + 1),
+            location_update_ms: (raw_seed & 2 != 0).then_some(raw_seed % 90_000 + 1),
+            aggregate_qos: raw_seed & 4 != 0,
+            idle_camping: raw_seed & 8 != 0,
+            load_curve: (raw_seed & 16 != 0)
+                .then_some(((raw_seed % 300 + 1) as f64, (raw_seed % 13 + 2) as f64 * 0.5)),
             // Derived, not a fresh strategy: covers both the elided
             // (shards = 1) and rendered (shards > 1) forms.
             shards: (raw_seed % 4 + 1) as u32,
